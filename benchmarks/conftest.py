@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on a reduced
+workbench (the ``REPRO_BENCH_LOOPS`` environment variable scales it up to
+the paper's size when desired) and records the wall-clock time through
+pytest-benchmark.  The rendered tables are also written to
+``benchmarks/output/`` so the numbers that back EXPERIMENTS.md can be
+re-inspected after a run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Default workbench size for benchmarks; override with REPRO_BENCH_LOOPS.
+BENCH_LOOPS = int(os.environ.get("REPRO_BENCH_LOOPS", "24"))
+#: Seed shared by every benchmark so their workbenches are identical.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2003"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_loops() -> int:
+    return BENCH_LOOPS
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_result(output_dir: Path, name: str, rendered: str) -> None:
+    """Write a rendered experiment table next to the benchmark results."""
+    (output_dir / f"{name}.txt").write_text(rendered + "\n")

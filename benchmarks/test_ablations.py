@@ -1,0 +1,66 @@
+"""Benchmarks: ablation studies on the design choices called out in DESIGN.md.
+
+These go beyond the paper's tables:
+
+* ``Budget_Ratio`` sensitivity -- how much backtracking MIRS_HC needs
+  before the schedule quality stops improving (the paper fixes one value
+  but never studies it);
+* inter-level port count (lp/sp) sensitivity -- the quantitative version
+  of the Section 4 / Figure 4 design decision;
+* binding prefetching on/off -- the mechanism behind the paper's claim
+  that the hierarchical organization tolerates memory latency better.
+"""
+
+from conftest import save_result
+
+from repro.eval.experiments import (
+    run_ablation_budget_ratio,
+    run_ablation_ports,
+    run_ablation_prefetch,
+)
+
+
+def test_ablation_budget_ratio(benchmark, bench_loops, bench_seed, output_dir):
+    n_loops = max(8, bench_loops // 2)
+    result = benchmark.pedantic(
+        lambda: run_ablation_budget_ratio(
+            ratios=(1.0, 2.0, 4.0, 6.0), n_loops=n_loops, seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "ablation_budget_ratio", result.render())
+    rows = result.data["rows"]
+    # More backtracking budget does not meaningfully worsen the total II
+    # (individual tie-breaks may differ, hence the small tolerance).
+    assert rows[6.0]["sum_ii"] <= rows[1.0]["sum_ii"] * 1.05 + 2
+
+
+def test_ablation_ports(benchmark, bench_loops, bench_seed, output_dir):
+    n_loops = max(8, bench_loops // 2)
+    result = benchmark.pedantic(
+        lambda: run_ablation_ports(
+            port_counts=((1, 1), (2, 1), (4, 2)), n_loops=n_loops, seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "ablation_ports", result.render())
+    rows = result.data["rows"]
+    # Wider inter-level ports can only help the achieved II (Figure 4's
+    # rationale for choosing lp/sp per clustering degree).
+    assert rows[(4, 2)]["sum_ii"] <= rows[(1, 1)]["sum_ii"]
+
+
+def test_ablation_prefetch(benchmark, bench_loops, bench_seed, output_dir):
+    n_loops = max(8, bench_loops // 2)
+    result = benchmark.pedantic(
+        lambda: run_ablation_prefetch(n_loops=n_loops, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "ablation_prefetch", result.render())
+    rows = result.data["rows"]
+    # Binding prefetching removes stall cycles (at the cost of register
+    # pressure, which the hierarchical shared bank absorbs).
+    assert rows[True]["stall"] <= rows[False]["stall"] + 1e-6

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 1 -- IPC as a function of the machine resources.
+
+Paper reference: Figure 1 plots the IPC achieved by the monolithic
+128-register machine as the number of functional units and memory ports
+grows from 4+2 to 12+6; the curve rises and saturates, and the 8+4
+baseline sits above an IPC of 6 (efficiency > 0.5).
+"""
+
+from conftest import save_result
+
+from repro.eval import run_figure1
+
+
+def test_figure1_ipc_vs_resources(benchmark, bench_loops, bench_seed, output_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure1(n_loops=bench_loops, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "figure1", result.render())
+
+    points = result.data["points"]
+    ipcs = [p["ipc"] for p in points]
+    # Shape checks: IPC grows monotonically with resources and saturates
+    # (efficiency decreases), exactly as in the paper's Figure 1.
+    assert ipcs == sorted(ipcs)
+    assert points[-1]["efficiency"] < points[0]["efficiency"]
+    baseline = next(p for p in points if p["label"] == "8+4")
+    assert baseline["ipc"] > 2.5

@@ -1,0 +1,37 @@
+"""Benchmark: Figure 4 -- LoadR/StoreR port requirements per cluster bank.
+
+Paper reference: Figure 4 plots, for 1/2/4/8 clusters, the cumulative
+percentage of loops that need at most n LoadR (input) and n StoreR
+(output) ports per distributed bank, assuming unbounded ports and an
+unbounded shared bank.  The shape: almost every loop needs few ports
+(sp more rarely than lp), and higher clustering degrees spread the
+traffic so fewer ports per bank suffice (which is how the paper picks
+lp/sp for each configuration).
+"""
+
+from conftest import save_result
+
+from repro.eval import run_figure4
+
+
+def test_figure4_port_requirements(benchmark, bench_loops, bench_seed, output_dir):
+    n_loops = max(12, bench_loops // 2)
+    result = benchmark.pedantic(
+        lambda: run_figure4(n_loops=n_loops, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "figure4", result.render())
+
+    cdf = result.data["cdf"]
+    assert set(cdf) == {1, 2, 4, 8}
+    for n_clusters, curves in cdf.items():
+        lp, sp = curves["lp_cdf"], curves["sp_cdf"]
+        # Cumulative distributions: non-decreasing and ending at 100 %.
+        assert lp == sorted(lp) and sp == sorted(sp)
+        assert lp[-1] == 100.0 and sp[-1] == 100.0
+        # StoreR ports are needed at least as rarely as LoadR ports
+        # (loops read more values than they produce for other banks).
+        assert sp[1] >= lp[1] - 1e-9
+    # Spreading over 8 clusters needs no more ports per bank than 1 cluster.
+    assert cdf[8]["lp_cdf"][2] >= cdf[1]["lp_cdf"][2] - 1e-9

@@ -1,0 +1,43 @@
+"""Benchmark: Figure 6 -- real memory system with binding prefetching.
+
+Paper reference: Figure 6 breaks execution into useful and stall cycles
+(and the corresponding time) for S64, 2C64, 4C32 and four hierarchical
+(clustered) configurations under a real 32 KB lockup-free cache with
+selective binding prefetching.  The shape: the centralized organization
+needs the fewest cycles, but once the cycle time is factored in every
+hierarchical clustered organization improves on the monolithic S64, and
+the hierarchical organizations tolerate memory latency better (smaller
+stall fraction) than their non-hierarchical counterparts.
+"""
+
+from conftest import save_result
+
+from repro.eval import run_figure6
+
+
+def test_figure6_real_memory(benchmark, bench_loops, bench_seed, output_dir):
+    n_loops = max(12, bench_loops // 2)
+    result = benchmark.pedantic(
+        lambda: run_figure6(n_loops=n_loops, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "figure6", result.render())
+
+    rows = result.data["rows"]
+    assert set(rows) == {"S64", "2C64", "4C32", "1C32S64", "2C32S32", "4C32S16", "8C16S16"}
+
+    # The centralized organization has the fewest useful cycles.
+    assert all(
+        row["relative_useful"] >= rows["S64"]["relative_useful"] - 1e-9
+        for row in rows.values()
+    )
+    # Stall cycles are non-negative and the totals add up.
+    for row in rows.values():
+        assert row["stall_cycles"] >= 0.0
+        assert row["total_cycles"] >= row["useful_cycles"]
+
+    # Once the cycle time is factored in, the hierarchical clustered
+    # organizations improve on the monolithic baseline.
+    assert rows["4C32S16"]["speedup"] > 1.0
+    assert rows["2C32S32"]["speedup"] > 1.0

@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the scheduler itself (per-loop scheduling cost).
+
+These are classic pytest-benchmark timing runs (multiple rounds) that
+track the cost of scheduling a single loop on representative
+configurations -- useful for catching performance regressions in the
+scheduler's inner loops (reservation table, lifetime analysis,
+communication insertion).
+"""
+
+import pytest
+
+from repro.core import MirsHC
+from repro.hwmodel import scaled_machine
+from repro.machine import baseline_machine, config_by_name
+from repro.workloads import build_kernel
+from repro.ddg import unroll
+
+
+def _schedule(config_name, loop):
+    rf = config_by_name(config_name)
+    machine, _ = scaled_machine(baseline_machine(), rf)
+    result = MirsHC(machine, rf).schedule_loop(loop)
+    assert result.success
+    return result
+
+
+@pytest.mark.parametrize("config_name", ["S64", "4C32", "4C16S16"])
+def test_schedule_daxpy(benchmark, config_name):
+    loop = build_kernel("daxpy")
+    benchmark(lambda: _schedule(config_name, loop.copy()))
+
+
+@pytest.mark.parametrize("config_name", ["S64", "4C16S16"])
+def test_schedule_equation_of_state(benchmark, config_name):
+    loop = build_kernel("equation_of_state")
+    benchmark(lambda: _schedule(config_name, loop.copy()))
+
+
+def test_schedule_unrolled_kernel_high_pressure(benchmark):
+    loop = unroll(build_kernel("equation_of_state"), 2)
+    benchmark(lambda: _schedule("2C32S32", loop.copy()))
+
+
+def test_mii_analysis(benchmark):
+    from repro.ddg import compute_mii
+    from repro.machine import ResourceModel
+
+    machine = baseline_machine()
+    resources = ResourceModel(machine, config_by_name("S128"))
+    loop = unroll(build_kernel("equation_of_state"), 4)
+    benchmark(lambda: compute_mii(loop.graph, resources, machine.latency))

@@ -1,0 +1,33 @@
+"""Benchmark: Table 1 -- cycle breakdown by loop bound (128-register configs).
+
+Paper reference: Table 1 classifies the workbench loops as FU-, memory-,
+recurrence- or communication-bound for S128, 4C32 and 1C64S64, and shows
+that the clustered organization (4C32) pays the largest cycle increase
+(x1.25) while the hierarchical one (1C64S64) stays close to the
+monolithic baseline (x1.06).
+"""
+
+from conftest import save_result
+
+from repro.eval import run_table1
+
+
+def test_table1_cycle_breakdown(benchmark, bench_loops, bench_seed, output_dir):
+    result = benchmark.pedantic(
+        lambda: run_table1(n_loops=bench_loops, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "table1", result.render())
+
+    ratios = result.data["cycle_ratio_vs_s128"]
+    breakdown = result.data["breakdown"]
+    # Both partitioned organizations need at least as many cycles as the
+    # monolithic one, and the memory-bound category carries (roughly) half
+    # of the loops on the monolithic machine.
+    assert ratios["4C32"] >= 1.0
+    assert ratios["1C64S64"] >= 1.0
+    mem_share = breakdown["S128"]["mem"]["loops"] / sum(
+        entry["loops"] for entry in breakdown["S128"].values()
+    )
+    assert 0.3 <= mem_share <= 0.75

@@ -1,0 +1,29 @@
+"""Benchmark: Table 2 -- access time and area of 128-register organizations.
+
+Paper reference: Table 2 reports, for S128, 4C32 and 1C64S64, the CACTI
+access time and area of each bank.  The clustered organization is 2.4x
+faster to access and 3.5x smaller than the monolithic one; the
+hierarchical organization sits in between.
+"""
+
+import pytest
+
+from conftest import save_result
+
+from repro.eval import run_table2
+
+
+def test_table2_access_time_area(benchmark, output_dir):
+    result = benchmark.pedantic(run_table2, rounds=3, iterations=1)
+    save_result(output_dir, "table2", result.render())
+
+    rows = result.data["rows"]
+    # Published values are reproduced exactly.
+    assert rows["S128"]["shared_access_ns"] == pytest.approx(1.145)
+    assert rows["S128"]["total_area"] == pytest.approx(14.91, abs=0.01)
+    assert rows["4C32"]["cluster_access_ns"] == pytest.approx(0.475)
+    assert rows["1C64S64"]["cluster_access_ns"] == pytest.approx(0.979)
+    # Shape: clustering shrinks both access time and area; the hierarchy
+    # lands between the monolithic and the clustered organization.
+    assert rows["4C32"]["cluster_access_ns"] < rows["1C64S64"]["cluster_access_ns"] < rows["S128"]["shared_access_ns"]
+    assert rows["4C32"]["total_area"] < rows["1C64S64"]["total_area"] < rows["S128"]["total_area"]

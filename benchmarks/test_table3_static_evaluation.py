@@ -1,0 +1,37 @@
+"""Benchmark: Table 3 -- static evaluation with unbounded register banks.
+
+Paper reference: Table 3 measures, with unbounded registers, the fraction
+of loops scheduled at their MII, the total II and the scheduling time for
+S-inf up to 8C-inf-S-inf, with unlimited and with limited inter-bank
+bandwidth.  The shape: the monolithic organization achieves the smallest
+total II; adding clustering/hierarchy degrades the total II by roughly
+10 % and increases scheduling time, and limiting the bandwidth degrades
+both further.
+"""
+
+from conftest import save_result
+
+from repro.eval import run_table3
+
+
+def test_table3_static_evaluation(benchmark, bench_loops, bench_seed, output_dir):
+    n_loops = max(12, bench_loops // 2)
+    result = benchmark.pedantic(
+        lambda: run_table3(n_loops=n_loops, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "table3", result.render())
+
+    rows = result.data["rows"]
+    mono = rows["Sinf"]
+    # The monolithic organization schedules almost every loop at its MII.
+    assert mono["limited"]["pct_mii"] >= 80.0
+    for name, row in rows.items():
+        # Limited bandwidth can only lose II relative to unlimited bandwidth.
+        assert row["limited"]["sum_ii"] >= row["unlimited"]["sum_ii"] - 1e-9
+        # No organization beats the monolithic total II.
+        assert row["limited"]["sum_ii"] >= mono["limited"]["sum_ii"] - 1e-9
+    # Scheduling time grows with the complexity of the organization
+    # (paper: up to an order of magnitude from S-inf to 8C-inf-S-inf).
+    assert rows["8CinfSinf"]["limited"]["sched_time_s"] >= mono["limited"]["sched_time_s"]

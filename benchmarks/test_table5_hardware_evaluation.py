@@ -1,0 +1,39 @@
+"""Benchmark: Table 5 -- hardware evaluation of the 15 RF configurations.
+
+Paper reference: Table 5 lists access time, area, logic depth, derived
+clock cycle and re-scaled memory/FU latencies for every evaluated
+configuration.  The key shape: deeper partitioning (clustering and/or
+hierarchy) shrinks the first-level bank, which shortens the clock from
+1.181 ns (S128) down to 0.389 ns (8C16S16), at the price of larger
+operation latencies measured in cycles.
+"""
+
+import pytest
+
+from conftest import save_result
+
+from repro.eval import run_table5
+
+
+def test_table5_hardware_evaluation(benchmark, output_dir):
+    result = benchmark.pedantic(run_table5, rounds=3, iterations=1)
+    save_result(output_dir, "table5", result.render())
+
+    rows = result.data["rows"]
+    assert len(rows) == 15
+
+    # Published end points.
+    assert rows["S128"]["clock_ns"] == pytest.approx(1.181)
+    assert rows["8C16S16"]["clock_ns"] == pytest.approx(0.389)
+    assert rows["8C16S16"]["fu_latency"] == 8
+    assert rows["4C32"]["total_area"] == pytest.approx(4.28, abs=0.05)
+
+    # Shape: the clock shortens monotonically along the partitioning chain
+    # S128 -> S64 -> 2C64 -> 4C32 -> 4C32S16 -> 8C16S16.
+    chain = ["S128", "S64", "2C64", "4C32", "4C32S16", "8C16S16"]
+    clocks = [rows[name]["clock_ns"] for name in chain]
+    assert clocks == sorted(clocks, reverse=True)
+
+    # Latencies in cycles never decrease when the clock shortens.
+    assert rows["8C16S16"]["fu_latency"] >= rows["S128"]["fu_latency"]
+    assert rows["8C16S16"]["mem_hit_latency"] >= rows["S128"]["mem_hit_latency"]

@@ -1,0 +1,56 @@
+"""Benchmark: Table 6 -- ideal-memory performance of all 15 configurations.
+
+Paper reference: Table 6 reports execution cycles, memory traffic and
+execution time (relative to the monolithic S64 baseline) for every
+configuration of Table 5.  The headline shape:
+
+* partitioned organizations execute more cycles than monolithic ones, but
+  their shorter clock more than compensates, so the clustered and
+  hierarchical-clustered organizations end up the fastest;
+* the best hierarchical-clustered configurations (8 clusters, only
+  possible thanks to the memory decoupling of the shared bank) achieve the
+  highest speedups;
+* hierarchical organizations keep memory traffic at the no-spill minimum,
+  unlike small monolithic or purely clustered register files.
+"""
+
+from conftest import save_result
+
+from repro.eval import run_table6
+
+
+def test_table6_ideal_memory(benchmark, bench_loops, bench_seed, output_dir):
+    result = benchmark.pedantic(
+        lambda: run_table6(n_loops=bench_loops, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(output_dir, "table6", result.render())
+
+    rows = result.data["rows"]
+    assert len(rows) == 15
+    assert all(row["failed"] == 0 for row in rows.values())
+
+    # Cycles: partitioning never reduces the cycle count below S128's.
+    assert rows["4C32"]["cycles"] >= rows["S128"]["cycles"] * 0.98
+    assert rows["8C16S16"]["cycles"] >= rows["S128"]["cycles"] * 0.98
+
+    # Execution time: hierarchical clustered organizations beat the S64
+    # baseline and the monolithic S128 (the paper's headline).
+    assert rows["8C16S16"]["speedup"] > 1.0
+    assert rows["4C32S16"]["speedup"] > 1.0
+    assert rows["8C16S16"]["speedup"] > rows["S128"]["speedup"]
+    assert rows["4C32S16"]["speedup"] > rows["S128"]["speedup"]
+
+    # The 8-cluster configurations (possible only with the hierarchy) are
+    # at least as fast as the best non-hierarchical clustered organization.
+    best_clustered = max(rows[name]["speedup"] for name in ("2C64", "2C32", "4C64", "4C32"))
+    best_hc = max(rows[name]["speedup"] for name in ("8C32S16", "8C16S16", "4C32S16", "4C16S16"))
+    assert best_hc >= 0.9 * best_clustered
+
+    # Memory traffic: hierarchical organizations with a reasonably sized
+    # shared bank stay at (or near) the no-spill minimum, unlike small
+    # monolithic register files.
+    assert rows["1C32S64"]["traffic"] <= rows["S32"]["traffic"]
+    assert rows["2C32S32"]["traffic"] <= rows["2C32"]["traffic"] * 1.05
+    assert rows["1C64S32"]["traffic"] <= rows["S64"]["traffic"] * 1.02

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Multimedia / DSP kernels on clustered vs hierarchical-clustered RFs.
+
+The paper motivates the hierarchical clustered organization with loop
+kernels from numerical and multimedia applications.  This example takes
+three representative multimedia-style kernels (an 8-tap FIR filter, a
+complex vector multiply, and an alpha-blend) and shows, side by side on a
+pure clustered (4C32) and a hierarchical clustered (4C16S16) register
+file:
+
+* the achieved initiation interval and how far it is from the MII,
+* how many communication operations each organization needs,
+* the per-bank register usage, and
+* the stall cycles under the real memory system (with and without the
+  binding prefetching that the shared bank makes affordable).
+
+Run with::
+
+    python examples/multimedia_kernels.py
+"""
+
+from repro.eval import Table
+from repro.hwmodel import derive_hardware, scaled_machine
+from repro.machine import baseline_machine, config_by_name
+from repro.simulator import CacheConfig, PrefetchPolicy, classify_loads, simulate_loop_execution
+from repro.simulator.prefetch import apply_binding_prefetch
+from repro.core import MirsHC, validate_schedule
+from repro.workloads import build_kernel
+
+KERNELS = [
+    ("fir_filter", {"taps": 8, "trip_count": 4096}),
+    ("complex_multiply", {"trip_count": 4096}),
+    ("alpha_blend", {"trip_count": 4096}),
+]
+CONFIGS = ["4C32", "4C16S16"]
+
+
+def main() -> None:
+    machine = baseline_machine()
+    table = Table(
+        [
+            "kernel", "config", "II", "MII", "SC", "comm ops",
+            "regs per bank", "stall (no pf)", "stall (prefetch)",
+        ],
+        title="Multimedia kernels: clustered vs hierarchical clustered",
+        precision=1,
+    )
+
+    for kernel_name, params in KERNELS:
+        for config_name in CONFIGS:
+            rf = config_by_name(config_name)
+            spec = derive_hardware(machine, rf)
+            scaled, _ = scaled_machine(machine, rf)
+            cache = CacheConfig(
+                hit_latency=spec.mem_hit_latency,
+                miss_latency=spec.miss_latency_cycles(machine.miss_latency_ns),
+            )
+
+            stalls = {}
+            schedule = None
+            loop_used = None
+            for prefetch_enabled in (False, True):
+                loop = build_kernel(kernel_name, **params)
+                if prefetch_enabled:
+                    selected = classify_loads(loop, PrefetchPolicy())
+                    apply_binding_prefetch(loop.graph, selected, cache.miss_latency)
+                result = MirsHC(scaled, rf).schedule_loop(loop)
+                validate_schedule(result, scaled, rf)
+                stats = simulate_loop_execution(loop, result, cache)
+                stalls[prefetch_enabled] = stats.stall_cycles
+                if not prefetch_enabled:
+                    schedule = result
+                    loop_used = loop
+
+            assert schedule is not None and loop_used is not None
+            regs = ", ".join(
+                f"{'S' if bank == -1 else bank}:{count}"
+                for bank, count in sorted(schedule.register_usage.items())
+            )
+            table.add_row(
+                loop_used.name, config_name, schedule.ii, schedule.mii,
+                schedule.stage_count, schedule.n_comm_ops, regs,
+                stalls[False], stalls[True],
+            )
+
+    print(table.render())
+    print()
+    print(
+        "The hierarchical organization pays a few extra communication operations\n"
+        "but its shared bank absorbs the register pressure of binding prefetching,\n"
+        "which is what removes the stall cycles in the last column."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule one loop on a few register-file organizations.
+
+This example builds the DAXPY kernel (``y[i] = alpha*x[i] + y[i]``),
+schedules it with MIRS_HC on a monolithic, a clustered and a hierarchical
+clustered register file, validates each schedule, and prints the kernel
+tables so you can see where the communication operations (LoadR / StoreR
+/ Move) end up.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.machine import baseline_machine, config_by_name
+from repro.hwmodel import derive_hardware, scaled_machine
+from repro.workloads import build_kernel
+from repro.core import schedule_loop, validate_schedule
+
+
+def main() -> None:
+    machine = baseline_machine()
+    print("Datapath:", f"{machine.n_fus} FP units + {machine.n_mem_ports} memory ports")
+    print()
+
+    for config_name in ("S64", "4C32", "4C16S16"):
+        rf = config_by_name(config_name)
+        spec = derive_hardware(machine, rf)
+        loop = build_kernel("daxpy", trip_count=1000)
+
+        result = schedule_loop(loop, rf)
+        scaled, _ = scaled_machine(machine, rf)
+        validate_schedule(result, scaled, rf)
+
+        print(f"=== {config_name} ({rf.kind.value}) ===")
+        print(
+            f"clock {spec.clock_ns:.3f} ns, RF area {spec.total_area_mlambda2:.2f} Mλ², "
+            f"FP latency {spec.fu_latency} cycles, load hit {spec.mem_hit_latency} cycles"
+        )
+        print(result.summary())
+        print(result.kernel_table())
+        cycles = result.ii * (loop.total_iterations + (result.stage_count - 1))
+        print(
+            f"execution: {cycles} cycles x {spec.clock_ns:.3f} ns "
+            f"= {cycles * spec.clock_ns / 1000.0:.1f} µs"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+This is the one-stop reproduction script: it runs scaled-down versions of
+Figure 1, Tables 1-6 and Figures 4 and 6 and prints them in the paper's
+layout.  The workbench size is a command-line argument; the paper's scale
+(1258 loops) is reachable by passing a larger number (and waiting).
+
+Run with::
+
+    python examples/reproduce_paper.py [n_loops]
+
+The default (48 loops) finishes in a few minutes on a laptop.
+"""
+
+import sys
+import time
+
+from repro.eval import (
+    run_figure1,
+    run_figure4,
+    run_figure6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+
+def main() -> None:
+    n_loops = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+
+    experiments = [
+        ("Figure 1", lambda: run_figure1(n_loops=n_loops)),
+        ("Table 1", lambda: run_table1(n_loops=n_loops)),
+        ("Table 2", run_table2),
+        ("Table 3", lambda: run_table3(n_loops=max(16, n_loops // 2))),
+        ("Table 4", lambda: run_table4(n_loops=n_loops)),
+        ("Table 5", run_table5),
+        ("Figure 4", lambda: run_figure4(n_loops=max(16, n_loops // 2))),
+        ("Table 6", lambda: run_table6(n_loops=n_loops)),
+        ("Figure 6", lambda: run_figure6(n_loops=max(16, n_loops // 2))),
+    ]
+
+    for label, runner in experiments:
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        print(f"\n{'=' * 78}\n{label}  (generated in {elapsed:.1f} s)\n{'=' * 78}")
+        print(result.render())
+
+
+if __name__ == "__main__":
+    main()

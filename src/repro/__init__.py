@@ -1,0 +1,44 @@
+"""repro: Hierarchical clustered register files for VLIW processors.
+
+A reproduction of Zalamea, Llosa, Ayguadé and Valero, *Hierarchical
+Clustered Register File Organization for VLIW Processors* (IPDPS 2003).
+
+The package is organized as:
+
+* :mod:`repro.machine` -- VLIW datapath and register-file configurations.
+* :mod:`repro.hwmodel` -- CACTI-like access-time/area model, clock and
+  latency derivation per configuration.
+* :mod:`repro.ddg` -- data-dependence graphs, MII analysis.
+* :mod:`repro.workloads` -- the Perfect-Club-like loop workbench.
+* :mod:`repro.core` -- the MIRS_HC modulo scheduler (the paper's
+  contribution) and the baseline schedulers it is compared against.
+* :mod:`repro.simulator` -- lockup-free cache and stall-cycle simulation
+  for the real-memory scenario.
+* :mod:`repro.eval` -- metrics and the drivers that regenerate every table
+  and figure of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import api
+    result = api.schedule_kernel("daxpy", "4C16S64")
+    print(result.ii, result.stage_count)
+"""
+
+__version__ = "1.0.0"
+
+from repro.machine import MachineConfig, RFConfig, baseline_machine, config_by_name
+from repro.ddg import DepGraph, Loop, OpType
+from repro.hwmodel import derive_hardware, scaled_machine
+
+__all__ = [
+    "__version__",
+    "MachineConfig",
+    "RFConfig",
+    "baseline_machine",
+    "config_by_name",
+    "DepGraph",
+    "Loop",
+    "OpType",
+    "derive_hardware",
+    "scaled_machine",
+]

@@ -1,0 +1,157 @@
+"""High-level convenience API.
+
+Most users interact with the library through three verbs:
+
+* :func:`schedule_kernel` -- schedule one named kernel (or any
+  :class:`~repro.ddg.loop.Loop`) on one register-file configuration;
+* :func:`evaluate_configuration` -- run a whole workbench on one
+  configuration and get the aggregate metrics of the paper (cycles,
+  memory traffic, execution time);
+* :func:`compare_configurations` -- the design-space view: evaluate
+  several configurations and rank them by execution time.
+
+Everything these helpers do is also available through the underlying
+packages (``repro.core``, ``repro.eval``); the helpers just wire the
+common path (build workbench -> scale latencies -> schedule -> aggregate)
+together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.mirs_hc import MirsHC
+from repro.core.result import ScheduleResult
+from repro.ddg.loop import Loop
+from repro.eval.metrics import LoopRun, aggregate_cycles, aggregate_time_ns, aggregate_traffic
+from repro.eval.experiments import schedule_suite
+from repro.eval.reporting import Table
+from repro.hwmodel.spec import HardwareSpec
+from repro.hwmodel.timing import derive_hardware, scaled_machine
+from repro.machine.config import MachineConfig, RFConfig
+from repro.machine.presets import baseline_machine, config_by_name
+from repro.workloads.kernels import build_kernel
+from repro.workloads.suite import perfect_club_like_suite
+
+__all__ = [
+    "schedule_kernel",
+    "evaluate_configuration",
+    "compare_configurations",
+    "ConfigurationReport",
+]
+
+
+def _resolve(rf: Union[str, RFConfig]) -> RFConfig:
+    return config_by_name(rf) if isinstance(rf, str) else rf
+
+
+def schedule_kernel(
+    kernel: Union[str, Loop],
+    rf: Union[str, RFConfig],
+    *,
+    machine: Optional[MachineConfig] = None,
+    budget_ratio: float = 6.0,
+    **kernel_params: object,
+) -> ScheduleResult:
+    """Schedule a named kernel (or a ready-made loop) on a configuration.
+
+    Example::
+
+        result = schedule_kernel("fir_filter", "4C16S16", taps=8)
+        print(result.kernel_table())
+    """
+    loop = build_kernel(kernel, **kernel_params) if isinstance(kernel, str) else kernel
+    rf_config = _resolve(rf)
+    base = machine or baseline_machine()
+    scaled, _spec = scaled_machine(base, rf_config)
+    return MirsHC(scaled, rf_config, budget_ratio=budget_ratio).schedule_loop(loop)
+
+
+@dataclass
+class ConfigurationReport:
+    """Aggregate metrics of one configuration over a workbench."""
+
+    config: RFConfig
+    spec: HardwareSpec
+    runs: List[LoopRun]
+
+    @property
+    def cycles(self) -> float:
+        return aggregate_cycles(self.runs)
+
+    @property
+    def memory_traffic(self) -> float:
+        return aggregate_traffic(self.runs)
+
+    @property
+    def time_ns(self) -> float:
+        return aggregate_time_ns(self.runs)
+
+    @property
+    def area_mlambda2(self) -> float:
+        return self.spec.total_area_mlambda2
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for run in self.runs if not run.result.success)
+
+
+def evaluate_configuration(
+    rf: Union[str, RFConfig],
+    *,
+    loops: Optional[Sequence[Loop]] = None,
+    n_loops: int = 64,
+    seed: int = 2003,
+    machine: Optional[MachineConfig] = None,
+) -> ConfigurationReport:
+    """Schedule a workbench on one configuration and aggregate the metrics."""
+    rf_config = _resolve(rf)
+    base = machine or baseline_machine()
+    workbench = list(loops) if loops is not None else perfect_club_like_suite(n_loops, seed=seed)
+    runs = schedule_suite(workbench, rf_config, machine=base)
+    spec = derive_hardware(base, rf_config)
+    return ConfigurationReport(config=rf_config, spec=spec, runs=runs)
+
+
+def compare_configurations(
+    configs: Sequence[Union[str, RFConfig]],
+    *,
+    loops: Optional[Sequence[Loop]] = None,
+    n_loops: int = 64,
+    seed: int = 2003,
+    reference: Union[str, RFConfig] = "S64",
+    machine: Optional[MachineConfig] = None,
+) -> Dict[str, object]:
+    """Evaluate several configurations and rank them by execution time.
+
+    Returns a dict with a ``reports`` mapping (name -> ConfigurationReport),
+    a rendered ``table`` and the ``ranking`` (fastest first).
+    """
+    base = machine or baseline_machine()
+    workbench = list(loops) if loops is not None else perfect_club_like_suite(n_loops, seed=seed)
+    names: List[str] = []
+    reports: Dict[str, ConfigurationReport] = {}
+    all_configs = list(configs)
+    reference_rf = _resolve(reference)
+    if reference_rf.name not in {(_resolve(c)).name for c in all_configs}:
+        all_configs = [reference_rf, *all_configs]
+    for config in all_configs:
+        report = evaluate_configuration(config, loops=workbench, machine=base)
+        reports[report.config.name] = report
+        names.append(report.config.name)
+
+    ref_time = reports[reference_rf.name].time_ns
+    table = Table(
+        ["config", "kind", "area (Mλ²)", "clock (ns)", "cycles", "rel time", "speedup"],
+        title=f"Configuration comparison (relative to {reference_rf.name})",
+    )
+    for name in names:
+        report = reports[name]
+        rel = report.time_ns / ref_time if ref_time else float("nan")
+        table.add_row(
+            name, report.config.kind.value, report.area_mlambda2,
+            report.spec.clock_ns, report.cycles, rel, 1.0 / rel if rel else float("nan"),
+        )
+    ranking = sorted(names, key=lambda n: reports[n].time_ns)
+    return {"reports": reports, "table": table, "ranking": ranking}

@@ -1,0 +1,134 @@
+"""Command-line interface.
+
+Three sub-commands cover the common workflows::
+
+    python -m repro.cli schedule daxpy 4C16S16 --code --registers
+    python -m repro.cli evaluate 4C16S16 S64 --loops 32
+    python -m repro.cli reproduce table6 --loops 48
+
+* ``schedule`` schedules one named kernel on one configuration and prints
+  the kernel table (optionally the register allocation and the emitted
+  software-pipelined code);
+* ``evaluate`` compares configurations on a workbench (area, clock,
+  cycles, execution time);
+* ``reproduce`` regenerates one of the paper's tables/figures (or ``all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro import api
+from repro.core.allocation import allocate_registers
+from repro.core.codegen import generate_code
+from repro.eval import experiments
+from repro.hwmodel.timing import scaled_machine
+from repro.machine.presets import baseline_machine, config_by_name
+from repro.workloads.kernels import kernel_names
+
+__all__ = ["main", "build_parser"]
+
+#: Mapping of ``reproduce`` targets to experiment drivers.
+EXPERIMENT_DRIVERS: Dict[str, Callable[..., "experiments.ExperimentResult"]] = {
+    "figure1": experiments.run_figure1,
+    "table1": experiments.run_table1,
+    "table2": lambda **kw: experiments.run_table2(),
+    "table3": experiments.run_table3,
+    "table4": experiments.run_table4,
+    "table5": lambda **kw: experiments.run_table5(),
+    "table6": experiments.run_table6,
+    "figure4": experiments.run_figure4,
+    "figure6": experiments.run_figure6,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical clustered register files for VLIW processors "
+        "(IPDPS 2003 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    schedule = sub.add_parser("schedule", help="schedule one kernel on one configuration")
+    schedule.add_argument("kernel", choices=sorted(kernel_names()))
+    schedule.add_argument("config", help="register-file configuration, e.g. 4C16S16")
+    schedule.add_argument("--budget-ratio", type=float, default=6.0)
+    schedule.add_argument("--registers", action="store_true",
+                          help="also print the wrap-around register allocation")
+    schedule.add_argument("--code", action="store_true",
+                          help="also print the software-pipelined code")
+
+    evaluate = sub.add_parser("evaluate", help="compare configurations on a workbench")
+    evaluate.add_argument("configs", nargs="+", help="configuration names")
+    evaluate.add_argument("--loops", type=int, default=32)
+    evaluate.add_argument("--seed", type=int, default=2003)
+    evaluate.add_argument("--reference", default="S64")
+
+    reproduce = sub.add_parser("reproduce", help="regenerate a table/figure of the paper")
+    reproduce.add_argument("target", choices=sorted(EXPERIMENT_DRIVERS) + ["all"])
+    reproduce.add_argument("--loops", type=int, default=48)
+    reproduce.add_argument("--seed", type=int, default=2003)
+
+    return parser
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    result = api.schedule_kernel(
+        args.kernel, args.config, budget_ratio=args.budget_ratio
+    )
+    print(result.summary())
+    print(result.kernel_table())
+    if not result.success:
+        return 1
+    rf = config_by_name(args.config)
+    machine, _ = scaled_machine(baseline_machine(), rf)
+    if args.registers or args.code:
+        allocation = allocate_registers(result, machine, rf)
+        if args.registers:
+            print()
+            print(allocation.describe())
+        if args.code:
+            print()
+            print(generate_code(result, allocation=allocation).render())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    comparison = api.compare_configurations(
+        args.configs, n_loops=args.loops, seed=args.seed, reference=args.reference
+    )
+    print(comparison["table"].render())
+    print()
+    print("ranking (fastest first):", ", ".join(comparison["ranking"]))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    targets = sorted(EXPERIMENT_DRIVERS) if args.target == "all" else [args.target]
+    for target in targets:
+        driver = EXPERIMENT_DRIVERS[target]
+        if target in ("table2", "table5"):
+            result = driver()
+        else:
+            result = driver(n_loops=args.loops, seed=args.seed)
+        print()
+        print(result.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The MIRS_HC modulo scheduler and its supporting machinery.
+
+This package implements the paper's contribution: *Modulo scheduling with
+Integrated Register Spilling for Hierarchical Clustered VLIW
+architectures* (MIRS_HC), which simultaneously performs
+
+* instruction scheduling (iterative modulo scheduling with backtracking),
+* cluster selection,
+* insertion of inter-bank communication operations (``Move`` for pure
+  clustered register files, ``StoreR``/``LoadR`` for hierarchical ones),
+* register allocation at both levels of the register-file hierarchy, and
+* spill-code insertion (cluster bank -> shared bank -> memory).
+
+Module map
+----------
+``banks``            bank identifiers and value-residence rules
+``mrt``              the modulo reservation table
+``partial``          the mutable partial schedule (slots, force & eject)
+``priority``         HRMS-inspired node ordering
+``lifetimes``        register-pressure (MaxLive) computation per bank
+``communication``    insertion/removal of Move / LoadR / StoreR chains
+``spill``            two-level spill insertion
+``cluster_select``   the Select_Cluster heuristic
+``mirs_hc``          the integrated iterative scheduler (Figure 5)
+``baseline``         the non-iterative scheduler MIRS_HC is compared with
+``result``           schedule result containers
+``validate``         independent schedule validity checker (used in tests)
+"""
+
+from repro.core.result import ScheduledOp, ScheduleResult
+from repro.core.mirs_hc import MirsHC, schedule_loop
+from repro.core.baseline import NonIterativeScheduler
+from repro.core.validate import ValidationError, validate_schedule
+from repro.core.allocation import RegisterAllocation, allocate_registers
+from repro.core.codegen import VLIWProgram, generate_code
+
+__all__ = [
+    "ScheduledOp",
+    "ScheduleResult",
+    "MirsHC",
+    "schedule_loop",
+    "NonIterativeScheduler",
+    "ValidationError",
+    "validate_schedule",
+    "RegisterAllocation",
+    "allocate_registers",
+    "VLIWProgram",
+    "generate_code",
+]

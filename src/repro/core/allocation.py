@@ -1,0 +1,224 @@
+"""Wrap-around (modulo) register allocation.
+
+The scheduler's spill decisions are driven by the MaxLive bound, which is
+the standard register-pressure metric for modulo schedules.  The final
+code, however, needs actual register numbers.  This module implements a
+wrap-around allocator in the style used for software-pipelined loops
+(Rau et al., "Register allocation for software pipelined loops"): in the
+steady state every value occupies its bank for ``lifetime`` consecutive
+cycles out of every ``II``, so a value is a *cyclic arc* of length
+``lifetime mod II`` plus ``lifetime // II`` fully-occupied registers (the
+extra instances that overlap from previous iterations -- what a rotating
+register file or modulo variable expansion provides).  Two values can
+share a register exactly when their cyclic arcs do not overlap; the
+allocator packs arcs first-fit, longest lifetime first.
+
+The allocator doubles as an end-to-end sanity check of the scheduler: any
+valid allocation needs at least MaxLive registers, and the first-fit
+packing stays close to that bound (the test suite asserts both
+properties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.machine.config import MachineConfig, RFConfig
+from repro.core.banks import all_banks, bank_name
+from repro.core.lifetimes import ValueLifetime, lifetimes_by_bank, live_in_banks
+from repro.core.result import ScheduleResult
+
+__all__ = ["AllocatedValue", "BankAllocation", "RegisterAllocation", "allocate_registers"]
+
+
+@dataclass(frozen=True)
+class AllocatedValue:
+    """Physical allocation of one value in one bank.
+
+    ``base_register`` is the register holding the newest instance of the
+    value; ``n_registers`` is how many consecutive registers the value
+    needs in total (1 unless its lifetime exceeds one initiation
+    interval, in which case older instances occupy the following
+    registers, as with a rotating register file).
+    """
+
+    node_id: int
+    bank: int
+    base_register: int
+    n_registers: int
+    lifetime_start: int
+    lifetime_end: int
+
+    @property
+    def registers(self) -> List[int]:
+        return list(range(self.base_register, self.base_register + self.n_registers))
+
+
+class _CyclicRegisterFile:
+    """First-fit packing of cyclic arcs onto a growing set of registers."""
+
+    def __init__(self, ii: int) -> None:
+        self.ii = ii
+        #: Per register: list of occupied cyclic arcs (start, length); a
+        #: length >= ii marks the register as fully occupied.
+        self._arcs: List[List[Tuple[int, int]]] = []
+
+    @property
+    def registers_used(self) -> int:
+        return len(self._arcs)
+
+    @staticmethod
+    def _overlap(a_start: int, a_len: int, b_start: int, b_len: int, ii: int) -> bool:
+        if a_len >= ii or b_len >= ii:
+            return True
+        # Distance from a_start to b_start going forward around the circle.
+        forward = (b_start - a_start) % ii
+        if forward < a_len:
+            return True
+        backward = (a_start - b_start) % ii
+        return backward < b_len
+
+    def _fits(self, register: int, start: int, length: int) -> bool:
+        return all(
+            not self._overlap(start, length, other_start, other_length, self.ii)
+            for other_start, other_length in self._arcs[register]
+        )
+
+    def allocate_full(self, count: int) -> int:
+        """Reserve ``count`` fresh, fully-occupied registers; return the first."""
+        base = len(self._arcs)
+        for _ in range(count):
+            self._arcs.append([(0, self.ii)])
+        return base
+
+    def allocate_arc(self, start: int, length: int) -> int:
+        """Place a cyclic arc on the first register that can host it."""
+        length = max(1, length)
+        for register, arcs in enumerate(self._arcs):
+            if self._fits(register, start, length):
+                arcs.append((start, length))
+                return register
+        self._arcs.append([(start, length)])
+        return len(self._arcs) - 1
+
+
+@dataclass
+class BankAllocation:
+    """Allocation result for one register bank."""
+
+    bank: int
+    values: List[AllocatedValue] = field(default_factory=list)
+    #: Register pinned for each loop-invariant (live-in) value.
+    invariants: Dict[int, int] = field(default_factory=dict)
+    registers_used: int = 0
+
+    def describe(self) -> str:
+        lines = [f"bank {bank_name(self.bank)}: {self.registers_used} registers"]
+        for node_id, register in sorted(self.invariants.items()):
+            lines.append(f"  r{register:<3d} <- invariant {node_id}")
+        for value in sorted(self.values, key=lambda v: (v.base_register, v.node_id)):
+            regs = (
+                f"r{value.base_register}"
+                if value.n_registers == 1
+                else f"r{value.base_register}..r{value.base_register + value.n_registers - 1}"
+            )
+            lines.append(
+                f"  {regs:<10s} <- value {value.node_id} "
+                f"[{value.lifetime_start}, {value.lifetime_end})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class RegisterAllocation:
+    """Complete allocation of a schedule across every bank."""
+
+    loop_name: str
+    config_name: str
+    ii: int
+    banks: Dict[int, BankAllocation] = field(default_factory=dict)
+
+    def registers_used(self, bank: int) -> int:
+        allocation = self.banks.get(bank)
+        return allocation.registers_used if allocation else 0
+
+    def register_of(self, node_id: int) -> Optional[AllocatedValue]:
+        """The allocation of the value defined by ``node_id`` (if any)."""
+        for allocation in self.banks.values():
+            for value in allocation.values:
+                if value.node_id == node_id:
+                    return value
+        return None
+
+    def describe(self) -> str:
+        lines = [
+            f"register allocation for {self.loop_name} on {self.config_name} (II={self.ii})"
+        ]
+        for bank in sorted(self.banks, key=lambda b: (b < 0, b)):
+            lines.append(self.banks[bank].describe())
+        return "\n".join(lines)
+
+
+def allocate_registers(
+    result: ScheduleResult,
+    machine: MachineConfig,
+    rf: RFConfig,
+) -> RegisterAllocation:
+    """Assign physical registers to every value of a scheduled loop.
+
+    Values are processed longest-lifetime first (the classic wrap-around
+    heuristic).  A value of lifetime ``L`` receives ``L // II`` dedicated
+    registers (instances from earlier iterations that are always alive)
+    plus a register hosting its cyclic arc of ``L mod II`` cycles, shared
+    first-fit with other values whose arcs do not overlap.  Loop
+    invariants receive one pinned register in every bank that reads them.
+    """
+    if not result.success or result.graph is None:
+        raise ValueError("cannot allocate registers for a failed schedule")
+    graph = result.graph
+    ii = result.ii
+    times = {node_id: placed.cycle for node_id, placed in result.assignments.items()}
+    clusters = {node_id: placed.cluster for node_id, placed in result.assignments.items()}
+
+    allocation = RegisterAllocation(
+        loop_name=result.loop_name, config_name=result.config_name, ii=ii
+    )
+    per_bank = lifetimes_by_bank(graph, times, clusters, ii, rf, machine.latency)
+
+    for bank in all_banks(rf):
+        bank_alloc = BankAllocation(bank=bank)
+        registers = _CyclicRegisterFile(ii)
+
+        # Loop invariants: alive for the whole loop, one register each.
+        for invariant in graph.live_in_nodes():
+            if bank in live_in_banks(graph, invariant.node_id, clusters, rf):
+                bank_alloc.invariants[invariant.node_id] = registers.allocate_full(1)
+
+        lifetimes: List[ValueLifetime] = sorted(
+            per_bank.get(bank, []), key=lambda lt: (-lt.length, lt.node_id)
+        )
+        for lifetime in lifetimes:
+            full, remainder = divmod(max(1, lifetime.length), ii)
+            if remainder == 0:
+                base = registers.allocate_full(full)
+                n_registers = full
+            else:
+                arc_register = registers.allocate_arc(lifetime.start % ii, remainder)
+                if full:
+                    registers.allocate_full(full)
+                base = arc_register
+                n_registers = full + 1
+            bank_alloc.values.append(
+                AllocatedValue(
+                    node_id=lifetime.node_id,
+                    bank=bank,
+                    base_register=base,
+                    n_registers=n_registers,
+                    lifetime_start=lifetime.start,
+                    lifetime_end=lifetime.end,
+                )
+            )
+        bank_alloc.registers_used = registers.registers_used
+        allocation.banks[bank] = bank_alloc
+    return allocation

@@ -1,0 +1,110 @@
+"""Register-bank identifiers and value-residence rules.
+
+Every value produced in the loop lives in exactly one register bank:
+
+* In a **monolithic** organization every value lives in the single shared
+  bank.
+* In a **clustered** organization every value lives in the bank of the
+  cluster that produced it (memory ports are distributed, so load results
+  also land in a cluster bank).
+* In a **hierarchical** organization load results and ``StoreR`` results
+  live in the shared bank, while functional-unit results and ``LoadR``
+  results live in the first-level bank of their cluster.
+
+Consumers read from a specific bank as well (a functional unit reads its
+cluster bank; a store reads the bank its memory port is attached to); the
+scheduler must insert communication operations whenever a consumer's read
+bank differs from the producer's residence bank.  Loop-invariant values
+(``LIVE_IN``) are assumed to be pre-loaded into every bank that needs
+them (each occupied register is accounted for by the lifetime analysis),
+so they never require communication unless the register allocator decides
+to spill them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ddg.graph import DepGraph
+from repro.ddg.operations import OpType
+from repro.machine.config import RFConfig, RFKind, effective_capacity
+from repro.machine.resources import SHARED
+
+__all__ = ["SHARED", "value_bank", "read_bank", "bank_capacity", "bank_name"]
+
+
+def value_bank(
+    graph: DepGraph, node_id: int, cluster: Optional[int], rf: RFConfig
+) -> Optional[int]:
+    """The bank in which the value defined by ``node_id`` resides.
+
+    ``cluster`` is the cluster the operation was assigned to by the
+    scheduler (ignored for operations whose results always land in the
+    shared bank).  Returns ``None`` for operations that define no register
+    value (stores) and for live-in values (which reside wherever they are
+    consumed; see :func:`repro.core.lifetimes.live_in_banks`).
+    """
+    op = graph.node(node_id).op
+    if op is OpType.STORE:
+        return None
+    if op is OpType.LIVE_IN:
+        return None
+    if rf.kind is RFKind.MONOLITHIC:
+        return SHARED
+    if rf.kind is RFKind.CLUSTERED:
+        return cluster
+    # Hierarchical organizations.
+    if op in (OpType.LOAD, OpType.STORER):
+        return SHARED
+    return cluster
+
+
+def read_bank(
+    graph: DepGraph, node_id: int, cluster: Optional[int], rf: RFConfig
+) -> Optional[int]:
+    """The bank from which ``node_id`` reads its register operands.
+
+    Returns ``None`` for operations that read no register operands
+    (live-in values and, in this model, memory loads, whose address
+    arithmetic is not represented in the dependence graph).
+    """
+    op = graph.node(node_id).op
+    if op in (OpType.LIVE_IN, OpType.LOAD):
+        return None
+    if rf.kind is RFKind.MONOLITHIC:
+        return SHARED
+    if rf.kind is RFKind.CLUSTERED:
+        return cluster
+    # Hierarchical organizations.
+    if op is OpType.STORE:
+        return SHARED       # memory ports are attached to the shared bank
+    if op is OpType.LOADR:
+        return SHARED       # LoadR reads the shared bank, writes the cluster
+    return cluster          # compute ops and StoreR read their cluster bank
+
+
+def bank_capacity(rf: RFConfig, bank: int) -> float:
+    """Number of registers of ``bank`` (``inf`` for unbounded banks)."""
+    if bank == SHARED:
+        if rf.shared_regs is None:
+            # Monolithic configurations store everything in the "shared"
+            # bank; clustered configurations have no shared bank at all and
+            # nothing should ever be accounted there.
+            return 0.0
+        return effective_capacity(rf.shared_regs)
+    return effective_capacity(rf.cluster_regs)
+
+
+def all_banks(rf: RFConfig) -> list:
+    """Every register bank of the configuration (cluster banks + shared)."""
+    banks = []
+    if rf.has_cluster_banks:
+        banks.extend(range(rf.n_clusters))
+    if rf.has_shared_bank or rf.is_monolithic:
+        banks.append(SHARED)
+    return banks
+
+
+def bank_name(bank: int) -> str:
+    """Readable name of a bank id."""
+    return "shared" if bank == SHARED else f"cluster{bank}"

@@ -1,0 +1,136 @@
+"""The Select_Cluster heuristic.
+
+For every operation popped from the priority list, MIRS_HC first decides
+which cluster should host it.  Following the heuristic of the authors'
+clustered-VLIW scheduler (which this paper reuses), the decision weighs
+
+* the availability of a free slot for the operation in each cluster at the
+  current II (a cluster whose functional units are already saturated in
+  the operation's scheduling window is a bad host),
+* the number of new communication operations that placing it there would
+  require, given where its already-scheduled neighbours live (minimizing
+  inter-cluster traffic), and
+* the balance of resource and register usage across clusters (spreading
+  work keeps both the reservation table and the register pressure even).
+
+Communication cost dominates, then slot availability, then balance --
+the same relative importance the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ddg.graph import DepGraph
+from repro.ddg.operations import OpType
+from repro.machine.config import RFConfig, RFKind
+from repro.core.banks import SHARED, read_bank, value_bank
+from repro.core.partial import PartialSchedule
+
+__all__ = ["select_cluster"]
+
+#: Relative weights of the Select_Cluster score terms.  Exposed at module
+#: level so the ablation benchmarks can study their sensitivity.
+COMM_WEIGHT = 2.0
+NO_SLOT_WEIGHT = 4.5
+BALANCE_WEIGHT = 0.25
+PRESSURE_WEIGHT = 1.0
+
+
+def _communication_cost(
+    graph: DepGraph,
+    schedule: PartialSchedule,
+    node_id: int,
+    cluster: int,
+    rf: RFConfig,
+) -> int:
+    """Number of new communication operations needed if placed on ``cluster``."""
+    cost = 0
+    my_read = read_bank(graph, node_id, cluster, rf)
+    my_value = value_bank(graph, node_id, cluster, rf)
+    if my_read is not None:
+        for src, _edge in graph.flow_producers(node_id):
+            if not schedule.is_scheduled(src):
+                continue
+            src_bank = value_bank(graph, src, schedule.clusters.get(src), rf)
+            if src_bank is None or src_bank == my_read:
+                continue
+            # Cluster-to-cluster moves through the shared bank need two ops.
+            if rf.is_hierarchical and src_bank != SHARED and my_read != SHARED:
+                cost += 2
+            else:
+                cost += 1
+    if my_value is not None:
+        for dst, _edge in graph.flow_consumers(node_id):
+            if not schedule.is_scheduled(dst):
+                continue
+            dst_bank = read_bank(graph, dst, schedule.clusters.get(dst), rf)
+            if dst_bank is None or dst_bank == my_value:
+                continue
+            if rf.is_hierarchical and my_value != SHARED and dst_bank != SHARED:
+                cost += 2
+            else:
+                cost += 1
+    return cost
+
+
+def select_cluster(
+    graph: DepGraph,
+    schedule: PartialSchedule,
+    node_id: int,
+    rf: RFConfig,
+    register_usage: Optional[Dict[int, int]] = None,
+) -> Optional[int]:
+    """Choose the cluster that should host ``node_id`` (``None`` = no cluster).
+
+    Memory operations of monolithic and hierarchical organizations are not
+    tied to any cluster (their results live in the shared bank), and
+    communication operations carry their cluster with them
+    (``home_cluster``).  Everything else is scored across all clusters.
+    """
+    node = graph.node(node_id)
+    op = node.op
+
+    if op is OpType.LIVE_IN:
+        return None
+    if op.is_communication:
+        return node.home_cluster if node.home_cluster is not None else 0
+    if op.is_memory and rf.kind is not RFKind.CLUSTERED:
+        return None
+    if not rf.has_cluster_banks:
+        return 0
+    if rf.n_clusters == 1:
+        return 0
+
+    usage = register_usage or {}
+    capacity = float(rf.cluster_regs or 1)
+
+    best_cluster = 0
+    best_score = None
+    for cluster in range(rf.n_clusters):
+        comm = _communication_cost(graph, schedule, node_id, cluster, rf)
+        slot = schedule.find_slot(node_id, cluster)
+        no_slot_penalty = 0 if slot is not None else 1
+        # Resource balance: fraction of this cluster's reservation rows
+        # already taken by operations of the same class.
+        assigned = sum(
+            1
+            for other, other_cluster in schedule.clusters.items()
+            if other_cluster == cluster
+            and graph.node(other).op.op_class is op.op_class
+        )
+        pressure = usage.get(cluster, 0) / capacity if capacity else 0.0
+        # A cluster with no free slot is worse than paying for a full
+        # cluster-to-cluster transfer (two operations in a hierarchical
+        # organization): otherwise two operations competing for the same
+        # saturated cluster keep ejecting each other instead of spreading.
+        score = (
+            COMM_WEIGHT * comm
+            + NO_SLOT_WEIGHT * no_slot_penalty
+            + BALANCE_WEIGHT * assigned
+            + PRESSURE_WEIGHT * min(pressure, 2.0)
+        )
+        if best_score is None or score < best_score:
+            best_score = score
+            best_cluster = cluster
+    return best_cluster

@@ -1,0 +1,184 @@
+"""VLIW code emission for modulo-scheduled loops.
+
+The last step of the paper's Figure 5 is ``Generate_code(II, S)``: turning
+the modulo schedule into actual software-pipelined VLIW code, i.e. a
+*prologue* that fills the pipeline (stages 0 .. SC-2 issue progressively
+more operations), a *kernel* of II instruction words executed ``N-SC+1``
+times, and an *epilogue* that drains the remaining stages.
+
+This module emits that structure as a readable textual listing: every
+instruction word shows one slot per operation with its cluster, its stage
+and (when a :class:`~repro.core.allocation.RegisterAllocation` is given)
+the destination register of the value it defines.  It is primarily a
+debugging and teaching aid -- examples and tests use it to inspect where
+communication and spill operations land -- but it also yields the static
+code-size figures (prologue/epilogue length) that motivate the paper's
+selective use of binding prefetching for short loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.allocation import RegisterAllocation
+from repro.core.banks import SHARED
+from repro.core.result import ScheduleResult
+
+__all__ = ["VLIWInstruction", "VLIWProgram", "generate_code"]
+
+
+@dataclass(frozen=True)
+class SlotOp:
+    """One operation placed in one slot of an instruction word."""
+
+    node_id: int
+    mnemonic: str
+    cluster: Optional[int]
+    stage: int
+    destination: Optional[str] = None
+
+    def render(self) -> str:
+        where = "mem" if self.cluster is None else (
+            "shr" if self.cluster == SHARED else f"c{self.cluster}"
+        )
+        dest = f" -> {self.destination}" if self.destination else ""
+        return f"{self.mnemonic}#{self.node_id}@{where}/s{self.stage}{dest}"
+
+
+@dataclass
+class VLIWInstruction:
+    """One (very long) instruction word: the operations issued in one cycle."""
+
+    cycle: int
+    slots: List[SlotOp] = field(default_factory=list)
+
+    def render(self) -> str:
+        body = " | ".join(slot.render() for slot in self.slots) if self.slots else "nop"
+        return f"  [{self.cycle:4d}] {body}"
+
+
+@dataclass
+class VLIWProgram:
+    """The emitted software-pipelined program."""
+
+    loop_name: str
+    config_name: str
+    ii: int
+    stage_count: int
+    prologue: List[VLIWInstruction]
+    kernel: List[VLIWInstruction]
+    epilogue: List[VLIWInstruction]
+
+    @property
+    def static_instructions(self) -> int:
+        """Number of instruction words in the emitted code."""
+        return len(self.prologue) + len(self.kernel) + len(self.epilogue)
+
+    @property
+    def static_operations(self) -> int:
+        """Number of operation slots across the whole program."""
+        return sum(
+            len(word.slots)
+            for part in (self.prologue, self.kernel, self.epilogue)
+            for word in part
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"; software-pipelined code for {self.loop_name} on {self.config_name}",
+            f"; II={self.ii} stages={self.stage_count} "
+            f"static_words={self.static_instructions}",
+        ]
+        if self.prologue:
+            lines.append("prologue:")
+            lines.extend(word.render() for word in self.prologue)
+        lines.append(f"kernel:            ; repeat N-{self.stage_count - 1} times")
+        lines.extend(word.render() for word in self.kernel)
+        if self.epilogue:
+            lines.append("epilogue:")
+            lines.extend(word.render() for word in self.epilogue)
+        return "\n".join(lines)
+
+
+def _slot_for(
+    result: ScheduleResult,
+    node_id: int,
+    allocation: Optional[RegisterAllocation],
+) -> SlotOp:
+    placed = result.assignments[node_id]
+    destination = None
+    if allocation is not None:
+        allocated = allocation.register_of(node_id)
+        if allocated is not None:
+            prefix = "sr" if allocated.bank == SHARED else f"c{allocated.bank}r"
+            destination = f"{prefix}{allocated.base_register}"
+    return SlotOp(
+        node_id=node_id,
+        mnemonic=placed.op.mnemonic,
+        cluster=placed.cluster,
+        stage=placed.cycle // result.ii,
+        destination=destination,
+    )
+
+
+def generate_code(
+    result: ScheduleResult,
+    *,
+    allocation: Optional[RegisterAllocation] = None,
+) -> VLIWProgram:
+    """Emit the prologue / kernel / epilogue of a scheduled loop."""
+    if not result.success or result.graph is None:
+        raise ValueError("cannot generate code for a failed schedule")
+    ii = result.ii
+    stage_count = result.stage_count
+
+    # Group operations by (stage, modulo slot).
+    by_stage_slot: Dict[int, Dict[int, List[int]]] = {}
+    for node_id, placed in result.assignments.items():
+        if placed.op.is_pseudo:
+            continue
+        stage, slot = divmod(placed.cycle, ii)
+        by_stage_slot.setdefault(stage, {}).setdefault(slot, []).append(node_id)
+
+    def word(cycle: int, stages: range, slot: int) -> VLIWInstruction:
+        slots = [
+            _slot_for(result, node_id, allocation)
+            for stage in stages
+            for node_id in sorted(by_stage_slot.get(stage, {}).get(slot, []))
+        ]
+        return VLIWInstruction(cycle=cycle, slots=slots)
+
+    # Prologue: pipeline fill.  In fill step f (0-based) the iterations
+    # started so far execute stages 0..f, so the instruction at cycle
+    # f*II + s issues the slot-s operations of stages 0..f... inverted:
+    # iteration k (started at cycle k*II) executes stage (f-k).  The set of
+    # stages present in fill step f is {0..f}.
+    prologue: List[VLIWInstruction] = []
+    cycle = 0
+    for fill in range(stage_count - 1):
+        for slot in range(ii):
+            prologue.append(word(cycle, range(0, fill + 1), slot))
+            cycle += 1
+
+    # Kernel: all stages active.
+    kernel = [word(cycle + slot, range(0, stage_count), slot) for slot in range(ii)]
+    cycle += ii
+
+    # Epilogue: pipeline drain.  In drain step d the remaining iterations
+    # execute stages d+1 .. stage_count-1.
+    epilogue: List[VLIWInstruction] = []
+    for drain in range(stage_count - 1):
+        for slot in range(ii):
+            epilogue.append(word(cycle, range(drain + 1, stage_count), slot))
+            cycle += 1
+
+    return VLIWProgram(
+        loop_name=result.loop_name,
+        config_name=result.config_name,
+        ii=ii,
+        stage_count=stage_count,
+        prologue=prologue,
+        kernel=kernel,
+        epilogue=epilogue,
+    )

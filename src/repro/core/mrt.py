@@ -1,0 +1,124 @@
+"""The modulo reservation table (MRT).
+
+A modulo schedule issues one iteration of the loop every II cycles, so a
+resource used at cycle ``t`` is also used at ``t + k*II`` for every other
+iteration ``k``.  The MRT therefore has exactly ``II`` rows per resource
+instance: reserving a resource at cycle ``t`` occupies row ``t mod II``.
+
+Unpipelined operations (division, square root) occupy their functional
+unit for several consecutive cycles, i.e. several consecutive rows of the
+table (capped at II rows -- beyond that the unit would be permanently
+busy, which the reservation logic treats as occupying every row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.machine.resources import ResourceKey, ResourceUse
+
+__all__ = ["ModuloReservationTable"]
+
+
+class ModuloReservationTable:
+    """Per-resource, per-modulo-slot occupancy tracking.
+
+    Parameters
+    ----------
+    ii:
+        The initiation interval (number of rows per resource).
+    counts:
+        Number of instances of every resource (from
+        :meth:`repro.machine.resources.ResourceModel.counts`).
+    """
+
+    def __init__(self, ii: int, counts: Dict[ResourceKey, int]) -> None:
+        if ii < 1:
+            raise ValueError("the initiation interval must be >= 1")
+        self.ii = ii
+        self._counts = dict(counts)
+        # table[resource][slot] -> list of node ids occupying one instance each
+        self._table: Dict[ResourceKey, List[List[int]]] = {
+            key: [[] for _ in range(ii)] for key in counts
+        }
+        # node -> list of (resource, slot) entries it occupies
+        self._held: Dict[int, List[Tuple[ResourceKey, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _slots(self, use: ResourceUse, cycle: int) -> Iterable[int]:
+        start = cycle + use.offset
+        span = min(use.duration, self.ii)
+        for delta in range(span):
+            yield (start + delta) % self.ii
+
+    def capacity(self, key: ResourceKey) -> int:
+        return self._counts.get(key, 0)
+
+    def can_reserve(self, uses: Sequence[ResourceUse], cycle: int) -> bool:
+        """True when every requested reservation has a free instance."""
+        # Count how many instances each (resource, slot) pair would need,
+        # so that two uses of the same resource in the same call are both
+        # accounted for.
+        needed: Dict[Tuple[ResourceKey, int], int] = {}
+        for use in uses:
+            if self.capacity(use.key) <= 0:
+                return False
+            for slot in self._slots(use, cycle):
+                needed[(use.key, slot)] = needed.get((use.key, slot), 0) + 1
+        for (key, slot), extra in needed.items():
+            if len(self._table[key][slot]) + extra > self._counts[key]:
+                return False
+        return True
+
+    def reserve(self, node_id: int, uses: Sequence[ResourceUse], cycle: int) -> None:
+        """Reserve resources for ``node_id`` issuing at ``cycle``.
+
+        The caller must have checked :meth:`can_reserve` (or be prepared to
+        over-subscribe deliberately, which this method refuses).
+        """
+        if not self.can_reserve(uses, cycle):
+            raise ValueError(f"resources not available for node {node_id} at cycle {cycle}")
+        held = self._held.setdefault(node_id, [])
+        for use in uses:
+            for slot in self._slots(use, cycle):
+                self._table[use.key][slot].append(node_id)
+                held.append((use.key, slot))
+
+    def release(self, node_id: int) -> None:
+        """Release every reservation held by ``node_id`` (idempotent)."""
+        for key, slot in self._held.pop(node_id, []):
+            occupants = self._table[key][slot]
+            try:
+                occupants.remove(node_id)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+    def holds(self, node_id: int) -> bool:
+        return node_id in self._held
+
+    def conflicting_nodes(self, uses: Sequence[ResourceUse], cycle: int) -> Set[int]:
+        """Nodes whose eviction would free the requested reservations.
+
+        Used by the force-and-eject step of the iterative scheduler: when a
+        node is forced into a cycle with no free slot, every current
+        occupant of the oversubscribed (resource, slot) pairs is ejected.
+        """
+        conflicts: Set[int] = set()
+        for use in uses:
+            if self.capacity(use.key) <= 0:
+                continue
+            for slot in self._slots(use, cycle):
+                occupants = self._table[use.key][slot]
+                if len(occupants) >= self._counts[use.key]:
+                    conflicts.update(occupants)
+        return conflicts
+
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> Dict[ResourceKey, float]:
+        """Fraction of occupied slots per resource (for reports/tests)."""
+        result: Dict[ResourceKey, float] = {}
+        for key, rows in self._table.items():
+            total = self._counts[key] * self.ii
+            used = sum(len(row) for row in rows)
+            result[key] = used / total if total else 0.0
+        return result

@@ -1,0 +1,289 @@
+"""The mutable partial schedule used by the iterative scheduler.
+
+A partial schedule maps already-scheduled nodes to an (issue cycle,
+cluster) pair and keeps the modulo reservation table consistent with
+those placements.  It implements the three scheduling primitives of the
+paper's Figure 5(b):
+
+* computing the dependence window ``[Early_Start, Late_Start]`` of an
+  operation with respect to its already-scheduled neighbours,
+* finding a free slot inside that window (searching top-down or bottom-up
+  depending on which side of the window is constrained, to keep value
+  lifetimes short), and
+* *force-and-eject*: when no free slot exists, the operation is forced
+  into a cycle and every operation that conflicts with it -- on resources
+  or through a violated dependence -- is ejected from the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.ddg.graph import DepGraph
+from repro.ddg.operations import OpType
+from repro.machine.config import MachineConfig, RFConfig
+from repro.machine.resources import ResourceModel, ResourceUse, SHARED
+from repro.core.banks import value_bank
+from repro.core.mrt import ModuloReservationTable
+
+__all__ = ["PartialSchedule", "ScheduleInfeasible"]
+
+
+class ScheduleInfeasible(Exception):
+    """Raised when an operation cannot be placed even after ejections.
+
+    This happens only in pathological corner cases (for example when the
+    resource requirements of a communication operation change because the
+    ejection of a neighbour moved its source bank); the driver treats it
+    as a failed attempt at the current II and retries at II + 1.
+    """
+
+
+class PartialSchedule:
+    """Placement state (times, clusters, reservation table) at a fixed II."""
+
+    def __init__(
+        self,
+        graph: DepGraph,
+        ii: int,
+        machine: MachineConfig,
+        rf: RFConfig,
+        resources: ResourceModel,
+    ) -> None:
+        self.graph = graph
+        self.ii = ii
+        self.machine = machine
+        self.rf = rf
+        self.resources = resources
+        self.times: Dict[int, int] = {}
+        self.clusters: Dict[int, Optional[int]] = {}
+        self.mrt = ModuloReservationTable(ii, resources.counts)
+        #: Last cycle each node was (forcibly) placed at; the force rule
+        #: places a node at ``max(estart, previous + 1)`` so repeated
+        #: ejection cannot ping-pong between the same two cycles.
+        self._last_cycle: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    def is_scheduled(self, node_id: int) -> bool:
+        return node_id in self.times
+
+    def n_scheduled(self) -> int:
+        return len(self.times)
+
+    def latency_of(self, mnemonic: str) -> int:
+        return self.machine.latency(mnemonic)
+
+    def uses_for(self, node_id: int, cluster: Optional[int]) -> List[ResourceUse]:
+        """Resource reservations the node needs when issued on ``cluster``."""
+        op = self.graph.node(node_id).op
+        if op is OpType.LIVE_IN:
+            return []
+        if op.is_compute:
+            assert cluster is not None and cluster >= 0
+            return self.resources.compute_uses(op.mnemonic, cluster)
+        if op.is_memory:
+            mem_cluster = cluster if cluster is not None and cluster >= 0 else 0
+            return self.resources.memory_uses(mem_cluster)
+        if op is OpType.MOVE:
+            src_cluster = self._move_source_cluster(node_id)
+            assert cluster is not None and cluster >= 0
+            return self.resources.move_uses(src_cluster, cluster)
+        if op is OpType.LOADR:
+            assert cluster is not None and cluster >= 0
+            return self.resources.loadr_uses(cluster)
+        if op is OpType.STORER:
+            assert cluster is not None and cluster >= 0
+            return self.resources.storer_uses(cluster)
+        raise AssertionError(f"unhandled op type {op}")
+
+    def _move_source_cluster(self, node_id: int) -> int:
+        """Cluster the (single) producer of a Move operation lives in."""
+        for src, edge in self.graph.flow_producers(node_id):
+            bank = value_bank(self.graph, src, self.clusters.get(src), self.rf)
+            if bank is not None and bank != SHARED:
+                return bank
+            if bank == SHARED:
+                return 0
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Dependence windows
+    # ------------------------------------------------------------------ #
+    def earliest_start(self, node_id: int) -> int:
+        """Earliest issue cycle allowed by already-scheduled predecessors."""
+        estart = 0
+        for edge in self.graph.in_edges(node_id):
+            src = edge.src
+            if src not in self.times:
+                continue
+            latency = self.graph.edge_latency(edge, self.latency_of)
+            bound = self.times[src] + latency - edge.distance * self.ii
+            estart = max(estart, bound)
+        return estart
+
+    def latest_start(self, node_id: int) -> Optional[int]:
+        """Latest issue cycle allowed by already-scheduled successors."""
+        lstart: Optional[int] = None
+        for edge in self.graph.out_edges(node_id):
+            dst = edge.dst
+            if dst not in self.times:
+                continue
+            latency = self.graph.edge_latency(edge, self.latency_of)
+            bound = self.times[dst] - latency + edge.distance * self.ii
+            lstart = bound if lstart is None else min(lstart, bound)
+        return lstart
+
+    # ------------------------------------------------------------------ #
+    # Placement primitives
+    # ------------------------------------------------------------------ #
+    def place(
+        self,
+        node_id: int,
+        cycle: int,
+        cluster: Optional[int],
+        uses: Optional[List[ResourceUse]] = None,
+    ) -> None:
+        """Unconditionally place a node (resources must be available).
+
+        ``uses`` may be passed by callers that already computed the
+        reservations (the force-and-eject path must reserve exactly the
+        resources it checked conflicts against).
+        """
+        if uses is None:
+            uses = self.uses_for(node_id, cluster)
+        if uses:
+            self.mrt.reserve(node_id, uses, cycle)
+        self.times[node_id] = cycle
+        self.clusters[node_id] = cluster
+        self._last_cycle[node_id] = cycle
+
+    def remove(self, node_id: int) -> None:
+        """Eject a node from the schedule (graph is left untouched)."""
+        if node_id in self.times:
+            self.mrt.release(node_id)
+            del self.times[node_id]
+            del self.clusters[node_id]
+
+    def forget(self, node_id: int) -> None:
+        """Drop all bookkeeping for a node that was deleted from the graph."""
+        self.remove(node_id)
+        self._last_cycle.pop(node_id, None)
+
+    def find_slot(self, node_id: int, cluster: Optional[int]) -> Optional[int]:
+        """A free cycle inside the node's dependence window, or ``None``.
+
+        The window spans at most II consecutive cycles starting at the
+        earliest start.  When the node is constrained only from below
+        (scheduled predecessors) the search walks upward so the result
+        stays close to the producers; when it is constrained only from
+        above it walks downward so it stays close to the consumers.  Both
+        directions keep value lifetimes short, mirroring the
+        Early_Start/Late_Start/Direction logic of the paper.
+        """
+        uses = self.uses_for(node_id, cluster)
+        estart = self.earliest_start(node_id)
+        lstart = self.latest_start(node_id)
+        window_hi = estart + self.ii - 1
+        if lstart is not None:
+            window_hi = min(window_hi, lstart)
+        if window_hi < estart:
+            return None
+        has_sched_pred = any(src in self.times for src in self.graph.predecessors(node_id))
+        downward = (lstart is not None) and not has_sched_pred
+        cycles = range(window_hi, estart - 1, -1) if downward else range(estart, window_hi + 1)
+        for cycle in cycles:
+            if not uses or self.mrt.can_reserve(uses, cycle):
+                return cycle
+        return None
+
+    def force_cycle(self, node_id: int) -> int:
+        """Cycle at which a node with no free slot is forced into the schedule."""
+        estart = self.earliest_start(node_id)
+        previous = self._last_cycle.get(node_id)
+        if previous is None:
+            return estart
+        return max(estart, previous + 1)
+
+    def schedule(self, node_id: int, cluster: Optional[int]) -> Set[int]:
+        """Schedule a node, forcing and ejecting if necessary.
+
+        Returns the set of node ids ejected from the schedule (empty when a
+        free slot was found).  The caller is responsible for returning the
+        ejected nodes to the priority list and for cleaning up any
+        communication code that was inserted on their behalf.
+        """
+        slot = self.find_slot(node_id, cluster)
+        ejected: Set[int] = set()
+        if slot is not None:
+            self.place(node_id, slot, cluster)
+            return ejected
+
+        cycle = self.force_cycle(node_id)
+        uses = self.uses_for(node_id, cluster)
+        # Ejecting a neighbour may change the resource needs of this node
+        # (a Move's source bank follows its producer), so re-derive the
+        # reservations and re-check until they can actually be granted.
+        for _ in range(4):
+            for conflict in self.mrt.conflicting_nodes(uses, cycle):
+                if conflict != node_id:
+                    ejected.add(conflict)
+                    self.remove(conflict)
+            if self.mrt.can_reserve(uses, cycle) or not uses:
+                break
+            uses = self.uses_for(node_id, cluster)
+        else:
+            raise ScheduleInfeasible(
+                f"cannot place node {node_id} at cycle {cycle} even after ejections"
+            )
+        if uses and not self.mrt.can_reserve(uses, cycle):
+            raise ScheduleInfeasible(
+                f"cannot place node {node_id} at cycle {cycle} even after ejections"
+            )
+        self.place(node_id, cycle, cluster, uses=uses)
+
+        # Eject already-scheduled neighbours whose dependence constraints the
+        # forced placement violates.
+        for edge in self.graph.in_edges(node_id):
+            src = edge.src
+            if src not in self.times or src == node_id:
+                continue
+            latency = self.graph.edge_latency(edge, self.latency_of)
+            if self.times[src] + latency - edge.distance * self.ii > cycle:
+                ejected.add(src)
+                self.remove(src)
+        for edge in self.graph.out_edges(node_id):
+            dst = edge.dst
+            if dst not in self.times or dst == node_id:
+                continue
+            latency = self.graph.edge_latency(edge, self.latency_of)
+            if cycle + latency - edge.distance * self.ii > self.times[dst]:
+                ejected.add(dst)
+                self.remove(dst)
+        return ejected
+
+    # ------------------------------------------------------------------ #
+    # Derived results
+    # ------------------------------------------------------------------ #
+    def stage_count(self) -> int:
+        """Number of II-cycle stages of the kernel (SC in the paper)."""
+        if not self.times:
+            return 1
+        last_completion = 0
+        for node_id, cycle in self.times.items():
+            node = self.graph.node(node_id)
+            if node.op.is_pseudo:
+                latency = 0
+            elif node.latency_override is not None:
+                latency = node.latency_override
+            else:
+                latency = self.latency_of(node.op.mnemonic)
+            last_completion = max(last_completion, cycle + max(1, latency))
+        return max(1, -(-last_completion // self.ii))
+
+    def schedule_length(self) -> int:
+        """Length in cycles of one flat iteration of the schedule."""
+        if not self.times:
+            return 0
+        return max(self.times.values()) + 1

@@ -1,0 +1,164 @@
+"""HRMS-inspired node ordering for the modulo scheduler.
+
+MIRS_HC pre-orders the nodes of the dependence graph with the node
+ordering strategy of HRMS (Hypernode Reduction Modulo Scheduling, Llosa
+et al., MICRO-28).  The goals of that ordering are:
+
+1. operations on the most constraining recurrences are scheduled first
+   (their slack is smallest), and
+2. every operation (after the first) is scheduled while having at least
+   one already-ordered predecessor or successor, so that its scheduling
+   window is bounded on at least one side and lifetimes stay short.
+
+This module implements an ordering with the same two properties: the
+strongly connected components (recurrences) are ordered by decreasing
+criticality (their RecMII), and the remaining nodes are appended by a
+neighbour-first expansion that always prefers a node adjacent to the
+already-ordered set, breaking ties by critical-path height.  Ejected
+nodes re-enter the ready list with their original priority, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Sequence, Set
+
+from repro.ddg.analysis import recurrence_components, rec_mii, heights, depths
+from repro.ddg.graph import DepGraph
+from repro.ddg.operations import OpType
+
+__all__ = ["order_nodes", "PriorityList"]
+
+LatencyFn = Callable[[str], int]
+
+
+def _component_rec_mii(graph: DepGraph, component: Sequence[int], latency_of: LatencyFn) -> int:
+    """RecMII of a single strongly connected component."""
+    # Build a throwaway subgraph restricted to the component.
+    sub = DepGraph()
+    mapping: Dict[int, int] = {}
+    for node_id in component:
+        node = graph.node(node_id)
+        mapping[node_id] = sub.add_node(node.op, name=node.name)
+    for node_id in component:
+        for edge in graph.out_edges(node_id):
+            if edge.dst in mapping:
+                sub.add_edge(mapping[node_id], mapping[edge.dst],
+                             distance=edge.distance, kind=edge.kind)
+    return rec_mii(sub, latency_of)
+
+
+def order_nodes(graph: DepGraph, latency_of: LatencyFn) -> List[int]:
+    """Scheduling order (most critical first) of the schedulable nodes.
+
+    Live-in pseudo nodes are excluded: they consume no resources and are
+    implicitly available from cycle 0.
+    """
+    schedulable = [n.node_id for n in graph.nodes() if n.op is not OpType.LIVE_IN]
+    if not schedulable:
+        return []
+    schedulable_set = set(schedulable)
+
+    height = heights(graph, latency_of)
+    depth = depths(graph, latency_of)
+
+    # 1. Recurrences first, most critical recurrence first.
+    ordered: List[int] = []
+    placed: Set[int] = set()
+    components = [c for c in recurrence_components(graph) if set(c) & schedulable_set]
+    scored = sorted(
+        components,
+        key=lambda c: (-_component_rec_mii(graph, c, latency_of), -max(height[n] for n in c)),
+    )
+    for component in scored:
+        members = sorted(
+            (n for n in component if n in schedulable_set and n not in placed),
+            key=lambda n: (depth[n], -height[n]),
+        )
+        ordered.extend(members)
+        placed.update(members)
+
+    # 2. Remaining nodes: neighbour-first expansion from the ordered set.
+    remaining = [n for n in schedulable if n not in placed]
+    # Max-heap keyed on (adjacent-to-placed, height, -depth).
+    def key(n: int, adjacent: bool) -> tuple:
+        return (-int(adjacent), -height[n], depth[n], n)
+
+    while remaining:
+        adjacency = {
+            n: any(
+                (m in placed)
+                for m in (graph.successors(n) + graph.predecessors(n))
+            )
+            for n in remaining
+        }
+        remaining.sort(key=lambda n: key(n, adjacency[n]))
+        chosen = remaining.pop(0)
+        ordered.append(chosen)
+        placed.add(chosen)
+
+    return ordered
+
+
+class PriorityList:
+    """The scheduler's ready list.
+
+    Nodes carry a fixed priority assigned once from the HRMS-like order;
+    ejected nodes are re-inserted with their *original* priority (the
+    paper's behaviour), and nodes inserted later (spill and communication
+    code that the scheduler decides to defer) receive a priority just
+    after the node they were inserted for.
+    """
+
+    def __init__(self, initial_order: Sequence[int]) -> None:
+        self._priority: Dict[int, float] = {
+            node: float(index) for index, node in enumerate(initial_order)
+        }
+        self._heap: List[tuple] = []
+        self._present: Set[int] = set()
+        for node in initial_order:
+            self.push(node)
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def __bool__(self) -> bool:
+        return bool(self._present)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._present
+
+    def priority_of(self, node: int) -> float:
+        return self._priority[node]
+
+    def push(self, node: int, *, after: int | None = None) -> None:
+        """(Re-)insert a node.
+
+        ``after`` assigns a priority immediately after an existing node
+        (used for spill code inserted on behalf of that node); otherwise
+        the node must already have a priority (original order or a prior
+        ``after`` insertion).
+        """
+        if node in self._present:
+            return
+        if node not in self._priority:
+            if after is not None and after in self._priority:
+                self._priority[node] = self._priority[after] + 0.5
+            else:
+                self._priority[node] = float(len(self._priority))
+        heapq.heappush(self._heap, (self._priority[node], node))
+        self._present.add(node)
+
+    def pop(self) -> int:
+        """Remove and return the highest-priority (lowest rank) node."""
+        while self._heap:
+            _, node = heapq.heappop(self._heap)
+            if node in self._present:
+                self._present.discard(node)
+                return node
+        raise IndexError("pop from an empty priority list")
+
+    def discard(self, node: int) -> None:
+        """Remove a node if present (used when a pending node is deleted)."""
+        self._present.discard(node)

@@ -1,0 +1,101 @@
+"""Schedule result containers.
+
+A :class:`ScheduleResult` is the unit of output of every scheduler in this
+package: it carries the final initiation interval, the placement of every
+operation (including the communication and spill operations the scheduler
+inserted), the per-bank register usage, and the counters the evaluation
+harness needs (memory traffic, communication operations, spill traffic,
+scheduling wall time, and the loop-bound classification used by Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.ddg.analysis import MIIBreakdown
+from repro.ddg.graph import DepGraph
+from repro.ddg.operations import OpType
+
+__all__ = ["ScheduledOp", "ScheduleResult"]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """Final placement of one operation."""
+
+    node_id: int
+    op: OpType
+    cycle: int
+    cluster: Optional[int]
+
+    def stage(self, ii: int) -> int:
+        """Which II-cycle stage of the kernel this operation issues in."""
+        return self.cycle // ii
+
+
+@dataclass
+class ScheduleResult:
+    """The outcome of scheduling one loop on one configuration."""
+
+    loop_name: str
+    config_name: str
+    success: bool
+    ii: int
+    mii: int
+    mii_breakdown: MIIBreakdown
+    stage_count: int
+    assignments: Dict[int, ScheduledOp] = field(default_factory=dict)
+    graph: Optional[DepGraph] = None
+    register_usage: Dict[int, int] = field(default_factory=dict)
+    #: Loads + stores per iteration of the final loop body (the paper's
+    #: ``trf``), including spill accesses.
+    memory_ops_per_iteration: int = 0
+    #: Spill loads/stores to memory inserted by the register allocator.
+    n_spill_memory_ops: int = 0
+    #: Communication operations in the final body (Move, LoadR, StoreR),
+    #: including the LoadR/StoreR introduced by spilling to the shared bank.
+    n_comm_ops: int = 0
+    #: Wall-clock seconds the scheduler needed for this loop.
+    scheduling_time_s: float = 0.0
+    #: How many times the II had to be bumped before a schedule was found.
+    restarts: int = 0
+    #: Classification of the final schedule (fu / mem / rec / com), based on
+    #: the binding lower bound of the final dependence graph.
+    bound: str = "fu"
+
+    @property
+    def achieved_mii(self) -> bool:
+        """True when the loop was scheduled at its minimum initiation interval."""
+        return self.success and self.ii == self.mii
+
+    def cycle_of(self, node_id: int) -> int:
+        return self.assignments[node_id].cycle
+
+    def cluster_of(self, node_id: int) -> Optional[int]:
+        return self.assignments[node_id].cluster
+
+    def kernel_table(self) -> str:
+        """Readable kernel table: one line per modulo slot with its operations."""
+        if not self.assignments:
+            return "(empty schedule)"
+        rows: Dict[int, list] = {slot: [] for slot in range(self.ii)}
+        for placed in self.assignments.values():
+            label = f"{placed.op.mnemonic}#{placed.node_id}"
+            if placed.cluster is not None and placed.cluster >= 0:
+                label += f"@c{placed.cluster}"
+            rows[placed.cycle % self.ii].append((placed.cycle, label))
+        lines = [f"II={self.ii} SC={self.stage_count} ({self.config_name}, {self.loop_name})"]
+        for slot in range(self.ii):
+            entries = ", ".join(label for _, label in sorted(rows[slot]))
+            lines.append(f"  slot {slot:3d}: {entries}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line summary used by examples and logs."""
+        status = "ok" if self.success else "FAILED"
+        return (
+            f"{self.loop_name} on {self.config_name}: {status} II={self.ii} "
+            f"(MII={self.mii}) SC={self.stage_count} regs={self.register_usage} "
+            f"comm={self.n_comm_ops} spill_mem={self.n_spill_memory_ops}"
+        )

@@ -1,0 +1,51 @@
+"""Data-dependence-graph substrate.
+
+The scheduler's input is the data-dependence graph (DDG) of an innermost
+loop after IF-conversion: a single basic block of operations with *flow*
+dependences annotated with an iteration distance (``omega``) for
+loop-carried dependences.  This package provides:
+
+* :mod:`repro.ddg.operations` -- operation kinds, their classification and
+  memory-reference descriptors.
+* :mod:`repro.ddg.graph` -- the mutable dependence-graph data structure the
+  scheduler works on (it inserts/removes spill and communication nodes).
+* :mod:`repro.ddg.analysis` -- recurrence detection, the resource- and
+  recurrence-constrained lower bounds on the initiation interval
+  (ResMII / RecMII / MII) and priority metrics.
+* :mod:`repro.ddg.loop` -- the :class:`~repro.ddg.loop.Loop` container
+  bundling a graph with its execution metadata (trip count, invariants).
+"""
+
+from repro.ddg.operations import MemRef, OpClass, OpType
+from repro.ddg.graph import DepGraph, Dependence, Operation
+from repro.ddg.analysis import (
+    MIIBreakdown,
+    compute_mii,
+    critical_path_length,
+    heights,
+    depths,
+    rec_mii,
+    res_mii_components,
+    strongly_connected_components,
+)
+from repro.ddg.loop import Loop
+from repro.ddg.transform import unroll
+
+__all__ = [
+    "MemRef",
+    "OpClass",
+    "OpType",
+    "DepGraph",
+    "Dependence",
+    "Operation",
+    "MIIBreakdown",
+    "compute_mii",
+    "critical_path_length",
+    "heights",
+    "depths",
+    "rec_mii",
+    "res_mii_components",
+    "strongly_connected_components",
+    "Loop",
+    "unroll",
+]

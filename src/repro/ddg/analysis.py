@@ -1,0 +1,307 @@
+"""Dependence-graph analysis: recurrences, MII bounds and priorities.
+
+Modulo scheduling starts from the *minimum initiation interval* (MII),
+the larger of two lower bounds:
+
+* **ResMII** -- the initiation interval below which some resource class
+  (functional units, memory ports, inter-bank communication bandwidth)
+  would be oversubscribed.
+* **RecMII** -- the initiation interval below which some recurrence
+  (cycle of dependences spanning one or more iterations) could not close:
+  for every cycle ``c`` the II must satisfy
+  ``II * distance(c) >= latency(c)``.
+
+This module computes both, plus the node priority metrics (heights and
+depths over the acyclic component of the graph) used by the scheduler's
+ordering phase, and the classification of which bound limits each loop
+(the paper's Table 1 breakdown into FU-, memory-, recurrence- and
+communication-bound loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ddg.graph import DepGraph
+from repro.machine.resources import ResourceModel
+
+__all__ = [
+    "strongly_connected_components",
+    "rec_mii",
+    "res_mii_components",
+    "compute_mii",
+    "MIIBreakdown",
+    "heights",
+    "depths",
+    "critical_path_length",
+]
+
+LatencyFn = Callable[[str], int]
+
+
+# --------------------------------------------------------------------------- #
+# Strongly connected components (iterative Tarjan)
+# --------------------------------------------------------------------------- #
+def strongly_connected_components(graph: DepGraph) -> List[List[int]]:
+    """Strongly connected components of the graph (Tarjan, iterative).
+
+    Returned in reverse topological order of the condensation; components
+    of size one without a self-edge are included (callers filter them out
+    when looking for recurrences).
+    """
+    index_counter = 0
+    index: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[int] = []
+    components: List[List[int]] = []
+
+    for root in graph.node_ids():
+        if root in index:
+            continue
+        # Iterative DFS with an explicit work stack of (node, successor iterator).
+        work = [(root, iter(graph.successors(root)))]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if on_stack.get(succ, False):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def recurrence_components(graph: DepGraph) -> List[List[int]]:
+    """SCCs that actually contain a cycle (recurrences of the loop)."""
+    recurrences = []
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            recurrences.append(component)
+        else:
+            node = component[0]
+            if graph.has_edge(node, node):
+                recurrences.append(component)
+    return recurrences
+
+
+# --------------------------------------------------------------------------- #
+# RecMII
+# --------------------------------------------------------------------------- #
+def _has_positive_cycle(
+    graph: DepGraph, nodes: Sequence[int], ii: int, latency_of: LatencyFn
+) -> bool:
+    """True if some cycle within ``nodes`` has positive weight at the given II.
+
+    Edge weight is ``latency - II * distance``; a positive-weight cycle
+    means the II is too small for that recurrence.  Detection is
+    Bellman-Ford-style longest-path relaxation restricted to the component.
+    """
+    node_set = set(nodes)
+    dist = {n: 0 for n in nodes}
+    for iteration in range(len(nodes)):
+        changed = False
+        for src in nodes:
+            base = dist[src]
+            for edge in graph.out_edges(src):
+                if edge.dst not in node_set:
+                    continue
+                weight = graph.edge_latency(edge, latency_of) - ii * edge.distance
+                if base + weight > dist[edge.dst]:
+                    dist[edge.dst] = base + weight
+                    changed = True
+        if not changed:
+            return False
+    return True
+
+
+def rec_mii(graph: DepGraph, latency_of: LatencyFn) -> int:
+    """Recurrence-constrained lower bound on the initiation interval."""
+    recurrences = recurrence_components(graph)
+    if not recurrences:
+        return 1
+    # Upper bound: the sum of all latencies certainly satisfies every cycle.
+    upper = 1
+    for op in graph.nodes():
+        if not op.op.is_pseudo:
+            upper += latency_of(op.op.mnemonic)
+    best = 1
+    for component in recurrences:
+        lo, hi = best, upper
+        # Binary search for the smallest II with no positive cycle.
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if _has_positive_cycle(graph, component, mid, latency_of):
+                lo = mid + 1
+            else:
+                hi = mid
+        best = max(best, lo)
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# ResMII and the combined MII
+# --------------------------------------------------------------------------- #
+def res_mii_components(
+    graph: DepGraph, resources: ResourceModel, latency_of: LatencyFn
+) -> Dict[str, int]:
+    """Per-resource-class lower bounds on the II (``fu``, ``mem``, ``com``)."""
+    counts = graph.count_ops()
+    extra_unpipelined = 0
+    for op in graph.compute_operations():
+        occupancy = resources.machine.occupancy(op.op.mnemonic)
+        extra_unpipelined += occupancy - 1
+    return resources.res_mii_components(
+        n_compute=counts["compute"],
+        n_compute_unpipelined_cycles=extra_unpipelined,
+        n_memory=counts["memory"],
+        n_comm=counts["comm"],
+    )
+
+
+@dataclass(frozen=True)
+class MIIBreakdown:
+    """The MII and its components, with the binding constraint identified."""
+
+    res_fu: int
+    res_mem: int
+    res_com: int
+    rec: int
+    mii: int
+
+    @property
+    def bound(self) -> str:
+        """Which constraint determines the MII.
+
+        Ties are resolved in favour of the scarcer resource: memory ports
+        first (the baseline machine has half as many memory ports as
+        functional units, so a tied loop saturates the memory ports at a
+        higher utilization), then functional units, recurrences and
+        communication bandwidth.
+        """
+        candidates = [
+            ("mem", self.res_mem),
+            ("fu", self.res_fu),
+            ("rec", self.rec),
+            ("com", self.res_com),
+        ]
+        best_name, best_value = "fu", -1
+        for name, value in candidates:
+            if value > best_value:
+                best_name, best_value = name, value
+        return best_name
+
+
+def compute_mii(
+    graph: DepGraph, resources: ResourceModel, latency_of: LatencyFn
+) -> MIIBreakdown:
+    """Compute the MII of a dependence graph for the given machine."""
+    res = res_mii_components(graph, resources, latency_of)
+    rec = rec_mii(graph, latency_of)
+    mii = max(1, res["fu"], res["mem"], res["com"], rec)
+    return MIIBreakdown(
+        res_fu=res["fu"],
+        res_mem=res["mem"],
+        res_com=res["com"],
+        rec=rec,
+        mii=mii,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Priority metrics
+# --------------------------------------------------------------------------- #
+def _acyclic_edges(graph: DepGraph) -> List:
+    """Edges with zero iteration distance (the acyclic skeleton)."""
+    return [edge for edge in graph.edges() if edge.distance == 0]
+
+
+def _topological_order(graph: DepGraph) -> List[int]:
+    """Topological order of the zero-distance skeleton (Kahn's algorithm)."""
+    indegree = {n: 0 for n in graph.node_ids()}
+    for edge in _acyclic_edges(graph):
+        indegree[edge.dst] += 1
+    ready = [n for n, deg in indegree.items() if deg == 0]
+    order: List[int] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for edge in graph.out_edges(node):
+            if edge.distance != 0:
+                continue
+            indegree[edge.dst] -= 1
+            if indegree[edge.dst] == 0:
+                ready.append(edge.dst)
+    if len(order) != len(graph):
+        raise ValueError(
+            "dependence graph has a zero-distance cycle; loop-carried "
+            "dependences must have distance >= 1"
+        )
+    return order
+
+
+def heights(graph: DepGraph, latency_of: LatencyFn) -> Dict[int, int]:
+    """Longest latency-weighted path from each node to any sink.
+
+    Computed over the zero-distance skeleton; used as the primary priority
+    of the scheduler's ordering phase (critical operations first).
+    """
+    order = _topological_order(graph)
+    height: Dict[int, int] = {n: 0 for n in graph.node_ids()}
+    for node in reversed(order):
+        best = 0
+        for edge in graph.out_edges(node):
+            if edge.distance != 0:
+                continue
+            latency = graph.edge_latency(edge, latency_of)
+            best = max(best, latency + height[edge.dst])
+        height[node] = best
+    return height
+
+
+def depths(graph: DepGraph, latency_of: LatencyFn) -> Dict[int, int]:
+    """Longest latency-weighted path from any source to each node."""
+    order = _topological_order(graph)
+    depth: Dict[int, int] = {n: 0 for n in graph.node_ids()}
+    for node in order:
+        for edge in graph.out_edges(node):
+            if edge.distance != 0:
+                continue
+            latency = graph.edge_latency(edge, latency_of)
+            if depth[node] + latency > depth[edge.dst]:
+                depth[edge.dst] = depth[node] + latency
+    return depth
+
+
+def critical_path_length(graph: DepGraph, latency_of: LatencyFn) -> int:
+    """Length of the longest latency-weighted zero-distance path."""
+    if len(graph) == 0:
+        return 0
+    all_heights = heights(graph, latency_of)
+    return max(all_heights.values(), default=0)

@@ -1,0 +1,281 @@
+"""Mutable data-dependence graph.
+
+The graph is deliberately small and hand-rolled (rather than built on
+``networkx``): the scheduler mutates it heavily (inserting and removing
+spill and communication nodes, re-routing edges) inside its innermost
+loop, so we keep adjacency as plain dictionaries and avoid any generic
+graph-library overhead.
+
+Edges do **not** store latencies.  The effective latency of a dependence
+is a property of the *producer operation and the machine configuration*
+(which differs between register-file organizations because latencies are
+re-scaled to each configuration's clock), so it is always derived at
+scheduling time via :meth:`DepGraph.edge_latency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.ddg.operations import MemRef, OpType
+
+__all__ = ["Operation", "Dependence", "DepGraph"]
+
+
+@dataclass
+class Operation:
+    """A node of the dependence graph (one operation of the loop body)."""
+
+    node_id: int
+    op: OpType
+    name: str = ""
+    #: Memory access descriptor (loads/stores only).
+    mem_ref: Optional[MemRef] = None
+    #: True for spill loads/stores inserted by the register allocator.
+    is_spill: bool = False
+    #: True for communication nodes (Move/LoadR/StoreR) inserted by the
+    #: scheduler; such nodes are removed again when their owner is ejected.
+    is_inserted: bool = False
+    #: For LoadR nodes pre-inserted after memory loads (hierarchical RFs)
+    #: and other bookkeeping: the node this one was inserted on behalf of.
+    inserted_for: Optional[int] = None
+    #: For communication operations: the cluster bank the operation is tied
+    #: to (the destination cluster for LoadR/Move, the source cluster for
+    #: StoreR).  ``None`` for every other operation.
+    home_cluster: Optional[int] = None
+    #: Per-node latency override, used by binding prefetching to schedule
+    #: selected loads with the cache-miss latency instead of the hit
+    #: latency.  ``None`` means "use the machine latency of the op type".
+    latency_override: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.op.mnemonic
+        return f"Operation({self.node_id}, {label})"
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A dependence edge ``src -> dst``.
+
+    ``distance`` is the iteration distance (``omega``): 0 for
+    intra-iteration dependences, >= 1 for loop-carried ones.  ``kind`` is
+    ``"flow"`` for true register dependences, ``"mem"`` for dependences
+    through memory (store -> load serialization), and ``"seq"`` for other
+    ordering constraints with zero latency contribution.
+    """
+
+    src: int
+    dst: int
+    distance: int = 0
+    kind: str = "flow"
+
+    def with_src(self, new_src: int) -> "Dependence":
+        return replace(self, src=new_src)
+
+    def with_dst(self, new_dst: int) -> "Dependence":
+        return replace(self, dst=new_dst)
+
+
+class DepGraph:
+    """A mutable dependence graph over :class:`Operation` nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Operation] = {}
+        self._succ: Dict[int, Dict[int, Dependence]] = {}
+        self._pred: Dict[int, Dict[int, Dependence]] = {}
+        self._next_id: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction / mutation
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        op: OpType,
+        name: str = "",
+        *,
+        mem_ref: Optional[MemRef] = None,
+        is_spill: bool = False,
+        is_inserted: bool = False,
+        inserted_for: Optional[int] = None,
+        home_cluster: Optional[int] = None,
+    ) -> int:
+        """Add an operation and return its node id."""
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = Operation(
+            node_id=node_id,
+            op=op,
+            name=name or f"{op.mnemonic}{node_id}",
+            mem_ref=mem_ref,
+            is_spill=is_spill,
+            is_inserted=is_inserted,
+            inserted_for=inserted_for,
+            home_cluster=home_cluster,
+        )
+        self._succ[node_id] = {}
+        self._pred[node_id] = {}
+        return node_id
+
+    def add_edge(
+        self, src: int, dst: int, *, distance: int = 0, kind: str = "flow"
+    ) -> Dependence:
+        """Add (or replace) a dependence edge from ``src`` to ``dst``."""
+        if src not in self._nodes or dst not in self._nodes:
+            raise KeyError(f"edge references unknown node ({src} -> {dst})")
+        if distance < 0:
+            raise ValueError("dependence distance must be non-negative")
+        edge = Dependence(src=src, dst=dst, distance=distance, kind=kind)
+        self._succ[src][dst] = edge
+        self._pred[dst][src] = edge
+        return edge
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        self._succ[src].pop(dst, None)
+        self._pred[dst].pop(src, None)
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node and every edge incident to it."""
+        for dst in list(self._succ[node_id]):
+            self.remove_edge(node_id, dst)
+        for src in list(self._pred[node_id]):
+            self.remove_edge(src, node_id)
+        del self._succ[node_id]
+        del self._pred[node_id]
+        del self._nodes[node_id]
+
+    def copy(self) -> "DepGraph":
+        """Deep copy of the graph (fresh Operation objects, same ids)."""
+        clone = DepGraph()
+        clone._next_id = self._next_id
+        for node_id, op in self._nodes.items():
+            clone._nodes[node_id] = replace(op)
+            clone._succ[node_id] = {}
+            clone._pred[node_id] = {}
+        for src, edges in self._succ.items():
+            for dst, edge in edges.items():
+                clone._succ[src][dst] = edge
+                clone._pred[dst][src] = edge
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: int) -> Operation:
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[Operation]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> List[int]:
+        return list(self._nodes.keys())
+
+    def edges(self) -> Iterator[Dependence]:
+        for edges in self._succ.values():
+            yield from edges.values()
+
+    def n_edges(self) -> int:
+        return sum(len(edges) for edges in self._succ.values())
+
+    def successors(self, node_id: int) -> List[int]:
+        return list(self._succ[node_id].keys())
+
+    def predecessors(self, node_id: int) -> List[int]:
+        return list(self._pred[node_id].keys())
+
+    def out_edges(self, node_id: int) -> List[Dependence]:
+        return list(self._succ[node_id].values())
+
+    def in_edges(self, node_id: int) -> List[Dependence]:
+        return list(self._pred[node_id].values())
+
+    def edge(self, src: int, dst: int) -> Dependence:
+        return self._succ[src][dst]
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return dst in self._succ.get(src, {})
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def edge_latency(self, edge: Dependence, latency_of: Callable[[str], int]) -> int:
+        """Effective latency of an edge under a given latency function.
+
+        ``latency_of`` maps an operation mnemonic to its latency in cycles
+        (typically :meth:`repro.machine.config.MachineConfig.latency`).
+        Flow dependences take the full latency of the producer; dependences
+        through memory and sequencing edges only force issue ordering.
+        """
+        if edge.kind == "flow":
+            src = self._nodes[edge.src]
+            if src.op.is_pseudo:
+                return 0
+            if src.latency_override is not None:
+                return src.latency_override
+            return latency_of(src.op.mnemonic)
+        if edge.kind == "mem":
+            return 1
+        return 0
+
+    def count_ops(self) -> Dict[str, int]:
+        """Operation counts by class, used for the ResMII bounds.
+
+        Returns a dict with keys ``compute``, ``unpipelined``, ``memory``
+        and ``comm``; ``unpipelined`` is the number of division/square-root
+        operations (their extra occupancy is added separately by the
+        resource model).
+        """
+        counts = {"compute": 0, "unpipelined": 0, "memory": 0, "comm": 0}
+        for op in self._nodes.values():
+            if op.op.is_compute:
+                counts["compute"] += 1
+                if op.op in (OpType.FDIV, OpType.FSQRT):
+                    counts["unpipelined"] += 1
+            elif op.op.is_memory:
+                counts["memory"] += 1
+            elif op.op.is_communication:
+                counts["comm"] += 1
+        return counts
+
+    def memory_operations(self) -> List[Operation]:
+        return [op for op in self._nodes.values() if op.op.is_memory]
+
+    def compute_operations(self) -> List[Operation]:
+        return [op for op in self._nodes.values() if op.op.is_compute]
+
+    def communication_operations(self) -> List[Operation]:
+        return [op for op in self._nodes.values() if op.op.is_communication]
+
+    def live_in_nodes(self) -> List[Operation]:
+        return [op for op in self._nodes.values() if op.op is OpType.LIVE_IN]
+
+    def flow_consumers(self, node_id: int) -> List[Tuple[int, Dependence]]:
+        """Flow-dependence consumers of the value defined by ``node_id``."""
+        return [
+            (dst, edge)
+            for dst, edge in self._succ[node_id].items()
+            if edge.kind == "flow"
+        ]
+
+    def flow_producers(self, node_id: int) -> List[Tuple[int, Dependence]]:
+        """Flow-dependence producers of the values read by ``node_id``."""
+        return [
+            (src, edge)
+            for src, edge in self._pred[node_id].items()
+            if edge.kind == "flow"
+        ]
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the graph."""
+        counts = self.count_ops()
+        return (
+            f"DepGraph({len(self)} nodes, {self.n_edges()} edges, "
+            f"{counts['compute']} compute, {counts['memory']} memory, "
+            f"{counts['comm']} comm)"
+        )

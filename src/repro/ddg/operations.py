@@ -1,0 +1,118 @@
+"""Operation kinds and memory-reference descriptors.
+
+The operation repertoire matches the paper's evaluation framework: the
+floating-point operations executed by the general-purpose units (addition,
+multiplication, division, square root), the memory operations executed by
+the load/store ports, and the data-movement operations introduced by the
+register-file organization (inter-cluster ``Move``, and the
+``LoadR``/``StoreR`` pair that moves values between the two levels of the
+hierarchical register file).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["OpType", "OpClass", "MemRef"]
+
+
+class OpClass(enum.Enum):
+    """Coarse classification of operations used by the resource model."""
+
+    COMPUTE = "compute"         # executes on a general-purpose FP unit
+    MEMORY = "memory"           # executes on a memory (load/store) port
+    COMMUNICATION = "comm"      # moves data between register banks
+    PSEUDO = "pseudo"           # no resource usage (live-in values)
+
+
+class OpType(enum.Enum):
+    """The operation kinds that can appear in a dependence graph."""
+
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    LOAD = "load"
+    STORE = "store"
+    MOVE = "move"          # inter-cluster copy over the bus (clustered RFs)
+    LOADR = "loadr"        # shared bank  -> cluster bank (hierarchical RFs)
+    STORER = "storer"      # cluster bank -> shared bank  (hierarchical RFs)
+    LIVE_IN = "live_in"    # loop-invariant / live-in value (no resources)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mnemonic(self) -> str:
+        """Lower-case mnemonic used to look up latencies in the machine."""
+        return self.value
+
+    @property
+    def op_class(self) -> OpClass:
+        if self in _COMPUTE_OPS:
+            return OpClass.COMPUTE
+        if self in _MEMORY_OPS:
+            return OpClass.MEMORY
+        if self in _COMM_OPS:
+            return OpClass.COMMUNICATION
+        return OpClass.PSEUDO
+
+    @property
+    def is_compute(self) -> bool:
+        return self in _COMPUTE_OPS
+
+    @property
+    def is_memory(self) -> bool:
+        return self in _MEMORY_OPS
+
+    @property
+    def is_communication(self) -> bool:
+        return self in _COMM_OPS
+
+    @property
+    def is_pseudo(self) -> bool:
+        return self is OpType.LIVE_IN
+
+    @property
+    def defines_register(self) -> bool:
+        """Operations that write a result into some register bank.
+
+        ``Store`` writes to memory, not to a register; everything else
+        (including ``StoreR``, which writes into the shared bank) defines a
+        register value.
+        """
+        return self is not OpType.STORE
+
+
+_COMPUTE_OPS = frozenset({OpType.FADD, OpType.FMUL, OpType.FDIV, OpType.FSQRT})
+_MEMORY_OPS = frozenset({OpType.LOAD, OpType.STORE})
+_COMM_OPS = frozenset({OpType.MOVE, OpType.LOADR, OpType.STORER})
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """Description of the memory access pattern of a load or store.
+
+    Used by the workload generator and the real-memory simulator to
+    synthesize the address stream of the loop.
+
+    Parameters
+    ----------
+    array:
+        Symbolic name of the array (accesses to the same array with the
+        same stride hit the same cache lines).
+    stride_bytes:
+        Address increment per loop iteration; 8 for a unit-stride
+        double-precision stream, larger for strided or multi-dimensional
+        accesses, 0 for repeated access to a single location.
+    offset_bytes:
+        Starting offset of the stream within the array.
+    footprint_bytes:
+        Approximate size of the region the loop touches (used to lay out
+        distinct arrays in the address space).
+    """
+
+    array: str
+    stride_bytes: int = 8
+    offset_bytes: int = 0
+    footprint_bytes: Optional[int] = None

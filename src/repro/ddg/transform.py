@@ -1,0 +1,89 @@
+"""Loop transformations on dependence graphs.
+
+The only transformation the evaluation needs is **unrolling**: the paper's
+workbench contains many unrolled loop bodies (numerical codes are
+routinely unrolled before software pipelining to expose more parallelism
+per iteration), and unrolling is also how the workload suite turns the
+small hand-written kernels into the large, register-hungry bodies that
+stress the register-file organizations.
+
+Unrolling by a factor ``f`` replicates every operation ``f`` times; a
+dependence with iteration distance ``d`` from producer ``u`` to consumer
+``v`` becomes, for each copy ``c`` of the consumer, a dependence from copy
+``(c - d) mod f`` of the producer with the new distance
+``-((c - d) // f)`` (zero when both copies fall in the same unrolled
+iteration).  Memory strides are multiplied by the factor and the copies
+access consecutive offsets; loop invariants are shared by every copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.ddg.graph import DepGraph
+from repro.ddg.loop import Loop
+from repro.ddg.operations import OpType
+
+__all__ = ["unroll"]
+
+
+def unroll(loop: Loop, factor: int) -> Loop:
+    """Return a new loop whose body is ``loop``'s body unrolled ``factor`` times."""
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    if factor == 1:
+        return loop.copy()
+
+    source = loop.graph
+    unrolled = DepGraph()
+    mapping: Dict[Tuple[int, int], int] = {}
+
+    # Replicate nodes (live-in values are shared across all copies).
+    for node in source.nodes():
+        if node.op is OpType.LIVE_IN:
+            shared = unrolled.add_node(OpType.LIVE_IN, name=node.name)
+            for copy in range(factor):
+                mapping[(node.node_id, copy)] = shared
+            continue
+        for copy in range(factor):
+            mem_ref = node.mem_ref
+            if mem_ref is not None:
+                mem_ref = replace(
+                    mem_ref,
+                    stride_bytes=mem_ref.stride_bytes * factor,
+                    offset_bytes=mem_ref.offset_bytes + mem_ref.stride_bytes * copy,
+                )
+            mapping[(node.node_id, copy)] = unrolled.add_node(
+                node.op,
+                name=f"{node.name}_u{copy}",
+                mem_ref=mem_ref,
+                is_spill=node.is_spill,
+            )
+
+    # Re-create dependences between the copies.
+    for edge in source.edges():
+        src_is_live_in = source.node(edge.src).op is OpType.LIVE_IN
+        for copy in range(factor):
+            if src_is_live_in:
+                producer_copy, new_distance = 0, 0
+            else:
+                quotient, producer_copy = divmod(copy - edge.distance, factor)
+                new_distance = -quotient
+            src_id = mapping[(edge.src, producer_copy)]
+            dst_id = mapping[(edge.dst, copy)]
+            if src_id == dst_id and new_distance == 0:
+                continue
+            unrolled.add_edge(src_id, dst_id, distance=new_distance, kind=edge.kind)
+
+    trip_count = max(1, loop.trip_count // factor)
+    result = Loop(
+        name=f"{loop.name}_x{factor}",
+        graph=unrolled,
+        trip_count=trip_count,
+        times_entered=loop.times_entered,
+        weight=loop.weight,
+        source=loop.source,
+        attributes={**loop.attributes, "unroll_factor": factor},
+    )
+    return result

@@ -1,0 +1,58 @@
+"""Evaluation harness: metrics and the paper's tables and figures.
+
+* :mod:`repro.eval.metrics` -- the comparison metrics of Section 2.3
+  (execution cycles, memory traffic, execution time, speedup, loop-bound
+  classification).
+* :mod:`repro.eval.experiments` -- one driver per table/figure of the
+  paper's evaluation (Figure 1, Tables 1-6, Figures 4 and 6) plus the
+  ablation studies; each driver returns a structured result object and can
+  render itself as a plain-text table.
+* :mod:`repro.eval.reporting` -- fixed-width table rendering shared by the
+  drivers, the examples and the benchmarks.
+"""
+
+from repro.eval.metrics import (
+    LoopRun,
+    execution_cycles,
+    execution_time_ns,
+    memory_traffic,
+    speedup,
+    aggregate_cycles,
+    aggregate_time_ns,
+    aggregate_traffic,
+)
+from repro.eval.reporting import Table
+from repro.eval.experiments import (
+    run_figure1,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_figure4,
+    run_figure6,
+    schedule_suite,
+)
+
+__all__ = [
+    "LoopRun",
+    "execution_cycles",
+    "execution_time_ns",
+    "memory_traffic",
+    "speedup",
+    "aggregate_cycles",
+    "aggregate_time_ns",
+    "aggregate_traffic",
+    "Table",
+    "run_figure1",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_figure4",
+    "run_figure6",
+    "schedule_suite",
+]

@@ -1,0 +1,124 @@
+"""The paper's comparison metrics (Section 2.3).
+
+* **Execution cycles** of one loop:
+  ``II * (N + (SC - 1) * E) + StallCycles`` where ``N`` is the total
+  number of iterations, ``E`` the number of times the loop is entered and
+  ``SC`` the stage count of the software pipeline.
+* **Memory traffic**: ``N * trf`` where ``trf`` is the number of memory
+  accesses per iteration of the final loop body (spill code included) --
+  minimizing it avoids polluting the L1, saves memory-port bandwidth and
+  power.
+* **Execution time**: execution cycles multiplied by the configuration's
+  clock period (from the hardware model).
+* **Speedup**: ratio of a reference configuration's execution time to the
+  evaluated configuration's execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.ddg.loop import Loop
+from repro.core.result import ScheduleResult
+from repro.hwmodel.spec import HardwareSpec
+
+__all__ = [
+    "LoopRun",
+    "execution_cycles",
+    "memory_traffic",
+    "execution_time_ns",
+    "speedup",
+    "aggregate_cycles",
+    "aggregate_traffic",
+    "aggregate_time_ns",
+]
+
+
+def execution_cycles(
+    ii: int,
+    stage_count: int,
+    total_iterations: int,
+    times_entered: int,
+    stall_cycles: float = 0.0,
+) -> float:
+    """Execution cycles of one loop (the paper's formula)."""
+    return float(ii) * (total_iterations + (stage_count - 1) * times_entered) + stall_cycles
+
+
+def memory_traffic(total_iterations: int, memory_ops_per_iteration: int) -> float:
+    """Memory accesses issued by the loop over its whole execution."""
+    return float(total_iterations) * memory_ops_per_iteration
+
+
+def execution_time_ns(cycles: float, clock_ns: float) -> float:
+    """Execution time in nanoseconds."""
+    return cycles * clock_ns
+
+
+def speedup(reference_time: float, time: float) -> float:
+    """Speedup of ``time`` relative to ``reference_time`` (>1 means faster)."""
+    if time <= 0:
+        return float("inf")
+    return reference_time / time
+
+
+@dataclass
+class LoopRun:
+    """One (loop, configuration) evaluation: schedule plus derived metrics."""
+
+    loop: Loop
+    result: ScheduleResult
+    spec: Optional[HardwareSpec] = None
+    stall_cycles: float = 0.0
+
+    @property
+    def cycles(self) -> float:
+        if not self.result.success:
+            return float("inf")
+        return execution_cycles(
+            self.result.ii,
+            self.result.stage_count,
+            self.loop.total_iterations,
+            self.loop.times_entered,
+            self.stall_cycles,
+        )
+
+    @property
+    def useful_cycles(self) -> float:
+        if not self.result.success:
+            return float("inf")
+        return execution_cycles(
+            self.result.ii,
+            self.result.stage_count,
+            self.loop.total_iterations,
+            self.loop.times_entered,
+            0.0,
+        )
+
+    @property
+    def traffic(self) -> float:
+        return memory_traffic(
+            self.loop.total_iterations, self.result.memory_ops_per_iteration
+        )
+
+    @property
+    def time_ns(self) -> float:
+        if self.spec is None:
+            return self.cycles
+        return execution_time_ns(self.cycles, self.spec.clock_ns)
+
+
+def aggregate_cycles(runs: Iterable[LoopRun]) -> float:
+    """Total execution cycles over a workbench."""
+    return sum(run.cycles for run in runs)
+
+
+def aggregate_traffic(runs: Iterable[LoopRun]) -> float:
+    """Total memory traffic over a workbench."""
+    return sum(run.traffic for run in runs)
+
+
+def aggregate_time_ns(runs: Iterable[LoopRun]) -> float:
+    """Total execution time (ns) over a workbench."""
+    return sum(run.time_ns for run in runs)

@@ -1,0 +1,65 @@
+"""Plain-text table rendering shared by experiments, examples and benches."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["Table", "format_value"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_value(value: Cell, precision: int = 3) -> str:
+    """Render one cell: floats with fixed precision, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1_000_000:
+            return f"{value:.3e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A minimal fixed-width table builder.
+
+    Used by every experiment driver to print its result in a layout that
+    mirrors the corresponding table or figure of the paper.
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str = "", precision: int = 3) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.precision = precision
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Cell) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([format_value(v, self.precision) for v in values])
+
+    def extend(self, rows: Iterable[Sequence[Cell]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

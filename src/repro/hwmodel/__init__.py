@@ -1,0 +1,38 @@
+"""Register-file hardware model (access time, area, clock, latencies).
+
+The paper uses the CACTI 3.0 model (adapted to register files, 0.10 µm
+minimum drawn gate length) to translate a register-file organization into
+an access time and an area, then derives the processor clock cycle from
+the access time (via the logic depth in FO4) and re-scales every operation
+latency to that clock.
+
+This package reproduces that flow:
+
+* :mod:`repro.hwmodel.cacti` -- an analytical access-time/area model for a
+  single register bank, calibrated against the values the paper publishes
+  (Tables 2 and 5).
+* :mod:`repro.hwmodel.published` -- the paper's published hardware numbers
+  for every named configuration, used verbatim when available so the
+  experiments run with exactly the paper's clock cycles and latencies.
+* :mod:`repro.hwmodel.timing` -- logic depth / clock-cycle derivation and
+  the per-configuration scaling of operation latencies, producing the
+  :class:`~repro.hwmodel.spec.HardwareSpec` consumed by the scheduler and
+  the evaluation harness.
+"""
+
+from repro.hwmodel.spec import BankEstimate, BankGeometry, HardwareSpec
+from repro.hwmodel.cacti import RegisterFileModel, bank_geometries
+from repro.hwmodel.published import PAPER_TABLE5, published_spec
+from repro.hwmodel.timing import derive_hardware, scaled_machine
+
+__all__ = [
+    "BankEstimate",
+    "BankGeometry",
+    "HardwareSpec",
+    "RegisterFileModel",
+    "bank_geometries",
+    "PAPER_TABLE5",
+    "published_spec",
+    "derive_hardware",
+    "scaled_machine",
+]

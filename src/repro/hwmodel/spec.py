@@ -1,0 +1,107 @@
+"""Dataclasses describing the derived hardware characteristics of a configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["BankGeometry", "BankEstimate", "HardwareSpec"]
+
+
+@dataclass(frozen=True)
+class BankGeometry:
+    """Physical shape of one register bank: capacity and port counts."""
+
+    registers: int
+    read_ports: int
+    write_ports: int
+
+    @property
+    def ports(self) -> int:
+        """Total number of access ports."""
+        return self.read_ports + self.write_ports
+
+
+@dataclass(frozen=True)
+class BankEstimate:
+    """Access time and area estimated (or published) for one register bank."""
+
+    access_ns: float
+    area_mlambda2: float
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Complete derived hardware description of one RF configuration.
+
+    This is the object consumed by the evaluation harness: it carries the
+    clock period (which multiplies the scheduler's cycle counts to obtain
+    execution time), the per-bank access times and areas (Table 2 /
+    Table 5), and the operation latencies re-scaled to the configuration's
+    clock (last column of Table 5).
+    """
+
+    config_name: str
+    cluster_bank: Optional[BankEstimate]
+    shared_bank: Optional[BankEstimate]
+    logic_depth_fo4: int
+    clock_ns: float
+    #: Latency (cycles) of a memory read that hits in the L1 cache.
+    mem_hit_latency: int
+    #: Latency (cycles) of pipelined FP operations (add, multiply).
+    fu_latency: int
+    #: Latency (cycles) of LoadR/StoreR operations (hierarchical configs);
+    #: ``None`` for configurations without a shared bank below cluster banks.
+    loadr_latency: Optional[int]
+    #: Whether the numbers come from the paper's published tables (True) or
+    #: from the analytical CACTI-like model (False).
+    from_published: bool = True
+
+    @property
+    def total_area_mlambda2(self) -> float:
+        """Total register-file area (sum over all banks), in 10^6 λ²."""
+        area = 0.0
+        if self.cluster_bank is not None:
+            area += self.cluster_bank.area_mlambda2 * self._n_cluster_banks
+        if self.shared_bank is not None:
+            area += self.shared_bank.area_mlambda2
+        return area
+
+    # Number of cluster banks is injected by the deriving code via a plain
+    # attribute because frozen dataclasses cannot easily carry derived state.
+    _n_cluster_banks: int = 1
+
+    @property
+    def access_time_ns(self) -> float:
+        """The access time that constrains the cycle (first-level bank)."""
+        if self.cluster_bank is not None:
+            return self.cluster_bank.access_ns
+        assert self.shared_bank is not None
+        return self.shared_bank.access_ns
+
+    def latency_overrides(self) -> Dict[str, int]:
+        """Operation-latency overrides implied by this hardware spec.
+
+        The returned mapping can be passed to
+        :meth:`repro.machine.config.MachineConfig.scale_latencies`.
+        Division and square-root latencies are scaled proportionally to the
+        pipelined FP latency (the paper only publishes the latter).
+        """
+        fu = self.fu_latency
+        overrides = {
+            "fadd": fu,
+            "fmul": fu,
+            "fdiv": max(fu, round(17 * fu / 4)),
+            "fsqrt": max(fu, round(30 * fu / 4)),
+            "load": self.mem_hit_latency,
+            "store": max(1, self.mem_hit_latency - 1),
+            "move": 1,
+        }
+        if self.loadr_latency is not None:
+            overrides["loadr"] = self.loadr_latency
+            overrides["storer"] = self.loadr_latency
+        return overrides
+
+    def miss_latency_cycles(self, miss_latency_ns: float) -> int:
+        """Main-memory miss latency converted to this configuration's cycles."""
+        return max(1, round(miss_latency_ns / self.clock_ns))

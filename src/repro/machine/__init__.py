@@ -1,0 +1,57 @@
+"""Machine description substrate.
+
+This package models the VLIW processor configurations evaluated in the
+paper: the datapath (functional units, memory ports, operation latencies)
+and the register-file organization (monolithic, clustered, hierarchical,
+or hierarchical-clustered), using the paper's ``xCy-Sz`` notation.
+
+The public entry points are:
+
+* :class:`repro.machine.config.RFConfig` -- a register-file organization.
+* :class:`repro.machine.config.MachineConfig` -- the datapath description.
+* :class:`repro.machine.resources.ResourceModel` -- per-cluster resource
+  tables used by the modulo scheduler's reservation tables.
+* :mod:`repro.machine.presets` -- every named configuration used in the
+  paper's tables and figures.
+"""
+
+from repro.machine.config import (
+    UNBOUNDED,
+    MachineConfig,
+    RFConfig,
+    RFKind,
+)
+from repro.machine.resources import ResourceKind, ResourceModel
+from repro.machine.presets import (
+    ALL_NAMED_CONFIGS,
+    baseline_machine,
+    figure1_machines,
+    table1_configs,
+    table2_configs,
+    table3_configs,
+    table5_configs,
+    table6_configs,
+    figure6_configs,
+    figure4_cluster_counts,
+    config_by_name,
+)
+
+__all__ = [
+    "UNBOUNDED",
+    "MachineConfig",
+    "RFConfig",
+    "RFKind",
+    "ResourceKind",
+    "ResourceModel",
+    "ALL_NAMED_CONFIGS",
+    "baseline_machine",
+    "figure1_machines",
+    "table1_configs",
+    "table2_configs",
+    "table3_configs",
+    "table5_configs",
+    "table6_configs",
+    "figure6_configs",
+    "figure4_cluster_counts",
+    "config_by_name",
+]

@@ -1,0 +1,393 @@
+"""Register-file and datapath configuration objects.
+
+The paper describes register-file organizations with the notation
+``xCy-Sz``: ``x`` clusters of ``y`` registers each, plus a shared bank of
+``z`` registers.  Three degenerate forms exist:
+
+* ``Sz`` -- a *monolithic* register file: a single shared bank to which
+  all functional units and memory ports are attached.
+* ``xCy`` -- a *clustered* register file: functional units **and** memory
+  ports are distributed evenly over ``x`` clusters, each with its own
+  ``y``-register bank; inter-cluster communication uses ``Move``
+  operations over a bus.
+* ``xCySz`` -- the paper's *hierarchical clustered* organization:
+  functional units are distributed over ``x`` clusters (each with a
+  ``y``-register first-level bank) while all memory ports attach to the
+  shared second-level ``z``-register bank.  Values move between the two
+  levels with ``LoadR``/``StoreR`` operations, which is also how clusters
+  communicate with each other.  ``1CySz`` is the hierarchical
+  (non-clustered) organization of the authors' earlier MICRO-33 paper.
+
+:class:`RFConfig` captures one such organization; :class:`MachineConfig`
+captures the datapath it is attached to (functional units, memory ports
+and base operation latencies).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+__all__ = [
+    "UNBOUNDED",
+    "RFKind",
+    "RFConfig",
+    "MachineConfig",
+]
+
+#: Sentinel register count used for the paper's "unbounded" (``∞``)
+#: configurations in Table 3.  Any bank with at least this many registers
+#: is treated as unlimited by the scheduler (no spill code is ever needed).
+UNBOUNDED: int = 1_000_000_000
+
+
+class RFKind(enum.Enum):
+    """The four register-file organization families studied in the paper."""
+
+    MONOLITHIC = "monolithic"
+    CLUSTERED = "clustered"
+    HIERARCHICAL = "hierarchical"
+    HIERARCHICAL_CLUSTERED = "hierarchical-clustered"
+
+
+_NAME_RE = re.compile(
+    r"""^
+    (?:(?P<x>\d+)C(?P<y>\d+|∞|inf))?     # optional xCy part
+    (?:S(?P<z>\d+|∞|inf))?               # optional Sz part
+    $""",
+    re.VERBOSE,
+)
+
+
+def _parse_count(token: Optional[str]) -> Optional[int]:
+    if token is None:
+        return None
+    if token in ("∞", "inf"):
+        return UNBOUNDED
+    return int(token)
+
+
+def _format_count(value: Optional[int]) -> str:
+    if value is None:
+        return ""
+    if value >= UNBOUNDED:
+        return "inf"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class RFConfig:
+    """A register-file organization in the paper's ``xCy-Sz`` notation.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of functional-unit clusters (``x``).  ``1`` for monolithic
+        and hierarchical non-clustered organizations.
+    cluster_regs:
+        Registers in each first-level cluster bank (``y``), or ``None``
+        when there are no cluster banks (monolithic organizations).
+    shared_regs:
+        Registers in the shared bank (``z``), or ``None`` when there is no
+        shared bank (pure clustered organizations).
+    lp:
+        Number of *input* ports of each cluster bank used by ``LoadR``
+        (hierarchical) or ``Move`` (clustered) operations, i.e. how many
+        values per cycle a cluster bank may receive.
+    sp:
+        Number of *output* ports of each cluster bank used by ``StoreR``
+        or ``Move`` operations, i.e. how many values per cycle a cluster
+        bank may send.
+    n_buses:
+        Number of inter-cluster buses for pure clustered organizations
+        (``Move`` operations).  Ignored by hierarchical organizations,
+        where communication goes through the shared bank.
+    """
+
+    n_clusters: int = 1
+    cluster_regs: Optional[int] = None
+    shared_regs: Optional[int] = 128
+    lp: int = 1
+    sp: int = 1
+    n_buses: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if self.cluster_regs is None and self.shared_regs is None:
+            raise ValueError("configuration must have at least one register bank")
+        if self.cluster_regs is None and self.n_clusters != 1:
+            raise ValueError("a monolithic configuration cannot have clusters")
+        if self.cluster_regs is not None and self.cluster_regs <= 0:
+            raise ValueError("cluster_regs must be positive")
+        if self.shared_regs is not None and self.shared_regs <= 0:
+            raise ValueError("shared_regs must be positive")
+        if self.lp < 1 or self.sp < 1:
+            raise ValueError("lp and sp must be >= 1")
+        if self.n_buses is None:
+            # Default bus provisioning for pure clustered organizations:
+            # half as many buses as clusters (at least one), mirroring the
+            # modest inter-connect the paper assumes for bus-based VLIWs.
+            object.__setattr__(self, "n_buses", max(1, self.n_clusters // 2))
+        # The kind is queried on every bank-residence decision of the
+        # scheduler's inner loop; compute it once.
+        if self.cluster_regs is None:
+            kind = RFKind.MONOLITHIC
+        elif self.shared_regs is None:
+            kind = RFKind.CLUSTERED
+        elif self.n_clusters == 1:
+            kind = RFKind.HIERARCHICAL
+        else:
+            kind = RFKind.HIERARCHICAL_CLUSTERED
+        object.__setattr__(self, "_kind", kind)
+
+    # ------------------------------------------------------------------ #
+    # Classification helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> RFKind:
+        """Which of the four organization families this configuration is."""
+        return self._kind  # type: ignore[attr-defined]  # set in __post_init__
+
+    @property
+    def is_monolithic(self) -> bool:
+        return self.kind is RFKind.MONOLITHIC
+
+    @property
+    def is_clustered(self) -> bool:
+        """True when functional units are split over more than one bank."""
+        return self.cluster_regs is not None and self.n_clusters > 1
+
+    @property
+    def has_shared_bank(self) -> bool:
+        return self.shared_regs is not None
+
+    @property
+    def has_cluster_banks(self) -> bool:
+        return self.cluster_regs is not None
+
+    @property
+    def is_hierarchical(self) -> bool:
+        """True when the configuration has both levels of the hierarchy."""
+        return self.has_cluster_banks and self.has_shared_bank
+
+    @property
+    def needs_move_ops(self) -> bool:
+        """Pure clustered organizations communicate with ``Move`` ops."""
+        return self.kind is RFKind.CLUSTERED and self.n_clusters > 1
+
+    @property
+    def needs_loadr_storer(self) -> bool:
+        """Hierarchical organizations move data with ``LoadR``/``StoreR``."""
+        return self.is_hierarchical
+
+    # ------------------------------------------------------------------ #
+    # Capacity helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def cluster_regs_unbounded(self) -> bool:
+        return self.cluster_regs is not None and self.cluster_regs >= UNBOUNDED
+
+    @property
+    def shared_regs_unbounded(self) -> bool:
+        return self.shared_regs is not None and self.shared_regs >= UNBOUNDED
+
+    @property
+    def total_registers(self) -> int:
+        """Total storage capacity (sum of every bank)."""
+        total = 0
+        if self.cluster_regs is not None:
+            total += self.n_clusters * self.cluster_regs
+        if self.shared_regs is not None:
+            total += self.shared_regs
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Naming
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """The configuration name in the paper's notation (e.g. ``4C32S16``)."""
+        parts = []
+        if self.cluster_regs is not None:
+            parts.append(f"{self.n_clusters}C{_format_count(self.cluster_regs)}")
+        if self.shared_regs is not None:
+            parts.append(f"S{_format_count(self.shared_regs)}")
+        return "".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    @classmethod
+    def parse(cls, name: str, *, lp: int = 1, sp: int = 1,
+              n_buses: Optional[int] = None) -> "RFConfig":
+        """Parse a configuration name such as ``"4C32S16"`` or ``"S128"``.
+
+        ``∞`` (or ``inf``) is accepted for unbounded register counts, e.g.
+        ``"4CinfSinf"`` for the Table 3 static-evaluation configurations.
+        """
+        normalized = name.replace("-", "").replace(" ", "")
+        match = _NAME_RE.match(normalized)
+        if match is None or (match.group("x") is None and match.group("z") is None):
+            raise ValueError(f"cannot parse register-file configuration name {name!r}")
+        x = match.group("x")
+        y = _parse_count(match.group("y"))
+        z = _parse_count(match.group("z"))
+        n_clusters = int(x) if x is not None else 1
+        return cls(
+            n_clusters=n_clusters,
+            cluster_regs=y,
+            shared_regs=z,
+            lp=lp,
+            sp=sp,
+            n_buses=n_buses,
+        )
+
+    def with_ports(self, lp: int, sp: int) -> "RFConfig":
+        """Return a copy of this configuration with different lp/sp ports."""
+        return replace(self, lp=lp, sp=sp)
+
+    def with_unbounded_registers(self) -> "RFConfig":
+        """Return a copy with every present bank made unbounded (Table 3)."""
+        return replace(
+            self,
+            cluster_regs=UNBOUNDED if self.cluster_regs is not None else None,
+            shared_regs=UNBOUNDED if self.shared_regs is not None else None,
+        )
+
+
+def _default_latencies() -> Dict[str, int]:
+    # Base latencies of the paper's Section 2.2, expressed in cycles of the
+    # baseline (S128-clocked) processor.
+    return {
+        "fadd": 4,
+        "fmul": 4,
+        "fdiv": 17,
+        "fsqrt": 30,
+        "load": 2,   # L1 hit latency for reads
+        "store": 1,  # L1 hit latency for writes
+        "move": 1,
+        "loadr": 1,
+        "storer": 1,
+    }
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The VLIW datapath description.
+
+    The paper's baseline processor has 8 general-purpose floating-point
+    units and 4 memory (load/store) ports.  Operation latencies are given
+    in cycles; all operations are fully pipelined except division and
+    square root, which occupy their functional unit for the whole latency.
+
+    Parameters
+    ----------
+    n_fus:
+        Number of general-purpose floating-point functional units.
+    n_mem_ports:
+        Number of memory (load/store) ports.
+    latencies:
+        Cycle latency of every operation kind (keys are the lowercase
+        operation mnemonics used by :class:`repro.ddg.operations.OpType`).
+    unpipelined:
+        Operation mnemonics whose functional unit is busy for the whole
+        latency of the operation (division and square root by default).
+    miss_latency_ns:
+        Main-memory miss latency in nanoseconds; converted to cycles per
+        register-file configuration using its derived clock period.
+    cache_size_bytes / cache_line_bytes / cache_max_pending:
+        Parameters of the real-memory scenario's lockup-free L1 cache.
+    """
+
+    n_fus: int = 8
+    n_mem_ports: int = 4
+    latencies: Dict[str, int] = field(default_factory=_default_latencies)
+    unpipelined: frozenset = frozenset({"fdiv", "fsqrt"})
+    miss_latency_ns: float = 10.0
+    cache_size_bytes: int = 32 * 1024
+    cache_line_bytes: int = 32
+    cache_max_pending: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_fus < 1:
+            raise ValueError("n_fus must be >= 1")
+        if self.n_mem_ports < 1:
+            raise ValueError("n_mem_ports must be >= 1")
+        missing = set(_default_latencies()) - set(self.latencies)
+        if missing:
+            raise ValueError(f"latencies missing entries for {sorted(missing)}")
+
+    def latency(self, mnemonic: str) -> int:
+        """Latency in cycles of the operation with the given mnemonic."""
+        return self.latencies[mnemonic]
+
+    def occupancy(self, mnemonic: str) -> int:
+        """Cycles the functional unit is busy executing the operation."""
+        if mnemonic in self.unpipelined:
+            return self.latencies[mnemonic]
+        return 1
+
+    def fus_per_cluster(self, rf: RFConfig) -> int:
+        """Functional units in each cluster for the given RF organization."""
+        if not rf.has_cluster_banks:
+            return self.n_fus
+        if self.n_fus % rf.n_clusters != 0:
+            raise ValueError(
+                f"{self.n_fus} functional units cannot be split evenly over "
+                f"{rf.n_clusters} clusters"
+            )
+        return self.n_fus // rf.n_clusters
+
+    def mem_ports_per_cluster(self, rf: RFConfig) -> int:
+        """Memory ports attached to each cluster bank.
+
+        Only pure clustered organizations distribute memory ports over the
+        clusters; monolithic and hierarchical organizations attach all of
+        them to the shared bank (in which case this returns 0).
+        """
+        if rf.kind is not RFKind.CLUSTERED:
+            return 0
+        if rf.n_clusters > self.n_mem_ports:
+            raise ValueError(
+                f"a non-hierarchical clustered organization cannot have more "
+                f"clusters ({rf.n_clusters}) than memory ports ({self.n_mem_ports})"
+            )
+        if self.n_mem_ports % rf.n_clusters != 0:
+            raise ValueError(
+                f"{self.n_mem_ports} memory ports cannot be split evenly over "
+                f"{rf.n_clusters} clusters"
+            )
+        return self.n_mem_ports // rf.n_clusters
+
+    def validate_rf(self, rf: RFConfig) -> None:
+        """Raise ``ValueError`` if the RF organization does not fit this datapath."""
+        self.fus_per_cluster(rf)
+        self.mem_ports_per_cluster(rf)
+
+    def scaled(self, *, n_fus: int, n_mem_ports: int) -> "MachineConfig":
+        """A copy of this datapath with a different resource count (Figure 1)."""
+        return replace(self, n_fus=n_fus, n_mem_ports=n_mem_ports)
+
+    def scale_latencies(self, factors: Dict[str, int]) -> "MachineConfig":
+        """A copy with some latencies overridden (used per RF configuration)."""
+        merged = dict(self.latencies)
+        merged.update(factors)
+        return replace(self, latencies=merged)
+
+
+def is_unbounded(count: Optional[int]) -> bool:
+    """True when ``count`` denotes an unbounded register bank."""
+    return count is not None and count >= UNBOUNDED
+
+
+def effective_capacity(count: Optional[int]) -> float:
+    """Bank capacity as a float, mapping the unbounded sentinel to ``inf``."""
+    if count is None:
+        return 0.0
+    if count >= UNBOUNDED:
+        return math.inf
+    return float(count)

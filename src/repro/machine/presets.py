@@ -1,0 +1,176 @@
+"""Named machine and register-file configurations used in the paper.
+
+Every table and figure of the evaluation section draws from a fixed set of
+register-file configurations; this module defines them once so that the
+experiment drivers, the benchmarks and the tests all agree on the exact
+parameters (number of clusters, registers per bank, and lp/sp port counts,
+which the paper derives in Section 4 / Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.machine.config import MachineConfig, RFConfig
+
+__all__ = [
+    "baseline_machine",
+    "figure1_machines",
+    "table1_configs",
+    "table2_configs",
+    "table3_configs",
+    "table5_configs",
+    "table6_configs",
+    "figure6_configs",
+    "figure4_cluster_counts",
+    "config_by_name",
+    "ALL_NAMED_CONFIGS",
+]
+
+
+def baseline_machine() -> MachineConfig:
+    """The paper's baseline datapath: 8 FP units + 4 memory ports."""
+    return MachineConfig(n_fus=8, n_mem_ports=4)
+
+
+def figure1_machines() -> List[MachineConfig]:
+    """The resource sweep of Figure 1: x functional units + y memory ports."""
+    return [
+        MachineConfig(n_fus=4, n_mem_ports=2),
+        MachineConfig(n_fus=6, n_mem_ports=3),
+        MachineConfig(n_fus=8, n_mem_ports=4),
+        MachineConfig(n_fus=10, n_mem_ports=5),
+        MachineConfig(n_fus=12, n_mem_ports=6),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Named register-file configurations
+# --------------------------------------------------------------------------- #
+# (name, n_clusters, cluster_regs, shared_regs, lp, sp)
+_NAMED: List[Tuple[str, int, int | None, int | None, int, int]] = [
+    # Monolithic organizations.
+    ("S128", 1, None, 128, 1, 1),
+    ("S64", 1, None, 64, 1, 1),
+    ("S32", 1, None, 32, 1, 1),
+    # Hierarchical (non-clustered) organizations.  1C64S64 appears in
+    # Tables 1 and 2; its published area/access numbers assume lp=sp=1 but
+    # the scheduling study uses the Section 4 port derivation (Figure 4
+    # recommends 4 LoadR / 2 StoreR ports for a single cluster).
+    ("1C64S64", 1, 64, 64, 4, 2),
+    ("1C64S32", 1, 64, 32, 3, 2),
+    ("1C32S64", 1, 32, 64, 4, 2),
+    # Clustered organizations (2 clusters).
+    ("2C64", 2, 64, None, 1, 1),
+    ("2C32", 2, 32, None, 1, 1),
+    # Hierarchical clustered organizations (2 clusters).
+    ("2C64S32", 2, 64, 32, 2, 1),
+    ("2C32S32", 2, 32, 32, 3, 1),
+    # Clustered organizations (4 clusters).
+    ("4C64", 4, 64, None, 1, 1),
+    ("4C32", 4, 32, None, 1, 1),
+    # Hierarchical clustered organizations (4 clusters).
+    ("4C32S16", 4, 32, 16, 1, 1),
+    ("4C16S16", 4, 16, 16, 2, 1),
+    # Hierarchical clustered organizations (8 clusters): only possible
+    # because the hierarchy decouples the 4 memory ports from the clusters.
+    ("8C32S16", 8, 32, 16, 1, 1),
+    ("8C16S16", 8, 16, 16, 1, 1),
+]
+
+ALL_NAMED_CONFIGS: Dict[str, RFConfig] = {
+    name: RFConfig(
+        n_clusters=x, cluster_regs=y, shared_regs=z, lp=lp, sp=sp
+    )
+    for name, x, y, z, lp, sp in _NAMED
+}
+
+
+def config_by_name(name: str) -> RFConfig:
+    """Look up a named configuration (falling back to parsing the name).
+
+    Named configurations carry the lp/sp port counts selected in the paper
+    (Section 4, Figure 4); parsing an unknown name yields lp = sp = 1.
+    """
+    if name in ALL_NAMED_CONFIGS:
+        return ALL_NAMED_CONFIGS[name]
+    return RFConfig.parse(name)
+
+
+def _named(names: List[str]) -> List[RFConfig]:
+    return [config_by_name(n) for n in names]
+
+
+def table1_configs() -> List[RFConfig]:
+    """Table 1: equally sized (128-register) organizations."""
+    return _named(["S128", "4C32", "1C64S64"])
+
+
+def table2_configs() -> List[RFConfig]:
+    """Table 2: access time and area of the Table 1 organizations."""
+    return table1_configs()
+
+
+def table3_configs() -> List[Tuple[RFConfig, RFConfig]]:
+    """Table 3: unbounded-register configurations.
+
+    Returns ``(unlimited_bandwidth, limited_bandwidth)`` pairs: the first
+    element has effectively unlimited lp/sp ports, the second uses the port
+    counts the paper derives from Figure 4 for each clustering degree.
+    """
+    wide = 64  # effectively unlimited inter-bank bandwidth
+    rows: List[Tuple[RFConfig, RFConfig]] = []
+
+    # S-infinity (monolithic, unbounded).
+    mono = RFConfig(n_clusters=1, cluster_regs=None, shared_regs=1).with_unbounded_registers()
+    rows.append((mono, mono))
+    # 1C-inf S-inf (hierarchical non-clustered), ports 4-2.
+    h1 = RFConfig(n_clusters=1, cluster_regs=1, shared_regs=1, lp=wide, sp=wide).with_unbounded_registers()
+    rows.append((h1, h1.with_ports(4, 2)))
+    # 2C-inf (clustered), ports 1-1.
+    c2 = RFConfig(n_clusters=2, cluster_regs=1, shared_regs=None, lp=wide, sp=wide,
+                  n_buses=wide).with_unbounded_registers()
+    rows.append((c2, c2.with_ports(1, 1)))
+    # 2C-inf S-inf, ports 3-1.
+    h2 = RFConfig(n_clusters=2, cluster_regs=1, shared_regs=1, lp=wide, sp=wide).with_unbounded_registers()
+    rows.append((h2, h2.with_ports(3, 1)))
+    # 4C-inf (clustered), ports 1-1.
+    c4 = RFConfig(n_clusters=4, cluster_regs=1, shared_regs=None, lp=wide, sp=wide,
+                  n_buses=wide).with_unbounded_registers()
+    rows.append((c4, c4.with_ports(1, 1)))
+    # 4C-inf S-inf, ports 2-1.
+    h4 = RFConfig(n_clusters=4, cluster_regs=1, shared_regs=1, lp=wide, sp=wide).with_unbounded_registers()
+    rows.append((h4, h4.with_ports(2, 1)))
+    # 8C-inf S-inf, ports 1-1.
+    h8 = RFConfig(n_clusters=8, cluster_regs=1, shared_regs=1, lp=wide, sp=wide).with_unbounded_registers()
+    rows.append((h8, h8.with_ports(1, 1)))
+    return rows
+
+
+def table5_configs() -> List[RFConfig]:
+    """Table 5 / Table 6: the 15 evaluated register-file configurations."""
+    return _named([
+        "S128", "S64", "S32",
+        "1C64S32", "1C32S64",
+        "2C64", "2C32", "2C64S32", "2C32S32",
+        "4C64", "4C32", "4C32S16", "4C16S16",
+        "8C32S16", "8C16S16",
+    ])
+
+
+def table6_configs() -> List[RFConfig]:
+    """Table 6 evaluates exactly the Table 5 configurations."""
+    return table5_configs()
+
+
+def figure6_configs() -> List[RFConfig]:
+    """Figure 6: configurations evaluated under the real memory system."""
+    return _named([
+        "S64", "2C64", "4C32",
+        "1C32S64", "2C32S32", "4C32S16", "8C16S16",
+    ])
+
+
+def figure4_cluster_counts() -> List[int]:
+    """Figure 4 evaluates lp/sp requirements for 1, 2, 4 and 8 clusters."""
+    return [1, 2, 4, 8]

@@ -1,0 +1,247 @@
+"""Per-cluster resource tables for the modulo scheduler.
+
+The scheduler's modulo reservation table needs to know, for every
+register-file organization, which *resources* exist (functional units per
+cluster, memory ports, LoadR/StoreR ports, inter-cluster buses), how many
+instances of each resource there are, and which resources every operation
+consumes.  :class:`ResourceModel` derives all of that from a
+(:class:`~repro.machine.config.MachineConfig`,
+:class:`~repro.machine.config.RFConfig`) pair.
+
+Resources are identified by ``(ResourceKind, owner)`` pairs where the
+owner is a cluster index, :data:`SHARED` for the shared bank, or
+:data:`GLOBAL` for machine-wide resources such as the inter-cluster bus.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.machine.config import MachineConfig, RFConfig, RFKind
+
+__all__ = [
+    "ResourceKind",
+    "ResourceKey",
+    "ResourceUse",
+    "ResourceModel",
+    "SHARED",
+    "GLOBAL",
+]
+
+#: Owner token for resources attached to the shared (second-level) bank.
+SHARED: int = -1
+#: Owner token for machine-wide resources (e.g. the inter-cluster bus).
+GLOBAL: int = -2
+
+
+class ResourceKind(enum.Enum):
+    """The resource classes tracked by the modulo reservation table."""
+
+    FU = "fu"          # general-purpose floating-point unit (per cluster)
+    MEM = "mem"        # memory (load/store) port
+    LP = "lp"          # cluster-bank input port (LoadR / Move destination)
+    SP = "sp"          # cluster-bank output port (StoreR / Move source)
+    BUS = "bus"        # inter-cluster bus (pure clustered organizations)
+
+
+ResourceKey = Tuple[ResourceKind, int]
+
+
+@dataclass(frozen=True)
+class ResourceUse:
+    """One resource reservation required to issue an operation.
+
+    ``offset`` is the cycle offset (relative to the operation's issue
+    cycle) at which the resource is occupied, and ``duration`` how many
+    consecutive cycles it stays occupied (``> 1`` only for unpipelined
+    operations such as division and square root).
+    """
+
+    key: ResourceKey
+    offset: int = 0
+    duration: int = 1
+
+
+class ResourceModel:
+    """Maps operations to resource reservations for one machine + RF pair.
+
+    Parameters
+    ----------
+    machine:
+        The datapath description.
+    rf:
+        The register-file organization.
+
+    Notes
+    -----
+    * In monolithic and hierarchical organizations every memory port is a
+      single shared-bank resource (``(MEM, SHARED)``).
+    * In pure clustered organizations memory ports are distributed over
+      the clusters (``(MEM, cluster)``).
+    * ``Move`` operations (clustered) reserve an output port on the source
+      bank, one bus, and an input port on the destination bank.
+    * ``LoadR`` reserves an input port of the destination cluster bank,
+      ``StoreR`` an output port of the source cluster bank; the shared
+      bank provides a matching dedicated port per cluster, so no separate
+      shared-side resource is modelled.
+    """
+
+    def __init__(self, machine: MachineConfig, rf: RFConfig) -> None:
+        machine.validate_rf(rf)
+        self.machine = machine
+        self.rf = rf
+        self._counts: Dict[ResourceKey, int] = {}
+        self._build_counts()
+
+    # ------------------------------------------------------------------ #
+    # Resource inventory
+    # ------------------------------------------------------------------ #
+    def _build_counts(self) -> None:
+        machine, rf = self.machine, self.rf
+        fus = machine.fus_per_cluster(rf)
+        if rf.has_cluster_banks:
+            for c in range(rf.n_clusters):
+                self._counts[(ResourceKind.FU, c)] = fus
+        else:
+            # Monolithic: all functional units read the shared bank; model
+            # them as a single "cluster 0" attached to the shared bank so
+            # the scheduler code paths stay uniform.
+            self._counts[(ResourceKind.FU, 0)] = machine.n_fus
+
+        if rf.kind is RFKind.CLUSTERED:
+            mem = machine.mem_ports_per_cluster(rf)
+            for c in range(rf.n_clusters):
+                self._counts[(ResourceKind.MEM, c)] = mem
+        else:
+            self._counts[(ResourceKind.MEM, SHARED)] = machine.n_mem_ports
+
+        if rf.needs_move_ops or rf.needs_loadr_storer:
+            for c in range(rf.n_clusters):
+                self._counts[(ResourceKind.LP, c)] = rf.lp
+                self._counts[(ResourceKind.SP, c)] = rf.sp
+        if rf.needs_move_ops:
+            self._counts[(ResourceKind.BUS, GLOBAL)] = rf.n_buses or 1
+
+    @property
+    def counts(self) -> Dict[ResourceKey, int]:
+        """Number of instances of every resource (copy)."""
+        return dict(self._counts)
+
+    def count(self, key: ResourceKey) -> int:
+        return self._counts.get(key, 0)
+
+    @property
+    def clusters(self) -> List[int]:
+        """Cluster indices usable for compute operations."""
+        if self.rf.has_cluster_banks:
+            return list(range(self.rf.n_clusters))
+        return [0]
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    # ------------------------------------------------------------------ #
+    # Operation -> resource mapping
+    # ------------------------------------------------------------------ #
+    def compute_uses(self, mnemonic: str, cluster: int) -> List[ResourceUse]:
+        """Reservations of a compute operation issued on ``cluster``."""
+        occupancy = self.machine.occupancy(mnemonic)
+        return [ResourceUse((ResourceKind.FU, cluster), 0, occupancy)]
+
+    def memory_uses(self, cluster: int) -> List[ResourceUse]:
+        """Reservations of a memory load/store (including spill accesses)."""
+        if self.rf.kind is RFKind.CLUSTERED:
+            return [ResourceUse((ResourceKind.MEM, cluster))]
+        return [ResourceUse((ResourceKind.MEM, SHARED))]
+
+    def move_uses(self, src_cluster: int, dst_cluster: int) -> List[ResourceUse]:
+        """Reservations of an inter-cluster ``Move`` (clustered orgs only)."""
+        return [
+            ResourceUse((ResourceKind.SP, src_cluster)),
+            ResourceUse((ResourceKind.BUS, GLOBAL)),
+            ResourceUse((ResourceKind.LP, dst_cluster)),
+        ]
+
+    def loadr_uses(self, dst_cluster: int) -> List[ResourceUse]:
+        """Reservations of a ``LoadR`` (shared bank -> cluster bank)."""
+        return [ResourceUse((ResourceKind.LP, dst_cluster))]
+
+    def storer_uses(self, src_cluster: int) -> List[ResourceUse]:
+        """Reservations of a ``StoreR`` (cluster bank -> shared bank)."""
+        return [ResourceUse((ResourceKind.SP, src_cluster))]
+
+    # ------------------------------------------------------------------ #
+    # Resource-constrained lower bounds (ResMII components)
+    # ------------------------------------------------------------------ #
+    def res_mii_components(
+        self,
+        n_compute: int,
+        n_compute_unpipelined_cycles: int,
+        n_memory: int,
+        n_comm: int = 0,
+    ) -> Dict[str, int]:
+        """Lower bounds on the II imposed by each resource class.
+
+        Parameters
+        ----------
+        n_compute:
+            Number of (pipelined-equivalent) compute operations in the loop.
+        n_compute_unpipelined_cycles:
+            Extra functional-unit busy cycles contributed by unpipelined
+            operations (their occupancy minus one, summed).
+        n_memory:
+            Number of memory operations (loads + stores, including spill).
+        n_comm:
+            Number of communication operations (Move, or LoadR + StoreR).
+
+        Returns
+        -------
+        dict
+            ``{"fu": ..., "mem": ..., "com": ...}`` -- each the minimum II
+            that the corresponding resource class allows.
+        """
+        fu_cycles = n_compute + n_compute_unpipelined_cycles
+        fu_bound = _ceil_div(fu_cycles, self.machine.n_fus) if fu_cycles else 0
+        mem_bound = _ceil_div(n_memory, self.machine.n_mem_ports) if n_memory else 0
+        com_bound = 0
+        if n_comm:
+            if self.rf.needs_move_ops:
+                bandwidth = min(
+                    (self.rf.n_buses or 1),
+                    self.rf.n_clusters * self.rf.lp,
+                    self.rf.n_clusters * self.rf.sp,
+                )
+            elif self.rf.needs_loadr_storer:
+                bandwidth = self.rf.n_clusters * (self.rf.lp + self.rf.sp)
+            else:
+                bandwidth = max(1, self.machine.n_fus)
+            com_bound = _ceil_div(n_comm, max(1, bandwidth))
+        return {"fu": fu_bound, "mem": mem_bound, "com": com_bound}
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by tests and reporting
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Human-readable inventory of the machine's resources."""
+        lines = [f"resources for {self.rf.name} on {self.machine.n_fus}+{self.machine.n_mem_ports}"]
+        for (kind, owner), count in sorted(
+            self._counts.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+        ):
+            if owner == SHARED:
+                where = "shared bank"
+            elif owner == GLOBAL:
+                where = "global"
+            else:
+                where = f"cluster {owner}"
+            lines.append(f"  {kind.value:>4} x{count} ({where})")
+        return "\n".join(lines)
+
+    def keys(self) -> Iterable[ResourceKey]:
+        return self._counts.keys()
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

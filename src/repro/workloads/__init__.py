@@ -1,0 +1,43 @@
+"""Workloads: the Perfect-Club-like loop workbench.
+
+The paper's workbench is the set of 1258 software-pipelinable innermost
+loops of the Perfect Club benchmark, extracted with the ICTINEO compiler.
+Neither the benchmark sources nor ICTINEO are available, so this package
+substitutes a synthetic workbench with the same *interface* (a list of
+:class:`repro.ddg.loop.Loop` objects, i.e. dependence graphs plus trip
+counts) and statistically similar *shape*:
+
+* :mod:`repro.workloads.kernels` -- hand-written dependence graphs of
+  classic numerical kernels (Livermore-loop style fragments, BLAS-1/2
+  operations, stencils, recurrences, multimedia-style kernels).
+* :mod:`repro.workloads.generator` -- a seeded random loop generator whose
+  profiles control the operation mix, memory intensity and recurrence
+  structure of the produced loops.
+* :mod:`repro.workloads.suite` -- the workbench builder that mixes kernel
+  variants with generated loops in proportions chosen so that the
+  loop-bound breakdown on the baseline machine resembles the paper's
+  Table 1.
+* :mod:`repro.workloads.traces` -- synthetic per-loop memory address
+  streams for the real-memory (cache) simulation.
+"""
+
+from repro.workloads.builder import LoopBuilder
+from repro.workloads.kernels import KERNEL_BUILDERS, build_kernel, kernel_names
+from repro.workloads.generator import GeneratorProfile, PROFILES, generate_loop
+from repro.workloads.suite import perfect_club_like_suite, small_suite, tiny_suite
+from repro.workloads.traces import AddressStream, loop_address_streams
+
+__all__ = [
+    "LoopBuilder",
+    "KERNEL_BUILDERS",
+    "build_kernel",
+    "kernel_names",
+    "GeneratorProfile",
+    "PROFILES",
+    "generate_loop",
+    "perfect_club_like_suite",
+    "small_suite",
+    "tiny_suite",
+    "AddressStream",
+    "loop_address_streams",
+]

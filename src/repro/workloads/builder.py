@@ -1,0 +1,134 @@
+"""A small fluent builder for dependence graphs.
+
+Writing dependence graphs by hand (for the named kernels and for tests)
+is much more readable through this builder than through raw
+``add_node``/``add_edge`` calls: every arithmetic helper returns the node
+id of the operation so the data flow of the original source loop can be
+transcribed almost literally, e.g. the DAXPY loop ``y[i] = a*x[i] + y[i]``
+becomes::
+
+    b = LoopBuilder("daxpy")
+    a = b.live_in("a")
+    x = b.load("x")
+    y = b.load("y")
+    ax = b.mul(a, x)
+    s = b.add(ax, y)
+    b.store("y", s)
+    loop = b.build(trip_count=1000)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ddg.graph import DepGraph
+from repro.ddg.loop import Loop
+from repro.ddg.operations import MemRef, OpType
+
+__all__ = ["LoopBuilder"]
+
+
+class LoopBuilder:
+    """Fluent construction of a :class:`~repro.ddg.loop.Loop`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.graph = DepGraph()
+
+    # ------------------------------------------------------------------ #
+    # Values
+    # ------------------------------------------------------------------ #
+    def live_in(self, name: str) -> int:
+        """A loop-invariant value (scalar kept in a register across iterations)."""
+        return self.graph.add_node(OpType.LIVE_IN, name=name)
+
+    def load(
+        self,
+        array: str,
+        *,
+        stride: int = 8,
+        offset: int = 0,
+        name: str = "",
+        footprint: Optional[int] = None,
+    ) -> int:
+        """A memory load from ``array`` with the given per-iteration stride."""
+        ref = MemRef(array=array, stride_bytes=stride, offset_bytes=offset,
+                     footprint_bytes=footprint)
+        return self.graph.add_node(OpType.LOAD, name=name or f"ld_{array}", mem_ref=ref)
+
+    def store(
+        self,
+        array: str,
+        value: int,
+        *,
+        stride: int = 8,
+        offset: int = 0,
+        name: str = "",
+        footprint: Optional[int] = None,
+    ) -> int:
+        """A memory store of ``value`` to ``array``."""
+        ref = MemRef(array=array, stride_bytes=stride, offset_bytes=offset,
+                     footprint_bytes=footprint)
+        node = self.graph.add_node(OpType.STORE, name=name or f"st_{array}", mem_ref=ref)
+        self.graph.add_edge(value, node)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def _binary(self, op: OpType, a: int, b: int, name: str) -> int:
+        node = self.graph.add_node(op, name=name)
+        self.graph.add_edge(a, node)
+        if b != a:
+            self.graph.add_edge(b, node)
+        return node
+
+    def add(self, a: int, b: int, name: str = "") -> int:
+        return self._binary(OpType.FADD, a, b, name or "add")
+
+    def sub(self, a: int, b: int, name: str = "") -> int:
+        """Subtraction executes on the same adder pipeline as addition."""
+        return self._binary(OpType.FADD, a, b, name or "sub")
+
+    def mul(self, a: int, b: int, name: str = "") -> int:
+        return self._binary(OpType.FMUL, a, b, name or "mul")
+
+    def div(self, a: int, b: int, name: str = "") -> int:
+        return self._binary(OpType.FDIV, a, b, name or "div")
+
+    def sqrt(self, a: int, name: str = "") -> int:
+        node = self.graph.add_node(OpType.FSQRT, name=name or "sqrt")
+        self.graph.add_edge(a, node)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Loop-carried dependences
+    # ------------------------------------------------------------------ #
+    def carried(self, producer: int, consumer: int, *, distance: int = 1) -> None:
+        """Value produced by ``producer`` is consumed ``distance`` iterations later."""
+        self.graph.add_edge(producer, consumer, distance=distance)
+
+    def memory_order(self, first: int, second: int, *, distance: int = 0) -> None:
+        """Ordering constraint through memory (e.g. store before a later load)."""
+        self.graph.add_edge(first, second, distance=distance, kind="mem")
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        *,
+        trip_count: int = 100,
+        times_entered: int = 1,
+        weight: float = 1.0,
+        source: str = "kernel",
+        **attributes: object,
+    ) -> Loop:
+        """Finalize the loop."""
+        return Loop(
+            name=self.name,
+            graph=self.graph,
+            trip_count=trip_count,
+            times_entered=times_entered,
+            weight=weight,
+            source=source,
+            attributes=dict(attributes),
+        )

@@ -1,0 +1,311 @@
+"""Seeded random generator of software-pipelinable loop bodies.
+
+The Perfect Club workbench cannot be redistributed, so the bulk of the
+workbench is produced by this generator.  Loops are drawn from *profiles*
+that control the statistical shape of the dependence graph -- operation
+count, memory intensity, operation mix, recurrence structure and
+loop-invariant usage -- and the profiles are mixed by
+:mod:`repro.workloads.suite` in proportions chosen so that the workbench's
+loop-bound breakdown on the baseline monolithic machine resembles the
+paper's Table 1 (roughly 20 % FU-bound, 50 % memory-bound, 30 %
+recurrence-bound loops under S128).
+
+All randomness flows through a caller-supplied ``numpy.random.Generator``
+so every workbench is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ddg.graph import DepGraph
+from repro.ddg.loop import Loop
+from repro.ddg.operations import MemRef, OpType
+
+__all__ = ["GeneratorProfile", "PROFILES", "generate_loop"]
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Statistical profile of a family of generated loops.
+
+    Parameters
+    ----------
+    name:
+        Profile identifier (stored in the loop's attributes).
+    n_ops:
+        Inclusive (low, high) range of the total number of compute + memory
+        operations in the loop body.
+    mem_fraction:
+        Fraction of operations that are memory accesses.
+    store_fraction:
+        Fraction of the memory operations that are stores.
+    mul_fraction:
+        Fraction of the two-operand compute operations that are multiplies
+        (the rest are adds/subtracts).
+    div_prob / sqrt_prob:
+        Per-compute-op probability of being a division / square root.
+    n_recurrences:
+        Inclusive range of the number of loop-carried recurrences to close.
+    recurrence_distance:
+        Inclusive range of the iteration distance of each recurrence.
+    n_live_ins:
+        Inclusive range of loop-invariant values.
+    chain_bias:
+        Probability that a compute operand is taken from the most recently
+        produced values (creates long dependence chains) rather than
+        uniformly from all available values (creates wide, parallel graphs).
+    carried_value_prob:
+        Probability that a compute operand is consumed one to three
+        iterations after it was produced (scalar-replaced array elements,
+        software-pipelined temporaries); such values stay live across
+        iterations and are the main source of high register pressure.
+    trip_count:
+        Inclusive range of the per-entry iteration count.
+    times_entered:
+        Inclusive range of the number of times the loop is entered.
+    """
+
+    name: str
+    n_ops: Tuple[int, int] = (8, 24)
+    mem_fraction: float = 0.4
+    store_fraction: float = 0.3
+    mul_fraction: float = 0.5
+    div_prob: float = 0.02
+    sqrt_prob: float = 0.01
+    n_recurrences: Tuple[int, int] = (0, 1)
+    recurrence_distance: Tuple[int, int] = (1, 2)
+    n_live_ins: Tuple[int, int] = (0, 3)
+    chain_bias: float = 0.6
+    carried_value_prob: float = 0.0
+    trip_count: Tuple[int, int] = (50, 1000)
+    times_entered: Tuple[int, int] = (1, 8)
+
+
+PROFILES: Dict[str, GeneratorProfile] = {
+    # Streaming loops dominated by loads/stores: become memory-port bound.
+    # Numerical streaming loops are typically unrolled and run for many
+    # iterations, which gives them both their weight in the total cycle
+    # count and their high register pressure.
+    "memory_bound": GeneratorProfile(
+        name="memory_bound",
+        n_ops=(16, 44),
+        mem_fraction=0.58,
+        store_fraction=0.35,
+        mul_fraction=0.45,
+        div_prob=0.0,
+        sqrt_prob=0.0,
+        n_recurrences=(0, 0),
+        n_live_ins=(1, 4),
+        chain_bias=0.35,
+        carried_value_prob=0.32,
+        trip_count=(200, 4000),
+        times_entered=(1, 10),
+    ),
+    # Expression-rich loops with few memory accesses: FU bound.
+    "compute_bound": GeneratorProfile(
+        name="compute_bound",
+        n_ops=(24, 64),
+        mem_fraction=0.20,
+        store_fraction=0.25,
+        mul_fraction=0.55,
+        div_prob=0.02,
+        sqrt_prob=0.01,
+        n_recurrences=(0, 0),
+        n_live_ins=(3, 8),
+        chain_bias=0.30,
+        carried_value_prob=0.35,
+        trip_count=(100, 2000),
+        times_entered=(1, 8),
+    ),
+    # Loops whose II is limited by a loop-carried dependence chain.
+    "recurrence_bound": GeneratorProfile(
+        name="recurrence_bound",
+        n_ops=(10, 28),
+        mem_fraction=0.35,
+        store_fraction=0.3,
+        mul_fraction=0.5,
+        div_prob=0.04,
+        sqrt_prob=0.01,
+        n_recurrences=(1, 2),
+        recurrence_distance=(1, 2),
+        n_live_ins=(0, 3),
+        chain_bias=0.7,
+        carried_value_prob=0.10,
+        trip_count=(50, 800),
+        times_entered=(1, 6),
+    ),
+    # A mixed profile.
+    "balanced": GeneratorProfile(
+        name="balanced",
+        n_ops=(14, 40),
+        mem_fraction=0.42,
+        store_fraction=0.3,
+        mul_fraction=0.5,
+        div_prob=0.02,
+        sqrt_prob=0.01,
+        n_recurrences=(0, 1),
+        n_live_ins=(1, 4),
+        chain_bias=0.45,
+        carried_value_prob=0.28,
+        trip_count=(100, 2000),
+        times_entered=(1, 8),
+    ),
+    # Large unrolled-style bodies with very high register pressure.
+    "large": GeneratorProfile(
+        name="large",
+        n_ops=(40, 72),
+        mem_fraction=0.38,
+        store_fraction=0.28,
+        mul_fraction=0.55,
+        div_prob=0.01,
+        sqrt_prob=0.005,
+        n_recurrences=(0, 1),
+        n_live_ins=(4, 10),
+        chain_bias=0.30,
+        carried_value_prob=0.32,
+        trip_count=(200, 3000),
+        times_entered=(1, 6),
+    ),
+}
+
+
+def _rand_int(rng: np.random.Generator, bounds: Tuple[int, int]) -> int:
+    low, high = bounds
+    if high <= low:
+        return low
+    return int(rng.integers(low, high + 1))
+
+
+def _pick_operand(
+    rng: np.random.Generator, values: List[int], chain_bias: float
+) -> int:
+    """Pick a producer for an operand, biased towards recent values."""
+    if len(values) == 1:
+        return values[0]
+    if rng.random() < chain_bias:
+        # Geometric bias towards the most recently produced values.
+        window = min(len(values), 4)
+        idx = len(values) - 1 - int(rng.integers(0, window))
+        return values[idx]
+    return values[int(rng.integers(0, len(values)))]
+
+
+def generate_loop(
+    rng: np.random.Generator,
+    profile: GeneratorProfile,
+    index: int = 0,
+    *,
+    name: Optional[str] = None,
+) -> Loop:
+    """Generate one loop drawn from ``profile`` using ``rng``.
+
+    The construction is layered: live-in values and loads first, then
+    compute operations consuming previously produced values, then stores,
+    then loop-carried back edges closing the requested recurrences.  Every
+    load is guaranteed at least one consumer and the resulting graph never
+    contains a zero-distance cycle.
+    """
+    graph = DepGraph()
+    n_ops = _rand_int(rng, profile.n_ops)
+    n_mem = max(1, int(round(profile.mem_fraction * n_ops)))
+    n_stores = max(1, int(round(profile.store_fraction * n_mem)))
+    n_loads = max(1, n_mem - n_stores)
+    n_compute = max(1, n_ops - n_loads - n_stores)
+    n_live_ins = _rand_int(rng, profile.n_live_ins)
+
+    values: List[int] = []
+    compute_nodes: List[int] = []
+
+    for k in range(n_live_ins):
+        values.append(graph.add_node(OpType.LIVE_IN, name=f"inv{k}"))
+
+    for k in range(n_loads):
+        array = f"arr{int(rng.integers(0, max(2, n_loads)))}"
+        stride = int(rng.choice([8, 8, 8, 16, 32, 64]))
+        ref = MemRef(array=array, stride_bytes=stride,
+                     offset_bytes=8 * int(rng.integers(0, 4)))
+        values.append(graph.add_node(OpType.LOAD, name=f"ld{k}", mem_ref=ref))
+
+    for k in range(n_compute):
+        roll = rng.random()
+        if roll < profile.div_prob:
+            op = OpType.FDIV
+        elif roll < profile.div_prob + profile.sqrt_prob:
+            op = OpType.FSQRT
+        elif rng.random() < profile.mul_fraction:
+            op = OpType.FMUL
+        else:
+            op = OpType.FADD
+        node = graph.add_node(op, name=f"{op.mnemonic}{k}")
+        n_operands = 1 if op is OpType.FSQRT else 2
+        chosen = set()
+        for _ in range(n_operands):
+            operand = _pick_operand(rng, values, profile.chain_bias)
+            if operand not in chosen:
+                # Some operands are values produced a few iterations ago
+                # (scalar-replaced array elements); they stay live across
+                # iterations and raise the register pressure.
+                distance = 0
+                if (
+                    profile.carried_value_prob > 0.0
+                    and graph.node(operand).op is not OpType.LIVE_IN
+                    and rng.random() < profile.carried_value_prob
+                ):
+                    distance = int(rng.integers(1, 5))
+                graph.add_edge(operand, node, distance=distance)
+                chosen.add(operand)
+        values.append(node)
+        compute_nodes.append(node)
+
+    # Stores consume compute results when possible (falling back to loads).
+    store_candidates = compute_nodes or values
+    for k in range(n_stores):
+        src = store_candidates[int(rng.integers(0, len(store_candidates)))]
+        ref = MemRef(array=f"out{k % 3}", stride_bytes=8)
+        store = graph.add_node(OpType.STORE, name=f"st{k}", mem_ref=ref)
+        graph.add_edge(src, store)
+
+    # Give every load at least one consumer.
+    for op in graph.memory_operations():
+        if op.op is OpType.LOAD and not graph.successors(op.node_id):
+            if compute_nodes:
+                target = compute_nodes[int(rng.integers(0, len(compute_nodes)))]
+                graph.add_edge(op.node_id, target)
+            else:
+                ref = MemRef(array="copy_out", stride_bytes=8)
+                store = graph.add_node(OpType.STORE, name="st_copy", mem_ref=ref)
+                graph.add_edge(op.node_id, store)
+
+    # Close the requested number of recurrences with loop-carried edges.
+    n_rec = _rand_int(rng, profile.n_recurrences)
+    for _ in range(n_rec):
+        if not compute_nodes:
+            break
+        head = compute_nodes[int(rng.integers(0, len(compute_nodes)))]
+        # Walk forward along zero-distance edges to find a descendant.
+        tail = head
+        for _ in range(int(rng.integers(1, 5))):
+            succ = [
+                e.dst
+                for e in graph.out_edges(tail)
+                if e.distance == 0 and graph.node(e.dst).op.is_compute
+            ]
+            if not succ:
+                break
+            tail = succ[int(rng.integers(0, len(succ)))]
+        distance = _rand_int(rng, profile.recurrence_distance)
+        graph.add_edge(tail, head, distance=distance)
+
+    loop_name = name or f"gen_{profile.name}_{index}"
+    return Loop(
+        name=loop_name,
+        graph=graph,
+        trip_count=_rand_int(rng, profile.trip_count),
+        times_entered=_rand_int(rng, profile.times_entered),
+        source="generated",
+        attributes={"profile": profile.name},
+    )

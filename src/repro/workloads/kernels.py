@@ -1,0 +1,516 @@
+"""Hand-written dependence graphs of classic numerical kernels.
+
+These kernels play the role of the "recognizable" part of the workbench:
+loop bodies that appear, in one form or another, throughout the Perfect
+Club programs and throughout numerical/multimedia codes in general
+(BLAS-1/2 operations, Livermore-loop fragments, stencils, linear
+recurrences, and a few multimedia-style kernels).  Each builder returns a
+fresh :class:`~repro.ddg.loop.Loop`; several accept parameters (number of
+taps, unroll factor, stencil width) so the suite can instantiate many
+variants of the same kernel with different register pressure and
+resource balance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ddg.loop import Loop
+from repro.workloads.builder import LoopBuilder
+
+__all__ = ["KERNEL_BUILDERS", "build_kernel", "kernel_names"]
+
+
+# --------------------------------------------------------------------------- #
+# BLAS-1 style kernels
+# --------------------------------------------------------------------------- #
+def vadd(trip_count: int = 400) -> Loop:
+    """``c[i] = a[i] + b[i]`` -- memory-bound streaming kernel."""
+    b = LoopBuilder("vadd")
+    x = b.load("a")
+    y = b.load("b")
+    s = b.add(x, y)
+    b.store("c", s)
+    return b.build(trip_count=trip_count)
+
+
+def daxpy(trip_count: int = 400) -> Loop:
+    """``y[i] = alpha * x[i] + y[i]`` -- the BLAS-1 workhorse."""
+    b = LoopBuilder("daxpy")
+    alpha = b.live_in("alpha")
+    x = b.load("x")
+    y = b.load("y")
+    ax = b.mul(alpha, x)
+    s = b.add(ax, y)
+    b.store("y", s)
+    return b.build(trip_count=trip_count)
+
+
+def dot_product(trip_count: int = 400) -> Loop:
+    """``s += x[i] * y[i]`` -- reduction: recurrence through the adder."""
+    b = LoopBuilder("dot_product")
+    x = b.load("x")
+    y = b.load("y")
+    p = b.mul(x, y)
+    s = b.add(p, p, name="acc")
+    # The accumulator is both produced and consumed by the add, one
+    # iteration apart.
+    b.carried(s, s, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+def vsum(trip_count: int = 400) -> Loop:
+    """``s += x[i]`` -- the simplest reduction."""
+    b = LoopBuilder("vsum")
+    x = b.load("x")
+    s = b.add(x, x, name="acc")
+    b.carried(s, s, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+def norm2(trip_count: int = 400) -> Loop:
+    """``s += x[i] * x[i]`` -- squared 2-norm reduction."""
+    b = LoopBuilder("norm2")
+    x = b.load("x")
+    p = b.mul(x, x)
+    s = b.add(p, p, name="acc")
+    b.carried(s, s, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+def vscale_div(trip_count: int = 300) -> Loop:
+    """``c[i] = a[i] / b[i]`` -- exercise the unpipelined divider."""
+    b = LoopBuilder("vscale_div")
+    x = b.load("a")
+    y = b.load("b")
+    q = b.div(x, y)
+    b.store("c", q)
+    return b.build(trip_count=trip_count)
+
+
+def distance_sqrt(trip_count: int = 300) -> Loop:
+    """``d[i] = sqrt(x[i]^2 + y[i]^2)`` -- 2D Euclidean distance."""
+    b = LoopBuilder("distance_sqrt")
+    x = b.load("x")
+    y = b.load("y")
+    xx = b.mul(x, x)
+    yy = b.mul(y, y)
+    s = b.add(xx, yy)
+    d = b.sqrt(s)
+    b.store("d", d)
+    return b.build(trip_count=trip_count)
+
+
+# --------------------------------------------------------------------------- #
+# Livermore-loop style fragments
+# --------------------------------------------------------------------------- #
+def hydro_fragment(trip_count: int = 400) -> Loop:
+    """Livermore kernel 1: ``x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])``."""
+    b = LoopBuilder("hydro_fragment")
+    q = b.live_in("q")
+    r = b.live_in("r")
+    t = b.live_in("t")
+    y = b.load("y")
+    z10 = b.load("z", offset=80)
+    z11 = b.load("z", offset=88)
+    rz = b.mul(r, z10)
+    tz = b.mul(t, z11)
+    inner = b.add(rz, tz)
+    prod = b.mul(y, inner)
+    x = b.add(q, prod)
+    b.store("x", x)
+    return b.build(trip_count=trip_count)
+
+
+def iccg(trip_count: int = 200) -> Loop:
+    """Livermore kernel 2 (ICCG excerpt): ``x[i] = x[i] - z[i]*x[i-1]``."""
+    b = LoopBuilder("iccg")
+    xi = b.load("x")
+    z = b.load("z")
+    prod = b.mul(z, z, name="z_xprev")
+    diff = b.sub(xi, prod)
+    b.store("x", diff)
+    # x[i-1] is the value stored by the previous iteration: register
+    # recurrence from the subtraction into the multiply, distance 1.
+    b.carried(diff, prod, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+def banded_linear(trip_count: int = 200, bands: int = 3) -> Loop:
+    """Livermore kernel 4 flavour: banded matrix times vector accumulation."""
+    b = LoopBuilder(f"banded_linear_{bands}")
+    acc = None
+    for band in range(bands):
+        a = b.load(f"a{band}", offset=band * 8)
+        x = b.load("x", offset=band * 8)
+        p = b.mul(a, x)
+        acc = p if acc is None else b.add(acc, p)
+    assert acc is not None
+    b.store("y", acc)
+    return b.build(trip_count=trip_count)
+
+
+def tridiagonal(trip_count: int = 200) -> Loop:
+    """Livermore kernel 5: ``x[i] = z[i] * (y[i] - x[i-1])`` -- tight recurrence."""
+    b = LoopBuilder("tridiagonal")
+    y = b.load("y")
+    z = b.load("z")
+    diff = b.sub(y, y, name="y_minus_xprev")
+    x = b.mul(z, diff)
+    b.store("x", x)
+    b.carried(x, diff, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+def linear_recurrence(trip_count: int = 200) -> Loop:
+    """Livermore kernel 6 flavour: ``w[i] = w[i-1]*b[i] + c[i]``."""
+    b = LoopBuilder("linear_recurrence")
+    bb = b.load("b")
+    c = b.load("c")
+    prod = b.mul(bb, bb, name="w_prev_times_b")
+    w = b.add(prod, c)
+    b.store("w", w)
+    b.carried(w, prod, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+def equation_of_state(trip_count: int = 300) -> Loop:
+    """Livermore kernel 7: long expression with high ILP.
+
+    ``x[i] = u[i] + r*(z[i] + r*y[i]) + t*(u[i+3] + r*(u[i+2] + r*u[i+1])
+    + t*(u[i+6] + q*(u[i+5] + q*u[i+4])))``
+    """
+    b = LoopBuilder("equation_of_state")
+    r = b.live_in("r")
+    t = b.live_in("t")
+    q = b.live_in("q")
+    u0 = b.load("u")
+    u1 = b.load("u", offset=8)
+    u2 = b.load("u", offset=16)
+    u3 = b.load("u", offset=24)
+    u4 = b.load("u", offset=32)
+    u5 = b.load("u", offset=40)
+    u6 = b.load("u", offset=48)
+    y = b.load("y")
+    z = b.load("z")
+    ry = b.mul(r, y)
+    z_ry = b.add(z, ry)
+    term1 = b.mul(r, z_ry)
+    ru1 = b.mul(r, u1)
+    u2_ru1 = b.add(u2, ru1)
+    r_u2ru1 = b.mul(r, u2_ru1)
+    u3_term = b.add(u3, r_u2ru1)
+    qu4 = b.mul(q, u4)
+    u5_qu4 = b.add(u5, qu4)
+    q_u5qu4 = b.mul(q, u5_qu4)
+    u6_term = b.add(u6, q_u5qu4)
+    t_u6 = b.mul(t, u6_term)
+    inner = b.add(u3_term, t_u6)
+    t_inner = b.mul(t, inner)
+    partial = b.add(u0, term1)
+    x = b.add(partial, t_inner)
+    b.store("x", x)
+    return b.build(trip_count=trip_count)
+
+
+def first_sum(trip_count: int = 400) -> Loop:
+    """Livermore kernel 11: ``x[i] = x[i-1] + y[i]`` -- partial sums."""
+    b = LoopBuilder("first_sum")
+    y = b.load("y")
+    x = b.add(y, y, name="x")
+    b.store("x", x)
+    b.carried(x, x, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+def first_difference(trip_count: int = 400) -> Loop:
+    """Livermore kernel 12: ``x[i] = y[i+1] - y[i]``."""
+    b = LoopBuilder("first_difference")
+    y0 = b.load("y")
+    y1 = b.load("y", offset=8)
+    d = b.sub(y1, y0)
+    b.store("x", d)
+    return b.build(trip_count=trip_count)
+
+
+def state_fragment(trip_count: int = 150) -> Loop:
+    """A 2D hydrodynamics-style fragment with many independent expressions."""
+    b = LoopBuilder("state_fragment")
+    c1 = b.live_in("c1")
+    c2 = b.live_in("c2")
+    results = []
+    for j, array in enumerate(("za", "zb", "zc", "zd")):
+        u = b.load(array)
+        v = b.load(array, offset=8)
+        w = b.load(f"{array}_n", offset=0)
+        p1 = b.mul(c1, u)
+        p2 = b.mul(c2, v)
+        s1 = b.add(p1, p2)
+        s2 = b.add(s1, w)
+        results.append(s2)
+        b.store(f"{array}_out", s2)
+    # A final cross term couples two of the expressions.
+    cross = b.mul(results[0], results[2])
+    b.store("cross", cross)
+    return b.build(trip_count=trip_count)
+
+
+# --------------------------------------------------------------------------- #
+# Stencils and filters
+# --------------------------------------------------------------------------- #
+def jacobi1d(trip_count: int = 400, width: int = 3) -> Loop:
+    """1D Jacobi relaxation: average of ``width`` neighbouring points."""
+    b = LoopBuilder(f"jacobi1d_{width}")
+    scale = b.live_in("scale")
+    acc = None
+    for k in range(width):
+        a = b.load("a", offset=8 * k)
+        acc = a if acc is None else b.add(acc, a)
+    assert acc is not None
+    out = b.mul(acc, scale)
+    b.store("b", out)
+    return b.build(trip_count=trip_count)
+
+
+def fir_filter(trip_count: int = 300, taps: int = 4) -> Loop:
+    """FIR filter with ``taps`` coefficient taps held in registers."""
+    b = LoopBuilder(f"fir_{taps}")
+    acc = None
+    for k in range(taps):
+        c = b.live_in(f"c{k}")
+        x = b.load("x", offset=8 * k)
+        p = b.mul(c, x)
+        acc = p if acc is None else b.add(acc, p)
+    assert acc is not None
+    b.store("y", acc)
+    return b.build(trip_count=trip_count)
+
+
+def horner(trip_count: int = 300, degree: int = 4) -> Loop:
+    """Polynomial evaluation ``p = p*x + c[k]`` per point (coefficients live-in)."""
+    b = LoopBuilder(f"horner_{degree}")
+    x = b.load("x")
+    p = b.live_in("c0")
+    for k in range(1, degree + 1):
+        c = b.live_in(f"c{k}")
+        px = b.mul(p, x)
+        p = b.add(px, c)
+    b.store("p", p)
+    return b.build(trip_count=trip_count)
+
+
+def stencil5_weighted(trip_count: int = 300) -> Loop:
+    """Weighted 5-point stencil with distinct live-in weights."""
+    b = LoopBuilder("stencil5_weighted")
+    acc = None
+    for k in range(5):
+        w = b.live_in(f"w{k}")
+        a = b.load("a", offset=8 * (k - 2))
+        p = b.mul(w, a)
+        acc = p if acc is None else b.add(acc, p)
+    assert acc is not None
+    b.store("out", acc)
+    return b.build(trip_count=trip_count)
+
+
+# --------------------------------------------------------------------------- #
+# BLAS-2 / matrix kernels
+# --------------------------------------------------------------------------- #
+def matvec_inner(trip_count: int = 200) -> Loop:
+    """Inner loop of a dense matrix-vector product (row-major matrix)."""
+    b = LoopBuilder("matvec_inner")
+    a = b.load("A", stride=8)
+    x = b.load("x", stride=8)
+    p = b.mul(a, x)
+    s = b.add(p, p, name="acc")
+    b.carried(s, s, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+def matmul_inner(trip_count: int = 200) -> Loop:
+    """Inner (k) loop of a triple-nested matrix multiply, column access strided."""
+    b = LoopBuilder("matmul_inner")
+    a = b.load("A", stride=8)
+    bb = b.load("B", stride=512)   # column access: stride = row length
+    p = b.mul(a, bb)
+    s = b.add(p, p, name="acc")
+    b.carried(s, s, distance=1)
+    return b.build(trip_count=trip_count, times_entered=4)
+
+
+def rank1_update(trip_count: int = 200) -> Loop:
+    """GER-style rank-1 update inner loop: ``A[i][j] += x[i]*y[j]``."""
+    b = LoopBuilder("rank1_update")
+    xi = b.live_in("x_i")
+    y = b.load("y")
+    a = b.load("A")
+    p = b.mul(xi, y)
+    s = b.add(a, p)
+    b.store("A", s)
+    return b.build(trip_count=trip_count, times_entered=4)
+
+
+def gauss_elim_inner(trip_count: int = 200) -> Loop:
+    """Gaussian elimination row update: ``a[j] -= factor * pivot_row[j]``."""
+    b = LoopBuilder("gauss_elim_inner")
+    factor = b.live_in("factor")
+    pivot = b.load("pivot_row")
+    a = b.load("a_row")
+    p = b.mul(factor, pivot)
+    s = b.sub(a, p)
+    b.store("a_row", s)
+    return b.build(trip_count=trip_count, times_entered=8)
+
+
+# --------------------------------------------------------------------------- #
+# Multimedia-style kernels
+# --------------------------------------------------------------------------- #
+def complex_multiply(trip_count: int = 300) -> Loop:
+    """Element-wise complex vector multiply (4 mults, 2 adds, 4 loads, 2 stores)."""
+    b = LoopBuilder("complex_multiply")
+    ar = b.load("a_re")
+    ai = b.load("a_im")
+    br = b.load("b_re")
+    bi = b.load("b_im")
+    rr = b.mul(ar, br)
+    ii = b.mul(ai, bi)
+    ri = b.mul(ar, bi)
+    ir = b.mul(ai, br)
+    re = b.sub(rr, ii)
+    im = b.add(ri, ir)
+    b.store("c_re", re)
+    b.store("c_im", im)
+    return b.build(trip_count=trip_count)
+
+
+def rgb_to_luma(trip_count: int = 400) -> Loop:
+    """Colour conversion: ``y = wr*r + wg*g + wb*b`` with live-in weights."""
+    b = LoopBuilder("rgb_to_luma")
+    wr = b.live_in("wr")
+    wg = b.live_in("wg")
+    wb = b.live_in("wb")
+    r = b.load("r")
+    g = b.load("g")
+    bl = b.load("b")
+    pr = b.mul(wr, r)
+    pg = b.mul(wg, g)
+    pb = b.mul(wb, bl)
+    s1 = b.add(pr, pg)
+    s2 = b.add(s1, pb)
+    b.store("y", s2)
+    return b.build(trip_count=trip_count)
+
+
+def alpha_blend(trip_count: int = 400) -> Loop:
+    """``out = alpha*src + (1-alpha)*dst`` per element."""
+    b = LoopBuilder("alpha_blend")
+    alpha = b.live_in("alpha")
+    one_minus = b.live_in("one_minus_alpha")
+    src = b.load("src")
+    dst = b.load("dst")
+    p1 = b.mul(alpha, src)
+    p2 = b.mul(one_minus, dst)
+    out = b.add(p1, p2)
+    b.store("out", out)
+    return b.build(trip_count=trip_count)
+
+
+def normalize3(trip_count: int = 200) -> Loop:
+    """Normalize a packed 3-vector: divide each component by its norm."""
+    b = LoopBuilder("normalize3")
+    x = b.load("vx")
+    y = b.load("vy")
+    z = b.load("vz")
+    xx = b.mul(x, x)
+    yy = b.mul(y, y)
+    zz = b.mul(z, z)
+    s1 = b.add(xx, yy)
+    s2 = b.add(s1, zz)
+    n = b.sqrt(s2)
+    ox = b.div(x, n)
+    oy = b.div(y, n)
+    oz = b.div(z, n)
+    b.store("ox", ox)
+    b.store("oy", oy)
+    b.store("oz", oz)
+    return b.build(trip_count=trip_count)
+
+
+def newton_raphson_step(trip_count: int = 200) -> Loop:
+    """Newton-Raphson reciprocal refinement: ``r = r*(2 - d*r)`` (recurrence-free per element)."""
+    b = LoopBuilder("newton_raphson_step")
+    two = b.live_in("two")
+    d = b.load("d")
+    r = b.load("r")
+    dr = b.mul(d, r)
+    corr = b.sub(two, dr)
+    rn = b.mul(r, corr)
+    b.store("r", rn)
+    return b.build(trip_count=trip_count)
+
+
+def running_average(trip_count: int = 300) -> Loop:
+    """Exponential moving average: ``avg = beta*avg + (1-beta)*x[i]``."""
+    b = LoopBuilder("running_average")
+    beta = b.live_in("beta")
+    one_minus = b.live_in("one_minus_beta")
+    x = b.load("x")
+    scaled_avg = b.mul(beta, beta, name="beta_avg")
+    scaled_x = b.mul(one_minus, x)
+    avg = b.add(scaled_avg, scaled_x)
+    b.store("avg", avg)
+    b.carried(avg, scaled_avg, distance=1)
+    return b.build(trip_count=trip_count)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+KERNEL_BUILDERS: Dict[str, Callable[..., Loop]] = {
+    "vadd": vadd,
+    "daxpy": daxpy,
+    "dot_product": dot_product,
+    "vsum": vsum,
+    "norm2": norm2,
+    "vscale_div": vscale_div,
+    "distance_sqrt": distance_sqrt,
+    "hydro_fragment": hydro_fragment,
+    "iccg": iccg,
+    "banded_linear": banded_linear,
+    "tridiagonal": tridiagonal,
+    "linear_recurrence": linear_recurrence,
+    "equation_of_state": equation_of_state,
+    "first_sum": first_sum,
+    "first_difference": first_difference,
+    "state_fragment": state_fragment,
+    "jacobi1d": jacobi1d,
+    "fir_filter": fir_filter,
+    "horner": horner,
+    "stencil5_weighted": stencil5_weighted,
+    "matvec_inner": matvec_inner,
+    "matmul_inner": matmul_inner,
+    "rank1_update": rank1_update,
+    "gauss_elim_inner": gauss_elim_inner,
+    "complex_multiply": complex_multiply,
+    "rgb_to_luma": rgb_to_luma,
+    "alpha_blend": alpha_blend,
+    "normalize3": normalize3,
+    "newton_raphson_step": newton_raphson_step,
+    "running_average": running_average,
+}
+
+
+def kernel_names() -> List[str]:
+    """Names of every hand-written kernel, in registry order."""
+    return list(KERNEL_BUILDERS.keys())
+
+
+def build_kernel(name: str, **params: object) -> Loop:
+    """Build one named kernel (optionally passing builder parameters)."""
+    try:
+        builder = KERNEL_BUILDERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {', '.join(kernel_names())}"
+        ) from exc
+    return builder(**params)

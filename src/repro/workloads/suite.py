@@ -1,0 +1,135 @@
+"""Workbench construction: mixing named kernels and generated loops.
+
+``perfect_club_like_suite`` is the stand-in for the paper's 1258-loop
+Perfect Club workbench.  The default size is kept moderate (a few hundred
+loops) because the scheduler is pure Python; the full paper-scale
+workbench is obtained simply by asking for more loops -- the generator is
+deterministic in the seed, and the first ``n`` loops of a larger suite are
+always identical to a smaller suite with the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ddg.loop import Loop
+from repro.ddg.transform import unroll
+from repro.workloads.generator import PROFILES, GeneratorProfile, generate_loop
+from repro.workloads.kernels import KERNEL_BUILDERS
+
+__all__ = ["perfect_club_like_suite", "small_suite", "tiny_suite", "DEFAULT_PROFILE_MIX"]
+
+#: Mix of generator profiles (fractions sum to 1).  Chosen so that the
+#: loop-bound breakdown of the workbench on the baseline monolithic S128
+#: machine roughly matches the paper's Table 1 (about half the loops
+#: memory-bound, a fifth FU-bound and a third recurrence-bound).
+DEFAULT_PROFILE_MIX: Dict[str, float] = {
+    "memory_bound": 0.40,
+    "compute_bound": 0.16,
+    "recurrence_bound": 0.28,
+    "balanced": 0.10,
+    "large": 0.06,
+}
+
+#: Kernel parameter variants instantiated by the suite (name, kwargs).
+_KERNEL_VARIANTS = [
+    ("banded_linear", {"bands": 3}),
+    ("banded_linear", {"bands": 5}),
+    ("jacobi1d", {"width": 3}),
+    ("jacobi1d", {"width": 5}),
+    ("fir_filter", {"taps": 4}),
+    ("fir_filter", {"taps": 8}),
+    ("horner", {"degree": 4}),
+    ("horner", {"degree": 8}),
+]
+
+#: Unrolled kernel variants: numerical codes are routinely unrolled before
+#: software pipelining, and the unrolled bodies carry most of the register
+#: pressure that the paper's register-file study is about.
+_UNROLLED_VARIANTS = [
+    ("daxpy", 4),
+    ("daxpy", 8),
+    ("vadd", 8),
+    ("dot_product", 4),
+    ("hydro_fragment", 4),
+    ("first_difference", 8),
+    ("complex_multiply", 4),
+    ("rgb_to_luma", 4),
+    ("alpha_blend", 4),
+    ("equation_of_state", 2),
+    ("distance_sqrt", 4),
+    ("stencil5_weighted", 2),
+    ("gauss_elim_inner", 4),
+    ("matvec_inner", 4),
+]
+
+
+def _kernel_loops() -> List[Loop]:
+    """Every named kernel, its parameter variants and its unrolled variants."""
+    loops = [builder() for builder in KERNEL_BUILDERS.values()]
+    for name, kwargs in _KERNEL_VARIANTS:
+        loop = KERNEL_BUILDERS[name](**kwargs)
+        loop.name = f"{loop.name}_variant"
+        loops.append(loop)
+    for name, factor in _UNROLLED_VARIANTS:
+        loops.append(unroll(KERNEL_BUILDERS[name](), factor))
+    return loops
+
+
+def perfect_club_like_suite(
+    n_loops: int = 256,
+    *,
+    seed: int = 2003,
+    profile_mix: Optional[Dict[str, float]] = None,
+    include_kernels: bool = True,
+) -> List[Loop]:
+    """Build the workbench: ``n_loops`` loops, deterministic in ``seed``.
+
+    Parameters
+    ----------
+    n_loops:
+        Total number of loops.  The paper uses 1258; the default (256) is
+        sized for pure-Python scheduling times while preserving the
+        statistical mix.
+    seed:
+        Seed of the ``numpy`` generator driving all random choices.
+    profile_mix:
+        Optional override of :data:`DEFAULT_PROFILE_MIX`.
+    include_kernels:
+        When true (default), the hand-written kernels are placed at the
+        front of the workbench and generated loops fill the remainder.
+    """
+    if n_loops < 1:
+        raise ValueError("n_loops must be positive")
+    mix = dict(profile_mix or DEFAULT_PROFILE_MIX)
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("profile mix must have positive total weight")
+    names = sorted(mix)
+    weights = np.array([mix[name] / total for name in names])
+
+    loops: List[Loop] = []
+    if include_kernels:
+        loops.extend(_kernel_loops())
+    loops = loops[:n_loops]
+
+    rng = np.random.default_rng(seed)
+    index = 0
+    while len(loops) < n_loops:
+        profile_name = str(rng.choice(names, p=weights))
+        profile: GeneratorProfile = PROFILES[profile_name]
+        loops.append(generate_loop(rng, profile, index=index))
+        index += 1
+    return loops
+
+
+def small_suite(n_loops: int = 48, *, seed: int = 2003) -> List[Loop]:
+    """A small workbench used by the integration tests and quick examples."""
+    return perfect_club_like_suite(n_loops=n_loops, seed=seed)
+
+
+def tiny_suite(*, seed: int = 2003) -> List[Loop]:
+    """A handful of loops (all named kernels only) for unit tests."""
+    return perfect_club_like_suite(n_loops=16, seed=seed)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import MachineConfig, RFConfig, baseline_machine, config_by_name
+from repro.hwmodel import scaled_machine
+from repro.workloads import build_kernel, perfect_club_like_suite
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineConfig:
+    """The paper's baseline datapath (8 FP units + 4 memory ports)."""
+    return baseline_machine()
+
+
+@pytest.fixture(scope="session")
+def tiny_loops():
+    """A handful of loops shared by integration tests (kernels only)."""
+    return perfect_club_like_suite(n_loops=12, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_loops():
+    """A slightly larger deterministic workbench for slower integration tests."""
+    return perfect_club_like_suite(n_loops=24, seed=7)
+
+
+@pytest.fixture
+def daxpy_loop():
+    return build_kernel("daxpy", trip_count=200)
+
+
+@pytest.fixture
+def dot_loop():
+    return build_kernel("dot_product", trip_count=200)
+
+
+def scaled_for(config_name: str):
+    """Helper used across tests: (scaled machine, rf config) for a name."""
+    rf = config_by_name(config_name)
+    scaled, _spec = scaled_machine(baseline_machine(), rf)
+    return scaled, rf
+
+
+@pytest.fixture
+def scaled_for_fixture():
+    return scaled_for

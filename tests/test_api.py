@@ -1,0 +1,52 @@
+"""Tests for the high-level convenience API."""
+
+import pytest
+
+from repro import api
+from repro.core import validate_schedule
+from repro.hwmodel import scaled_machine
+from repro.machine import RFConfig, baseline_machine, config_by_name
+from repro.workloads import build_kernel, perfect_club_like_suite
+
+
+class TestScheduleKernel:
+    def test_by_name_with_params(self):
+        result = api.schedule_kernel("fir_filter", "2C32S32", taps=4)
+        assert result.success
+        machine, _ = scaled_machine(baseline_machine(), config_by_name("2C32S32"))
+        validate_schedule(result, machine, config_by_name("2C32S32"))
+
+    def test_with_loop_object_and_config_object(self):
+        loop = build_kernel("vadd")
+        rf = RFConfig.parse("2C64")
+        result = api.schedule_kernel(loop, rf)
+        assert result.success and result.config_name == "2C64"
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            api.schedule_kernel("not_a_kernel", "S64")
+
+
+class TestEvaluateAndCompare:
+    @pytest.fixture(scope="class")
+    def loops(self):
+        return perfect_club_like_suite(8, seed=5)
+
+    def test_evaluate_configuration(self, loops):
+        report = api.evaluate_configuration("S64", loops=loops)
+        assert report.n_failed == 0
+        assert report.cycles > 0
+        assert report.time_ns == pytest.approx(report.cycles * report.spec.clock_ns, rel=1e-6)
+        assert report.area_mlambda2 == pytest.approx(12.20, abs=0.01)
+
+    def test_compare_configurations(self, loops):
+        comparison = api.compare_configurations(["S64", "4C32S16"], loops=loops)
+        reports = comparison["reports"]
+        assert set(reports) == {"S64", "4C32S16"}
+        assert comparison["ranking"][0] in reports
+        text = comparison["table"].render()
+        assert "S64" in text and "4C32S16" in text
+
+    def test_reference_added_if_missing(self, loops):
+        comparison = api.compare_configurations(["4C32"], loops=loops, reference="S64")
+        assert "S64" in comparison["reports"]

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_schedule_arguments(self):
+        args = build_parser().parse_args(["schedule", "daxpy", "4C16S16", "--code"])
+        assert args.command == "schedule"
+        assert args.kernel == "daxpy"
+        assert args.code and not args.registers
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "nope", "S64"])
+
+    def test_reproduce_targets(self):
+        args = build_parser().parse_args(["reproduce", "table5"])
+        assert args.target == "table5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "table99"])
+
+
+class TestCommands:
+    def test_schedule_command(self, capsys):
+        assert main(["schedule", "daxpy", "2C32S32", "--registers", "--code"]) == 0
+        out = capsys.readouterr().out
+        assert "II=" in out
+        assert "register allocation" in out
+        assert "kernel:" in out
+
+    def test_evaluate_command(self, capsys):
+        assert main(["evaluate", "S64", "4C32S16", "--loops", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "ranking" in out
+        assert "4C32S16" in out
+
+    def test_reproduce_table5(self, capsys):
+        assert main(["reproduce", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "8C16S16" in out
+
+    def test_reproduce_figure1_small(self, capsys):
+        assert main(["reproduce", "figure1", "--loops", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out or "ipc" in out

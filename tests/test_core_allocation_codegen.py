@@ -1,0 +1,136 @@
+"""Tests for wrap-around register allocation and VLIW code emission."""
+
+import pytest
+
+from repro.core import MirsHC, schedule_loop
+from repro.core.allocation import allocate_registers
+from repro.core.banks import SHARED
+from repro.core.codegen import generate_code
+from repro.hwmodel import scaled_machine
+from repro.machine import baseline_machine, config_by_name
+from repro.workloads import build_kernel
+from repro.ddg import unroll
+
+
+def scheduled(kernel, config_name, unroll_factor=1):
+    rf = config_by_name(config_name)
+    machine, _ = scaled_machine(baseline_machine(), rf)
+    loop = build_kernel(kernel)
+    if unroll_factor > 1:
+        loop = unroll(loop, unroll_factor)
+    result = MirsHC(machine, rf).schedule_loop(loop)
+    assert result.success
+    return result, machine, rf
+
+
+class TestRegisterAllocation:
+    @pytest.mark.parametrize("config_name", ["S64", "2C32S32", "4C32"])
+    @pytest.mark.parametrize("kernel", ["daxpy", "hydro_fragment", "dot_product"])
+    def test_allocation_bounds(self, kernel, config_name):
+        result, machine, rf = scheduled(kernel, config_name)
+        allocation = allocate_registers(result, machine, rf)
+        for bank, used in result.register_usage.items():
+            allocated = allocation.registers_used(bank)
+            # Any valid allocation needs at least MaxLive registers, and the
+            # first-fit wrap-around packing stays within 2x of that bound.
+            assert allocated >= used
+            if used:
+                assert allocated <= 2 * used + 2
+
+    def test_every_value_gets_registers(self):
+        result, machine, rf = scheduled("equation_of_state", "S64")
+        allocation = allocate_registers(result, machine, rf)
+        defined = [
+            node_id
+            for node_id, placed in result.assignments.items()
+            if placed.op.defines_register and not placed.op.is_pseudo
+        ]
+        for node_id in defined:
+            assert allocation.register_of(node_id) is not None
+
+    def test_long_lifetimes_get_multiple_registers(self):
+        result, machine, rf = scheduled("dot_product", "S64")
+        allocation = allocate_registers(result, machine, rf)
+        # The loads feed a recurrence-limited loop (II=4, load latency < II)
+        # so most values fit in one register; at least one value should need
+        # only one register, and counts are always >= 1.
+        counts = [v.n_registers for bank in allocation.banks.values() for v in bank.values]
+        assert all(count >= 1 for count in counts)
+        assert any(count == 1 for count in counts)
+
+    def test_invariants_get_pinned_registers(self):
+        result, machine, rf = scheduled("horner", "S64")
+        allocation = allocate_registers(result, machine, rf)
+        assert allocation.banks[SHARED].invariants
+
+    def test_failed_schedule_rejected(self):
+        result, machine, rf = scheduled("daxpy", "S64")
+        result.success = False
+        with pytest.raises(ValueError):
+            allocate_registers(result, machine, rf)
+
+    def test_describe_is_readable(self):
+        result, machine, rf = scheduled("daxpy", "2C32S32")
+        allocation = allocate_registers(result, machine, rf)
+        text = allocation.describe()
+        assert "register allocation" in text
+        assert "shared" in text
+
+
+class TestCodeGeneration:
+    def test_kernel_has_ii_words(self):
+        result, machine, rf = scheduled("daxpy", "S64")
+        program = generate_code(result)
+        assert len(program.kernel) == result.ii
+        assert len(program.prologue) == (result.stage_count - 1) * result.ii
+        assert len(program.epilogue) == (result.stage_count - 1) * result.ii
+
+    def test_every_operation_appears_once_in_kernel(self):
+        result, machine, rf = scheduled("hydro_fragment", "4C16S16")
+        program = generate_code(result)
+        kernel_ops = [slot.node_id for word in program.kernel for slot in word.slots]
+        expected = [
+            node_id for node_id, placed in result.assignments.items()
+            if not placed.op.is_pseudo
+        ]
+        assert sorted(kernel_ops) == sorted(expected)
+
+    def test_prologue_issues_fewer_ops_than_kernel(self):
+        result, machine, rf = scheduled("daxpy", "S64")
+        program = generate_code(result)
+        if program.prologue:
+            first_fill = sum(len(w.slots) for w in program.prologue[: result.ii])
+            kernel_ops = sum(len(w.slots) for w in program.kernel)
+            assert first_fill <= kernel_ops
+
+    def test_destinations_shown_with_allocation(self):
+        result, machine, rf = scheduled("daxpy", "2C32S32")
+        allocation = allocate_registers(result, machine, rf)
+        program = generate_code(result, allocation=allocation)
+        rendered = program.render()
+        assert "->" in rendered
+        assert "kernel:" in rendered
+
+    def test_static_code_size_formula(self):
+        for kernel in ("vadd", "normalize3", "fir_filter"):
+            result, machine, rf = scheduled(kernel, "S64")
+            program = generate_code(result)
+            # Prologue and epilogue each have (SC-1)*II words, the kernel II.
+            expected = (2 * (program.stage_count - 1) + 1) * program.ii
+            assert program.static_instructions == expected
+            # Prologue + epilogue + kernel together issue SC copies of every
+            # operation distributed over the fill/steady/drain phases.
+            per_kernel_ops = sum(len(word.slots) for word in program.kernel)
+            assert program.static_operations == program.stage_count * per_kernel_ops
+
+    def test_failed_schedule_rejected(self):
+        result, machine, rf = scheduled("vadd", "S64")
+        result.success = False
+        with pytest.raises(ValueError):
+            generate_code(result)
+
+    def test_cluster_annotation_in_rendering(self):
+        result, machine, rf = scheduled("daxpy", "4C16S16")
+        rendered = generate_code(result).render()
+        assert "@c" in rendered          # cluster-resident operations
+        assert "@mem" in rendered or "@shr" in rendered

@@ -1,0 +1,100 @@
+"""Unit tests for the Select_Cluster heuristic."""
+
+import pytest
+
+from repro.core.cluster_select import select_cluster
+from repro.core.partial import PartialSchedule
+from repro.ddg import DepGraph, OpType
+from repro.machine import MachineConfig, RFConfig, ResourceModel
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+def make_schedule(graph, rf, machine, ii=4):
+    return PartialSchedule(graph, ii, machine, rf, ResourceModel(machine, rf))
+
+
+class TestTrivialCases:
+    def test_monolithic_always_cluster_zero(self, machine):
+        rf = RFConfig.parse("S64")
+        g = DepGraph()
+        add = g.add_node(OpType.FADD)
+        schedule = make_schedule(g, rf, machine)
+        assert select_cluster(g, schedule, add, rf) == 0
+
+    def test_memory_ops_have_no_cluster_in_hierarchical(self, machine):
+        rf = RFConfig.parse("4C16S16")
+        g = DepGraph()
+        load = g.add_node(OpType.LOAD)
+        schedule = make_schedule(g, rf, machine)
+        assert select_cluster(g, schedule, load, rf) is None
+
+    def test_memory_ops_get_cluster_in_clustered(self, machine):
+        rf = RFConfig.parse("4C32")
+        g = DepGraph()
+        load = g.add_node(OpType.LOAD)
+        schedule = make_schedule(g, rf, machine)
+        assert select_cluster(g, schedule, load, rf) in range(4)
+
+    def test_live_in_has_no_cluster(self, machine):
+        rf = RFConfig.parse("4C32")
+        g = DepGraph()
+        inv = g.add_node(OpType.LIVE_IN)
+        schedule = make_schedule(g, rf, machine)
+        assert select_cluster(g, schedule, inv, rf) is None
+
+    def test_comm_ops_use_home_cluster(self, machine):
+        rf = RFConfig.parse("4C16S16")
+        g = DepGraph()
+        loadr = g.add_node(OpType.LOADR, home_cluster=2)
+        schedule = make_schedule(g, rf, machine)
+        assert select_cluster(g, schedule, loadr, rf) == 2
+
+
+class TestHeuristic:
+    def test_follows_scheduled_producer(self, machine):
+        rf = RFConfig.parse("4C32")
+        g = DepGraph()
+        producer = g.add_node(OpType.FMUL)
+        consumer = g.add_node(OpType.FADD)
+        g.add_edge(producer, consumer)
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(producer, 0, 2)
+        assert select_cluster(g, schedule, consumer, rf) == 2
+
+    def test_avoids_saturated_cluster(self, machine):
+        rf = RFConfig.parse("8C16S16")   # 1 FU per cluster
+        g = DepGraph()
+        producer = g.add_node(OpType.FMUL)
+        consumer = g.add_node(OpType.FADD)
+        g.add_edge(producer, consumer)
+        schedule = make_schedule(g, rf, machine, ii=1)
+        # At II=1 the single FU of cluster 2 is fully busy with the producer,
+        # so the consumer must go elsewhere despite the communication cost.
+        schedule.place(producer, 0, 2)
+        chosen = select_cluster(g, schedule, consumer, rf)
+        assert chosen != 2
+
+    def test_balances_when_no_constraints(self, machine):
+        rf = RFConfig.parse("4C32")
+        g = DepGraph()
+        ops = [g.add_node(OpType.FADD) for _ in range(8)]
+        schedule = make_schedule(g, rf, machine, ii=1)
+        counts = {c: 0 for c in range(4)}
+        for op in ops:
+            cluster = select_cluster(g, schedule, op, rf)
+            schedule.place(op, schedule.find_slot(op, cluster), cluster)
+            counts[cluster] += 1
+        # 8 adds on 4 clusters with 2 FUs each at II=1: perfectly balanced.
+        assert all(count == 2 for count in counts.values())
+
+    def test_register_pressure_steers_away(self, machine):
+        rf = RFConfig.parse("2C32")
+        g = DepGraph()
+        op = g.add_node(OpType.FADD)
+        schedule = make_schedule(g, rf, machine)
+        usage = {0: 30, 1: 2}
+        assert select_cluster(g, schedule, op, rf, usage) == 1

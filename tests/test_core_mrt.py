@@ -1,0 +1,108 @@
+"""Unit tests for the modulo reservation table."""
+
+import pytest
+
+from repro.core.mrt import ModuloReservationTable
+from repro.machine.resources import ResourceKind, ResourceUse
+
+FU0 = (ResourceKind.FU, 0)
+FU1 = (ResourceKind.FU, 1)
+MEM = (ResourceKind.MEM, -1)
+
+
+def make_table(ii=4, fu=2, mem=1):
+    return ModuloReservationTable(ii, {FU0: fu, FU1: fu, MEM: mem})
+
+
+class TestReservation:
+    def test_basic_reserve_release(self):
+        table = make_table()
+        use = [ResourceUse(FU0)]
+        assert table.can_reserve(use, 0)
+        table.reserve(1, use, 0)
+        assert table.holds(1)
+        table.release(1)
+        assert not table.holds(1)
+
+    def test_capacity_enforced(self):
+        table = make_table(fu=1)
+        table.reserve(1, [ResourceUse(FU0)], 0)
+        assert not table.can_reserve([ResourceUse(FU0)], 0)
+        assert table.can_reserve([ResourceUse(FU0)], 1)
+        # Same modulo slot, different absolute cycle -> still full.
+        assert not table.can_reserve([ResourceUse(FU0)], 4)
+
+    def test_reserve_checks_capacity(self):
+        table = make_table(fu=1)
+        table.reserve(1, [ResourceUse(FU0)], 0)
+        with pytest.raises(ValueError):
+            table.reserve(2, [ResourceUse(FU0)], 4)
+
+    def test_multiple_instances(self):
+        table = make_table(fu=2)
+        table.reserve(1, [ResourceUse(FU0)], 0)
+        assert table.can_reserve([ResourceUse(FU0)], 0)
+        table.reserve(2, [ResourceUse(FU0)], 0)
+        assert not table.can_reserve([ResourceUse(FU0)], 0)
+
+    def test_zero_capacity_resource(self):
+        table = ModuloReservationTable(2, {FU0: 0})
+        assert not table.can_reserve([ResourceUse(FU0)], 0)
+
+    def test_release_is_idempotent(self):
+        table = make_table()
+        table.reserve(1, [ResourceUse(FU0)], 0)
+        table.release(1)
+        table.release(1)
+
+    def test_invalid_ii(self):
+        with pytest.raises(ValueError):
+            ModuloReservationTable(0, {FU0: 1})
+
+
+class TestUnpipelined:
+    def test_duration_occupies_consecutive_slots(self):
+        table = make_table(ii=4, fu=1)
+        table.reserve(1, [ResourceUse(FU0, duration=3)], 1)
+        for cycle in (1, 2, 3):
+            assert not table.can_reserve([ResourceUse(FU0)], cycle)
+        assert table.can_reserve([ResourceUse(FU0)], 0)
+
+    def test_duration_longer_than_ii_occupies_everything(self):
+        table = make_table(ii=2, fu=1)
+        table.reserve(1, [ResourceUse(FU0, duration=17)], 0)
+        assert not table.can_reserve([ResourceUse(FU0)], 0)
+        assert not table.can_reserve([ResourceUse(FU0)], 1)
+
+    def test_same_resource_twice_in_one_call(self):
+        table = make_table(ii=4, fu=1)
+        # Two uses of the same resource in the same slot need 2 instances.
+        assert not table.can_reserve([ResourceUse(FU0), ResourceUse(FU0)], 0)
+
+    def test_offset_uses(self):
+        table = make_table(ii=4, mem=1)
+        table.reserve(1, [ResourceUse(MEM, offset=2)], 0)
+        assert not table.can_reserve([ResourceUse(MEM)], 2)
+        assert table.can_reserve([ResourceUse(MEM)], 0)
+
+
+class TestConflictsAndUtilization:
+    def test_conflicting_nodes(self):
+        table = make_table(fu=1)
+        table.reserve(7, [ResourceUse(FU0)], 1)
+        conflicts = table.conflicting_nodes([ResourceUse(FU0)], 5)  # slot 1
+        assert conflicts == {7}
+        assert table.conflicting_nodes([ResourceUse(FU0)], 2) == set()
+
+    def test_conflicts_only_on_full_slots(self):
+        table = make_table(fu=2)
+        table.reserve(7, [ResourceUse(FU0)], 1)
+        assert table.conflicting_nodes([ResourceUse(FU0)], 1) == set()
+
+    def test_utilization(self):
+        table = make_table(ii=4, fu=1)
+        table.reserve(1, [ResourceUse(FU0)], 0)
+        table.reserve(2, [ResourceUse(FU0)], 1)
+        util = table.utilization()
+        assert util[FU0] == pytest.approx(0.5)
+        assert util[MEM] == 0.0

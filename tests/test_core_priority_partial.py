@@ -1,0 +1,181 @@
+"""Unit tests for the node ordering, the priority list and the partial schedule."""
+
+import pytest
+
+from repro.core.partial import PartialSchedule
+from repro.core.priority import PriorityList, order_nodes
+from repro.ddg import DepGraph, OpType
+from repro.machine import MachineConfig, RFConfig, ResourceModel
+from repro.workloads import build_kernel
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+class TestOrdering:
+    def test_excludes_live_ins(self, machine):
+        loop = build_kernel("daxpy")
+        order = order_nodes(loop.graph, machine.latency)
+        live_ins = {n.node_id for n in loop.graph.live_in_nodes()}
+        assert not (set(order) & live_ins)
+        assert len(order) == len(loop.graph) - len(live_ins)
+
+    def test_recurrence_nodes_come_first(self, machine):
+        loop = build_kernel("dot_product")
+        order = order_nodes(loop.graph, machine.latency)
+        # The accumulator (the only recurrence) must be ordered before the
+        # loads that feed it.
+        acc = [n.node_id for n in loop.graph.nodes() if n.name == "acc"][0]
+        loads = [n.node_id for n in loop.graph.memory_operations()]
+        assert order.index(acc) < min(order.index(l) for l in loads)
+
+    def test_neighbour_first_property(self, machine):
+        """After the first node, most nodes have an already-ordered neighbour."""
+        loop = build_kernel("equation_of_state")
+        graph = loop.graph
+        order = order_nodes(graph, machine.latency)
+        placed = {order[0]}
+        adjacent = 0
+        for node in order[1:]:
+            neighbours = set(graph.successors(node)) | set(graph.predecessors(node))
+            if neighbours & placed:
+                adjacent += 1
+            placed.add(node)
+        assert adjacent >= 0.7 * (len(order) - 1)
+
+    def test_empty_graph(self, machine):
+        assert order_nodes(DepGraph(), machine.latency) == []
+
+
+class TestPriorityList:
+    def test_pop_order_follows_initial_order(self):
+        plist = PriorityList([10, 20, 30])
+        assert [plist.pop(), plist.pop(), plist.pop()] == [10, 20, 30]
+
+    def test_reinsert_keeps_original_priority(self):
+        plist = PriorityList([10, 20, 30])
+        assert plist.pop() == 10
+        assert plist.pop() == 20
+        plist.push(10)           # ejected node re-enters with its old rank
+        assert plist.pop() == 10
+        assert plist.pop() == 30
+
+    def test_push_after(self):
+        plist = PriorityList([1, 2, 3])
+        plist.push(99, after=1)
+        assert plist.pop() == 1
+        assert plist.pop() == 99
+
+    def test_duplicate_push_ignored(self):
+        plist = PriorityList([1])
+        plist.push(1)
+        assert len(plist) == 1
+
+    def test_discard(self):
+        plist = PriorityList([1, 2])
+        plist.discard(1)
+        assert plist.pop() == 2
+        assert not plist
+
+    def test_pop_empty_raises(self):
+        plist = PriorityList([])
+        with pytest.raises(IndexError):
+            plist.pop()
+
+    def test_contains(self):
+        plist = PriorityList([5])
+        assert 5 in plist
+        plist.pop()
+        assert 5 not in plist
+
+
+class TestPartialSchedule:
+    def _make(self, machine, config_name="S128", ii=4, kernel="daxpy"):
+        rf = RFConfig.parse(config_name)
+        loop = build_kernel(kernel)
+        resources = ResourceModel(machine, rf)
+        return loop.graph, PartialSchedule(loop.graph, ii, machine, rf, resources)
+
+    def test_place_and_remove(self, machine):
+        graph, schedule = self._make(machine)
+        node = graph.compute_operations()[0].node_id
+        schedule.place(node, 3, 0)
+        assert schedule.is_scheduled(node)
+        assert schedule.times[node] == 3
+        schedule.remove(node)
+        assert not schedule.is_scheduled(node)
+
+    def test_dependence_window(self, machine):
+        graph, schedule = self._make(machine, ii=4)
+        mul = [n.node_id for n in graph.nodes() if n.op is OpType.FMUL][0]
+        add = [n.node_id for n in graph.nodes() if n.op is OpType.FADD][0]
+        schedule.place(mul, 2, 0)
+        # add depends on mul with latency 4.
+        assert schedule.earliest_start(add) == 6
+        schedule.remove(mul)
+        schedule.place(add, 10, 0)
+        assert schedule.latest_start(mul) == 10 - machine.latency("fmul")
+
+    def test_find_slot_respects_resources(self, machine):
+        rf = RFConfig.parse("S128")
+        graph = DepGraph()
+        loads = [graph.add_node(OpType.LOAD) for _ in range(5)]
+        resources = ResourceModel(machine, rf)
+        schedule = PartialSchedule(graph, 1, machine, rf, resources)
+        # 4 memory ports, II = 1: only 4 loads fit.
+        for load in loads[:4]:
+            slot = schedule.find_slot(load, None)
+            assert slot is not None
+            schedule.place(load, slot, None)
+        assert schedule.find_slot(loads[4], None) is None
+
+    def test_force_and_eject_on_resource_conflict(self, machine):
+        rf = RFConfig.parse("S128")
+        graph = DepGraph()
+        loads = [graph.add_node(OpType.LOAD) for _ in range(5)]
+        resources = ResourceModel(machine, rf)
+        schedule = PartialSchedule(graph, 1, machine, rf, resources)
+        for load in loads[:4]:
+            schedule.schedule(load, None)
+        ejected = schedule.schedule(loads[4], None)
+        assert len(ejected) >= 1
+        assert schedule.is_scheduled(loads[4])
+        for victim in ejected:
+            assert not schedule.is_scheduled(victim)
+
+    def test_force_cycle_advances(self, machine):
+        graph, schedule = self._make(machine, ii=1)
+        node = graph.compute_operations()[0].node_id
+        schedule.place(node, 0, 0)
+        schedule.remove(node)
+        assert schedule.force_cycle(node) == 1
+
+    def test_eject_violated_successor(self, machine):
+        rf = RFConfig.parse("S128")
+        graph = DepGraph()
+        mul = graph.add_node(OpType.FMUL)
+        add = graph.add_node(OpType.FADD)
+        graph.add_edge(mul, add)
+        resources = ResourceModel(machine, rf)
+        schedule = PartialSchedule(graph, 2, machine, rf, resources)
+        schedule.place(add, 1, 0)
+        # Forcing mul at a cycle too close to add must eject add.
+        schedule.place(mul, 0, 0)
+        schedule.remove(mul)
+        ejected = schedule.schedule(mul, 0)
+        if schedule.times[mul] + machine.latency("fmul") > 1:
+            assert add in ejected
+
+    def test_stage_count(self, machine):
+        graph, schedule = self._make(machine, ii=2)
+        ops = [n.node_id for n in graph.nodes() if not n.op.is_pseudo]
+        for index, node in enumerate(ops):
+            schedule.place(node, index, None if graph.node(node).op.is_memory else 0)
+        assert schedule.stage_count() >= 2
+        assert schedule.schedule_length() == len(ops)
+
+    def test_stage_count_empty(self, machine):
+        graph, schedule = self._make(machine)
+        assert schedule.stage_count() == 1

@@ -1,0 +1,168 @@
+"""Unit tests for MII analysis (SCCs, RecMII, ResMII, priorities)."""
+
+import pytest
+
+from repro.ddg import (
+    DepGraph,
+    OpType,
+    compute_mii,
+    critical_path_length,
+    depths,
+    heights,
+    rec_mii,
+    strongly_connected_components,
+)
+from repro.ddg.analysis import recurrence_components
+from repro.machine import MachineConfig, RFConfig, ResourceModel
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+@pytest.fixture
+def resources(machine):
+    return ResourceModel(machine, RFConfig.parse("S128"))
+
+
+def chain_graph(n=4, op=OpType.FADD):
+    g = DepGraph()
+    nodes = [g.add_node(op) for _ in range(n)]
+    for a, b in zip(nodes, nodes[1:]):
+        g.add_edge(a, b)
+    return g, nodes
+
+
+class TestSCC:
+    def test_acyclic_graph_has_singleton_components(self):
+        g, nodes = chain_graph(5)
+        components = strongly_connected_components(g)
+        assert len(components) == 5
+        assert all(len(c) == 1 for c in components)
+
+    def test_cycle_detected(self):
+        g, nodes = chain_graph(4)
+        g.add_edge(nodes[-1], nodes[0], distance=1)
+        components = strongly_connected_components(g)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [4]
+
+    def test_self_loop_is_a_recurrence(self):
+        g = DepGraph()
+        acc = g.add_node(OpType.FADD)
+        g.add_edge(acc, acc, distance=1)
+        assert recurrence_components(g) == [[acc]]
+
+    def test_multiple_recurrences(self):
+        g = DepGraph()
+        a1 = g.add_node(OpType.FADD)
+        a2 = g.add_node(OpType.FMUL)
+        b1 = g.add_node(OpType.FADD)
+        g.add_edge(a1, a2)
+        g.add_edge(a2, a1, distance=1)
+        g.add_edge(b1, b1, distance=2)
+        assert len(recurrence_components(g)) == 2
+
+
+class TestRecMII:
+    def test_no_recurrence(self, machine):
+        g, _ = chain_graph(6)
+        assert rec_mii(g, machine.latency) == 1
+
+    def test_accumulator(self, machine):
+        # acc = acc + x : latency(fadd)=4, distance 1 => RecMII = 4.
+        g = DepGraph()
+        acc = g.add_node(OpType.FADD)
+        g.add_edge(acc, acc, distance=1)
+        assert rec_mii(g, machine.latency) == 4
+
+    def test_two_node_cycle(self, machine):
+        # mul -> add -> (distance 1) mul : (4 + 4) / 1 = 8.
+        g = DepGraph()
+        mul = g.add_node(OpType.FMUL)
+        add = g.add_node(OpType.FADD)
+        g.add_edge(mul, add)
+        g.add_edge(add, mul, distance=1)
+        assert rec_mii(g, machine.latency) == 8
+
+    def test_distance_two_halves_recmii(self, machine):
+        g = DepGraph()
+        mul = g.add_node(OpType.FMUL)
+        add = g.add_node(OpType.FADD)
+        g.add_edge(mul, add)
+        g.add_edge(add, mul, distance=2)
+        assert rec_mii(g, machine.latency) == 4
+
+    def test_longest_cycle_dominates(self, machine):
+        g = DepGraph()
+        a = g.add_node(OpType.FADD)
+        d = g.add_node(OpType.FDIV)
+        g.add_edge(a, a, distance=1)          # RecMII 4
+        g.add_edge(d, d, distance=1)          # RecMII 17
+        assert rec_mii(g, machine.latency) == 17
+
+
+class TestComputeMII:
+    def test_resource_bound(self, machine, resources):
+        g = DepGraph()
+        loads = [g.add_node(OpType.LOAD) for _ in range(9)]
+        adds = [g.add_node(OpType.FADD) for _ in range(4)]
+        for load, add in zip(loads, adds):
+            g.add_edge(load, add)
+        breakdown = compute_mii(g, resources, machine.latency)
+        assert breakdown.res_mem == 3      # ceil(9 / 4)
+        assert breakdown.mii == 3
+        assert breakdown.bound == "mem"
+
+    def test_recurrence_bound(self, machine, resources):
+        g = DepGraph()
+        acc = g.add_node(OpType.FADD)
+        load = g.add_node(OpType.LOAD)
+        g.add_edge(load, acc)
+        g.add_edge(acc, acc, distance=1)
+        breakdown = compute_mii(g, resources, machine.latency)
+        assert breakdown.rec == 4
+        assert breakdown.bound == "rec"
+
+    def test_mii_at_least_one(self, machine, resources):
+        g = DepGraph()
+        g.add_node(OpType.LIVE_IN)
+        assert compute_mii(g, resources, machine.latency).mii == 1
+
+    def test_tie_prefers_memory(self, machine, resources):
+        g = DepGraph()
+        # 8 compute ops (fu bound 1) and 4 memory ops (mem bound 1): tie.
+        adds = [g.add_node(OpType.FADD) for _ in range(8)]
+        loads = [g.add_node(OpType.LOAD) for _ in range(4)]
+        for load, add in zip(loads, adds):
+            g.add_edge(load, add)
+        assert compute_mii(g, resources, machine.latency).bound == "mem"
+
+
+class TestPriorityMetrics:
+    def test_heights_and_depths(self, machine):
+        g, nodes = chain_graph(3)  # latencies 4 each
+        h = heights(g, machine.latency)
+        d = depths(g, machine.latency)
+        assert h[nodes[0]] == 8 and h[nodes[-1]] == 0
+        assert d[nodes[0]] == 0 and d[nodes[-1]] == 8
+
+    def test_critical_path(self, machine):
+        g, _ = chain_graph(4)
+        assert critical_path_length(g, machine.latency) == 12
+
+    def test_zero_distance_cycle_rejected(self, machine):
+        g = DepGraph()
+        a = g.add_node(OpType.FADD)
+        b = g.add_node(OpType.FADD)
+        g.add_edge(a, b)
+        g.add_edge(b, a)  # zero-distance cycle: malformed graph
+        with pytest.raises(ValueError):
+            heights(g, machine.latency)
+
+    def test_loop_carried_edges_ignored_for_heights(self, machine):
+        g = DepGraph()
+        a = g.add_node(OpType.FADD)
+        g.add_edge(a, a, distance=1)
+        assert heights(g, machine.latency)[a] == 0

@@ -1,0 +1,153 @@
+"""Unit tests for the dependence-graph data structure."""
+
+import pytest
+
+from repro.ddg import DepGraph, OpType
+from repro.ddg.operations import MemRef, OpClass
+from repro.machine import MachineConfig
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+def build_simple_graph():
+    """load -> mul -> add -> store with a live-in multiplier."""
+    g = DepGraph()
+    alpha = g.add_node(OpType.LIVE_IN, name="alpha")
+    load = g.add_node(OpType.LOAD, name="ld", mem_ref=MemRef("x"))
+    mul = g.add_node(OpType.FMUL, name="mul")
+    add = g.add_node(OpType.FADD, name="add")
+    store = g.add_node(OpType.STORE, name="st", mem_ref=MemRef("y"))
+    g.add_edge(alpha, mul)
+    g.add_edge(load, mul)
+    g.add_edge(mul, add)
+    g.add_edge(add, store)
+    return g, (alpha, load, mul, add, store)
+
+
+class TestOpType:
+    def test_classification(self):
+        assert OpType.FADD.op_class is OpClass.COMPUTE
+        assert OpType.LOAD.op_class is OpClass.MEMORY
+        assert OpType.LOADR.op_class is OpClass.COMMUNICATION
+        assert OpType.LIVE_IN.op_class is OpClass.PSEUDO
+
+    def test_defines_register(self):
+        assert OpType.LOAD.defines_register
+        assert OpType.STORER.defines_register
+        assert not OpType.STORE.defines_register
+
+    def test_mnemonics_unique(self):
+        mnemonics = [op.mnemonic for op in OpType]
+        assert len(mnemonics) == len(set(mnemonics))
+
+
+class TestGraphConstruction:
+    def test_add_nodes_and_edges(self):
+        g, (alpha, load, mul, add, store) = build_simple_graph()
+        assert len(g) == 5
+        assert g.n_edges() == 4
+        assert set(g.successors(mul)) == {add}
+        assert set(g.predecessors(mul)) == {alpha, load}
+
+    def test_unknown_node_edge_rejected(self):
+        g = DepGraph()
+        a = g.add_node(OpType.FADD)
+        with pytest.raises(KeyError):
+            g.add_edge(a, 999)
+
+    def test_negative_distance_rejected(self):
+        g = DepGraph()
+        a = g.add_node(OpType.FADD)
+        b = g.add_node(OpType.FADD)
+        with pytest.raises(ValueError):
+            g.add_edge(a, b, distance=-1)
+
+    def test_remove_node_cleans_edges(self):
+        g, (alpha, load, mul, add, store) = build_simple_graph()
+        g.remove_node(mul)
+        assert mul not in g
+        assert add not in g.successors(load)
+        assert g.n_edges() == 1  # only add -> store remains
+
+    def test_remove_edge(self):
+        g, (_, load, mul, _, _) = build_simple_graph()
+        g.remove_edge(load, mul)
+        assert not g.has_edge(load, mul)
+
+    def test_node_ids_are_stable_after_removal(self):
+        g, nodes = build_simple_graph()
+        g.remove_node(nodes[2])
+        new = g.add_node(OpType.FADD)
+        assert new not in nodes  # ids are never reused
+
+    def test_copy_is_deep(self):
+        g, (_, load, mul, _, _) = build_simple_graph()
+        clone = g.copy()
+        clone.remove_node(mul)
+        assert mul in g
+        assert g.has_edge(load, mul)
+
+    def test_copy_preserves_attributes(self):
+        g = DepGraph()
+        n = g.add_node(OpType.LOADR, is_inserted=True, home_cluster=3)
+        clone = g.copy()
+        assert clone.node(n).home_cluster == 3
+        assert clone.node(n).is_inserted
+
+
+class TestGraphQueries:
+    def test_count_ops(self):
+        g, _ = build_simple_graph()
+        counts = g.count_ops()
+        assert counts == {"compute": 2, "unpipelined": 0, "memory": 2, "comm": 0}
+
+    def test_count_unpipelined(self):
+        g = DepGraph()
+        a = g.add_node(OpType.FDIV)
+        b = g.add_node(OpType.FSQRT)
+        g.add_edge(a, b)
+        assert g.count_ops()["unpipelined"] == 2
+
+    def test_op_listings(self):
+        g, _ = build_simple_graph()
+        assert len(g.memory_operations()) == 2
+        assert len(g.compute_operations()) == 2
+        assert len(g.live_in_nodes()) == 1
+        assert g.communication_operations() == []
+
+    def test_flow_consumers_and_producers(self):
+        g, (alpha, load, mul, add, _) = build_simple_graph()
+        assert [dst for dst, _ in g.flow_consumers(mul)] == [add]
+        producers = {src for src, _ in g.flow_producers(mul)}
+        assert producers == {alpha, load}
+
+    def test_summary_is_readable(self):
+        g, _ = build_simple_graph()
+        summary = g.summary()
+        assert "5 nodes" in summary and "2 compute" in summary
+
+
+class TestEdgeLatency:
+    def test_flow_edge_uses_producer_latency(self, machine):
+        g, (_, load, mul, add, _) = build_simple_graph()
+        edge = g.edge(mul, add)
+        assert g.edge_latency(edge, machine.latency) == machine.latency("fmul")
+
+    def test_live_in_edges_have_zero_latency(self, machine):
+        g, (alpha, _, mul, _, _) = build_simple_graph()
+        assert g.edge_latency(g.edge(alpha, mul), machine.latency) == 0
+
+    def test_memory_edges_have_unit_latency(self, machine):
+        g = DepGraph()
+        st = g.add_node(OpType.STORE)
+        ld = g.add_node(OpType.LOAD)
+        edge = g.add_edge(st, ld, kind="mem")
+        assert g.edge_latency(edge, machine.latency) == 1
+
+    def test_latency_override(self, machine):
+        g, (_, load, mul, _, _) = build_simple_graph()
+        g.node(load).latency_override = 25
+        assert g.edge_latency(g.edge(load, mul), machine.latency) == 25

@@ -1,0 +1,80 @@
+"""Unit tests for loop unrolling."""
+
+import pytest
+
+from repro.ddg import OpType, compute_mii, unroll
+from repro.machine import MachineConfig, RFConfig, ResourceModel
+from repro.workloads import build_kernel
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+class TestUnroll:
+    def test_factor_one_is_copy(self):
+        loop = build_kernel("daxpy")
+        copy = unroll(loop, 1)
+        assert len(copy.graph) == len(loop.graph)
+        assert copy.name == loop.name
+
+    def test_node_replication(self):
+        loop = build_kernel("daxpy")          # 1 live-in + 5 ops
+        unrolled = unroll(loop, 4)
+        # Live-in values are shared; everything else is replicated.
+        n_live = len(loop.graph.live_in_nodes())
+        expected = n_live + (len(loop.graph) - n_live) * 4
+        assert len(unrolled.graph) == expected
+        assert len(unrolled.graph.live_in_nodes()) == n_live
+
+    def test_trip_count_scaled(self):
+        loop = build_kernel("vadd", trip_count=400)
+        assert unroll(loop, 8).trip_count == 50
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            unroll(build_kernel("vadd"), 0)
+
+    def test_memory_strides_scaled(self):
+        loop = build_kernel("vadd", trip_count=400)
+        unrolled = unroll(loop, 4)
+        loads = [op for op in unrolled.graph.memory_operations() if op.op is OpType.LOAD]
+        strides = {op.mem_ref.stride_bytes for op in loads}
+        assert strides == {32}
+        offsets = sorted(op.mem_ref.offset_bytes for op in loads if op.mem_ref.array == "a")
+        assert offsets == [0, 8, 16, 24]
+
+    def test_recurrence_preserved(self, machine):
+        # An accumulator unrolled by 4 still has RecMII = 4 latencies over
+        # distance ... the serial chain keeps the same cycles-per-original-
+        # iteration ratio: 4 adds (16 cycles) per 1 new iteration.
+        loop = build_kernel("vsum")
+        resources = ResourceModel(machine, RFConfig.parse("S128"))
+        original = compute_mii(loop.graph, resources, machine.latency)
+        unrolled = unroll(loop, 4)
+        transformed = compute_mii(unrolled.graph, resources, machine.latency)
+        assert original.rec == machine.latency("fadd")
+        assert transformed.rec == 4 * machine.latency("fadd")
+
+    def test_unrolled_graph_has_no_zero_distance_cycle(self, machine):
+        # heights() raises if a zero-distance cycle exists.
+        from repro.ddg.analysis import heights
+
+        for kernel in ("dot_product", "tridiagonal", "running_average"):
+            unrolled = unroll(build_kernel(kernel), 4)
+            heights(unrolled.graph, machine.latency)
+
+    def test_unrolled_loop_schedules_and_validates(self, machine):
+        from repro.core import schedule_loop, validate_schedule
+        from repro.hwmodel import scaled_machine
+        from repro.machine import baseline_machine, config_by_name
+
+        unrolled = unroll(build_kernel("daxpy"), 4)
+        rf = config_by_name("2C32S32")
+        result = schedule_loop(unrolled, rf)
+        scaled, _ = scaled_machine(baseline_machine(), rf)
+        validate_schedule(result, scaled, rf)
+
+    def test_attributes_record_factor(self):
+        assert unroll(build_kernel("vadd"), 2).attributes["unroll_factor"] == 2

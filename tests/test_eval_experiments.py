@@ -1,0 +1,204 @@
+"""Integration tests for the experiment drivers (small workbenches).
+
+These tests check that every table/figure driver runs end to end and that
+the *shape* of its output matches the paper's qualitative claims (who
+wins, in which direction a metric moves); absolute values are not
+compared.  They use small workbenches to stay fast.
+"""
+
+import pytest
+
+from repro.eval import (
+    run_figure1,
+    run_figure4,
+    run_figure6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    schedule_suite,
+)
+from repro.eval.experiments import (
+    run_ablation_budget_ratio,
+    run_ablation_ports,
+    run_ablation_prefetch,
+)
+from repro.workloads import perfect_club_like_suite
+
+N_LOOPS = 20
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def loops():
+    return perfect_club_like_suite(N_LOOPS, seed=SEED)
+
+
+class TestScheduleSuite:
+    def test_runs_and_orders_match(self, loops):
+        runs = schedule_suite(loops, "S64")
+        assert len(runs) == len(loops)
+        assert all(run.result.success for run in runs)
+
+    def test_unknown_scheduler_rejected(self, loops):
+        with pytest.raises(ValueError):
+            schedule_suite(loops[:2], "S64", scheduler="bogus")
+
+
+class TestHardwareTables:
+    def test_table2_matches_published_values(self):
+        rows = run_table2().data["rows"]
+        assert rows["S128"]["shared_access_ns"] == pytest.approx(1.145)
+        assert rows["S128"]["total_area"] == pytest.approx(14.91, abs=0.01)
+        assert rows["4C32"]["total_area"] == pytest.approx(4.28, abs=0.05)
+        assert rows["1C64S64"]["clock_ns"] == pytest.approx(1.016, abs=0.01)
+
+    def test_table5_has_all_configs_and_monotone_clock(self):
+        rows = run_table5().data["rows"]
+        assert len(rows) == 15
+        # Clustering + hierarchy shrinks the first-level bank and the clock.
+        assert rows["8C16S16"]["clock_ns"] < rows["4C32"]["clock_ns"] < rows["S128"]["clock_ns"]
+        # Areas: every partitioned organization is smaller than S128.
+        for name, row in rows.items():
+            if name != "S128":
+                assert row["total_area"] < rows["S128"]["total_area"]
+
+    def test_table5_renders(self):
+        text = run_table5().render()
+        assert "8C16S16" in text and "clock" in text
+
+
+class TestFigure1:
+    def test_ipc_increases_and_saturates(self):
+        points = run_figure1(n_loops=N_LOOPS, seed=SEED).data["points"]
+        ipcs = [p["ipc"] for p in points]
+        assert ipcs == sorted(ipcs)                      # monotone increase
+        assert points[-1]["efficiency"] < points[0]["efficiency"]  # saturation
+        # The 8+4 baseline extracts a healthy IPC from the workbench.
+        baseline = next(p for p in points if p["label"] == "8+4")
+        assert baseline["ipc"] > 2.0
+
+
+class TestTable1:
+    def test_breakdown_shape(self):
+        result = run_table1(n_loops=N_LOOPS, seed=SEED)
+        breakdown = result.data["breakdown"]
+        assert set(breakdown) == {"S128", "4C32", "1C64S64"}
+        for config, categories in breakdown.items():
+            total_pct = sum(entry["loops"] for entry in categories.values())
+            assert total_pct == N_LOOPS
+        ratios = result.data["cycle_ratio_vs_s128"]
+        # Partitioned register files never execute in fewer cycles than the
+        # monolithic organization, and the hierarchical organization is
+        # closer to monolithic than the pure clustered one (paper Table 1).
+        assert ratios["4C32"] >= 1.0
+        assert ratios["1C64S64"] >= 1.0
+        assert ratios["1C64S64"] <= ratios["4C32"] + 0.15
+
+
+class TestTable3:
+    def test_static_evaluation_shape(self):
+        result = run_table3(n_loops=12, seed=SEED)
+        rows = result.data["rows"]
+        assert "Sinf" in rows and "8CinfSinf" in rows
+        mono = rows["Sinf"]["limited"]
+        assert mono["pct_mii"] > 80.0
+        for name, row in rows.items():
+            # Limiting the inter-bank bandwidth can only lose II.
+            assert row["limited"]["sum_ii"] >= row["unlimited"]["sum_ii"] - 1e-9
+            # The monolithic organization has the smallest total II.
+            assert row["limited"]["sum_ii"] >= mono["sum_ii"] - 1e-9
+
+
+class TestTable4:
+    def test_mirs_hc_at_least_as_good(self):
+        result = run_table4(n_loops=16, seed=SEED)
+        better = result.data["better"]["count"]       # non-iterative better
+        worse = result.data["worse"]["count"]         # non-iterative worse
+        equal = result.data["equal"]["count"]
+        assert better + worse + equal == 16
+        # The iterative scheduler wins overall (paper: MIRS_HC reduces sum II).
+        total_baseline = (
+            result.data["better"]["baseline_ii"]
+            + result.data["equal"]["baseline_ii"]
+            + result.data["worse"]["baseline_ii"]
+        )
+        total_mirs = (
+            result.data["better"]["mirs_ii"]
+            + result.data["equal"]["mirs_ii"]
+            + result.data["worse"]["mirs_ii"]
+        )
+        assert total_mirs <= total_baseline
+
+
+class TestTable6:
+    def test_ideal_memory_shape(self):
+        result = run_table6(n_loops=N_LOOPS, seed=SEED)
+        rows = result.data["rows"]
+        assert len(rows) == 15
+        # Execution cycles: partitioned organizations take at least as many
+        # cycles as the monolithic S128.
+        assert rows["4C32"]["cycles"] >= rows["S128"]["cycles"] * 0.98
+        assert rows["8C16S16"]["cycles"] >= rows["S128"]["cycles"] * 0.98
+        # Execution time: the hierarchical clustered organizations beat the
+        # monolithic baseline thanks to their shorter cycle time (the
+        # paper's headline result).
+        assert rows["4C32S16"]["speedup"] > 1.0
+        assert rows["8C16S16"]["speedup"] > 1.0
+        assert rows["S128"]["speedup"] < rows["8C16S16"]["speedup"]
+        # Hierarchical organizations with a reasonably sized shared bank do
+        # not increase memory traffic above small monolithic files.
+        assert rows["1C32S64"]["traffic"] <= rows["S32"]["traffic"] * 1.05
+
+
+class TestFigure4:
+    def test_port_requirement_cdf(self):
+        result = run_figure4(n_loops=12, seed=SEED)
+        cdf = result.data["cdf"]
+        assert set(cdf) == {1, 2, 4, 8}
+        for n_clusters, curves in cdf.items():
+            lp = curves["lp_cdf"]
+            sp = curves["sp_cdf"]
+            assert lp == sorted(lp) and sp == sorted(sp)     # cumulative
+            assert lp[-1] == pytest.approx(100.0)
+            assert sp[-1] == pytest.approx(100.0)
+        # More clusters spread the LoadR traffic, so fewer ports per bank
+        # are needed: the 8-cluster curve dominates the 1-cluster curve.
+        assert cdf[8]["lp_cdf"][1] >= cdf[1]["lp_cdf"][1] - 1e-9
+
+
+class TestFigure6:
+    def test_real_memory_shape(self):
+        result = run_figure6(n_loops=12, seed=SEED)
+        rows = result.data["rows"]
+        assert set(rows) == {"S64", "2C64", "4C32", "1C32S64", "2C32S32", "4C32S16", "8C16S16"}
+        for row in rows.values():
+            assert row["stall_cycles"] >= 0.0
+            assert row["total_cycles"] >= row["useful_cycles"]
+        # Relative useful cycles grow with partitioning, but the faster
+        # clock keeps total time competitive (speedup >= ~1 for the
+        # hierarchical clustered organizations).
+        assert rows["8C16S16"]["relative_useful"] >= rows["S64"]["relative_useful"]
+        assert rows["4C32S16"]["speedup"] > 0.9
+
+
+class TestAblations:
+    def test_budget_ratio_ablation(self):
+        result = run_ablation_budget_ratio(ratios=(1.0, 6.0), n_loops=8, seed=SEED)
+        rows = result.data["rows"]
+        # More budget does not meaningfully hurt the achieved II (different
+        # budgets can change individual tie-breaking decisions, so allow a
+        # small tolerance).
+        assert rows[6.0]["sum_ii"] <= rows[1.0]["sum_ii"] * 1.05 + 2
+
+    def test_ports_ablation(self):
+        result = run_ablation_ports(port_counts=((1, 1), (4, 2)), n_loops=8, seed=SEED)
+        rows = result.data["rows"]
+        assert rows[(4, 2)]["sum_ii"] <= rows[(1, 1)]["sum_ii"]
+
+    def test_prefetch_ablation(self):
+        result = run_ablation_prefetch(n_loops=8, seed=SEED)
+        rows = result.data["rows"]
+        assert rows[True]["stall"] <= rows[False]["stall"] + 1e-6

@@ -1,0 +1,106 @@
+"""Unit tests for the evaluation metrics and the table renderer."""
+
+import pytest
+
+from repro.core import schedule_loop
+from repro.eval import (
+    LoopRun,
+    Table,
+    aggregate_cycles,
+    aggregate_traffic,
+    execution_cycles,
+    execution_time_ns,
+    memory_traffic,
+    speedup,
+)
+from repro.eval.metrics import aggregate_time_ns
+from repro.eval.reporting import format_value
+from repro.hwmodel import derive_hardware
+from repro.machine import baseline_machine, config_by_name
+from repro.workloads import build_kernel
+
+
+class TestFormulas:
+    def test_execution_cycles_formula(self):
+        # II * (N + (SC-1)*E) + stalls
+        assert execution_cycles(3, 5, 100, 2, 7.0) == 3 * (100 + 4 * 2) + 7.0
+
+    def test_memory_traffic(self):
+        assert memory_traffic(1000, 5) == 5000.0
+
+    def test_execution_time(self):
+        assert execution_time_ns(1000, 0.5) == 500.0
+
+    def test_speedup(self):
+        assert speedup(200.0, 100.0) == 2.0
+        assert speedup(100.0, 0.0) == float("inf")
+
+
+class TestLoopRun:
+    def _run(self, config_name="S64"):
+        loop = build_kernel("daxpy", trip_count=500)
+        result = schedule_loop(loop, config_name)
+        spec = derive_hardware(baseline_machine(), config_by_name(config_name))
+        return LoopRun(loop=loop, result=result, spec=spec)
+
+    def test_cycles_and_time(self):
+        run = self._run()
+        assert run.cycles > 0
+        assert run.useful_cycles == run.cycles  # no stall recorded
+        assert run.time_ns == pytest.approx(run.cycles * run.spec.clock_ns)
+
+    def test_traffic_counts_per_iteration_ops(self):
+        run = self._run()
+        assert run.traffic == run.loop.total_iterations * run.result.memory_ops_per_iteration
+
+    def test_stall_cycles_added(self):
+        run = self._run()
+        base = run.cycles
+        run.stall_cycles = 100.0
+        assert run.cycles == base + 100.0
+
+    def test_aggregates(self):
+        runs = [self._run(), self._run("S32")]
+        assert aggregate_cycles(runs) == sum(r.cycles for r in runs)
+        assert aggregate_traffic(runs) == sum(r.traffic for r in runs)
+        assert aggregate_time_ns(runs) == sum(r.time_ns for r in runs)
+
+    def test_failed_run_has_infinite_cycles(self):
+        run = self._run()
+        run.result.success = False
+        assert run.cycles == float("inf")
+
+
+class TestTableRenderer:
+    def test_basic_rendering(self):
+        table = Table(["config", "value"], title="demo")
+        table.add_row("S64", 1.2345)
+        table.add_row("S32", None)
+        text = table.render()
+        assert "demo" in text
+        assert "S64" in text and "1.234" in text
+        assert "-" in text
+
+    def test_wrong_arity_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_extend(self):
+        table = Table(["a", "b"])
+        table.extend([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(3.14159, precision=2) == "3.14"
+        assert format_value(12) == "12"
+        assert "e" in format_value(1.5e9)
+
+    def test_columns_aligned(self):
+        table = Table(["name", "x"])
+        table.add_row("short", 1)
+        table.add_row("a_much_longer_name", 2)
+        lines = table.render().splitlines()
+        assert len({len(line) for line in lines[1:]}) <= 2

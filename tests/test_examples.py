@@ -1,0 +1,55 @@
+"""Smoke tests for the runnable examples.
+
+The examples double as end-to-end integration tests: they exercise the
+public API exactly the way the README advertises it.  The heavyweight
+``reproduce_paper.py`` script is exercised indirectly through
+``tests/test_eval_experiments.py`` (same drivers, smaller workbenches).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart.py", "design_space_exploration.py",
+                "multimedia_kernels.py", "reproduce_paper.py"} <= names
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "S64" in out and "4C16S16" in out
+        assert "II=" in out
+
+    def test_design_space_exploration_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["design_space_exploration.py", "6"])
+        module = load_example("design_space_exploration")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Design-space exploration" in out
+        assert "Fastest configuration" in out
+
+    def test_multimedia_kernels_runs(self, capsys):
+        module = load_example("multimedia_kernels")
+        module.main()
+        out = capsys.readouterr().out
+        assert "fir_8" in out or "fir_filter" in out or "fir" in out
+        assert "4C16S16" in out
+
+    def test_reproduce_paper_importable(self):
+        module = load_example("reproduce_paper")
+        assert hasattr(module, "main")

@@ -1,0 +1,160 @@
+"""Tests for the register-file hardware model (CACTI-like fit + published data)."""
+
+import math
+
+import pytest
+
+from repro.hwmodel import (
+    PAPER_TABLE5,
+    RegisterFileModel,
+    bank_geometries,
+    derive_hardware,
+    published_spec,
+    scaled_machine,
+)
+from repro.hwmodel.spec import BankGeometry
+from repro.hwmodel.timing import clock_from_depth, logic_depth_from_access
+from repro.machine import RFConfig, baseline_machine, config_by_name, table5_configs
+
+
+class TestAnalyticalModel:
+    def test_monotone_in_registers(self):
+        model = RegisterFileModel()
+        small = model.estimate(BankGeometry(32, 10, 6))
+        large = model.estimate(BankGeometry(128, 10, 6))
+        assert large.access_ns > small.access_ns
+        assert large.area_mlambda2 > small.area_mlambda2
+
+    def test_monotone_in_ports(self):
+        model = RegisterFileModel()
+        few = model.estimate(BankGeometry(64, 6, 4))
+        many = model.estimate(BankGeometry(64, 20, 12))
+        assert many.access_ns > few.access_ns
+        assert many.area_mlambda2 > few.area_mlambda2
+
+    def test_fit_quality_against_published_monolithic(self):
+        # The analytical model should land within ~25 % of the paper's
+        # published CACTI values for the monolithic banks.
+        model = RegisterFileModel()
+        published = {
+            "S128": (BankGeometry(128, 20, 12), 1.145, 14.91),
+            "S64": (BankGeometry(64, 20, 12), 1.021, 12.20),
+            "S32": (BankGeometry(32, 20, 12), 0.685, 7.50),
+        }
+        for geometry, access, area in published.values():
+            estimate = model.estimate(geometry)
+            assert abs(estimate.access_ns - access) / access < 0.25
+            assert abs(estimate.area_mlambda2 - area) / area < 0.35
+
+    def test_degenerate_geometries_clamped(self):
+        model = RegisterFileModel()
+        estimate = model.estimate(BankGeometry(1, 1, 0))
+        assert estimate.access_ns > 0
+        assert estimate.area_mlambda2 > 0
+
+
+class TestBankGeometries:
+    def test_monolithic_ports(self):
+        machine = baseline_machine()
+        geometry = bank_geometries(machine, config_by_name("S128"))["shared"]
+        assert geometry.read_ports == 2 * 8 + 4
+        assert geometry.write_ports == 8 + 4
+        assert geometry.registers == 128
+
+    def test_clustered_ports(self):
+        machine = baseline_machine()
+        geoms = bank_geometries(machine, config_by_name("4C32"))
+        cluster = geoms["cluster"]
+        assert geoms["shared"] is None
+        # 2 FUs (2 reads + 1 write each) + 1 memory port + bus ports.
+        assert cluster.read_ports == 2 * 2 + 1 + 1
+        assert cluster.write_ports == 2 + 1 + 1
+
+    def test_hierarchical_ports(self):
+        machine = baseline_machine()
+        geoms = bank_geometries(machine, config_by_name("4C16S16").with_ports(2, 1))
+        assert geoms["cluster"].write_ports == 2 + 2       # FUs + lp
+        assert geoms["shared"].read_ports == 4 + 4 * 2     # mem ports + x*lp
+        assert geoms["shared"].write_ports == 4 + 4 * 1    # mem ports + x*sp
+
+    def test_unbounded_register_cap(self):
+        machine = baseline_machine()
+        rf = config_by_name("4C16S16").with_unbounded_registers()
+        geoms = bank_geometries(machine, rf, register_cap=512)
+        assert geoms["shared"].registers == 512
+
+
+class TestPublished:
+    def test_every_table5_config_has_published_values(self):
+        for rf in table5_configs():
+            assert rf.name in PAPER_TABLE5
+            assert published_spec(rf.name) is not None
+
+    def test_published_values_match_paper_rows(self):
+        spec = published_spec("4C32")
+        assert spec.clock_ns == pytest.approx(0.497)
+        assert spec.fu_latency == 6
+        assert spec.mem_hit_latency == 4
+        assert spec.total_area_mlambda2 == pytest.approx(4.28, abs=0.05)
+
+        spec = published_spec("8C16S16")
+        assert spec.clock_ns == pytest.approx(0.389)
+        assert spec.fu_latency == 8
+        assert spec.mem_hit_latency == 5
+        assert spec.loadr_latency == 2
+
+    def test_unknown_config_returns_none(self):
+        assert published_spec("3C17S5") is None
+
+
+class TestTimingDerivation:
+    def test_clock_formula_matches_paper(self):
+        # clock = depth * FO4 + overhead reproduces every Table 5 pair.
+        for row in PAPER_TABLE5.values():
+            if row.name == "1C64S64":
+                continue  # derived row, not printed in Table 5
+            assert clock_from_depth(row.logic_depth_fo4) == pytest.approx(
+                row.clock_ns, abs=1e-9
+            )
+
+    def test_logic_depth_monotone(self):
+        assert logic_depth_from_access(1.2) > logic_depth_from_access(0.4)
+
+    def test_derive_prefers_published(self):
+        machine = baseline_machine()
+        spec = derive_hardware(machine, config_by_name("S128"))
+        assert spec.from_published
+        assert spec.clock_ns == pytest.approx(1.181)
+
+    def test_derive_analytical_for_custom_config(self):
+        machine = baseline_machine()
+        rf = RFConfig(n_clusters=4, cluster_regs=8, shared_regs=32)
+        spec = derive_hardware(machine, rf)
+        assert not spec.from_published
+        assert spec.clock_ns > 0
+        assert spec.total_area_mlambda2 > 0
+        assert spec.loadr_latency is not None
+
+    def test_smaller_banks_give_faster_clock(self):
+        machine = baseline_machine()
+        small = derive_hardware(machine, config_by_name("8C16S16"))
+        large = derive_hardware(machine, config_by_name("S128"))
+        assert small.clock_ns < large.clock_ns
+
+    def test_scaled_machine_applies_latencies(self):
+        machine = baseline_machine()
+        scaled, spec = scaled_machine(machine, config_by_name("8C16S16"))
+        assert scaled.latency("fadd") == spec.fu_latency == 8
+        assert scaled.latency("load") == spec.mem_hit_latency == 5
+        assert scaled.latency("loadr") == spec.loadr_latency == 2
+        # Division scales proportionally to the pipelined FP latency.
+        assert scaled.latency("fdiv") == round(17 * 8 / 4)
+
+    def test_miss_latency_cycles(self):
+        spec = published_spec("S128")
+        assert spec.miss_latency_cycles(10.0) == round(10.0 / 1.181)
+
+    def test_latency_overrides_keep_store_fast(self):
+        spec = published_spec("8C16S16")
+        overrides = spec.latency_overrides()
+        assert overrides["store"] == spec.mem_hit_latency - 1

@@ -1,0 +1,162 @@
+"""Unit tests for RFConfig / MachineConfig."""
+
+import pytest
+
+from repro.machine import MachineConfig, RFConfig, RFKind, UNBOUNDED
+from repro.machine.config import effective_capacity, is_unbounded
+
+
+class TestRFConfigParsing:
+    def test_parse_monolithic(self):
+        rf = RFConfig.parse("S128")
+        assert rf.kind is RFKind.MONOLITHIC
+        assert rf.shared_regs == 128
+        assert rf.cluster_regs is None
+        assert rf.n_clusters == 1
+
+    def test_parse_clustered(self):
+        rf = RFConfig.parse("4C32")
+        assert rf.kind is RFKind.CLUSTERED
+        assert rf.n_clusters == 4
+        assert rf.cluster_regs == 32
+        assert rf.shared_regs is None
+
+    def test_parse_hierarchical(self):
+        rf = RFConfig.parse("1C64S64")
+        assert rf.kind is RFKind.HIERARCHICAL
+        assert rf.cluster_regs == 64
+        assert rf.shared_regs == 64
+
+    def test_parse_hierarchical_clustered(self):
+        rf = RFConfig.parse("8C16S16")
+        assert rf.kind is RFKind.HIERARCHICAL_CLUSTERED
+        assert rf.n_clusters == 8
+
+    def test_parse_unbounded(self):
+        rf = RFConfig.parse("4CinfSinf")
+        assert rf.cluster_regs_unbounded
+        assert rf.shared_regs_unbounded
+
+    def test_parse_roundtrip_name(self):
+        for name in ("S64", "2C32", "4C16S16", "1C32S64"):
+            assert RFConfig.parse(name).name == name
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            RFConfig.parse("X99")
+
+    def test_parse_empty_invalid(self):
+        with pytest.raises(ValueError):
+            RFConfig.parse("")
+
+
+class TestRFConfigProperties:
+    def test_total_registers(self):
+        assert RFConfig.parse("S128").total_registers == 128
+        assert RFConfig.parse("4C32").total_registers == 128
+        assert RFConfig.parse("4C16S16").total_registers == 80
+
+    def test_monolithic_has_no_clusters(self):
+        with pytest.raises(ValueError):
+            RFConfig(n_clusters=2, cluster_regs=None, shared_regs=64)
+
+    def test_must_have_a_bank(self):
+        with pytest.raises(ValueError):
+            RFConfig(n_clusters=1, cluster_regs=None, shared_regs=None)
+
+    def test_ports_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RFConfig(n_clusters=2, cluster_regs=32, shared_regs=32, lp=0)
+
+    def test_with_ports(self):
+        rf = RFConfig.parse("4C16S16").with_ports(2, 1)
+        assert (rf.lp, rf.sp) == (2, 1)
+        assert rf.name == "4C16S16"
+
+    def test_with_unbounded(self):
+        rf = RFConfig.parse("4C16S16").with_unbounded_registers()
+        assert rf.cluster_regs >= UNBOUNDED and rf.shared_regs >= UNBOUNDED
+
+    def test_needs_move_ops_only_for_clustered(self):
+        assert RFConfig.parse("4C32").needs_move_ops
+        assert not RFConfig.parse("4C16S16").needs_move_ops
+        assert not RFConfig.parse("S64").needs_move_ops
+
+    def test_needs_loadr_storer_only_for_hierarchical(self):
+        assert RFConfig.parse("4C16S16").needs_loadr_storer
+        assert RFConfig.parse("1C64S64").needs_loadr_storer
+        assert not RFConfig.parse("4C32").needs_loadr_storer
+
+    def test_default_buses(self):
+        assert RFConfig.parse("4C32").n_buses == 2
+        assert RFConfig.parse("2C32").n_buses == 1
+
+    def test_is_clustered_flag(self):
+        assert RFConfig.parse("2C64").is_clustered
+        assert not RFConfig.parse("1C64S64").is_clustered
+
+
+class TestMachineConfig:
+    def test_defaults(self):
+        machine = MachineConfig()
+        assert machine.n_fus == 8
+        assert machine.n_mem_ports == 4
+        assert machine.latency("fadd") == 4
+        assert machine.latency("fdiv") == 17
+        assert machine.latency("fsqrt") == 30
+        assert machine.latency("load") == 2
+
+    def test_occupancy_unpipelined(self):
+        machine = MachineConfig()
+        assert machine.occupancy("fadd") == 1
+        assert machine.occupancy("fdiv") == machine.latency("fdiv")
+        assert machine.occupancy("fsqrt") == machine.latency("fsqrt")
+
+    def test_fus_per_cluster(self):
+        machine = MachineConfig()
+        assert machine.fus_per_cluster(RFConfig.parse("4C32")) == 2
+        assert machine.fus_per_cluster(RFConfig.parse("8C16S16")) == 1
+        assert machine.fus_per_cluster(RFConfig.parse("S64")) == 8
+
+    def test_mem_ports_per_cluster(self):
+        machine = MachineConfig()
+        assert machine.mem_ports_per_cluster(RFConfig.parse("4C32")) == 1
+        assert machine.mem_ports_per_cluster(RFConfig.parse("2C64")) == 2
+        # Hierarchical: memory ports live on the shared bank.
+        assert machine.mem_ports_per_cluster(RFConfig.parse("4C16S16")) == 0
+
+    def test_too_many_clusters_rejected(self):
+        machine = MachineConfig()
+        with pytest.raises(ValueError):
+            machine.validate_rf(RFConfig(n_clusters=8, cluster_regs=16, shared_regs=None))
+
+    def test_uneven_split_rejected(self):
+        machine = MachineConfig(n_fus=6, n_mem_ports=3)
+        with pytest.raises(ValueError):
+            machine.fus_per_cluster(RFConfig(n_clusters=4, cluster_regs=16, shared_regs=16))
+
+    def test_scaled_resources(self):
+        machine = MachineConfig().scaled(n_fus=12, n_mem_ports=6)
+        assert machine.n_fus == 12 and machine.n_mem_ports == 6
+
+    def test_scale_latencies(self):
+        machine = MachineConfig().scale_latencies({"fadd": 6, "load": 4})
+        assert machine.latency("fadd") == 6
+        assert machine.latency("load") == 4
+        assert machine.latency("fdiv") == 17  # untouched
+
+    def test_missing_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(latencies={"fadd": 4})
+
+
+class TestHelpers:
+    def test_is_unbounded(self):
+        assert is_unbounded(UNBOUNDED)
+        assert not is_unbounded(128)
+        assert not is_unbounded(None)
+
+    def test_effective_capacity(self):
+        assert effective_capacity(None) == 0.0
+        assert effective_capacity(64) == 64.0
+        assert effective_capacity(UNBOUNDED) == float("inf")

@@ -1,0 +1,103 @@
+"""Unit tests for the named configurations used in the paper."""
+
+import pytest
+
+from repro.machine import (
+    ALL_NAMED_CONFIGS,
+    RFKind,
+    baseline_machine,
+    config_by_name,
+    figure1_machines,
+    figure4_cluster_counts,
+    figure6_configs,
+    table1_configs,
+    table3_configs,
+    table5_configs,
+    table6_configs,
+)
+
+
+class TestBaseline:
+    def test_baseline_machine(self):
+        machine = baseline_machine()
+        assert machine.n_fus == 8 and machine.n_mem_ports == 4
+
+    def test_figure1_sweep(self):
+        machines = figure1_machines()
+        assert [(m.n_fus, m.n_mem_ports) for m in machines] == [
+            (4, 2), (6, 3), (8, 4), (10, 5), (12, 6)
+        ]
+
+
+class TestNamedConfigs:
+    def test_all_named_configs_fit_baseline(self):
+        machine = baseline_machine()
+        for rf in ALL_NAMED_CONFIGS.values():
+            machine.validate_rf(rf)
+
+    def test_lp_sp_match_paper(self):
+        # Port counts the paper derives in Section 4 / Figure 4.
+        assert (config_by_name("1C64S32").lp, config_by_name("1C64S32").sp) == (3, 2)
+        assert (config_by_name("1C32S64").lp, config_by_name("1C32S64").sp) == (4, 2)
+        assert (config_by_name("2C64S32").lp, config_by_name("2C64S32").sp) == (2, 1)
+        assert (config_by_name("2C32S32").lp, config_by_name("2C32S32").sp) == (3, 1)
+        assert (config_by_name("4C16S16").lp, config_by_name("4C16S16").sp) == (2, 1)
+        assert (config_by_name("8C16S16").lp, config_by_name("8C16S16").sp) == (1, 1)
+
+    def test_config_by_name_falls_back_to_parse(self):
+        rf = config_by_name("2C8S8")
+        assert rf.n_clusters == 2 and rf.cluster_regs == 8 and rf.shared_regs == 8
+
+    def test_table1_configs(self):
+        names = [rf.name for rf in table1_configs()]
+        assert names == ["S128", "4C32", "1C64S64"]
+        # The Table 1 configurations all have 128 registers in total.
+        assert all(rf.total_registers == 128 for rf in table1_configs())
+
+    def test_table5_has_fifteen_configs(self):
+        configs = table5_configs()
+        assert len(configs) == 15
+        assert len({rf.name for rf in configs}) == 15
+
+    def test_table6_same_as_table5(self):
+        assert [rf.name for rf in table6_configs()] == [rf.name for rf in table5_configs()]
+
+    def test_figure6_subset_of_table5(self):
+        table5_names = {rf.name for rf in table5_configs()}
+        for rf in figure6_configs():
+            assert rf.name in table5_names
+
+    def test_figure4_cluster_counts(self):
+        assert figure4_cluster_counts() == [1, 2, 4, 8]
+
+
+class TestTable3Configs:
+    def test_pairs_are_unbounded(self):
+        for unlimited, limited in table3_configs():
+            if unlimited.cluster_regs is not None:
+                assert unlimited.cluster_regs_unbounded
+            if unlimited.shared_regs is not None:
+                assert unlimited.shared_regs_unbounded
+
+    def test_limited_ports_match_paper(self):
+        ports = {
+            limited.name: (limited.lp, limited.sp)
+            for _, limited in table3_configs()
+            if limited.has_cluster_banks
+        }
+        assert ports["1CinfSinf"] == (4, 2)
+        assert ports["2CinfSinf"] == (3, 1)
+        assert ports["4CinfSinf"] == (2, 1)
+        assert ports["8CinfSinf"] == (1, 1)
+
+    def test_covers_all_clustering_degrees(self):
+        names = [limited.name for _, limited in table3_configs()]
+        assert names[0] == "Sinf"
+        assert "2Cinf" in names and "4Cinf" in names
+        assert "8CinfSinf" in names
+
+    def test_kinds(self):
+        kinds = [limited.kind for _, limited in table3_configs()]
+        assert RFKind.MONOLITHIC in kinds
+        assert RFKind.CLUSTERED in kinds
+        assert RFKind.HIERARCHICAL_CLUSTERED in kinds

@@ -1,0 +1,119 @@
+"""Unit tests for the per-cluster resource model."""
+
+import pytest
+
+from repro.machine import MachineConfig, RFConfig, ResourceKind, ResourceModel
+from repro.machine.resources import GLOBAL, SHARED
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+class TestResourceInventory:
+    def test_monolithic(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("S128"))
+        assert model.count((ResourceKind.FU, 0)) == 8
+        assert model.count((ResourceKind.MEM, SHARED)) == 4
+        assert model.count((ResourceKind.BUS, GLOBAL)) == 0
+        assert model.clusters == [0]
+
+    def test_clustered(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("4C32"))
+        for cluster in range(4):
+            assert model.count((ResourceKind.FU, cluster)) == 2
+            assert model.count((ResourceKind.MEM, cluster)) == 1
+            assert model.count((ResourceKind.LP, cluster)) == 1
+            assert model.count((ResourceKind.SP, cluster)) == 1
+        assert model.count((ResourceKind.BUS, GLOBAL)) == 2
+        assert model.n_clusters == 4
+
+    def test_hierarchical_clustered(self, machine):
+        rf = RFConfig.parse("4C16S16").with_ports(2, 1)
+        model = ResourceModel(machine, rf)
+        assert model.count((ResourceKind.MEM, SHARED)) == 4
+        assert model.count((ResourceKind.LP, 0)) == 2
+        assert model.count((ResourceKind.SP, 0)) == 1
+        # No bus: communication goes through the shared bank.
+        assert model.count((ResourceKind.BUS, GLOBAL)) == 0
+
+    def test_eight_clusters_only_hierarchical(self, machine):
+        # 8 clusters with only 4 memory ports is only possible when the
+        # memory ports are decoupled onto the shared bank.
+        ResourceModel(machine, RFConfig.parse("8C16S16"))
+        with pytest.raises(ValueError):
+            ResourceModel(machine, RFConfig(n_clusters=8, cluster_regs=16, shared_regs=None))
+
+    def test_describe_mentions_all_kinds(self, machine):
+        text = ResourceModel(machine, RFConfig.parse("2C32S32")).describe()
+        assert "fu" in text and "mem" in text and "lp" in text
+
+
+class TestOperationUses:
+    def test_compute_uses_pipelined(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("4C32"))
+        uses = model.compute_uses("fadd", 2)
+        assert len(uses) == 1
+        assert uses[0].key == (ResourceKind.FU, 2)
+        assert uses[0].duration == 1
+
+    def test_compute_uses_unpipelined(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("S64"))
+        uses = model.compute_uses("fdiv", 0)
+        assert uses[0].duration == machine.latency("fdiv")
+
+    def test_memory_uses(self, machine):
+        clustered = ResourceModel(machine, RFConfig.parse("4C32"))
+        assert clustered.memory_uses(3)[0].key == (ResourceKind.MEM, 3)
+        hierarchical = ResourceModel(machine, RFConfig.parse("4C16S16"))
+        assert hierarchical.memory_uses(3)[0].key == (ResourceKind.MEM, SHARED)
+
+    def test_move_uses(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("4C32"))
+        keys = [use.key for use in model.move_uses(1, 3)]
+        assert (ResourceKind.SP, 1) in keys
+        assert (ResourceKind.LP, 3) in keys
+        assert (ResourceKind.BUS, GLOBAL) in keys
+
+    def test_loadr_storer_uses(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("2C32S32"))
+        assert model.loadr_uses(1)[0].key == (ResourceKind.LP, 1)
+        assert model.storer_uses(0)[0].key == (ResourceKind.SP, 0)
+
+
+class TestResMIIComponents:
+    def test_fu_bound(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("S128"))
+        bounds = model.res_mii_components(
+            n_compute=16, n_compute_unpipelined_cycles=0, n_memory=4
+        )
+        assert bounds["fu"] == 2
+        assert bounds["mem"] == 1
+
+    def test_mem_bound(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("S128"))
+        bounds = model.res_mii_components(
+            n_compute=4, n_compute_unpipelined_cycles=0, n_memory=9
+        )
+        assert bounds["mem"] == 3
+
+    def test_unpipelined_cycles_count(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("S128"))
+        bounds = model.res_mii_components(
+            n_compute=1, n_compute_unpipelined_cycles=16, n_memory=0
+        )
+        assert bounds["fu"] == 3  # ceil(17 / 8)
+
+    def test_comm_bound_hierarchical(self, machine):
+        rf = RFConfig.parse("8C16S16")  # lp = sp = 1, 8 clusters
+        model = ResourceModel(machine, rf)
+        bounds = model.res_mii_components(
+            n_compute=0, n_compute_unpipelined_cycles=0, n_memory=0, n_comm=33
+        )
+        assert bounds["com"] == 3  # ceil(33 / 16)
+
+    def test_zero_ops(self, machine):
+        model = ResourceModel(machine, RFConfig.parse("S64"))
+        bounds = model.res_mii_components(0, 0, 0, 0)
+        assert bounds == {"fu": 0, "mem": 0, "com": 0}

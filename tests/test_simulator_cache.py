@@ -1,0 +1,97 @@
+"""Unit tests for the lockup-free cache model."""
+
+import pytest
+
+from repro.simulator import CacheConfig, LockupFreeCache
+
+
+def make_cache(**kwargs):
+    defaults = dict(size_bytes=1024, line_bytes=32, max_pending=2,
+                    hit_latency=2, miss_latency=20)
+    defaults.update(kwargs)
+    return LockupFreeCache(CacheConfig(**defaults))
+
+
+class TestCacheConfig:
+    def test_line_count(self):
+        assert CacheConfig(size_bytes=32 * 1024, line_bytes=32).n_lines == 1024
+
+    def test_defaults_match_paper(self):
+        cfg = CacheConfig()
+        assert cfg.size_bytes == 32 * 1024
+        assert cfg.line_bytes == 32
+        assert cfg.max_pending == 8
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        first = cache.access(0x1000, cycle=0)
+        assert not first.hit
+        assert first.ready_cycle == 20
+        second = cache.access(0x1000, cycle=30)
+        assert second.hit
+        assert second.ready_cycle == 32
+
+    def test_spatial_locality_within_line(self):
+        cache = make_cache()
+        cache.access(0x1000, cycle=0)
+        same_line = cache.access(0x1008, cycle=40)
+        assert same_line.hit
+
+    def test_different_lines_both_miss(self):
+        cache = make_cache()
+        assert not cache.access(0x1000, cycle=0).hit
+        assert not cache.access(0x2000, cycle=0).hit
+        assert cache.n_misses == 2
+
+    def test_conflict_eviction(self):
+        cache = make_cache(size_bytes=64, line_bytes=32)  # 2 lines, direct mapped
+        cache.access(0x0, cycle=0)
+        cache.access(0x40, cycle=100)  # same index as 0x0 (2-line cache)
+        assert not cache.access(0x0, cycle=200).hit
+
+    def test_miss_ratio(self):
+        cache = make_cache()
+        cache.access(0x0, cycle=0)
+        cache.access(0x0, cycle=100)
+        assert cache.miss_ratio == pytest.approx(0.5)
+
+    def test_reset_counters(self):
+        cache = make_cache()
+        cache.access(0x0, cycle=0)
+        cache.reset_counters()
+        assert cache.n_hits == cache.n_misses == 0
+
+
+class TestLockupFreeBehaviour:
+    def test_merge_with_outstanding_miss(self):
+        cache = make_cache()
+        first = cache.access(0x1000, cycle=0)
+        merged = cache.access(0x1008, cycle=5)
+        assert not merged.hit
+        assert merged.ready_cycle == first.ready_cycle
+        assert cache.n_merged == 1
+        assert cache.n_misses == 1
+
+    def test_mshr_limit_delays_further_misses(self):
+        cache = make_cache(max_pending=2)
+        # Three distinct lines mapping to distinct cache sets.
+        a = cache.access(0x0, cycle=0)
+        b = cache.access(0x20, cycle=0)
+        c = cache.access(0x40, cycle=0)   # both MSHRs busy until cycle 20
+        assert c.ready_cycle > a.ready_cycle
+        assert c.ready_cycle >= min(a.ready_cycle, b.ready_cycle) + 20
+
+    def test_writes_do_not_block(self):
+        cache = make_cache()
+        access = cache.access(0x1000, cycle=0, is_write=True)
+        assert access.ready_cycle == 2   # store buffering hides the fill
+        # But the line is brought in, so a later read hits.
+        assert cache.access(0x1000, cycle=50).hit
+
+    def test_pending_fill_expires(self):
+        cache = make_cache()
+        cache.access(0x1000, cycle=0)
+        # Long after the fill completed there is no pending entry left.
+        assert cache.access(0x1010, cycle=1000).hit

@@ -1,0 +1,140 @@
+"""Tests for binding prefetching and the stall-cycle simulation."""
+
+import pytest
+
+from repro.core import MirsHC
+from repro.ddg import OpType
+from repro.hwmodel import derive_hardware, scaled_machine
+from repro.machine import baseline_machine, config_by_name
+from repro.simulator import (
+    CacheConfig,
+    PrefetchPolicy,
+    classify_loads,
+    simulate_loop_execution,
+)
+from repro.simulator.prefetch import apply_binding_prefetch
+from repro.workloads import build_kernel
+
+
+def cache_for(config_name):
+    machine = baseline_machine()
+    spec = derive_hardware(machine, config_by_name(config_name))
+    return CacheConfig(
+        hit_latency=spec.mem_hit_latency,
+        miss_latency=spec.miss_latency_cycles(machine.miss_latency_ns),
+    )
+
+
+class TestPrefetchClassification:
+    def test_streaming_loads_prefetched(self):
+        loop = build_kernel("daxpy", trip_count=1000)
+        selected = classify_loads(loop)
+        loads = [op.node_id for op in loop.graph.memory_operations() if op.op is OpType.LOAD]
+        assert set(selected) == set(loads)
+
+    def test_recurrence_loads_not_prefetched(self):
+        loop = build_kernel("tridiagonal", trip_count=1000)
+        # tridiagonal's loads feed the recurrence computation but are not
+        # themselves in the cycle, so they may be prefetched; build a loop
+        # where the load is in the recurrence instead.
+        from repro.workloads import LoopBuilder
+
+        b = LoopBuilder("rec_load")
+        x = b.load("x")
+        s = b.add(x, x)
+        st = b.store("x", s)
+        b.memory_order(st, x, distance=1)   # store feeds next iteration's load
+        b.carried(s, s, distance=1)
+        loop = b.build(trip_count=1000)
+        selected = classify_loads(loop)
+        assert x not in selected
+
+    def test_short_loops_not_prefetched(self):
+        loop = build_kernel("daxpy", trip_count=8)
+        assert classify_loads(loop) == set()
+
+    def test_disabled_policy(self):
+        loop = build_kernel("daxpy", trip_count=1000)
+        assert classify_loads(loop, PrefetchPolicy(enabled=False)) == set()
+
+    def test_spill_loads_not_prefetched(self):
+        loop = build_kernel("daxpy", trip_count=1000)
+        spill = loop.graph.add_node(OpType.LOAD, is_spill=True)
+        consumer = loop.graph.compute_operations()[0].node_id
+        loop.graph.add_edge(spill, consumer)
+        assert spill not in classify_loads(loop)
+
+    def test_apply_override(self):
+        loop = build_kernel("daxpy", trip_count=1000)
+        selected = classify_loads(loop)
+        apply_binding_prefetch(loop.graph, selected, 25)
+        for node_id in selected:
+            assert loop.graph.node(node_id).latency_override == 25
+
+
+class TestExecutionSimulation:
+    def _schedule(self, loop, config_name, prefetch=False):
+        rf = config_by_name(config_name)
+        machine, spec = scaled_machine(baseline_machine(), rf)
+        if prefetch:
+            cache = cache_for(config_name)
+            apply_binding_prefetch(loop.graph, classify_loads(loop), cache.miss_latency)
+        return MirsHC(machine, rf).schedule_loop(loop), spec
+
+    def test_useful_cycles_follow_formula(self):
+        loop = build_kernel("daxpy", trip_count=500)
+        result, _ = self._schedule(loop, "S64")
+        stats = simulate_loop_execution(loop, result, cache_for("S64"))
+        expected = result.ii * (loop.total_iterations + (result.stage_count - 1) * loop.times_entered)
+        assert stats.useful_cycles == pytest.approx(expected)
+
+    def test_streaming_loop_without_prefetch_stalls(self):
+        loop = build_kernel("vadd", trip_count=2000)
+        result, _ = self._schedule(loop, "S64", prefetch=False)
+        stats = simulate_loop_execution(loop, result, cache_for("S64"))
+        assert stats.stall_cycles > 0
+        assert stats.n_misses > 0
+
+    def test_prefetch_removes_most_stalls(self):
+        plain = build_kernel("vadd", trip_count=2000)
+        result_plain, _ = self._schedule(plain, "1C32S64", prefetch=False)
+        stats_plain = simulate_loop_execution(plain, result_plain, cache_for("1C32S64"))
+
+        prefetched = build_kernel("vadd", trip_count=2000)
+        result_pf, _ = self._schedule(prefetched, "1C32S64", prefetch=True)
+        stats_pf = simulate_loop_execution(prefetched, result_pf, cache_for("1C32S64"))
+        assert stats_pf.stall_cycles < stats_plain.stall_cycles
+
+    def test_cache_resident_loop_has_negligible_stalls(self):
+        # A loop that re-reads the same few locations every iteration hits
+        # in the cache after the first touch, so stalls are negligible.
+        from repro.workloads import LoopBuilder
+
+        b = LoopBuilder("resident")
+        x = b.load("x", stride=0, footprint=64)
+        y = b.add(x, x)
+        b.store("y", y, stride=0, footprint=64)
+        loop = b.build(trip_count=4000)
+        result, _ = self._schedule(loop, "S64")
+        stats = simulate_loop_execution(loop, result, cache_for("S64"))
+        assert stats.stall_cycles / stats.useful_cycles < 0.05
+        assert stats.n_hits > stats.n_misses
+
+    def test_failed_schedule_yields_no_stall(self):
+        from repro.core.result import ScheduleResult
+        from repro.ddg.analysis import MIIBreakdown
+
+        loop = build_kernel("daxpy")
+        bogus = ScheduleResult(
+            loop_name=loop.name, config_name="S64", success=False, ii=4, mii=4,
+            mii_breakdown=MIIBreakdown(1, 1, 0, 1, 1), stage_count=1,
+        )
+        stats = simulate_loop_execution(loop, bogus, cache_for("S64"))
+        assert stats.stall_cycles == 0.0
+
+    def test_stats_properties(self):
+        loop = build_kernel("daxpy", trip_count=300)
+        result, _ = self._schedule(loop, "S64")
+        stats = simulate_loop_execution(loop, result, cache_for("S64"))
+        assert stats.total_cycles == stats.useful_cycles + stats.stall_cycles
+        assert 0.0 <= stats.miss_ratio <= 1.0

@@ -1,0 +1,137 @@
+"""Unit tests for the random loop generator and the suite builder."""
+
+import numpy as np
+import pytest
+
+from repro.ddg import OpType, compute_mii
+from repro.ddg.analysis import heights, recurrence_components
+from repro.machine import MachineConfig, RFConfig, ResourceModel
+from repro.workloads import (
+    PROFILES,
+    GeneratorProfile,
+    generate_loop,
+    perfect_club_like_suite,
+    tiny_suite,
+)
+from repro.workloads.suite import DEFAULT_PROFILE_MIX
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+@pytest.fixture
+def resources(machine):
+    return ResourceModel(machine, RFConfig.parse("S128"))
+
+
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        a = generate_loop(np.random.default_rng(5), PROFILES["balanced"], 0)
+        b = generate_loop(np.random.default_rng(5), PROFILES["balanced"], 0)
+        assert len(a.graph) == len(b.graph)
+        assert a.graph.n_edges() == b.graph.n_edges()
+        assert [op.op for op in a.graph.nodes()] == [op.op for op in b.graph.nodes()]
+
+    def test_op_count_within_profile_range(self):
+        rng = np.random.default_rng(0)
+        profile = PROFILES["memory_bound"]
+        for i in range(20):
+            loop = generate_loop(rng, profile, i)
+            non_pseudo = sum(1 for op in loop.graph.nodes() if not op.op.is_pseudo)
+            # Stores/loads rounding and consumer fixes may add a couple of nodes.
+            assert profile.n_ops[0] - 2 <= non_pseudo <= profile.n_ops[1] + 4
+
+    def test_loads_have_consumers(self):
+        rng = np.random.default_rng(1)
+        for i in range(20):
+            loop = generate_loop(rng, PROFILES["balanced"], i)
+            for op in loop.graph.memory_operations():
+                if op.op is OpType.LOAD:
+                    assert loop.graph.successors(op.node_id)
+
+    def test_no_zero_distance_cycles(self, machine):
+        rng = np.random.default_rng(2)
+        for name, profile in PROFILES.items():
+            for i in range(10):
+                loop = generate_loop(rng, profile, i)
+                heights(loop.graph, machine.latency)  # raises on a malformed graph
+
+    def test_recurrence_profile_produces_recurrences(self):
+        rng = np.random.default_rng(3)
+        with_recurrence = 0
+        for i in range(20):
+            loop = generate_loop(rng, PROFILES["recurrence_bound"], i)
+            if recurrence_components(loop.graph):
+                with_recurrence += 1
+        assert with_recurrence >= 15
+
+    def test_memory_profile_is_memory_heavy(self):
+        rng = np.random.default_rng(4)
+        loop = generate_loop(rng, PROFILES["memory_bound"], 0)
+        counts = loop.graph.count_ops()
+        assert counts["memory"] >= counts["compute"] * 0.7
+
+    def test_custom_profile(self):
+        profile = GeneratorProfile(name="tiny", n_ops=(4, 6), mem_fraction=0.5)
+        loop = generate_loop(np.random.default_rng(0), profile, 0)
+        assert len(loop.graph) <= 10
+
+    def test_attributes_record_profile(self):
+        loop = generate_loop(np.random.default_rng(0), PROFILES["large"], 7)
+        assert loop.attributes["profile"] == "large"
+        assert loop.source == "generated"
+
+
+class TestSuite:
+    def test_size_and_determinism(self):
+        a = perfect_club_like_suite(40, seed=9)
+        b = perfect_club_like_suite(40, seed=9)
+        assert len(a) == 40
+        assert [l.name for l in a] == [l.name for l in b]
+
+    def test_prefix_stability(self):
+        small = perfect_club_like_suite(40, seed=9)
+        large = perfect_club_like_suite(60, seed=9)
+        assert [l.name for l in small] == [l.name for l in large[:40]]
+
+    def test_kernels_included_by_default(self):
+        suite = perfect_club_like_suite(80, seed=1)
+        names = {l.name for l in suite}
+        assert "daxpy" in names and "hydro_fragment" in names
+        assert any(name.endswith("_x4") for name in names)  # unrolled variants
+
+    def test_kernels_can_be_excluded(self):
+        suite = perfect_club_like_suite(20, seed=1, include_kernels=False)
+        assert all(l.source == "generated" for l in suite)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            perfect_club_like_suite(0)
+
+    def test_profile_mix_must_be_positive(self):
+        with pytest.raises(ValueError):
+            perfect_club_like_suite(10, profile_mix={"balanced": 0.0})
+
+    def test_tiny_suite(self):
+        assert 1 <= len(tiny_suite()) <= 16
+
+    def test_bound_distribution_matches_paper_shape(self, machine, resources):
+        """On the baseline machine, about half the loops are memory bound.
+
+        This is the property the paper's Table 1 relies on (50.9 % memory,
+        29.1 % recurrence, 20 % FU bound); the synthetic suite is tuned to
+        reproduce that shape within a loose tolerance.
+        """
+        suite = perfect_club_like_suite(160, seed=2003)
+        counts = {"mem": 0, "rec": 0, "fu": 0, "com": 0}
+        for loop in suite:
+            counts[compute_mii(loop.graph, resources, machine.latency).bound] += 1
+        total = len(suite)
+        assert 0.35 <= counts["mem"] / total <= 0.70
+        assert 0.12 <= counts["rec"] / total <= 0.45
+        assert 0.05 <= counts["fu"] / total <= 0.35
+
+    def test_mix_weights_sum_to_one(self):
+        assert abs(sum(DEFAULT_PROFILE_MIX.values()) - 1.0) < 1e-9

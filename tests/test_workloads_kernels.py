@@ -1,0 +1,107 @@
+"""Unit tests for the hand-written kernels and the loop builder."""
+
+import pytest
+
+from repro.ddg import OpType, compute_mii
+from repro.ddg.analysis import recurrence_components
+from repro.machine import MachineConfig, RFConfig, ResourceModel
+from repro.workloads import KERNEL_BUILDERS, LoopBuilder, build_kernel, kernel_names
+
+
+@pytest.fixture
+def machine():
+    return MachineConfig()
+
+
+@pytest.fixture
+def resources(machine):
+    return ResourceModel(machine, RFConfig.parse("S128"))
+
+
+class TestLoopBuilder:
+    def test_daxpy_shape(self):
+        b = LoopBuilder("test")
+        a = b.live_in("a")
+        x = b.load("x")
+        y = b.load("y")
+        ax = b.mul(a, x)
+        s = b.add(ax, y)
+        b.store("y", s)
+        loop = b.build(trip_count=10)
+        assert loop.n_operations == 6
+        assert loop.n_memory_ops == 3
+        assert loop.total_iterations == 10
+
+    def test_carried_edge(self):
+        b = LoopBuilder("acc")
+        x = b.load("x")
+        s = b.add(x, x)
+        b.carried(s, s, distance=1)
+        loop = b.build()
+        assert loop.graph.edge(s, s).distance == 1
+
+    def test_memory_order_edge(self):
+        b = LoopBuilder("mem")
+        x = b.load("x")
+        st = b.store("y", x)
+        ld2 = b.load("y")
+        b.memory_order(st, ld2, distance=1)
+        assert b.graph.edge(st, ld2).kind == "mem"
+
+    def test_build_attributes(self):
+        loop = LoopBuilder("k").build(category="custom")
+        assert loop.attributes["category"] == "custom"
+
+
+class TestKernels:
+    def test_registry_and_names(self):
+        assert len(KERNEL_BUILDERS) >= 25
+        assert kernel_names() == list(KERNEL_BUILDERS)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            build_kernel("does_not_exist")
+
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_every_kernel_builds_and_is_well_formed(self, name, machine, resources):
+        loop = build_kernel(name)
+        graph = loop.graph
+        assert len(graph) > 0
+        assert loop.trip_count > 0
+        # Every kernel has at least one memory operation (they are loops
+        # over arrays) and the MII is computable (no zero-distance cycles).
+        assert loop.n_memory_ops >= 1
+        breakdown = compute_mii(graph, resources, machine.latency)
+        assert breakdown.mii >= 1
+        # Loads always have at least one consumer.
+        for op in graph.memory_operations():
+            if op.op is OpType.LOAD:
+                assert graph.successors(op.node_id)
+
+    def test_reduction_kernels_have_recurrences(self):
+        for name in ("dot_product", "vsum", "first_sum", "tridiagonal", "horner"):
+            loop = build_kernel(name)
+            # horner's recurrence is per-point (no loop-carried cycle), so it
+            # is excluded from the cycle check.
+            if name == "horner":
+                continue
+            assert recurrence_components(loop.graph), name
+
+    def test_streaming_kernels_have_no_recurrences(self):
+        for name in ("vadd", "daxpy", "first_difference", "rgb_to_luma"):
+            assert not recurrence_components(build_kernel(name).graph), name
+
+    def test_parameterized_kernels(self):
+        small = build_kernel("fir_filter", taps=2)
+        large = build_kernel("fir_filter", taps=8)
+        assert len(large.graph) > len(small.graph)
+
+    def test_division_kernels_use_divider(self):
+        loop = build_kernel("normalize3")
+        ops = {op.op for op in loop.graph.nodes()}
+        assert OpType.FDIV in ops and OpType.FSQRT in ops
+
+    def test_live_ins_used(self):
+        loop = build_kernel("horner", degree=4)
+        for inv in loop.graph.live_in_nodes():
+            assert loop.graph.successors(inv.node_id)
