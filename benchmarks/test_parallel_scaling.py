@@ -1,0 +1,73 @@
+"""Microbenchmark: parallel fan-out and cache reuse of the eval engine.
+
+Unlike the table/figure benchmarks, this one measures the *engine* rather
+than the paper: it times the same fixed-seed workbench
+
+* scheduled serially (``jobs=1``) vs. over worker processes (``jobs=2``),
+  and
+* against a cold vs. a warm :class:`~repro.eval.cache.EvalCache`.
+
+The serial-vs-parallel ratio depends on the host's core count (on a
+single-core runner the parallel pass only adds process overhead); the
+warm-cache pass must beat the cold pass by a wide margin everywhere.
+Timings are recorded to ``benchmarks/output/parallel_scaling.txt`` so the
+numbers backing EXPERIMENTS.md can be re-inspected after a run.
+"""
+
+import time
+
+from conftest import save_result
+
+from repro.eval import EvalCache, Table, schedule_suite
+from repro.workloads.suite import perfect_club_like_suite
+
+CONFIG = "S64"
+PARALLEL_JOBS = 2
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_parallel_and_cache_scaling(benchmark, bench_loops, bench_seed, output_dir):
+    loops = perfect_club_like_suite(bench_loops, seed=bench_seed)
+
+    serial_runs, serial_s = _timed(lambda: schedule_suite(loops, CONFIG))
+    parallel_runs, parallel_s = _timed(
+        lambda: schedule_suite(loops, CONFIG, jobs=PARALLEL_JOBS)
+    )
+
+    cache = EvalCache()
+    _, cold_s = _timed(lambda: schedule_suite(loops, CONFIG, cache=cache))
+    warm_runs, warm_s = benchmark.pedantic(
+        lambda: _timed(lambda: schedule_suite(loops, CONFIG, cache=cache)),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        ["mode", "loops", "seconds", "vs serial"],
+        title=f"Parallel/cache scaling on {CONFIG} ({bench_loops} loops, "
+        f"jobs={PARALLEL_JOBS})",
+    )
+    for mode, seconds in [
+        ("serial", serial_s),
+        (f"parallel x{PARALLEL_JOBS}", parallel_s),
+        ("cache cold", cold_s),
+        ("cache warm", warm_s),
+    ]:
+        table.add_row(mode, bench_loops, seconds, seconds / serial_s if serial_s else 0.0)
+    save_result(output_dir, "parallel_scaling", table.render())
+
+    # Correctness invariants (the timing itself is host-dependent).
+    def iis(runs):
+        return [run.result.ii for run in runs]
+
+    assert iis(parallel_runs) == iis(serial_runs)
+    assert iis(warm_runs) == iis(serial_runs)
+    assert cache.hits == bench_loops  # the warm pass never re-scheduled
+    # A warm cache skips all scheduling; demand a large margin even on
+    # slow CI hosts.
+    assert warm_s < cold_s / 2

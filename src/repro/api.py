@@ -10,6 +10,12 @@ Most users interact with the library through three verbs:
 * :func:`compare_configurations` -- the design-space view: evaluate
   several configurations and rank them by execution time.
 
+All three verbs accept ``jobs=N`` to schedule the workbench over N worker
+processes (``jobs=0`` means one per CPU) and ``cache=EvalCache(...)`` to
+memoize (loop, configuration) scheduling results -- pass
+``EvalCache("some/dir")`` to persist the cache across processes.  See
+:mod:`repro.eval.parallel` and :mod:`repro.eval.cache`.
+
 Everything these helpers do is also available through the underlying
 packages (``repro.core``, ``repro.eval``); the helpers just wire the
 common path (build workbench -> scale latencies -> schedule -> aggregate)
@@ -21,14 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.mirs_hc import MirsHC
 from repro.core.result import ScheduleResult
 from repro.ddg.loop import Loop
+from repro.eval.cache import EvalCache
 from repro.eval.metrics import LoopRun, aggregate_cycles, aggregate_time_ns, aggregate_traffic
 from repro.eval.experiments import schedule_suite
 from repro.eval.reporting import Table
 from repro.hwmodel.spec import HardwareSpec
-from repro.hwmodel.timing import derive_hardware, scaled_machine
+from repro.hwmodel.timing import derive_hardware
 from repro.machine.config import MachineConfig, RFConfig
 from repro.machine.presets import baseline_machine, config_by_name
 from repro.workloads.kernels import build_kernel
@@ -52,20 +58,34 @@ def schedule_kernel(
     *,
     machine: Optional[MachineConfig] = None,
     budget_ratio: float = 6.0,
+    jobs: int = 1,
+    cache: Optional[EvalCache] = None,
     **kernel_params: object,
 ) -> ScheduleResult:
     """Schedule a named kernel (or a ready-made loop) on a configuration.
 
-    Example::
+    ``jobs`` is accepted for uniformity with the other verbs (a single
+    loop always schedules in-process).  When ``cache`` is given, a
+    previously scheduled identical (kernel, configuration) pair is
+    returned without re-running the scheduler.
 
-        result = schedule_kernel("fir_filter", "4C16S16", taps=8)
-        print(result.kernel_table())
+    Example:
+
+    >>> from repro.api import schedule_kernel
+    >>> result = schedule_kernel("fir_filter", "4C16S16", taps=8)
+    >>> result.success
+    True
+    >>> result.ii >= result.mii
+    True
     """
     loop = build_kernel(kernel, **kernel_params) if isinstance(kernel, str) else kernel
     rf_config = _resolve(rf)
     base = machine or baseline_machine()
-    scaled, _spec = scaled_machine(base, rf_config)
-    return MirsHC(scaled, rf_config, budget_ratio=budget_ratio).schedule_loop(loop)
+    runs = schedule_suite(
+        [loop], rf_config, machine=base, budget_ratio=budget_ratio,
+        jobs=jobs, cache=cache,
+    )
+    return runs[0].result
 
 
 @dataclass
@@ -104,12 +124,28 @@ def evaluate_configuration(
     n_loops: int = 64,
     seed: int = 2003,
     machine: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache: Optional[EvalCache] = None,
 ) -> ConfigurationReport:
-    """Schedule a workbench on one configuration and aggregate the metrics."""
+    """Schedule a workbench on one configuration and aggregate the metrics.
+
+    ``jobs`` schedules the workbench over that many worker processes
+    (``0`` = one per CPU); ``cache`` reuses results for already-seen
+    (loop, configuration) pairs.
+
+    Example:
+
+    >>> from repro.api import evaluate_configuration
+    >>> report = evaluate_configuration("4C16S16", n_loops=4, jobs=1)
+    >>> report.n_failed
+    0
+    >>> report.cycles > 0
+    True
+    """
     rf_config = _resolve(rf)
     base = machine or baseline_machine()
     workbench = list(loops) if loops is not None else perfect_club_like_suite(n_loops, seed=seed)
-    runs = schedule_suite(workbench, rf_config, machine=base)
+    runs = schedule_suite(workbench, rf_config, machine=base, jobs=jobs, cache=cache)
     spec = derive_hardware(base, rf_config)
     return ConfigurationReport(config=rf_config, spec=spec, runs=runs)
 
@@ -122,14 +158,35 @@ def compare_configurations(
     seed: int = 2003,
     reference: Union[str, RFConfig] = "S64",
     machine: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache: Optional[EvalCache] = None,
 ) -> Dict[str, object]:
     """Evaluate several configurations and rank them by execution time.
 
     Returns a dict with a ``reports`` mapping (name -> ConfigurationReport),
     a rendered ``table`` and the ``ranking`` (fastest first).
+
+    ``jobs`` parallelizes each per-configuration evaluation; ``cache``
+    memoizes (loop, configuration) pairs.  When no cache is passed, an
+    ephemeral in-memory one deduplicates repeated configurations within
+    this comparison; pass your own :class:`~repro.eval.cache.EvalCache` to
+    reuse results across calls (a warm cache makes a repeated comparison
+    run without any scheduling at all).
+
+    Example:
+
+    >>> from repro.api import compare_configurations
+    >>> from repro.eval.cache import EvalCache
+    >>> cache = EvalCache()
+    >>> cold = compare_configurations(["S64", "4C16S16"], n_loops=4, cache=cache)
+    >>> warm = compare_configurations(["S64", "4C16S16"], n_loops=4, cache=cache)
+    >>> cold["ranking"] == warm["ranking"]
+    True
     """
     base = machine or baseline_machine()
     workbench = list(loops) if loops is not None else perfect_club_like_suite(n_loops, seed=seed)
+    if cache is None:
+        cache = EvalCache()
     names: List[str] = []
     reports: Dict[str, ConfigurationReport] = {}
     all_configs = list(configs)
@@ -137,7 +194,9 @@ def compare_configurations(
     if reference_rf.name not in {(_resolve(c)).name for c in all_configs}:
         all_configs = [reference_rf, *all_configs]
     for config in all_configs:
-        report = evaluate_configuration(config, loops=workbench, machine=base)
+        report = evaluate_configuration(
+            config, loops=workbench, machine=base, jobs=jobs, cache=cache
+        )
         reports[report.config.name] = report
         names.append(report.config.name)
 

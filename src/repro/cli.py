@@ -3,8 +3,8 @@
 Three sub-commands cover the common workflows::
 
     python -m repro.cli schedule daxpy 4C16S16 --code --registers
-    python -m repro.cli evaluate 4C16S16 S64 --loops 32
-    python -m repro.cli reproduce table6 --loops 48
+    python -m repro.cli evaluate 4C16S16 S64 --loops 32 --jobs 4
+    python -m repro.cli reproduce table6 --loops 48 --jobs 0 --cache .repro-cache
 
 * ``schedule`` schedules one named kernel on one configuration and prints
   the kernel table (optionally the register allocation and the emitted
@@ -12,6 +12,11 @@ Three sub-commands cover the common workflows::
 * ``evaluate`` compares configurations on a workbench (area, clock,
   cycles, execution time);
 * ``reproduce`` regenerates one of the paper's tables/figures (or ``all``).
+
+Every sub-command takes ``--jobs N`` to schedule loops over N worker
+processes (``--jobs 0`` = one per CPU) and ``--cache DIR`` to persist
+scheduling results on disk, so re-runs -- and tables that share
+(loop, configuration) pairs -- skip the scheduler entirely.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro import api
 from repro.core.allocation import allocate_registers
 from repro.core.codegen import generate_code
 from repro.eval import experiments
+from repro.eval.cache import EvalCache
 from repro.hwmodel.timing import scaled_machine
 from repro.machine.presets import baseline_machine, config_by_name
 from repro.workloads.kernels import kernel_names
@@ -34,10 +40,10 @@ __all__ = ["main", "build_parser"]
 EXPERIMENT_DRIVERS: Dict[str, Callable[..., "experiments.ExperimentResult"]] = {
     "figure1": experiments.run_figure1,
     "table1": experiments.run_table1,
-    "table2": lambda **kw: experiments.run_table2(),
+    "table2": experiments.run_table2,
     "table3": experiments.run_table3,
     "table4": experiments.run_table4,
-    "table5": lambda **kw: experiments.run_table5(),
+    "table5": experiments.run_table5,
     "table6": experiments.run_table6,
     "figure4": experiments.run_figure4,
     "figure6": experiments.run_figure6,
@@ -52,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--jobs", type=_nonnegative_int, default=1, metavar="N",
+            help="schedule loops over N worker processes (0 = one per CPU; "
+                 "default: 1, serial)",
+        )
+        command.add_argument(
+            "--cache", default=None, metavar="DIR",
+            help="cache scheduling results in DIR so identical "
+                 "(loop, configuration) pairs are never re-scheduled "
+                 "(default: no cache)",
+        )
+
     schedule = sub.add_parser("schedule", help="schedule one kernel on one configuration")
     schedule.add_argument("kernel", choices=sorted(kernel_names()))
     schedule.add_argument("config", help="register-file configuration, e.g. 4C16S16")
@@ -60,24 +79,51 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also print the wrap-around register allocation")
     schedule.add_argument("--code", action="store_true",
                           help="also print the software-pipelined code")
+    add_engine_flags(schedule)
 
     evaluate = sub.add_parser("evaluate", help="compare configurations on a workbench")
     evaluate.add_argument("configs", nargs="+", help="configuration names")
     evaluate.add_argument("--loops", type=int, default=32)
     evaluate.add_argument("--seed", type=int, default=2003)
     evaluate.add_argument("--reference", default="S64")
+    add_engine_flags(evaluate)
 
     reproduce = sub.add_parser("reproduce", help="regenerate a table/figure of the paper")
     reproduce.add_argument("target", choices=sorted(EXPERIMENT_DRIVERS) + ["all"])
     reproduce.add_argument("--loops", type=int, default=48)
     reproduce.add_argument("--seed", type=int, default=2003)
+    add_engine_flags(reproduce)
 
     return parser
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type for --jobs: a non-negative worker count."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one worker per CPU), got {value}"
+        )
+    return value
+
+
+def _cache_from_args(args: argparse.Namespace) -> Optional[EvalCache]:
+    """Build the on-disk result cache requested by ``--cache DIR`` (if any)."""
+    if not args.cache:
+        return None
+    try:
+        return EvalCache(args.cache)
+    except OSError as exc:
+        raise SystemExit(f"error: --cache {args.cache}: {exc}")
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     result = api.schedule_kernel(
-        args.kernel, args.config, budget_ratio=args.budget_ratio
+        args.kernel, args.config, budget_ratio=args.budget_ratio,
+        jobs=args.jobs, cache=_cache_from_args(args),
     )
     print(result.summary())
     print(result.kernel_table())
@@ -98,7 +144,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     comparison = api.compare_configurations(
-        args.configs, n_loops=args.loops, seed=args.seed, reference=args.reference
+        args.configs, n_loops=args.loops, seed=args.seed, reference=args.reference,
+        jobs=args.jobs, cache=_cache_from_args(args),
     )
     print(comparison["table"].render())
     print()
@@ -108,12 +155,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     targets = sorted(EXPERIMENT_DRIVERS) if args.target == "all" else [args.target]
+    # One cache for the whole invocation: with ``reproduce all`` the
+    # tables share many (loop, configuration) pairs, so later drivers
+    # start warm even without --cache DIR.  (EvalCache.__bool__ makes an
+    # empty cache truthy, but the None check stays explicit.)
+    cache = _cache_from_args(args)
+    if cache is None:
+        cache = EvalCache()
     for target in targets:
         driver = EXPERIMENT_DRIVERS[target]
-        if target in ("table2", "table5"):
-            result = driver()
-        else:
-            result = driver(n_loops=args.loops, seed=args.seed)
+        result = driver(n_loops=args.loops, seed=args.seed,
+                        jobs=args.jobs, cache=cache)
         print()
         print(result.render())
     return 0

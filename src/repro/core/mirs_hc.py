@@ -184,6 +184,10 @@ class MirsHC:
                 budget += award_growth()
                 failed = False
                 for comm_node in new_comm:
+                    if comm_node not in graph:
+                        # Scheduling an earlier member of this chain ejected
+                        # a neighbour whose cleanup deleted this one.
+                        continue
                     home = graph.node(comm_node).home_cluster
                     ejected = schedule.schedule(comm_node, home)
                     budget -= 1
@@ -194,6 +198,11 @@ class MirsHC:
                 if failed:
                     return None
 
+                if node_id not in graph:
+                    # Scheduling the communication chain above ejected a
+                    # neighbour whose cleanup deleted this very node (it
+                    # was an inserted comm/spill op of the ejected owner).
+                    continue
                 ejected = schedule.schedule(node_id, cluster)
                 budget -= 1
                 self._handle_ejections(graph, schedule, ejected, priority)

@@ -48,11 +48,23 @@ class SpillState:
         return node_id in self.spilled_values or node_id in self.spilled_invariants
 
 
-def _spillable(graph: DepGraph, lifetime: ValueLifetime, state: SpillState) -> bool:
+def _spillable(
+    graph: DepGraph,
+    lifetime: ValueLifetime,
+    state: SpillState,
+    *,
+    allow_spill_copies: bool = False,
+) -> bool:
     node = graph.node(lifetime.node_id)
     if state.is_spilled(lifetime.node_id):
         return False
-    if node.is_spill:
+    if node.is_spill and not (allow_spill_copies and node.op is OpType.STORER):
+        # Spill code itself is normally not re-spilled.  The exception is
+        # the second level of the paper's spill chain: a StoreR copy that a
+        # cluster-bank spill parked in the shared bank can have a long
+        # lifetime there, and when the *shared* bank overflows such copies
+        # may continue on to memory (``allow_spill_copies``) -- otherwise a
+        # shared bank full of spill copies is unfixable at any II.
         return False
     # A LoadR value is already a freshly re-loaded copy; spilling it would
     # only add churn (its source should be spilled instead).  StoreR and
@@ -194,7 +206,14 @@ def check_and_insert_spill(
                 graph, schedule.times, schedule.clusters, schedule.ii, rf, machine.latency
             )
         candidates = sorted(
-            (lt for lt in per_bank.get(bank, []) if _spillable(graph, lt, state)),
+            (
+                lt
+                for lt in per_bank.get(bank, [])
+                # In the shared bank, spill copies may continue to memory
+                # (the second level of the cluster -> shared -> memory
+                # chain); everywhere else they are off limits.
+                if _spillable(graph, lt, state, allow_spill_copies=bank == SHARED)
+            ),
             key=lambda lt: -lt.length,
         )
         # A cluster-bank value normally spills one level up, to the shared
@@ -240,6 +259,34 @@ def check_and_insert_spill(
                     spills_done += 1
                     spilled_here = True
                     break
+        if not spilled_here and bank != SHARED:
+            # Last resort for a stuck cluster bank: it can be clogged with
+            # re-loaded (LoadR) copies, which the normal policy refuses to
+            # touch -- their sources live one level up where there may be
+            # no pressure to relieve, and the slot search places a LoadR
+            # right after its producer, so a distant consumer gives the
+            # copy a lifetime of several IIs.  Left alone the bank stays
+            # over capacity at *every* II and the scheduler churns until
+            # its budget dies; rerouting the longest-lived copy through
+            # memory restores the guarantee that a large enough II always
+            # schedules.
+            for victim in sorted(per_bank.get(bank, []), key=lambda lt: -lt.length):
+                node = graph.node(victim.node_id)
+                if node.op is not OpType.LOADR:
+                    continue
+                if victim.node_id in state.spilled_values:
+                    continue
+                if not graph.flow_consumers(victim.node_id):
+                    continue
+                # _spill_value_to_memory always creates at least the spill
+                # store, so this victim is never futile.
+                created = _spill_value_to_memory(graph, victim.node_id)
+                state.spilled_values.add(victim.node_id)
+                state.n_spill_memory_ops += len(created)
+                new_nodes.extend(created)
+                spills_done += 1
+                spilled_here = True
+                break
         if not spilled_here:
             # Nothing left to spill from this bank; the driver will notice
             # that the pressure cannot be met and fail this II attempt.

@@ -271,6 +271,36 @@ class DepGraph:
             if edge.kind == "flow"
         ]
 
+    def structural_signature(self) -> Tuple:
+        """A hashable canonical form of the graph.
+
+        Two graphs with the same nodes (id, operation kind, memory
+        reference, insertion flags, latency overrides) and the same edges
+        produce the same signature; any structural difference changes it.
+        Used by the evaluation cache to content-address scheduling results
+        (see :mod:`repro.eval.cache`).
+        """
+        nodes = tuple(
+            (
+                node_id,
+                op.op.mnemonic,
+                op.mem_ref,
+                op.is_spill,
+                op.is_inserted,
+                op.inserted_for,
+                op.home_cluster,
+                op.latency_override,
+            )
+            for node_id, op in sorted(self._nodes.items())
+        )
+        edges = tuple(
+            sorted(
+                (edge.src, edge.dst, edge.distance, edge.kind)
+                for edge in self.edges()
+            )
+        )
+        return (nodes, edges)
+
     def summary(self) -> str:
         """One-line human-readable summary of the graph."""
         counts = self.count_ops()

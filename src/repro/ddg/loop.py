@@ -9,6 +9,7 @@ behaviour of the loop (for memory traffic and the real-memory scenario).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -76,6 +77,25 @@ class Loop:
             source=self.source,
             attributes=dict(self.attributes),
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the loop (structure plus run metadata).
+
+        Two loops with identical dependence graphs, trip counts and
+        weights share a fingerprint even when they are distinct objects
+        (e.g. regenerated from the same seed in another process); any
+        change to the body or the execution metadata changes it.  This is
+        the loop component of the evaluation-cache key
+        (:func:`repro.eval.cache.schedule_key`).
+        """
+        payload = (
+            self.name,
+            self.trip_count,
+            self.times_entered,
+            self.weight,
+            self.graph.structural_signature(),
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """Readable one-line description used by examples and reports."""

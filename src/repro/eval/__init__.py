@@ -7,10 +7,19 @@
   paper's evaluation (Figure 1, Tables 1-6, Figures 4 and 6) plus the
   ablation studies; each driver returns a structured result object and can
   render itself as a plain-text table.
+* :mod:`repro.eval.parallel` -- process-parallel scheduling of a
+  workbench; every driver (and :func:`~repro.eval.experiments.schedule_suite`)
+  takes ``jobs=N`` to fan out over N worker processes.
+* :mod:`repro.eval.cache` -- content-addressed memoization of
+  (loop, configuration) scheduling results; pass ``cache=EvalCache(...)``
+  to any driver to skip re-scheduling identical pairs (optionally
+  persisted to disk).
 * :mod:`repro.eval.reporting` -- fixed-width table rendering shared by the
   drivers, the examples and the benchmarks.
 """
 
+from repro.eval.cache import EvalCache, schedule_key
+from repro.eval.parallel import resolve_jobs, schedule_loops_parallel
 from repro.eval.metrics import (
     LoopRun,
     execution_cycles,
@@ -36,6 +45,10 @@ from repro.eval.experiments import (
 )
 
 __all__ = [
+    "EvalCache",
+    "schedule_key",
+    "resolve_jobs",
+    "schedule_loops_parallel",
     "LoopRun",
     "execution_cycles",
     "execution_time_ns",

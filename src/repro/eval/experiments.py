@@ -17,7 +17,10 @@ scaled from quick smoke tests (a few dozen loops) up to the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.eval.cache import EvalCache
 
 from repro.ddg.loop import Loop
 from repro.machine.config import MachineConfig, RFConfig
@@ -88,24 +91,21 @@ def _suite(n_loops: int, seed: int) -> List[Loop]:
 # --------------------------------------------------------------------------- #
 # Scheduling helpers
 # --------------------------------------------------------------------------- #
-def schedule_suite(
-    loops: Sequence[Loop],
-    rf: RFConfig | str,
-    *,
-    machine: Optional[MachineConfig] = None,
-    scale_to_clock: bool = True,
-    budget_ratio: float = 6.0,
-    scheduler: str = "mirs_hc",
-    prefetch: Optional[PrefetchPolicy] = None,
-) -> List[LoopRun]:
-    """Schedule a whole workbench on one configuration.
+def _build_engine(
+    rf_config: RFConfig,
+    base: MachineConfig,
+    scale_to_clock: bool,
+    budget_ratio: float,
+    scheduler: str,
+):
+    """Instantiate a scheduling engine for one configuration.
 
-    ``prefetch`` enables selective binding prefetching: the selected loads
-    are scheduled with the configuration's miss latency (this is how the
-    real-memory experiments of Figure 6 run the scheduler).
+    Returns ``(engine, scaled_machine, spec)``; ``spec`` is ``None`` when
+    latencies are not re-scaled to the configuration's clock.  Shared by
+    the serial path below and by the workers of
+    :mod:`repro.eval.parallel`, so both build byte-for-byte identical
+    engines.
     """
-    rf_config = config_by_name(rf) if isinstance(rf, str) else rf
-    base = machine or baseline_machine()
     spec = None
     if scale_to_clock:
         scaled, spec = scaled_machine(base, rf_config)
@@ -117,18 +117,140 @@ def schedule_suite(
         engine = NonIterativeScheduler(scaled, rf_config)
     else:
         raise ValueError(f"unknown scheduler {scheduler!r}")
+    return engine, scaled, spec
 
-    runs: List[LoopRun] = []
-    for loop in loops:
-        target = loop
-        if prefetch is not None and prefetch.enabled and spec is not None:
-            target = loop.copy()
-            miss_cycles = spec.miss_latency_cycles(scaled.miss_latency_ns)
-            prefetched = classify_loads(target, prefetch)
-            apply_binding_prefetch(target.graph, prefetched, miss_cycles)
-        result = engine.schedule_loop(target)
-        runs.append(LoopRun(loop=target, result=result, spec=spec))
-    return runs
+
+def _schedule_one(
+    loop: Loop,
+    engine,
+    scaled: MachineConfig,
+    spec,
+    prefetch: Optional[PrefetchPolicy],
+) -> LoopRun:
+    """Schedule one loop (applying binding prefetching when requested)."""
+    target = loop
+    if prefetch is not None and prefetch.enabled and spec is not None:
+        target = loop.copy()
+        miss_cycles = spec.miss_latency_cycles(scaled.miss_latency_ns)
+        prefetched = classify_loads(target, prefetch)
+        apply_binding_prefetch(target.graph, prefetched, miss_cycles)
+    result = engine.schedule_loop(target)
+    return LoopRun(loop=target, result=result, spec=spec)
+
+
+def schedule_suite(
+    loops: Sequence[Loop],
+    rf: RFConfig | str,
+    *,
+    machine: Optional[MachineConfig] = None,
+    scale_to_clock: bool = True,
+    budget_ratio: float = 6.0,
+    scheduler: str = "mirs_hc",
+    prefetch: Optional[PrefetchPolicy] = None,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
+) -> List[LoopRun]:
+    """Schedule a whole workbench on one configuration.
+
+    ``prefetch`` enables selective binding prefetching: the selected loads
+    are scheduled with the configuration's miss latency (this is how the
+    real-memory experiments of Figure 6 run the scheduler).
+
+    ``jobs`` fans the workbench out over that many worker processes
+    (``0`` means one per CPU); the default of ``1`` keeps the serial
+    in-process path.  Results are in workbench order and identical to the
+    serial path regardless of ``jobs``.
+
+    ``cache`` (an :class:`repro.eval.cache.EvalCache`) memoizes one
+    result per unique (loop, configuration, knobs) problem: cache hits
+    skip scheduling entirely, and only the missing loops are (re)scheduled
+    -- serially or in parallel, as requested.
+    """
+    if jobs < 0:
+        # Validated up front so the same bad argument fails identically
+        # whether the loops end up cached, serial, or fanned out.
+        raise ValueError(f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}")
+    rf_config = config_by_name(rf) if isinstance(rf, str) else rf
+    base = machine or baseline_machine()
+    # Build the engine up front even when every loop turns out to be
+    # cached: this validates the configuration and the scheduler name, so
+    # bad arguments fail identically on cold and warm runs.
+    engine, scaled, spec = _build_engine(
+        rf_config, base, scale_to_clock, budget_ratio, scheduler
+    )
+
+    runs: List[Optional[LoopRun]] = [None] * len(loops)
+    keys: List[Optional[str]] = [None] * len(loops)
+    #: key -> every workbench position that needs its (missing) result;
+    #: only the first position of a group is actually scheduled.
+    miss_groups: Dict[str, List[int]] = {}
+    pending: List[Tuple[int, Loop]] = []
+    if cache is not None:
+        from repro.eval.cache import schedule_key
+
+        for position, loop in enumerate(loops):
+            key = schedule_key(
+                loop,
+                rf_config,
+                base,
+                scale_to_clock=scale_to_clock,
+                budget_ratio=budget_ratio,
+                scheduler=scheduler,
+                prefetch=prefetch,
+            )
+            keys[position] = key
+            group = miss_groups.get(key)
+            if group is not None:
+                # Duplicate of a problem already queued this call: share
+                # its result instead of scheduling it again.
+                group.append(position)
+                continue
+            hit = cache.get(key)
+            if hit is not None:
+                runs[position] = hit
+            else:
+                miss_groups[key] = [position]
+                pending.append((position, loop))
+    else:
+        pending = list(enumerate(loops))
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            fresh = [
+                (position, _schedule_one(loop, engine, scaled, spec, prefetch))
+                for position, loop in pending
+            ]
+        else:
+            from repro.eval.parallel import schedule_loops_parallel
+
+            fresh = schedule_loops_parallel(
+                pending,
+                rf_config,
+                base,
+                scale_to_clock=scale_to_clock,
+                budget_ratio=budget_ratio,
+                scheduler=scheduler,
+                prefetch=prefetch,
+                jobs=jobs,
+            )
+        for position, run in fresh:
+            key = keys[position]
+            if key is not None:
+                cache.put(key, run)
+                for duplicate in miss_groups[key]:
+                    runs[duplicate] = run
+            else:
+                runs[position] = run
+    unfilled = [position for position, run in enumerate(runs) if run is None]
+    if unfilled:
+        # Every position must be covered by a cache hit, a duplicate
+        # group, or a fresh schedule; a hole is a bookkeeping bug and
+        # silently dropping it would skew every downstream aggregate.
+        raise RuntimeError(
+            f"schedule_suite left {len(unfilled)} of {len(loops)} loops "
+            f"unscheduled (positions {unfilled[:5]}...)"
+        )
+    return list(runs)
 
 
 def _ops_per_iteration(loop: Loop) -> int:
@@ -140,7 +262,11 @@ def _ops_per_iteration(loop: Loop) -> int:
 # Figure 1: IPC as a function of the number of resources
 # --------------------------------------------------------------------------- #
 def run_figure1(
-    n_loops: int = DEFAULT_N_LOOPS, seed: int = DEFAULT_SEED
+    n_loops: int = DEFAULT_N_LOOPS,
+    seed: int = DEFAULT_SEED,
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """IPC achieved by a monolithic 128-register machine as resources grow."""
     loops = _suite(n_loops, seed)
@@ -152,7 +278,7 @@ def run_figure1(
     rf = config_by_name("S128")
     for machine in figure1_machines():
         runs = schedule_suite(
-            loops, rf, machine=machine, scale_to_clock=False
+            loops, rf, machine=machine, scale_to_clock=False, jobs=jobs, cache=cache
         )
         total_ops = sum(
             _ops_per_iteration(run.loop) * run.loop.total_iterations for run in runs
@@ -178,7 +304,11 @@ def run_figure1(
 # Table 1: cycle breakdown by loop bound for equally sized configurations
 # --------------------------------------------------------------------------- #
 def run_table1(
-    n_loops: int = DEFAULT_N_LOOPS, seed: int = DEFAULT_SEED
+    n_loops: int = DEFAULT_N_LOOPS,
+    seed: int = DEFAULT_SEED,
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """Execution-cycle breakdown (FU / MemPort / Rec / Com bound) per configuration."""
     loops = _suite(n_loops, seed)
@@ -191,7 +321,7 @@ def run_table1(
     per_config: Dict[str, Dict[str, Dict[str, float]]] = {}
     totals: Dict[str, float] = {}
     for rf in table1_configs():
-        runs = schedule_suite(loops, rf)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache)
         breakdown = {c: {"loops": 0.0, "cycles": 0.0} for c in categories}
         for run in runs:
             bound = run.result.bound if run.result.bound in breakdown else "fu"
@@ -266,8 +396,19 @@ def _hardware_rows(configs: Sequence[RFConfig], title: str, name: str) -> Experi
     return ExperimentResult(name, table, {"rows": rows})
 
 
-def run_table2() -> ExperimentResult:
-    """Access time and area of the 128-register configurations (Table 2)."""
+def run_table2(
+    n_loops: int = 0,
+    seed: int = DEFAULT_SEED,
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
+) -> ExperimentResult:
+    """Access time and area of the 128-register configurations (Table 2).
+
+    Purely analytical (no workbench, no scheduling): every parameter is
+    accepted only to keep the driver interface uniform for the CLI.
+    """
+    del n_loops, seed, jobs, cache
     return _hardware_rows(
         table2_configs(),
         "Table 2: access time and area of 128-register configurations",
@@ -275,8 +416,19 @@ def run_table2() -> ExperimentResult:
     )
 
 
-def run_table5() -> ExperimentResult:
-    """Hardware evaluation of the 15 configurations of Table 5."""
+def run_table5(
+    n_loops: int = 0,
+    seed: int = DEFAULT_SEED,
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
+) -> ExperimentResult:
+    """Hardware evaluation of the 15 configurations of Table 5.
+
+    Purely analytical (no workbench, no scheduling): every parameter is
+    accepted only to keep the driver interface uniform for the CLI.
+    """
+    del n_loops, seed, jobs, cache
     return _hardware_rows(
         table5_configs(),
         "Table 5: hardware evaluation of the evaluated RF configurations",
@@ -288,7 +440,11 @@ def run_table5() -> ExperimentResult:
 # Table 3: static evaluation with unbounded register banks
 # --------------------------------------------------------------------------- #
 def run_table3(
-    n_loops: int = 64, seed: int = DEFAULT_SEED
+    n_loops: int = 64,
+    seed: int = DEFAULT_SEED,
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """%MII achieved, total II and scheduling time with unbounded registers."""
     loops = _suite(n_loops, seed)
@@ -305,7 +461,9 @@ def run_table3(
     for unlimited, limited in table3_configs():
         per_variant = []
         for variant in (unlimited, limited):
-            runs = schedule_suite(loops, variant, scale_to_clock=False)
+            runs = schedule_suite(
+                loops, variant, scale_to_clock=False, jobs=jobs, cache=cache
+            )
             achieved = sum(1 for run in runs if run.result.achieved_mii)
             sum_ii = sum(run.result.ii for run in runs if run.result.success)
             sched_time = sum(run.result.scheduling_time_s for run in runs)
@@ -337,11 +495,18 @@ def run_table4(
     n_loops: int = DEFAULT_N_LOOPS,
     seed: int = DEFAULT_SEED,
     config_name: str = "1C32S64",
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """Head-to-head II comparison on a hierarchical non-clustered configuration."""
     loops = _suite(n_loops, seed)
-    iterative = schedule_suite(loops, config_name, scheduler="mirs_hc")
-    baseline = schedule_suite(loops, config_name, scheduler="non_iterative")
+    iterative = schedule_suite(
+        loops, config_name, scheduler="mirs_hc", jobs=jobs, cache=cache
+    )
+    baseline = schedule_suite(
+        loops, config_name, scheduler="non_iterative", jobs=jobs, cache=cache
+    )
 
     better = {"count": 0, "baseline_ii": 0, "mirs_ii": 0}
     equal = {"count": 0, "baseline_ii": 0, "mirs_ii": 0}
@@ -386,12 +551,15 @@ def run_table6(
     n_loops: int = DEFAULT_N_LOOPS,
     seed: int = DEFAULT_SEED,
     reference: str = "S64",
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """Execution cycles, memory traffic, execution time and speedup vs S64."""
     loops = _suite(n_loops, seed)
     raw: Dict[str, Dict[str, float]] = {}
     for rf in table6_configs():
-        runs = schedule_suite(loops, rf)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache)
         raw[rf.name] = {
             "cycles": aggregate_cycles(runs),
             "traffic": aggregate_traffic(runs),
@@ -436,7 +604,12 @@ def _figure4_config(n_clusters: int) -> RFConfig:
 
 
 def run_figure4(
-    n_loops: int = 64, seed: int = DEFAULT_SEED, max_ports: int = 6
+    n_loops: int = 64,
+    seed: int = DEFAULT_SEED,
+    max_ports: int = 6,
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """Cumulative distribution of the lp / sp ports loops need per cluster bank."""
     loops = _suite(n_loops, seed)
@@ -448,7 +621,7 @@ def run_figure4(
     data: Dict[int, Dict[str, List[float]]] = {}
     for n_clusters in figure4_cluster_counts():
         rf = _figure4_config(n_clusters)
-        runs = schedule_suite(loops, rf, scale_to_clock=False)
+        runs = schedule_suite(loops, rf, scale_to_clock=False, jobs=jobs, cache=cache)
         lp_needed: List[int] = []
         sp_needed: List[int] = []
         for run in runs:
@@ -486,6 +659,9 @@ def run_figure6(
     seed: int = DEFAULT_SEED,
     reference: str = "S64",
     prefetch: Optional[PrefetchPolicy] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """Useful / stall cycles and execution time under the real memory system."""
     loops = _suite(n_loops, seed)
@@ -494,7 +670,7 @@ def run_figure6(
     raw: Dict[str, Dict[str, float]] = {}
     for rf in figure6_configs():
         spec = derive_hardware(machine, rf)
-        runs = schedule_suite(loops, rf, prefetch=policy)
+        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache)
         cache_config = CacheConfig(
             size_bytes=machine.cache_size_bytes,
             line_bytes=machine.cache_line_bytes,
@@ -557,6 +733,9 @@ def run_ablation_budget_ratio(
     n_loops: int = 48,
     seed: int = DEFAULT_SEED,
     config_name: str = "4C32S16",
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """Sensitivity of schedule quality and scheduling time to Budget_Ratio."""
     loops = _suite(n_loops, seed)
@@ -566,7 +745,9 @@ def run_ablation_budget_ratio(
     )
     rows = {}
     for ratio in ratios:
-        runs = schedule_suite(loops, config_name, budget_ratio=ratio)
+        runs = schedule_suite(
+            loops, config_name, budget_ratio=ratio, jobs=jobs, cache=cache
+        )
         # Loops the scheduler gives up on are charged a large penalty so
         # that starving the budget shows up in the aggregate instead of
         # silently shrinking the sum.
@@ -591,6 +772,9 @@ def run_ablation_prefetch(
     n_loops: int = 48,
     seed: int = DEFAULT_SEED,
     config_name: str = "4C32S16",
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """Effect of selective binding prefetching on stall cycles (one configuration)."""
     loops = _suite(n_loops, seed)
@@ -611,7 +795,7 @@ def run_ablation_prefetch(
     rows = {}
     for enabled in (False, True):
         policy = PrefetchPolicy(enabled=enabled)
-        runs = schedule_suite(loops, rf, prefetch=policy)
+        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache)
         useful = 0.0
         stall = 0.0
         for run in runs:
@@ -629,6 +813,9 @@ def run_ablation_ports(
     n_loops: int = 48,
     seed: int = DEFAULT_SEED,
     base_config: str = "4C16S16",
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
 ) -> ExperimentResult:
     """Sensitivity of the achieved II to the number of lp/sp ports."""
     loops = _suite(n_loops, seed)
@@ -640,7 +827,7 @@ def run_ablation_ports(
     rows = {}
     for lp, sp in port_counts:
         rf = base.with_ports(lp, sp)
-        runs = schedule_suite(loops, rf)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache)
         sum_ii = sum(run.result.ii for run in runs if run.result.success)
         pct_mii = 100.0 * sum(1 for r in runs if r.result.achieved_mii) / len(runs)
         table.add_row(lp, sp, sum_ii, pct_mii)

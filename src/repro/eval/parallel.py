@@ -1,0 +1,141 @@
+"""Process-parallel scheduling of a workbench.
+
+Scheduling is CPU-bound pure Python, so the only way to use more than one
+core is more than one process.  This module fans the loops of one
+:func:`~repro.eval.experiments.schedule_suite` call out over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* the workbench is split into contiguous chunks of loops (one pickled
+  task per chunk, amortizing the per-task round-trip over several loops);
+* each worker rebuilds the scheduling engine from the (cheap, picklable)
+  configuration objects and schedules its chunk exactly the way the
+  serial path does -- both paths share
+  :func:`repro.eval.experiments._schedule_one`, so results are identical
+  by construction;
+* chunks come back tagged with their original positions, so the returned
+  runs are in workbench order no matter which worker finished first.
+
+``jobs=1`` never touches this module (callers keep the serial in-process
+path); ``jobs=0`` (or ``None``) means "one worker per CPU".  Parallel
+results are deterministic: the only per-run variation is the
+``scheduling_time_s`` wall-clock counter carried by each result.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ddg.loop import Loop
+from repro.eval.metrics import LoopRun
+from repro.machine.config import MachineConfig, RFConfig
+from repro.simulator.prefetch import PrefetchPolicy
+
+__all__ = ["resolve_jobs", "chunk_indices", "schedule_loops_parallel"]
+
+#: Chunks submitted per worker: >1 so a worker that drew cheap loops can
+#: pick up more work, small enough to keep per-chunk pickling negligible.
+_CHUNKS_PER_WORKER: int = 4
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request to a concrete worker count.
+
+    ``None`` or ``0`` mean "use every CPU"; negative values are rejected.
+    """
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> List[range]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous ranges.
+
+    Sizes differ by at most one, and order is preserved (chunk *k* holds
+    smaller indices than chunk *k+1*), which is what keeps parallel
+    results in workbench order.
+    """
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    ranges: List[range] = []
+    start = 0
+    for chunk in range(n_chunks):
+        size = base + (1 if chunk < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def _schedule_chunk(
+    payload: Tuple[
+        List[Tuple[int, Loop]],
+        RFConfig,
+        MachineConfig,
+        bool,
+        float,
+        str,
+        Optional[PrefetchPolicy],
+    ],
+) -> List[Tuple[int, LoopRun]]:
+    """Worker entry point: schedule one chunk of (position, loop) pairs."""
+    # Imported here (not at module top) so the import happens inside the
+    # worker as well, keeping this module importable before repro.eval is.
+    from repro.eval.experiments import _build_engine, _schedule_one
+
+    chunk, rf_config, base, scale_to_clock, budget_ratio, scheduler, prefetch = payload
+    engine, scaled, spec = _build_engine(
+        rf_config, base, scale_to_clock, budget_ratio, scheduler
+    )
+    return [
+        (position, _schedule_one(loop, engine, scaled, spec, prefetch))
+        for position, loop in chunk
+    ]
+
+
+def schedule_loops_parallel(
+    tasks: Sequence[Tuple[int, Loop]],
+    rf_config: RFConfig,
+    machine: MachineConfig,
+    *,
+    scale_to_clock: bool = True,
+    budget_ratio: float = 6.0,
+    scheduler: str = "mirs_hc",
+    prefetch: Optional[PrefetchPolicy] = None,
+    jobs: Optional[int] = None,
+) -> List[Tuple[int, LoopRun]]:
+    """Schedule ``tasks`` (position, loop) pairs over a process pool.
+
+    Returns one ``(position, run)`` pair per task, sorted by position.
+    Positions are opaque to this function -- callers use them to slot
+    results back into the full workbench (cache hits occupy the holes).
+    """
+    n_workers = resolve_jobs(jobs)
+    tasks = list(tasks)
+    if n_workers <= 1 or len(tasks) <= 1:
+        # Degenerate request: honour it without paying for a pool.
+        return _schedule_chunk(
+            (tasks, rf_config, machine, scale_to_clock, budget_ratio, scheduler, prefetch)
+        )
+
+    chunks = chunk_indices(len(tasks), n_workers * _CHUNKS_PER_WORKER)
+    payloads = [
+        (
+            [tasks[i] for i in chunk],
+            rf_config,
+            machine,
+            scale_to_clock,
+            budget_ratio,
+            scheduler,
+            prefetch,
+        )
+        for chunk in chunks
+    ]
+    results: List[Tuple[int, LoopRun]] = []
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        for chunk_result in pool.map(_schedule_chunk, payloads):
+            results.extend(chunk_result)
+    results.sort(key=lambda pair: pair[0])
+    return results

@@ -6,6 +6,11 @@ loops) because the scheduler is pure Python; the full paper-scale
 workbench is obtained simply by asking for more loops -- the generator is
 deterministic in the seed, and the first ``n`` loops of a larger suite are
 always identical to a smaller suite with the same seed.
+
+Determinism also makes the loops *content-addressable*: a regenerated
+workbench produces the same :meth:`repro.ddg.loop.Loop.fingerprint`
+values, so evaluation results cached by :class:`repro.eval.cache.EvalCache`
+(possibly on disk, possibly by another process) are reusable across runs.
 """
 
 from __future__ import annotations

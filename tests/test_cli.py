@@ -50,3 +50,21 @@ class TestCommands:
         assert main(["reproduce", "figure1", "--loops", "8"]) == 0
         out = capsys.readouterr().out
         assert "IPC" in out or "ipc" in out
+
+    def test_evaluate_with_jobs(self, capsys):
+        assert main(["evaluate", "S64", "4C16S16", "--loops", "4", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ranking" in out
+
+    def test_reproduce_cache_dir_persists_and_reproduces(self, capsys, tmp_path):
+        """--cache DIR must persist entries even though an empty EvalCache
+        is falsy (regression: ``cache or EvalCache()`` dropped it)."""
+        cache_dir = tmp_path / "cache"
+        assert main(["reproduce", "table4", "--loops", "4",
+                     "--cache", str(cache_dir)]) == 0
+        cold = capsys.readouterr().out
+        assert list(cache_dir.rglob("*.pkl"))
+        assert main(["reproduce", "table4", "--loops", "4",
+                     "--cache", str(cache_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold

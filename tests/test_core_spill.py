@@ -157,3 +157,32 @@ class TestHierarchicalSpill:
         assert state.is_spilled(3)
         state.spilled_invariants.add(9)
         assert state.is_spilled(9)
+
+
+class TestPathologicalPressure:
+    def test_high_pressure_generated_loop_schedules_on_tight_hierarchy(self):
+        """Regression: a 'large'-profile loop (22 memory ops, 36 compute)
+        used to be unschedulable at *any* II on the S16-shared-bank
+        hierarchical clustered configurations.  Two spill dead ends were
+        responsible: a shared bank full of is_spill StoreR copies had no
+        admissible victims (the second level of the cluster -> shared ->
+        memory chain never fired), and a cluster bank clogged with
+        long-lived LoadR re-loads could not be relieved at all.
+        """
+        import numpy as np
+
+        from repro.core.mirs_hc import MirsHC
+        from repro.core.validate import validate_schedule
+        from repro.hwmodel import scaled_machine
+        from repro.machine import baseline_machine, config_by_name
+        from repro.workloads.generator import PROFILES, generate_loop
+
+        loop = generate_loop(
+            np.random.default_rng(129), PROFILES["large"], index=0, name="hyp_129"
+        )
+        rf = config_by_name("8C16S16")
+        machine, _ = scaled_machine(baseline_machine(), rf)
+        result = MirsHC(machine, rf).schedule_loop(loop)
+        assert result.success
+        assert result.n_spill_memory_ops > 0  # the memory fallback fired
+        validate_schedule(result, machine, rf)

@@ -53,3 +53,15 @@ class TestExamples:
     def test_reproduce_paper_importable(self):
         module = load_example("reproduce_paper")
         assert hasattr(module, "main")
+
+
+class TestApiDocstrings:
+    def test_api_examples_run(self):
+        """The usage examples in repro.api docstrings execute as written."""
+        import doctest
+
+        import repro.api
+
+        results = doctest.testmod(repro.api, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 6  # every verb documents a runnable example
