@@ -1,0 +1,48 @@
+"""Repository-level pytest configuration: test tiers.
+
+The suite is split into tiers so the tier-1 verify command
+(``PYTHONPATH=src python -m pytest -x -q``) stays fast:
+
+* ``tier1`` -- the fast correctness suite under ``tests/`` (applied
+  automatically); always runs.
+* ``slow`` -- long benchmark-style tests (everything under
+  ``benchmarks/`` is marked automatically); skipped unless ``--runslow``.
+* ``fuzz`` -- long randomized fuzzing sweeps; skipped unless
+  ``--runfuzz``.  Short deterministic fuzz smoke tests stay in tier 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked 'slow' (benchmark regeneration)",
+    )
+    parser.addoption(
+        "--runfuzz", action="store_true", default=False,
+        help="also run tests marked 'fuzz' (long randomized sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items) -> None:
+    run_slow = config.getoption("--runslow")
+    run_fuzz = config.getoption("--runfuzz")
+    skip_slow = pytest.mark.skip(reason="slow benchmark test: pass --runslow to run")
+    skip_fuzz = pytest.mark.skip(reason="long fuzz sweep: pass --runfuzz to run")
+    rootdir = config.rootpath
+    for item in items:
+        try:
+            relative = item.path.relative_to(rootdir).as_posix()
+        except ValueError:
+            relative = item.path.as_posix()
+        if relative.startswith("benchmarks/"):
+            item.add_marker(pytest.mark.slow)
+        elif relative.startswith("tests/"):
+            item.add_marker(pytest.mark.tier1)
+        if "slow" in item.keywords and not run_slow:
+            item.add_marker(skip_slow)
+        if "fuzz" in item.keywords and not run_fuzz:
+            item.add_marker(skip_fuzz)

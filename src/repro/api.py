@@ -1,6 +1,6 @@
 """High-level convenience API.
 
-Most users interact with the library through three verbs:
+Most users interact with the library through four verbs:
 
 * :func:`schedule_kernel` -- schedule one named kernel (or any
   :class:`~repro.ddg.loop.Loop`) on one register-file configuration;
@@ -8,13 +8,19 @@ Most users interact with the library through three verbs:
   configuration and get the aggregate metrics of the paper (cycles,
   memory traffic, execution time);
 * :func:`compare_configurations` -- the design-space view: evaluate
-  several configurations and rank them by execution time.
+  several configurations and rank them by execution time;
+* :func:`fuzz_schedules` -- the verification view: hunt for
+  scheduler/codegen/allocation bugs by pushing randomized loops on
+  randomized (or preset) configurations through the differential
+  execution oracle (see :mod:`repro.verify`).
 
-All three verbs accept ``jobs=N`` to schedule the workbench over N worker
-processes (``jobs=0`` means one per CPU) and ``cache=EvalCache(...)`` to
-memoize (loop, configuration) scheduling results -- pass
-``EvalCache("some/dir")`` to persist the cache across processes.  See
-:mod:`repro.eval.parallel` and :mod:`repro.eval.cache`.
+The three scheduling verbs accept ``jobs=N`` to schedule the workbench
+over N worker processes (``jobs=0`` means one per CPU) and
+``cache=EvalCache(...)`` to memoize (loop, configuration) scheduling
+results -- pass ``EvalCache("some/dir")`` to persist the cache across
+processes.  See :mod:`repro.eval.parallel` and :mod:`repro.eval.cache`.
+(``fuzz_schedules`` takes neither: every fuzz case is a fresh, unique
+scheduling problem.)
 
 Everything these helpers do is also available through the underlying
 packages (``repro.core``, ``repro.eval``); the helpers just wire the
@@ -44,6 +50,7 @@ __all__ = [
     "schedule_kernel",
     "evaluate_configuration",
     "compare_configurations",
+    "fuzz_schedules",
     "ConfigurationReport",
 ]
 
@@ -214,3 +221,27 @@ def compare_configurations(
         )
     ranking = sorted(names, key=lambda n: reports[n].time_ns)
     return {"reports": reports, "table": table, "ranking": ranking}
+
+
+def fuzz_schedules(n_seeds: int = 100, **kwargs):
+    """Differentially fuzz the scheduling pipeline (see :mod:`repro.verify.fuzz`).
+
+    Every case generates a random loop, schedules it, statically
+    validates the schedule, allocates registers, emits the
+    software-pipelined code, and executes it cycle by cycle against a
+    scalar reference execution of the loop; failures are shrunk and
+    written to a JSON corpus the test suite replays.  Returns a
+    :class:`repro.verify.fuzz.FuzzReport`.
+
+    Example:
+
+    >>> from repro.api import fuzz_schedules
+    >>> report = fuzz_schedules(2, base_seed=2003, shrink=False)
+    >>> report.ok
+    True
+    >>> report.n_cases
+    2
+    """
+    from repro.verify.fuzz import fuzz_schedules as _fuzz
+
+    return _fuzz(n_seeds, **kwargs)

@@ -1,17 +1,22 @@
 """Command-line interface.
 
-Three sub-commands cover the common workflows::
+Four sub-commands cover the common workflows::
 
     python -m repro.cli schedule daxpy 4C16S16 --code --registers
     python -m repro.cli evaluate 4C16S16 S64 --loops 32 --jobs 4
     python -m repro.cli reproduce table6 --loops 48 --jobs 0 --cache .repro-cache
+    python -m repro.cli fuzz --seeds 200 --budget 120s --corpus tests/corpus
 
 * ``schedule`` schedules one named kernel on one configuration and prints
   the kernel table (optionally the register allocation and the emitted
   software-pipelined code);
 * ``evaluate`` compares configurations on a workbench (area, clock,
   cycles, execution time);
-* ``reproduce`` regenerates one of the paper's tables/figures (or ``all``).
+* ``reproduce`` regenerates one of the paper's tables/figures (or ``all``);
+* ``fuzz`` hunts for scheduler/codegen/allocation bugs by differentially
+  executing randomized loops on preset or randomly sampled
+  configurations (failures are shrunk and frozen as corpus cases;
+  ``--replay FILE`` re-runs one such case).
 
 Every sub-command takes ``--jobs N`` to schedule loops over N worker
 processes (``--jobs 0`` = one per CPU) and ``--cache DIR`` to persist
@@ -94,7 +99,59 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--seed", type=int, default=2003)
     add_engine_flags(reproduce)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the scheduling pipeline "
+             "(schedule -> validate -> emit -> execute vs. reference)",
+    )
+    fuzz.add_argument("--seeds", type=int, default=100, metavar="N",
+                      help="number of fuzz cases (default: 100)")
+    fuzz.add_argument("--base-seed", type=int, default=2003,
+                      help="seed of the first case; case k uses base+k")
+    fuzz.add_argument("--configs", nargs="+", default=None, metavar="CFG",
+                      help="preset configurations to rotate through "
+                           "(default: S128 S64 4C16S16)")
+    fuzz.add_argument("--profiles", nargs="+", default=None, metavar="PROF",
+                      help="generator profiles to draw loops from "
+                           "(default: all profiles)")
+    fuzz.add_argument("--sample-configs", action="store_true",
+                      help="sample a random machine/register-file pair per "
+                           "case instead of rotating through --configs")
+    fuzz.add_argument("--budget", type=_duration, default=None, metavar="TIME",
+                      help="wall-clock budget, e.g. 60s or 5m "
+                           "(the run stops early once exceeded)")
+    fuzz.add_argument("--budget-ratio", type=float, default=6.0,
+                      help="scheduler backtracking budget per node")
+    fuzz.add_argument("--iterations", type=int, default=None, metavar="N",
+                      help="iterations to execute differentially "
+                           "(default: pipeline depth + a small window)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="write minimized failing cases into DIR "
+                           "(e.g. tests/corpus)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="freeze failures as-is instead of minimizing them")
+    fuzz.add_argument("--replay", default=None, metavar="FILE",
+                      help="replay one corpus case file and exit")
+
     return parser
+
+
+def _duration(text: str) -> float:
+    """argparse type for --budget: seconds, accepting 60, 60s, 5m, 1h."""
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw.endswith(("s", "m", "h")):
+        scale = {"s": 1.0, "m": 60.0, "h": 3600.0}[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid duration {text!r} (expected e.g. 60, 60s or 5m)"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"duration must be positive, got {text!r}")
+    return value
 
 
 def _nonnegative_int(text: str) -> int:
@@ -171,6 +228,48 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.corpus import load_case
+    from repro.verify.fuzz import DEFAULT_FUZZ_CONFIGS, fuzz_schedules, run_pipeline
+
+    if args.replay:
+        case = load_case(args.replay)
+        outcome = run_pipeline(
+            case.loop, case.rf, case.machine,
+            budget_ratio=case.budget_ratio,
+            scale_to_clock=case.scale_to_clock,
+            n_iterations=case.n_iterations,
+            reproducer=f"python -m repro.cli fuzz --replay {args.replay}",
+        )
+        print(f"{args.replay}: {outcome.status} (expected {case.expect})")
+        if outcome.message:
+            print(outcome.message)
+        return 0 if outcome.status == case.expect else 1
+
+    report = fuzz_schedules(
+        args.seeds,
+        base_seed=args.base_seed,
+        configs=args.configs or DEFAULT_FUZZ_CONFIGS,
+        profiles=args.profiles,
+        sample_configs=args.sample_configs,
+        budget_ratio=args.budget_ratio,
+        time_budget_s=args.budget,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        n_iterations=args.iterations,
+        progress=print,
+    )
+    print(report.render())
+    if report.failures:
+        print()
+        for failure in report.failures:
+            print(f"--- {failure.status}: seed {failure.seed} "
+                  f"({failure.profile} on {failure.config_name})")
+            print(failure.message)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "schedule":
@@ -179,6 +278,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

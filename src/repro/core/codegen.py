@@ -25,7 +25,13 @@ from repro.core.allocation import RegisterAllocation
 from repro.core.banks import SHARED
 from repro.core.result import ScheduleResult
 
-__all__ = ["VLIWInstruction", "VLIWProgram", "generate_code"]
+__all__ = [
+    "SlotOp",
+    "ExecutionSlot",
+    "VLIWInstruction",
+    "VLIWProgram",
+    "generate_code",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,26 @@ class VLIWInstruction:
         return f"  [{self.cycle:4d}] {body}"
 
 
+@dataclass(frozen=True)
+class ExecutionSlot:
+    """One operation instance of a concrete program execution.
+
+    The machine-readable view of the emitted code: ``cycle`` is the
+    absolute cycle the instance issues at once the kernel repetitions are
+    unrolled for a given iteration count, and ``iteration`` is the source
+    loop iteration the instance belongs to.  This is what execution-based
+    verifiers (:mod:`repro.verify.vliw`) consume instead of re-parsing
+    the rendered listing.
+    """
+
+    cycle: int
+    node_id: int
+    mnemonic: str
+    cluster: Optional[int]
+    stage: int
+    iteration: int
+
+
 @dataclass
 class VLIWProgram:
     """The emitted software-pipelined program."""
@@ -83,6 +109,51 @@ class VLIWProgram:
             for part in (self.prologue, self.kernel, self.epilogue)
             for word in part
         )
+
+    def execution_trace(self, n_iterations: int) -> List[ExecutionSlot]:
+        """Unroll the program into issue events for ``n_iterations``.
+
+        The kernel is repeated ``n_iterations - stage_count + 1`` times
+        (the software-pipelined execution of an ``N``-iteration loop), so
+        ``n_iterations`` must be at least ``stage_count``.  Every
+        operation instance appears exactly once with the loop iteration
+        it executes; a correct program covers each (operation, iteration)
+        pair for iterations ``0 .. n_iterations - 1`` exactly once, which
+        is what the execution-based verifier asserts.
+        """
+        if n_iterations < self.stage_count:
+            raise ValueError(
+                f"cannot unroll {self.loop_name}: n_iterations={n_iterations} "
+                f"is below the pipeline depth (stage_count={self.stage_count})"
+            )
+        ii = self.ii
+        repetitions = n_iterations - self.stage_count + 1
+        slots: List[ExecutionSlot] = []
+
+        def emit(word: VLIWInstruction, cycle: int) -> None:
+            for slot in word.slots:
+                # An operation scheduled at t = stage*II + (cycle % II)
+                # and issued at absolute cycle c executes iteration
+                # (c - t) // II == c // II - stage.
+                slots.append(
+                    ExecutionSlot(
+                        cycle=cycle,
+                        node_id=slot.node_id,
+                        mnemonic=slot.mnemonic,
+                        cluster=slot.cluster,
+                        stage=slot.stage,
+                        iteration=cycle // ii - slot.stage,
+                    )
+                )
+
+        for word in self.prologue:
+            emit(word, word.cycle)
+        for repetition in range(repetitions):
+            for word in self.kernel:
+                emit(word, word.cycle + repetition * ii)
+        for word in self.epilogue:
+            emit(word, word.cycle + (repetitions - 1) * ii)
+        return slots
 
     def render(self) -> str:
         lines = [

@@ -35,7 +35,19 @@ __all__ = ["ValidationError", "validate_schedule"]
 
 
 class ValidationError(AssertionError):
-    """Raised when a schedule violates one of the modulo-schedule invariants."""
+    """Raised when a schedule violates one of the modulo-schedule invariants.
+
+    ``reproducer`` (when given) is a ready-to-run command that replays
+    the failing scheduling problem locally (the fuzz driver supplies
+    one); it is appended to the message so any CI failure is one
+    copy-paste away from a local debug session.
+    """
+
+    def __init__(self, message: str, *, reproducer: Optional[str] = None) -> None:
+        self.reproducer = reproducer
+        if reproducer:
+            message = f"{message}\n  reproduce: {reproducer}"
+        super().__init__(message)
 
 
 def validate_schedule(
@@ -44,8 +56,28 @@ def validate_schedule(
     rf: RFConfig,
     *,
     check_registers: bool = True,
+    reproducer: Optional[str] = None,
 ) -> None:
-    """Raise :class:`ValidationError` if the schedule is invalid."""
+    """Raise :class:`ValidationError` if the schedule is invalid.
+
+    ``reproducer`` is attached to any error raised, embedding the replay
+    command in the failure message.
+    """
+    try:
+        _validate_schedule(result, machine, rf, check_registers=check_registers)
+    except ValidationError as exc:
+        if reproducer and exc.reproducer is None:
+            raise ValidationError(str(exc), reproducer=reproducer) from None
+        raise
+
+
+def _validate_schedule(
+    result: ScheduleResult,
+    machine: MachineConfig,
+    rf: RFConfig,
+    *,
+    check_registers: bool = True,
+) -> None:
     if not result.success:
         raise ValidationError(f"schedule for {result.loop_name} did not succeed")
     graph = result.graph

@@ -150,6 +150,11 @@ class EvalCache:
         self.hits: int = 0
         self.misses: int = 0
         self.stores: int = 0
+        #: Disk-tier writes that failed (unpicklable run, filesystem
+        #: error, ...).  The failure is non-fatal -- the in-memory tier
+        #: keeps the result -- but it must not be invisible: the first
+        #: one warns, every one is counted here and in :meth:`stats`.
+        self.write_failures: int = 0
 
     # ------------------------------------------------------------------ #
     # Lookup / store
@@ -204,6 +209,7 @@ class EvalCache:
                 pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
         except Exception as exc:
+            self.write_failures += 1
             if tmp_name is not None:
                 try:
                     os.unlink(tmp_name)
@@ -242,10 +248,12 @@ class EvalCache:
         self._memory.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Counters for logging: hits, misses, stores and resident entries."""
+        """Counters for logging: hits, misses, stores, write failures
+        and resident entries."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "write_failures": self.write_failures,
             "entries": len(self._memory),
         }

@@ -13,6 +13,8 @@ The public entry points are:
   tables used by the modulo scheduler's reservation tables.
 * :mod:`repro.machine.presets` -- every named configuration used in the
   paper's tables and figures.
+* :mod:`repro.machine.sampler` -- random-but-valid datapath and
+  register-file sampling for the fuzzing subsystem.
 """
 
 from repro.machine.config import (
@@ -35,6 +37,7 @@ from repro.machine.presets import (
     figure4_cluster_counts,
     config_by_name,
 )
+from repro.machine.sampler import sample_machine, sample_rf_config
 
 __all__ = [
     "UNBOUNDED",
@@ -54,4 +57,6 @@ __all__ = [
     "figure6_configs",
     "figure4_cluster_counts",
     "config_by_name",
+    "sample_machine",
+    "sample_rf_config",
 ]

@@ -1,0 +1,85 @@
+"""Random-but-valid machine and register-file configuration sampling.
+
+The paper evaluates a fixed set of named configurations
+(:mod:`repro.machine.presets`); the fuzzing subsystem explores far beyond
+them.  These samplers draw datapaths and register-file organizations
+uniformly from realistic discrete ranges while honoring every structural
+constraint :meth:`MachineConfig.validate_rf` enforces (functional units
+and memory ports must split evenly over clusters, pure clustered
+organizations cannot have more clusters than memory ports, ...), so a
+sampled pair is always schedulable in principle.
+
+All randomness flows through a caller-supplied ``numpy.random.Generator``
+so a fuzz case is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.config import MachineConfig, RFConfig
+
+__all__ = ["sample_machine", "sample_rf_config"]
+
+_FU_COUNTS = (4, 8, 8, 8, 16)        # baseline-heavy, like the paper
+_MEM_PORTS = (2, 4, 4, 8)
+_CLUSTER_REG_SIZES = (8, 16, 32, 64)
+_SHARED_REG_SIZES = (16, 32, 64, 128)
+
+
+def _choice(rng: np.random.Generator, options) -> int:
+    return int(options[int(rng.integers(0, len(options)))])
+
+
+def sample_machine(rng: np.random.Generator) -> MachineConfig:
+    """Draw a random VLIW datapath (functional units and memory ports)."""
+    return MachineConfig(
+        n_fus=_choice(rng, _FU_COUNTS),
+        n_mem_ports=_choice(rng, _MEM_PORTS),
+    )
+
+
+def sample_rf_config(
+    rng: np.random.Generator, machine: Optional[MachineConfig] = None
+) -> RFConfig:
+    """Draw a random register-file organization valid for ``machine``.
+
+    All four families are sampled (monolithic, clustered, hierarchical,
+    hierarchical clustered); cluster counts are restricted to divisors of
+    the datapath's functional-unit count, and pure clustered draws also
+    respect the memory-port distribution constraint.
+    """
+    machine = machine or MachineConfig()
+    multi = [c for c in (2, 4, 8) if machine.n_fus % c == 0]
+    clustered_ok = [
+        c for c in multi
+        if c <= machine.n_mem_ports and machine.n_mem_ports % c == 0
+    ]
+    kinds = ["monolithic", "hierarchical", "hierarchical_clustered"]
+    if clustered_ok:
+        kinds.append("clustered")
+    kind = kinds[int(rng.integers(0, len(kinds)))]
+    if kind == "hierarchical_clustered" and not multi:
+        kind = "hierarchical"
+
+    if kind == "monolithic":
+        return RFConfig(n_clusters=1, cluster_regs=None,
+                        shared_regs=_choice(rng, _SHARED_REG_SIZES))
+    if kind == "clustered":
+        n_clusters = _choice(rng, clustered_ok)
+        return RFConfig(
+            n_clusters=n_clusters,
+            cluster_regs=_choice(rng, _CLUSTER_REG_SIZES),
+            shared_regs=None,
+            n_buses=max(1, n_clusters // _choice(rng, (1, 2))),
+        )
+    n_clusters = 1 if kind == "hierarchical" else _choice(rng, multi)
+    return RFConfig(
+        n_clusters=n_clusters,
+        cluster_regs=_choice(rng, _CLUSTER_REG_SIZES),
+        shared_regs=_choice(rng, _SHARED_REG_SIZES),
+        lp=int(rng.integers(1, 5)),
+        sp=int(rng.integers(1, 3)),
+    )

@@ -1,0 +1,49 @@
+"""Execution-based verification of the scheduling pipeline.
+
+The static invariant checker (:mod:`repro.core.validate`) proves that a
+schedule is *well-formed*; this package proves that the emitted
+software-pipelined code is *semantically correct*.  It contains:
+
+* :mod:`repro.verify.values` -- the deterministic 64-bit value algebra
+  shared by both executors (every operation maps its operand multiset to
+  a pseudo-random tag, so any dataflow difference is observable as a
+  different value with overwhelming probability);
+* :mod:`repro.verify.reference` -- a scalar reference executor that
+  interprets a :class:`~repro.ddg.loop.Loop` directly as dataflow over
+  concrete values (recurrences carried across iterations, loads fed from
+  the loop's synthetic address streams);
+* :mod:`repro.verify.vliw` -- a VLIW kernel interpreter that executes
+  the emitted :class:`~repro.core.codegen.VLIWProgram` cycle by cycle
+  against the :class:`~repro.core.allocation.RegisterAllocation`,
+  modelling every register bank, communication operation and the
+  two-level spill chain, so allocation collisions, wrong-bank reads and
+  spill corruption become observable wrong *values*;
+* :mod:`repro.verify.differential` -- the differential checker that
+  asserts reference-vs-VLIW store-stream identity for one
+  (loop, configuration) pair;
+* :mod:`repro.verify.fuzz` -- the randomized fuzz driver
+  (``repro fuzz`` / :func:`repro.api.fuzz_schedules`) with its failure
+  shrinker; and
+* :mod:`repro.verify.corpus` -- JSON (de)serialization of minimized
+  failure cases, replayed by ``tests/test_corpus.py``.
+"""
+
+from repro.verify.differential import (
+    DifferentialError,
+    DifferentialReport,
+    differential_check,
+)
+from repro.verify.fuzz import FuzzReport, fuzz_schedules, run_pipeline
+from repro.verify.reference import reference_execute
+from repro.verify.vliw import interpret_program
+
+__all__ = [
+    "DifferentialError",
+    "DifferentialReport",
+    "differential_check",
+    "FuzzReport",
+    "fuzz_schedules",
+    "run_pipeline",
+    "reference_execute",
+    "interpret_program",
+]

@@ -1,0 +1,258 @@
+"""JSON regression corpus for the verification pipeline.
+
+Every fuzz failure is minimized and frozen as one JSON file under
+``tests/corpus/``; ``tests/test_corpus.py`` auto-discovers and replays
+them (schedule -> validate -> allocate -> emit -> differentially
+execute) on every run, so a bug found once by randomized search is
+guarded forever by the deterministic suite.  Cases are also written by
+hand to pin regressions found outside the fuzzer (the PR 1 spill
+dead-end loops seed the corpus).
+
+The format is deliberately dumb and stable: the loop is stored node by
+node and edge by edge (no pickles -- a corpus written by one version
+replays on any other), the configuration either by preset name or as an
+inline parameter object, and ``expect`` states what the replay must
+observe (``"ok"`` for a full clean pipeline; ``"unschedulable"`` for
+capacity cases that must *fail to schedule* gracefully rather than
+loop or crash).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.ddg.graph import DepGraph
+from repro.ddg.loop import Loop
+from repro.ddg.operations import MemRef, OpType
+from repro.machine.config import MachineConfig, RFConfig
+from repro.machine.presets import config_by_name
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "CorpusCase",
+    "loop_to_json",
+    "loop_from_json",
+    "rf_to_json",
+    "rf_from_json",
+    "machine_to_json",
+    "machine_from_json",
+    "load_case",
+    "save_case",
+    "discover_cases",
+]
+
+CORPUS_SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Loop <-> JSON
+# --------------------------------------------------------------------------- #
+def loop_to_json(loop: Loop) -> Dict:
+    nodes = []
+    for op in sorted(loop.graph.nodes(), key=lambda node: node.node_id):
+        entry: Dict[str, object] = {"id": op.node_id, "op": op.op.value}
+        if op.name:
+            entry["name"] = op.name
+        if op.mem_ref is not None:
+            entry["mem_ref"] = {
+                "array": op.mem_ref.array,
+                "stride_bytes": op.mem_ref.stride_bytes,
+                "offset_bytes": op.mem_ref.offset_bytes,
+                "footprint_bytes": op.mem_ref.footprint_bytes,
+            }
+        for flag in ("is_spill", "is_inserted"):
+            if getattr(op, flag):
+                entry[flag] = True
+        if op.inserted_for is not None:
+            entry["inserted_for"] = op.inserted_for
+        if op.home_cluster is not None:
+            entry["home_cluster"] = op.home_cluster
+        nodes.append(entry)
+    edges = [
+        [edge.src, edge.dst, edge.distance, edge.kind]
+        for edge in sorted(
+            loop.graph.edges(), key=lambda e: (e.src, e.dst, e.distance, e.kind)
+        )
+    ]
+    return {
+        "name": loop.name,
+        "trip_count": loop.trip_count,
+        "times_entered": loop.times_entered,
+        "weight": loop.weight,
+        "source": loop.source,
+        "attributes": {
+            key: value
+            for key, value in loop.attributes.items()
+            if isinstance(value, (str, int, float, bool))
+        },
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def loop_from_json(payload: Dict) -> Loop:
+    graph = DepGraph()
+    id_map: Dict[int, int] = {}
+    for entry in payload["nodes"]:
+        ref = None
+        if entry.get("mem_ref") is not None:
+            mr = entry["mem_ref"]
+            ref = MemRef(
+                array=mr["array"],
+                stride_bytes=mr.get("stride_bytes", 8),
+                offset_bytes=mr.get("offset_bytes", 0),
+                footprint_bytes=mr.get("footprint_bytes"),
+            )
+        node_id = graph.add_node(
+            OpType(entry["op"]),
+            name=entry.get("name", ""),
+            mem_ref=ref,
+            is_spill=bool(entry.get("is_spill", False)),
+            is_inserted=bool(entry.get("is_inserted", False)),
+            home_cluster=entry.get("home_cluster"),
+        )
+        id_map[entry["id"]] = node_id
+    # inserted_for references other nodes (possibly saved with id gaps
+    # after shrinking), so it is remapped once every node exists.
+    for entry in payload["nodes"]:
+        owner = entry.get("inserted_for")
+        if owner is not None:
+            graph.node(id_map[entry["id"]]).inserted_for = id_map.get(owner)
+    for src, dst, distance, kind in payload["edges"]:
+        graph.add_edge(id_map[src], id_map[dst], distance=distance, kind=kind)
+    return Loop(
+        name=payload["name"],
+        graph=graph,
+        trip_count=payload.get("trip_count", 100),
+        times_entered=payload.get("times_entered", 1),
+        weight=payload.get("weight", 1.0),
+        source=payload.get("source", "corpus"),
+        attributes=dict(payload.get("attributes", {})),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Configurations <-> JSON
+# --------------------------------------------------------------------------- #
+def rf_to_json(rf: RFConfig) -> Dict:
+    return {
+        "n_clusters": rf.n_clusters,
+        "cluster_regs": rf.cluster_regs,
+        "shared_regs": rf.shared_regs,
+        "lp": rf.lp,
+        "sp": rf.sp,
+        "n_buses": rf.n_buses,
+    }
+
+
+def rf_from_json(payload: Union[str, Dict]) -> RFConfig:
+    if isinstance(payload, str):
+        return config_by_name(payload)
+    return RFConfig(**payload)
+
+
+def machine_to_json(machine: MachineConfig) -> Dict:
+    return {
+        "n_fus": machine.n_fus,
+        "n_mem_ports": machine.n_mem_ports,
+        "latencies": dict(machine.latencies),
+        "unpipelined": sorted(machine.unpipelined),
+    }
+
+
+def machine_from_json(payload: Optional[Dict]) -> MachineConfig:
+    if payload is None:
+        return MachineConfig()
+    return MachineConfig(
+        n_fus=payload["n_fus"],
+        n_mem_ports=payload["n_mem_ports"],
+        latencies=dict(payload.get("latencies") or MachineConfig().latencies),
+        unpipelined=frozenset(payload.get("unpipelined", ("fdiv", "fsqrt"))),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Cases
+# --------------------------------------------------------------------------- #
+@dataclass
+class CorpusCase:
+    """One replayable verification case."""
+
+    loop: Loop
+    rf: RFConfig
+    machine: MachineConfig
+    #: What the replay must observe: "ok" (clean full pipeline) or
+    #: "unschedulable" (the scheduler must give up gracefully).
+    expect: str = "ok"
+    description: str = ""
+    #: Free-form provenance (fuzz seed, profile, original failure kind).
+    origin: Dict[str, object] = field(default_factory=dict)
+    #: Preset name when the configuration is a named one (readability).
+    config_name: Optional[str] = None
+    budget_ratio: float = 6.0
+    scale_to_clock: bool = True
+    n_iterations: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.loop.name
+
+    def to_json(self) -> Dict:
+        payload: Dict[str, object] = {
+            "schema": CORPUS_SCHEMA_VERSION,
+            "description": self.description,
+            "expect": self.expect,
+            "origin": self.origin,
+            "budget_ratio": self.budget_ratio,
+            "scale_to_clock": self.scale_to_clock,
+            "n_iterations": self.n_iterations,
+            "loop": loop_to_json(self.loop),
+        }
+        if self.config_name is not None:
+            payload["config"] = self.config_name
+        else:
+            payload["rf"] = rf_to_json(self.rf)
+        payload["machine"] = machine_to_json(self.machine)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "CorpusCase":
+        schema = payload.get("schema", 0)
+        if schema > CORPUS_SCHEMA_VERSION:
+            raise ValueError(f"corpus case uses unknown schema {schema}")
+        config_name = payload.get("config")
+        rf = rf_from_json(config_name if config_name else payload["rf"])
+        return cls(
+            loop=loop_from_json(payload["loop"]),
+            rf=rf,
+            machine=machine_from_json(payload.get("machine")),
+            expect=payload.get("expect", "ok"),
+            description=payload.get("description", ""),
+            origin=dict(payload.get("origin", {})),
+            config_name=config_name,
+            budget_ratio=payload.get("budget_ratio", 6.0),
+            scale_to_clock=payload.get("scale_to_clock", True),
+            n_iterations=payload.get("n_iterations"),
+        )
+
+
+def save_case(case: CorpusCase, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case.to_json(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Union[str, Path]) -> CorpusCase:
+    return CorpusCase.from_json(json.loads(Path(path).read_text()))
+
+
+def discover_cases(directory: Union[str, Path]) -> List[Path]:
+    """Every corpus case file under ``directory``, in stable order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))

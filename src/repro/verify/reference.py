@@ -1,0 +1,191 @@
+"""Scalar reference executor: a loop body as dataflow over concrete values.
+
+This is the oracle side of the differential checker: it ignores the
+schedule entirely and interprets the dependence graph directly, one
+iteration at a time, exactly as a sequential machine would execute the
+source loop.  Values live in the 64-bit algebra of
+:mod:`repro.verify.values`; loads draw from the loop's synthetic address
+streams (:func:`repro.workloads.traces.loop_address_streams`), loop-carried
+dependences read the value produced ``distance`` iterations earlier (or a
+deterministic pre-loop value for the first iterations), and every
+non-spill store appends to its observable output stream.
+
+The executor also handles graphs that already contain communication and
+spill operations (corpus cases can snapshot a mid-pipeline graph): Move,
+LoadR and StoreR forward their producer's value unchanged, a spill store
+records its producer's value in its spill slot, and a spill load reads
+the slot back through its ``mem`` dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ddg.graph import DepGraph
+from repro.ddg.loop import Loop
+from repro.ddg.operations import OpType
+from repro.verify import values as V
+from repro.workloads.traces import AddressStream, loop_address_streams
+
+__all__ = [
+    "ReferenceTrace",
+    "reference_execute",
+    "dataflow_inputs",
+    "dataflow_order",
+    "preloop_value",
+]
+
+
+@dataclass
+class ReferenceTrace:
+    """The observable output of one reference execution."""
+
+    loop_name: str
+    n_iterations: int
+    #: Per non-spill store node: the sequence of stored values.
+    store_streams: Dict[int, List[int]] = field(default_factory=dict)
+    #: Every computed value, keyed by (node_id, iteration) -- kept for
+    #: debugging mismatches (the differential report prints the chain).
+    values: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+def dataflow_inputs(graph: DepGraph, node_id: int) -> List[Tuple[int, int]]:
+    """The (producer, iteration distance) pairs feeding ``node_id``.
+
+    Flow edges carry values; ``mem``/``seq`` edges are ordering-only --
+    except for the spill reload pair, whose ``mem`` edge from the spill
+    store is the only link to the value being reloaded.
+    """
+    node = graph.node(node_id)
+    if node.op is OpType.LOAD:
+        if not node.is_spill:
+            return []  # fed by the address stream, not by registers
+        return [
+            (edge.src, edge.distance)
+            for edge in graph.in_edges(node_id)
+            if edge.kind == "mem" and graph.node(edge.src).is_spill
+        ]
+    return [
+        (edge.src, edge.distance)
+        for edge in graph.in_edges(node_id)
+        if edge.kind == "flow"
+    ]
+
+
+def dataflow_order(graph: DepGraph) -> List[int]:
+    """Topological order of the nodes over zero-distance dataflow edges.
+
+    Loop-carried inputs (distance >= 1) refer to earlier iterations and
+    impose no intra-iteration ordering.  Raises ``ValueError`` on a
+    zero-distance dataflow cycle (such a loop has no sequential meaning).
+    """
+    indegree: Dict[int, int] = {node_id: 0 for node_id in graph.node_ids()}
+    succ: Dict[int, List[int]] = {node_id: [] for node_id in graph.node_ids()}
+    for node_id in graph.node_ids():
+        for src, distance in dataflow_inputs(graph, node_id):
+            if distance == 0 and src in indegree:
+                indegree[node_id] += 1
+                succ[src].append(node_id)
+    ready = sorted(node_id for node_id, deg in indegree.items() if deg == 0)
+    order: List[int] = []
+    while ready:
+        node_id = ready.pop()
+        order.append(node_id)
+        for nxt in succ[node_id]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(indegree):
+        raise ValueError("zero-distance dataflow cycle in dependence graph")
+    return order
+
+
+def preloop_value(graph: DepGraph, node_id: int, iteration: int) -> int:
+    """The pre-loop value a carried use resolves to (iteration < 0).
+
+    Communication and spill nodes forward their source's value unchanged,
+    so the chain is walked back to an *original* node before keying the
+    deterministic initial value -- both executors use this same helper,
+    which is what makes them agree on the first ``distance`` iterations
+    of every carried use even when the graph already contains inserted
+    comm/spill nodes (mid-pipeline corpus snapshots, final graphs).
+    """
+    node = graph.node(node_id)
+    if node.op is OpType.LIVE_IN:
+        return V.live_in_value(node_id)
+    if node.is_spill or node.is_inserted:
+        inputs = dataflow_inputs(graph, node_id)
+        if inputs:
+            src, distance = inputs[0]
+            return preloop_value(graph, src, iteration - distance)
+    return V.initial_value(node_id, iteration)
+
+
+def address_streams_by_node(loop: Loop) -> Dict[int, AddressStream]:
+    """Map every memory operation of the loop to its address stream."""
+    return {stream.node_id: stream for stream in loop_address_streams(loop)}
+
+
+def node_value(
+    graph: DepGraph,
+    node_id: int,
+    iteration: int,
+    fetch,
+    streams: Dict[int, AddressStream],
+) -> int:
+    """The value one node produces at one iteration.
+
+    ``fetch(src, iteration)`` resolves an operand value (negative
+    iterations yield the deterministic pre-loop value).  Shared with the
+    VLIW interpreter so both sides agree on every operator's semantics.
+    """
+    node = graph.node(node_id)
+    op = node.op
+    if op is OpType.LIVE_IN:
+        return V.live_in_value(node_id)
+    if op is OpType.LOAD and not node.is_spill:
+        stream = streams.get(node_id)
+        if stream is None:
+            # A load with no stream (hand-built graph): a fixed location.
+            return V.load_value(node_id)
+        return V.load_value(stream.address(iteration))
+    operands = [fetch(src, iteration - distance)
+                for src, distance in dataflow_inputs(graph, node_id)]
+    if op is OpType.STORE:
+        return V.store_value(node_id, operands)
+    if op.is_communication or (op is OpType.LOAD and node.is_spill):
+        if not operands:
+            return V.poison_value(node_id, iteration)
+        return V.join_values(node_id, operands)
+    return V.compute_value(op, operands)
+
+
+def reference_execute(loop: Loop, n_iterations: int) -> ReferenceTrace:
+    """Execute ``n_iterations`` of the loop body as scalar dataflow."""
+    graph = loop.graph
+    order = dataflow_order(graph)
+    streams = address_streams_by_node(loop)
+    trace = ReferenceTrace(loop_name=loop.name, n_iterations=n_iterations)
+    values = trace.values
+
+    def fetch(src: int, iteration: int) -> int:
+        if iteration < 0:
+            return preloop_value(graph, src, iteration)
+        return values[(src, iteration)]
+
+    store_nodes = [
+        node.node_id
+        for node in graph.nodes()
+        if node.op is OpType.STORE and not node.is_spill
+    ]
+    for node_id in store_nodes:
+        trace.store_streams[node_id] = []
+
+    for iteration in range(n_iterations):
+        for node_id in order:
+            value = node_value(graph, node_id, iteration, fetch, streams)
+            values[(node_id, iteration)] = value
+        for node_id in store_nodes:
+            trace.store_streams[node_id].append(values[(node_id, iteration)])
+    return trace

@@ -1,0 +1,121 @@
+"""Deterministic 64-bit value algebra shared by both executors.
+
+The differential oracle does not simulate floating-point arithmetic --
+what it verifies is *dataflow*: that the scheduled, register-allocated
+VLIW code routes exactly the same values to exactly the same stores as a
+naive scalar execution of the loop.  Every operation therefore maps its
+operand values to a pseudo-random 64-bit tag through a splitmix-style
+mixer: two executions produce the same store streams iff they performed
+the same dataflow (up to a ~2^-64 collision probability per comparison).
+
+Two properties of the algebra are load-bearing:
+
+* **Operand order insensitivity.**  Compute operations fold their
+  operands as a *sorted* tuple, so re-routing an operand edge through a
+  communication or spill chain (which preserves the producer and the
+  total iteration distance, but not edge enumeration order) cannot
+  change the result.
+* **Determinism across processes.**  The mixer uses no string hashing
+  (``PYTHONHASHSEED`` has no effect) -- a corpus case replays to the
+  same values on any machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ddg.operations import OpType
+
+__all__ = [
+    "mix",
+    "live_in_value",
+    "initial_value",
+    "load_value",
+    "compute_value",
+    "store_value",
+    "join_values",
+    "poison_value",
+]
+
+_MASK = (1 << 64) - 1
+
+#: Stable small integer code per operation kind (enum order is part of
+#: the public repertoire and changing it would change every tag anyway).
+_OP_CODE = {op: index for index, op in enumerate(OpType)}
+
+# Role tags keep the different value constructors in disjoint domains.
+_TAG_LIVE_IN = 0x11
+_TAG_INITIAL = 0x22
+_TAG_LOAD = 0x33
+_TAG_COMPUTE = 0x44
+_TAG_STORE = 0x55
+_TAG_POISON = 0x66
+
+
+def _splitmix(value: int) -> int:
+    """The splitmix64 finalizer: a fast, well-distributed 64-bit mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)
+
+
+def mix(*parts: int) -> int:
+    """Combine integer parts into one 64-bit value (order sensitive)."""
+    state = 0x243F6A8885A308D3  # pi, for want of nothing up any sleeve
+    for part in parts:
+        state = _splitmix((state ^ (part & _MASK)) & _MASK)
+    return state
+
+
+def live_in_value(node_id: int) -> int:
+    """The (constant) value of a loop-invariant live-in."""
+    return mix(_TAG_LIVE_IN, node_id)
+
+
+def initial_value(node_id: int, iteration: int) -> int:
+    """The pre-loop value read by a loop-carried use at iteration < 0."""
+    # ``iteration`` is negative; offset it into the non-negative range so
+    # the mixer sees a plain unsigned part.
+    return mix(_TAG_INITIAL, node_id, iteration + (1 << 32))
+
+
+def load_value(address: int) -> int:
+    """The memory content at ``address`` (a pure function of the address).
+
+    Dependences through memory are ordering-only in the dependence-graph
+    model (stores never feed loads through an address), so memory is
+    modelled as an immutable pseudo-random array.  Spill slots are the
+    exception and are handled as dataflow by the executors directly.
+    """
+    return mix(_TAG_LOAD, address)
+
+
+def compute_value(op: OpType, operands: Sequence[int]) -> int:
+    """The result of a compute operation over its operand multiset."""
+    return mix(_TAG_COMPUTE, _OP_CODE[op], *sorted(operands))
+
+
+def store_value(node_id: int, operands: Sequence[int]) -> int:
+    """The value a store writes (its operand, or a fold of several)."""
+    if len(operands) == 1:
+        return operands[0]
+    # Degenerate graphs can give a store zero or several producers; fold
+    # deterministically so both executors agree.
+    return mix(_TAG_STORE, node_id, *sorted(operands))
+
+
+def join_values(node_id: int, operands: Sequence[int]) -> int:
+    """Fold several operands of a communication node (degenerate graphs)."""
+    if len(operands) == 1:
+        return operands[0]
+    return mix(_TAG_STORE, node_id, *sorted(operands))
+
+
+def poison_value(node_id: int, iteration: int, salt: int = 0) -> int:
+    """A sentinel for reads that found no value at all (empty register).
+
+    Poison is keyed by the *reader*, so it never accidentally equals the
+    value the reference executor expected.
+    """
+    return mix(_TAG_POISON, node_id, iteration + (1 << 32), salt)

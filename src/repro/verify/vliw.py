@@ -1,0 +1,392 @@
+"""Cycle-by-cycle interpreter for emitted software-pipelined VLIW code.
+
+This is the machine side of the differential checker.  It does **not**
+re-use the dependence graph's dataflow to route values; instead it
+executes the :class:`~repro.core.codegen.VLIWProgram` exactly as the
+modelled hardware would:
+
+* the program's prologue / kernel / epilogue words are unrolled into
+  issue events (:meth:`VLIWProgram.execution_trace`) and processed in
+  absolute cycle order;
+* every defined value is written into the *physical register* the
+  wrap-around allocator assigned it, in its residence bank, following
+  rotating-register-file semantics (a value whose lifetime spans ``k``
+  initiation intervals occupies ``k`` register instances, aging by one
+  register every II cycles; the cyclically *shared* instance is the one
+  the allocator packed first-fit against other values);
+* every operand is read from the bank the consuming operation is
+  physically connected to (its cluster bank, the shared bank for memory
+  ports, the producer's bank for a bus ``Move``), at the register the
+  allocation dictates -- so a wrong-bank placement, a register
+  collision, or a clobbered spill slot yields a *different value*, which
+  then propagates to the observable store streams;
+* spill stores write their operand into a per-iteration spill slot and
+  spill loads read it back through their ``mem`` dependence, modelling
+  the modulo-expanded spill buffers the two-level spill chain requires.
+
+The interpreter is deliberately trusting about *timing* (the static
+validator already proves dependences and resources); what it adds is the
+value flow, plus structural checks that the emitted code covers every
+(operation, iteration) instance exactly once at the scheduled cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocation import AllocatedValue, RegisterAllocation
+from repro.core.banks import read_bank, value_bank
+from repro.core.codegen import VLIWProgram
+from repro.core.lifetimes import lifetimes_by_bank
+from repro.core.result import ScheduleResult
+from repro.ddg.loop import Loop
+from repro.ddg.operations import OpType
+from repro.machine.config import MachineConfig, RFConfig
+from repro.verify import values as V
+from repro.verify.reference import (
+    address_streams_by_node,
+    dataflow_inputs,
+    preloop_value,
+)
+
+__all__ = ["Anomaly", "VLIWTrace", "interpret_program"]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One structural or register-level problem observed during execution."""
+
+    kind: str
+    node_id: int
+    iteration: int
+    cycle: int
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"[{self.kind}] op {self.node_id} iter {self.iteration} "
+            f"cycle {self.cycle}: {self.detail}"
+        )
+
+
+@dataclass
+class VLIWTrace:
+    """The observable output of one VLIW program execution."""
+
+    loop_name: str
+    config_name: str
+    n_iterations: int
+    #: Per non-spill store node: the sequence of stored values (indexed
+    #: by iteration; ``None`` marks an iteration the code never executed,
+    #: which is itself reported as a coverage anomaly).
+    store_streams: Dict[int, List[Optional[int]]] = field(default_factory=dict)
+    anomalies: List[Anomaly] = field(default_factory=list)
+    #: Every computed value, keyed by (node_id, iteration), for debugging.
+    values: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+class _RegisterFile:
+    """Tagged register banks with rotating (aging) instance placement."""
+
+    def __init__(self, ii: int) -> None:
+        self.ii = ii
+        #: (bank, register key) -> (writer node, writer iteration, value).
+        #: The register key is the physical index when the allocation
+        #: pins it exactly, or a private ("priv", node, age) token for
+        #: the always-alive instances of long-lived values, whose exact
+        #: physical index the wrap-around allocator reserves exclusively
+        #: (first-fit never shares a fully occupied register).
+        self.contents: Dict[Tuple, Tuple[Optional[int], Optional[int], int]] = {}
+
+    @staticmethod
+    def _instance_key(av: AllocatedValue, length: int, age: int, ii: int):
+        full, remainder = divmod(max(1, length), ii)
+        if remainder == 0:
+            return av.base_register + age
+        if age == full:
+            # The cyclically shared instance: the one whose occupancy is
+            # ``length mod II`` cycles per II, packed first-fit with
+            # other values' arcs on the allocator's arc register.
+            return av.base_register
+        return ("priv", av.node_id, age)
+
+    def write_segments(
+        self, av: AllocatedValue, birth: int, length: int
+    ) -> List[Tuple[int, Tuple]]:
+        """(cycle, key) pairs at which one value instance changes register."""
+        full, remainder = divmod(max(1, length), self.ii)
+        n_segments = full + (1 if remainder else 0)
+        return [
+            (
+                birth + age * self.ii,
+                (av.bank, self._instance_key(av, length, age, self.ii)),
+            )
+            for age in range(n_segments)
+        ]
+
+    def read_key(self, bank: int, av: AllocatedValue, length: int, age: int):
+        return (bank, self._instance_key(av, length, age, self.ii))
+
+
+def interpret_program(
+    loop: Loop,
+    result: ScheduleResult,
+    program: VLIWProgram,
+    allocation: RegisterAllocation,
+    machine: MachineConfig,
+    rf: RFConfig,
+    n_iterations: int,
+) -> VLIWTrace:
+    """Execute ``n_iterations`` of the emitted program against the allocation.
+
+    ``loop`` is the *original* (pre-scheduling) loop; it supplies the
+    address streams of the non-spill memory operations, which survive
+    scheduling with their node ids intact.  ``machine`` must be the same
+    (clock-scaled) datapath the schedule was produced for.
+    """
+    graph = result.graph
+    if not result.success or graph is None:
+        raise ValueError("cannot interpret a failed schedule")
+    ii = result.ii
+    times = {node_id: placed.cycle for node_id, placed in result.assignments.items()}
+    clusters = {node_id: placed.cluster for node_id, placed in result.assignments.items()}
+    trace = VLIWTrace(
+        loop_name=result.loop_name,
+        config_name=result.config_name,
+        n_iterations=n_iterations,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Static tables: lifetimes, allocations, address streams.
+    # ------------------------------------------------------------------ #
+    life: Dict[int, Tuple[int, int, int]] = {}
+    for bank, lifetimes in lifetimes_by_bank(
+        graph, times, clusters, ii, rf, machine.latency
+    ).items():
+        for lt in lifetimes:
+            life[lt.node_id] = (bank, lt.start, lt.end)
+    alloc_of: Dict[int, AllocatedValue] = {}
+    for bank_alloc in allocation.banks.values():
+        for av in bank_alloc.values:
+            alloc_of[av.node_id] = av
+    invariant_regs: Dict[Tuple[int, int], int] = {}
+    for bank, bank_alloc in allocation.banks.items():
+        for node_id, register in bank_alloc.invariants.items():
+            invariant_regs[(bank, node_id)] = register
+    streams = address_streams_by_node(loop)
+
+    regfile = _RegisterFile(ii)
+    # Loop invariants are pre-loaded into every bank that reads them.
+    for (bank, node_id), register in invariant_regs.items():
+        regfile.contents[(bank, register)] = (node_id, None, V.live_in_value(node_id))
+
+    # ------------------------------------------------------------------ #
+    # Unroll the program and check instance coverage.
+    # ------------------------------------------------------------------ #
+    slots = program.execution_trace(n_iterations)
+    expected = {
+        (node_id, iteration)
+        for node_id in times
+        if not graph.node(node_id).op.is_pseudo
+        for iteration in range(n_iterations)
+    }
+    seen: Dict[Tuple[int, int], int] = {}
+    for slot in slots:
+        seen[(slot.node_id, slot.iteration)] = (
+            seen.get((slot.node_id, slot.iteration), 0) + 1
+        )
+        scheduled = times.get(slot.node_id)
+        if scheduled is None or slot.cycle != slot.iteration * ii + scheduled:
+            trace.anomalies.append(
+                Anomaly(
+                    kind="codegen-cycle",
+                    node_id=slot.node_id,
+                    iteration=slot.iteration,
+                    cycle=slot.cycle,
+                    detail=f"emitted at cycle {slot.cycle}, schedule says "
+                    f"{slot.iteration} * {ii} + {scheduled}",
+                )
+            )
+    for instance, count in sorted(seen.items()):
+        if count > 1 or instance not in expected:
+            node_id, iteration = instance
+            trace.anomalies.append(
+                Anomaly(
+                    kind="codegen-coverage",
+                    node_id=node_id,
+                    iteration=iteration,
+                    cycle=-1,
+                    detail=f"instance emitted {count} time(s), expected "
+                    f"{'once' if instance in expected else 'never'}",
+                )
+            )
+    for instance in sorted(expected - set(seen)):
+        node_id, iteration = instance
+        trace.anomalies.append(
+            Anomaly(
+                kind="codegen-coverage",
+                node_id=node_id,
+                iteration=iteration,
+                cycle=-1,
+                detail="instance never emitted",
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cycle-by-cycle execution.
+    # ------------------------------------------------------------------ #
+    values = trace.values
+    spill_mem: Dict[Tuple[int, int], int] = {}
+    for node in graph.nodes():
+        if node.op is OpType.STORE and not node.is_spill:
+            trace.store_streams[node.node_id] = [None] * n_iterations
+    #: (cycle, sequence, register key, writer, iteration, value)
+    pending_writes: List[Tuple[int, int, Tuple, int, int, int]] = []
+    write_seq = 0
+
+    def flush_writes(now: int) -> None:
+        while pending_writes and pending_writes[0][0] <= now:
+            _, _, key, writer, iteration, value = heapq.heappop(pending_writes)
+            regfile.contents[key] = (writer, iteration, value)
+
+    def read_operand(consumer: int, consumer_cluster, src: int, j: int, cycle: int) -> int:
+        if j < 0:
+            return preloop_value(graph, src, j)
+        src_node = graph.node(src)
+        if src_node.op is OpType.LIVE_IN:
+            bank = read_bank(graph, consumer, consumer_cluster, rf)
+            register = invariant_regs.get((bank, src)) if bank is not None else None
+            if register is None:
+                trace.anomalies.append(
+                    Anomaly("missing-invariant", consumer, j, cycle,
+                            f"invariant {src} has no register in bank {bank}"))
+                return V.poison_value(consumer, j, src)
+            writer, _, value = regfile.contents[(bank, register)]
+            if writer != src:
+                trace.anomalies.append(
+                    Anomaly("register-collision", consumer, j, cycle,
+                            f"invariant register {bank}/r{register} holds "
+                            f"value of {writer}, expected invariant {src}"))
+            return value
+        if not src_node.op.defines_register:
+            # Degenerate graphs can use a store as an operand; there is no
+            # register to read, forward the computed value directly.
+            return values.get((src, j), V.poison_value(consumer, j, src))
+        if graph.node(consumer).op is OpType.MOVE:
+            # A bus Move reads the producer's bank by construction.
+            bank = value_bank(graph, src, clusters.get(src), rf)
+        else:
+            bank = read_bank(graph, consumer, consumer_cluster, rf)
+        av = alloc_of.get(src)
+        entry = life.get(src)
+        if av is None or entry is None or bank is None:
+            trace.anomalies.append(
+                Anomaly("no-allocation", consumer, j, cycle,
+                        f"operand {src} has no register allocation"))
+            return V.poison_value(consumer, j, src)
+        _, start, end = entry
+        birth = j * ii + start
+        if cycle < birth:
+            trace.anomalies.append(
+                Anomaly("read-before-write", consumer, j, cycle,
+                        f"operand {src} (iteration {j}) is written at "
+                        f"cycle {birth}"))
+            return V.poison_value(consumer, j, src)
+        key = regfile.read_key(bank, av, end - start, (cycle - birth) // ii)
+        found = regfile.contents.get(key)
+        if found is None:
+            trace.anomalies.append(
+                Anomaly("empty-register", consumer, j, cycle,
+                        f"register {key[0]}/{key[1]} never written "
+                        f"(expected value of {src} iteration {j})"))
+            return V.poison_value(consumer, j, src)
+        writer, writer_iter, value = found
+        if writer != src or writer_iter != j:
+            trace.anomalies.append(
+                Anomaly("register-collision", consumer, j, cycle,
+                        f"register {key[0]}/{key[1]} holds value of "
+                        f"{writer} iteration {writer_iter}, expected "
+                        f"{src} iteration {j}"))
+        return value  # whatever the register physically holds
+
+    for slot in sorted(slots, key=lambda s: s.cycle):
+        cycle, node_id, iteration = slot.cycle, slot.node_id, slot.iteration
+        if not (0 <= iteration < n_iterations) or node_id not in graph:
+            continue
+        flush_writes(cycle)
+        node = graph.node(node_id)
+        cluster = clusters.get(node_id)
+        op = node.op
+
+        if op is OpType.LOAD and not node.is_spill:
+            stream = streams.get(node_id)
+            value = (
+                V.load_value(stream.address(iteration))
+                if stream is not None
+                else V.load_value(node_id)
+            )
+        elif op is OpType.LOAD and node.is_spill:
+            inputs = dataflow_inputs(graph, node_id)
+            if not inputs:
+                trace.anomalies.append(
+                    Anomaly("spill-orphan", node_id, iteration, cycle,
+                            "spill load has no spill store"))
+                value = V.poison_value(node_id, iteration)
+            else:
+                reloaded = []
+                for store_id, distance in inputs:
+                    j = iteration - distance
+                    if j < 0:
+                        reloaded.append(preloop_value(graph, store_id, j))
+                        continue
+                    slot_value = spill_mem.get((store_id, j))
+                    if slot_value is None:
+                        trace.anomalies.append(
+                            Anomaly("spill-miss", node_id, iteration, cycle,
+                                    f"spill slot of store {store_id} "
+                                    f"iteration {j} not yet written"))
+                        slot_value = V.poison_value(node_id, iteration, store_id)
+                    reloaded.append(slot_value)
+                value = V.join_values(node_id, reloaded)
+        else:
+            operands = [
+                read_operand(node_id, cluster, src, iteration - distance, cycle)
+                for src, distance in dataflow_inputs(graph, node_id)
+            ]
+            if op is OpType.STORE:
+                value = V.store_value(node_id, operands)
+            elif op.is_communication:
+                value = (
+                    V.join_values(node_id, operands)
+                    if operands
+                    else V.poison_value(node_id, iteration)
+                )
+            else:
+                value = V.compute_value(op, operands)
+
+        values[(node_id, iteration)] = value
+
+        if op is OpType.STORE:
+            if node.is_spill:
+                spill_mem[(node_id, iteration)] = value
+            else:
+                trace.store_streams[node_id][iteration] = value
+        elif op.defines_register and not op.is_pseudo:
+            av = alloc_of.get(node_id)
+            entry = life.get(node_id)
+            if av is None or entry is None:
+                trace.anomalies.append(
+                    Anomaly("no-allocation", node_id, iteration, cycle,
+                            "defined value has no register allocation"))
+            else:
+                _, start, end = entry
+                birth = iteration * ii + start
+                for write_cycle, key in regfile.write_segments(av, birth, end - start):
+                    heapq.heappush(
+                        pending_writes,
+                        (write_cycle, write_seq, key, node_id, iteration, value),
+                    )
+                    write_seq += 1
+    return trace

@@ -26,6 +26,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["reproduce", "table99"])
 
+    def test_fuzz_arguments_and_durations(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--seeds", "25", "--budget", "60s", "--configs", "S64"]
+        )
+        assert args.command == "fuzz"
+        assert args.seeds == 25
+        assert args.budget == 60.0
+        assert args.configs == ["S64"]
+        assert build_parser().parse_args(["fuzz", "--budget", "2m"]).budget == 120.0
+        assert build_parser().parse_args(["fuzz", "--budget", "90"]).budget == 90.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--budget", "soon"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--budget", "-5s"])
+
 
 class TestCommands:
     def test_schedule_command(self, capsys):
@@ -68,3 +83,26 @@ class TestCommands:
                      "--cache", str(cache_dir)]) == 0
         warm = capsys.readouterr().out
         assert warm == cold
+
+    def test_fuzz_smoke(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--base-seed", "2003",
+                     "--no-shrink"]) == 0
+        out = capsys.readouterr().out
+        assert "2 case(s)" in out
+        assert "0 failure(s)" in out
+
+    def test_fuzz_replay_roundtrip(self, capsys, tmp_path):
+        from repro.machine import baseline_machine, config_by_name
+        from repro.verify.corpus import CorpusCase, save_case
+        from repro.workloads.kernels import build_kernel
+
+        case = CorpusCase(
+            loop=build_kernel("daxpy"),
+            rf=config_by_name("S64"),
+            machine=baseline_machine(),
+            config_name="S64",
+        )
+        path = save_case(case, tmp_path / "replay.json")
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok (expected ok)" in out

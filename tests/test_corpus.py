@@ -1,0 +1,50 @@
+"""Auto-replay of the regression corpus.
+
+Every JSON case under ``tests/corpus/`` is discovered and pushed through
+the full verification pipeline -- schedule, statically validate,
+allocate registers, emit code, differentially execute against the scalar
+reference -- and the observed outcome must match the case's ``expect``
+field.  Fuzz failures land here (minimized) once fixed; hand-written
+regressions (like the PR 1 spill dead-end loops that seed the corpus)
+are pinned the same way.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.corpus import discover_cases, load_case
+from repro.verify.fuzz import run_pipeline
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CASES = discover_cases(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    """The corpus must never silently vanish (a glob typo would otherwise
+    turn the whole replay suite into a no-op)."""
+    assert len(CASES) >= 4
+
+
+@pytest.mark.parametrize("path", CASES, ids=[path.stem for path in CASES])
+def test_replay_corpus_case(path):
+    case = load_case(path)
+    outcome = run_pipeline(
+        case.loop,
+        case.rf,
+        case.machine,
+        budget_ratio=case.budget_ratio,
+        scale_to_clock=case.scale_to_clock,
+        n_iterations=case.n_iterations,
+        reproducer=f"python -m repro.cli fuzz --replay {path}",
+    )
+    assert outcome.status == case.expect, (
+        f"{path.name}: expected {case.expect!r}, observed {outcome.status!r}\n"
+        f"{case.description}\n{outcome.message}"
+    )
+    if path.stem.startswith("spill_"):
+        # The seeded PR 1 cases are only meaningful while they exercise
+        # the two-level spill chain; if a scheduler change stops them
+        # spilling, the corpus needs harder cases.
+        assert outcome.result is not None
+        assert outcome.result.n_spill_memory_ops > 0

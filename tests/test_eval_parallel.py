@@ -228,6 +228,43 @@ class TestEvalCache:
         assert runs[0].result.success
         assert schedule_calls["n"] == 2  # re-scheduled after the bad read
 
+    def test_disk_write_failures_are_counted_and_warn_once(
+        self, tmp_path, monkeypatch
+    ):
+        import pickle
+        import warnings
+
+        loops = tiny_suite()[:2]
+        cache = EvalCache(tmp_path)
+
+        def broken_dump(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pickle, "dump", broken_dump)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            schedule_suite(loops, "S64", cache=cache)
+        runtime_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        # Every failed write is counted, but only the first one warns.
+        assert cache.write_failures == 2
+        assert len(runtime_warnings) == 1
+        assert "could not persist" in str(runtime_warnings[0].message)
+        # The failure is non-fatal: the in-memory tier still serves hits,
+        # and the counter is observable through stats().
+        stats = cache.stats()
+        assert stats["write_failures"] == 2
+        assert stats["stores"] == 2
+        assert cache.get(next(iter(cache._memory))) is not None
+
+    def test_successful_writes_do_not_count_as_failures(self, tmp_path):
+        loops = tiny_suite()[:1]
+        cache = EvalCache(tmp_path)
+        schedule_suite(loops, "S64", cache=cache)
+        assert cache.write_failures == 0
+        assert cache.stats()["write_failures"] == 0
+
 
 class TestCacheKeys:
     def setup_method(self):

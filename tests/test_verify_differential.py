@@ -1,0 +1,316 @@
+"""Tests for the differential execution verifier.
+
+Three layers are covered:
+
+* the value algebra and the scalar reference executor (determinism,
+  operand-order insensitivity, carried-value semantics);
+* the VLIW interpreter against known-good schedules (kernels and
+  generated loops across all four register-file families must match the
+  reference exactly, including heavily spilled schedules);
+* deliberate corruption: a mutated register assignment, a dropped code
+  slot, or a tampered schedule must be *caught* -- this is the whole
+  point of an execution oracle, and the acceptance test for the
+  subsystem.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import allocate_registers
+from repro.core.codegen import generate_code
+from repro.core.mirs_hc import MirsHC
+from repro.ddg.graph import DepGraph
+from repro.ddg.loop import Loop
+from repro.ddg.operations import MemRef, OpType
+from repro.hwmodel import scaled_machine
+from repro.machine import baseline_machine, config_by_name
+from repro.verify import values as V
+from repro.verify.differential import (
+    DifferentialError,
+    differential_check,
+    default_iterations,
+)
+from repro.verify.reference import dataflow_order, reference_execute
+from repro.verify.vliw import interpret_program
+from repro.workloads.generator import PROFILES, generate_loop
+from repro.workloads.kernels import build_kernel
+
+
+def scheduled(loop, config_name, **kwargs):
+    rf = config_by_name(config_name)
+    machine, _spec = scaled_machine(baseline_machine(), rf)
+    result = MirsHC(machine, rf, **kwargs).schedule_loop(loop)
+    assert result.success, f"{loop.name} did not schedule on {config_name}"
+    return result, machine, rf
+
+
+# --------------------------------------------------------------------------- #
+# Value algebra
+# --------------------------------------------------------------------------- #
+class TestValueAlgebra:
+    def test_mix_is_deterministic_and_64_bit(self):
+        assert V.mix(1, 2, 3) == V.mix(1, 2, 3)
+        assert 0 <= V.mix(1, 2, 3) < (1 << 64)
+        assert V.mix(1, 2) != V.mix(2, 1)
+
+    def test_compute_value_is_operand_order_insensitive(self):
+        a, b = V.mix(10), V.mix(20)
+        assert V.compute_value(OpType.FADD, [a, b]) == V.compute_value(
+            OpType.FADD, [b, a]
+        )
+
+    def test_compute_value_distinguishes_operations(self):
+        a, b = V.mix(10), V.mix(20)
+        assert V.compute_value(OpType.FADD, [a, b]) != V.compute_value(
+            OpType.FMUL, [a, b]
+        )
+
+    def test_domains_are_disjoint(self):
+        assert V.live_in_value(3) != V.initial_value(3, -1)
+        assert V.load_value(3) != V.live_in_value(3)
+
+
+# --------------------------------------------------------------------------- #
+# Reference executor
+# --------------------------------------------------------------------------- #
+class TestReferenceExecutor:
+    def test_streams_are_deterministic(self):
+        loop = build_kernel("daxpy")
+        first = reference_execute(loop, 8)
+        second = reference_execute(loop, 8)
+        assert first.store_streams == second.store_streams
+
+    def test_recurrence_produces_distinct_values_per_iteration(self):
+        loop = build_kernel("dot_product")
+        trace = reference_execute(loop, 6)
+        for stream in trace.store_streams.values():
+            assert len(set(stream)) == len(stream)
+
+    def test_carried_use_reads_earlier_iteration(self):
+        graph = DepGraph()
+        load = graph.add_node(OpType.LOAD, mem_ref=MemRef(array="a"))
+        add = graph.add_node(OpType.FADD)
+        store = graph.add_node(OpType.STORE, mem_ref=MemRef(array="out"))
+        graph.add_edge(load, add, distance=2)
+        graph.add_edge(add, store)
+        loop = Loop(name="carried", graph=graph)
+        trace = reference_execute(loop, 5)
+        # Iterations 0 and 1 read pre-loop values; from iteration 2 on the
+        # add consumes the load of iteration i - 2.
+        expected = [
+            V.compute_value(OpType.FADD, [V.initial_value(load, -2)]),
+            V.compute_value(OpType.FADD, [V.initial_value(load, -1)]),
+        ]
+        assert trace.store_streams[store][:2] == expected
+        assert trace.store_streams[store][2] == V.compute_value(
+            OpType.FADD, [trace.values[(load, 0)]]
+        )
+
+    def test_preloop_values_walk_comm_chains_back_to_original_nodes(self):
+        """Regression: a corpus graph that already contains an inserted
+        comm node with a carried use must not trip the oracle -- both
+        executors key pre-loop values by the chain's *original* producer,
+        not by the comm node's own id."""
+        from repro.verify.fuzz import run_pipeline
+
+        graph = DepGraph()
+        load = graph.add_node(OpType.LOAD, mem_ref=MemRef(array="a"))
+        comm = graph.add_node(
+            OpType.LOADR, is_inserted=True, inserted_for=load, home_cluster=0
+        )
+        store = graph.add_node(OpType.STORE, mem_ref=MemRef(array="out"))
+        graph.add_edge(load, comm)
+        graph.add_edge(comm, store, distance=1)  # carried use of the copy
+        loop = Loop(name="mid_pipeline", graph=graph)
+        outcome = run_pipeline(loop, config_by_name("4C16S16"))
+        assert outcome.status == "ok", outcome.message
+
+    def test_zero_distance_cycle_is_rejected(self):
+        graph = DepGraph()
+        a = graph.add_node(OpType.FADD)
+        b = graph.add_node(OpType.FADD)
+        graph.add_edge(a, b)
+        graph.add_edge(b, a)
+        with pytest.raises(ValueError, match="cycle"):
+            dataflow_order(graph)
+
+
+# --------------------------------------------------------------------------- #
+# Known-good schedules must match the reference exactly
+# --------------------------------------------------------------------------- #
+class TestDifferentialOnCorrectSchedules:
+    @pytest.mark.parametrize("config_name", ["S128", "S64", "2C32", "1C64S64", "4C16S16"])
+    @pytest.mark.parametrize("kernel", ["daxpy", "fir_filter"])
+    def test_kernels_match_on_every_family(self, kernel, config_name):
+        loop = build_kernel(kernel)
+        result, machine, rf = scheduled(loop, config_name)
+        report = differential_check(loop, result, machine, rf)
+        assert report.ok, report.describe_failure()
+
+    def test_spilled_schedule_matches(self):
+        # A loop whose schedule needs the full two-level spill chain
+        # (StoreR/LoadR plus spill stores/loads to memory).  The heavier
+        # PR 1 regression loop lives in tests/corpus/ and is replayed by
+        # test_corpus.py.
+        loop = generate_loop(
+            np.random.default_rng(10), PROFILES["balanced"], index=0, name="spilly"
+        )
+        result, machine, rf = scheduled(loop, "8C16S16")
+        assert result.n_spill_memory_ops > 0  # the case is only interesting spilled
+        report = differential_check(loop, result, machine, rf)
+        assert report.ok, report.describe_failure()
+
+    def test_generated_loops_match_on_clustered_config(self):
+        rng = np.random.default_rng(11)
+        for index in range(3):
+            loop = generate_loop(rng, PROFILES["balanced"], index=index)
+            result, machine, rf = scheduled(loop, "4C16S16")
+            report = differential_check(loop, result, machine, rf)
+            assert report.ok, report.describe_failure()
+
+    def test_window_covers_pipeline_depth(self):
+        loop = build_kernel("daxpy")
+        result, machine, rf = scheduled(loop, "S64")
+        assert default_iterations(loop, result) >= result.stage_count
+
+
+# --------------------------------------------------------------------------- #
+# Corruption must be caught
+# --------------------------------------------------------------------------- #
+def overlapping_arc_pair(allocation, ii):
+    """Two values of one bank whose cyclic arcs overlap (on different regs)."""
+    def arc(value):
+        length = max(1, value.lifetime_end - value.lifetime_start)
+        full, rem = divmod(length, ii)
+        if rem == 0:
+            return None
+        return value.lifetime_start % ii, rem
+
+    for bank_alloc in allocation.banks.values():
+        values = bank_alloc.values
+        for i, first in enumerate(values):
+            arc_a = arc(first)
+            if arc_a is None:
+                continue
+            for second in values[i + 1:]:
+                if second.base_register == first.base_register:
+                    continue
+                arc_b = arc(second)
+                if arc_b is None:
+                    continue
+                forward = (arc_b[0] - arc_a[0]) % ii
+                backward = (arc_a[0] - arc_b[0]) % ii
+                if forward < arc_a[1] or backward < arc_b[1]:
+                    return bank_alloc, first, second
+    return None
+
+
+class TestCorruptionIsCaught:
+    def test_mutated_register_assignment_is_caught(self):
+        """The acceptance check: corrupt one register number, observe it."""
+        loop = generate_loop(
+            np.random.default_rng(3), PROFILES["balanced"], index=0, name="victim"
+        )
+        result, machine, rf = scheduled(loop, "S64")
+        allocation = allocate_registers(result, machine, rf)
+        pair = overlapping_arc_pair(allocation, result.ii)
+        assert pair is not None, "test loop has no overlapping arcs to corrupt"
+        bank_alloc, first, second = pair
+        # Move `first` onto the register that hosts `second`'s arc: the two
+        # values now collide in time on one physical register.
+        corrupted = dataclasses.replace(
+            first, base_register=second.base_register
+        )
+        bank_alloc.values[bank_alloc.values.index(first)] = corrupted
+
+        report = differential_check(
+            loop, result, machine, rf, allocation=allocation
+        )
+        assert not report.ok
+        assert report.mismatches or any(
+            anomaly.kind == "register-collision" for anomaly in report.anomalies
+        )
+
+    def test_clean_allocation_passes_the_same_check(self):
+        loop = generate_loop(
+            np.random.default_rng(3), PROFILES["balanced"], index=0, name="victim"
+        )
+        result, machine, rf = scheduled(loop, "S64")
+        report = differential_check(loop, result, machine, rf)
+        assert report.ok, report.describe_failure()
+
+    def test_dropped_code_slot_is_caught(self):
+        loop = build_kernel("daxpy")
+        result, machine, rf = scheduled(loop, "S64")
+        allocation = allocate_registers(result, machine, rf)
+        program = generate_code(result, allocation=allocation)
+        victim = next(word for word in program.kernel if word.slots)
+        victim.slots.pop()
+        report = differential_check(
+            loop, result, machine, rf, allocation=allocation, program=program
+        )
+        assert not report.ok
+        assert any(a.kind == "codegen-coverage" for a in report.anomalies)
+
+    def test_execution_trace_covers_every_instance_once(self):
+        loop = build_kernel("fir_filter")
+        result, machine, rf = scheduled(loop, "4C16S16")
+        program = generate_code(result)
+        n = max(result.stage_count, 6)
+        seen = {}
+        for slot in program.execution_trace(n):
+            seen[(slot.node_id, slot.iteration)] = (
+                seen.get((slot.node_id, slot.iteration), 0) + 1
+            )
+            assert slot.cycle == slot.iteration * result.ii + result.cycle_of(
+                slot.node_id
+            )
+        expected = {
+            (node_id, i)
+            for node_id, placed in result.assignments.items()
+            if not placed.op.is_pseudo
+            for i in range(n)
+        }
+        assert seen == {instance: 1 for instance in expected}
+
+    def test_execution_trace_rejects_short_runs(self):
+        loop = build_kernel("daxpy")
+        result, machine, rf = scheduled(loop, "S64")
+        program = generate_code(result)
+        if program.stage_count > 1:
+            with pytest.raises(ValueError, match="pipeline depth"):
+                program.execution_trace(program.stage_count - 1)
+
+    def test_describe_failure_reports_exact_suppressed_count(self):
+        from repro.verify.differential import DifferentialReport, Mismatch
+
+        report = DifferentialReport(
+            loop_name="x", config_name="S64", ii=2, n_iterations=4,
+            mismatches=[
+                Mismatch(store_id=i, iteration=0, expected=1, actual=2)
+                for i in range(8)
+            ],
+        )
+        text = report.describe_failure(limit=6)
+        assert "(2 suppressed)" in text
+        assert "suppressed" not in report.describe_failure(limit=8)
+
+    def test_differential_error_embeds_reproducer(self):
+        loop = build_kernel("daxpy")
+        result, machine, rf = scheduled(loop, "S64")
+        report = differential_check(loop, result, machine, rf)
+        report.mismatches.append(  # fabricate a failure on a real report
+            __import__("repro.verify.differential", fromlist=["Mismatch"]).Mismatch(
+                store_id=1, iteration=0, expected=1, actual=2
+            )
+        )
+        with pytest.raises(DifferentialError) as excinfo:
+            report.raise_for_failure(
+                reproducer="[seed=1 profile=balanced config=S64 II=3] "
+                "python -m repro.cli fuzz --seeds 1 --base-seed 1"
+            )
+        message = str(excinfo.value)
+        assert "reproduce:" in message
+        assert "seed=1" in message and "config=S64" in message and "II=3" in message

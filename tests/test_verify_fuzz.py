@@ -1,0 +1,356 @@
+"""Tests for the fuzz driver, the shrinker, the configuration sampler
+and the corpus serialization round trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.mirs_hc import MirsHC
+from repro.core.validate import ValidationError, validate_schedule
+from repro.ddg.graph import DepGraph
+from repro.ddg.loop import Loop
+from repro.ddg.operations import MemRef, OpType
+from repro.hwmodel import scaled_machine
+from repro.machine import baseline_machine, config_by_name
+from repro.machine.sampler import sample_machine, sample_rf_config
+from repro.verify import fuzz as fuzz_mod
+from repro.verify.corpus import (
+    CorpusCase,
+    discover_cases,
+    load_case,
+    loop_from_json,
+    loop_to_json,
+    save_case,
+)
+from repro.verify.fuzz import (
+    format_reproducer,
+    fuzz_schedules,
+    run_pipeline,
+    shrink_loop,
+)
+from repro.workloads.generator import PROFILES, generate_loop
+from repro.workloads.kernels import build_kernel
+
+
+# --------------------------------------------------------------------------- #
+# The sampler
+# --------------------------------------------------------------------------- #
+class TestSampler:
+    def test_sampled_pairs_are_always_valid(self):
+        rng = np.random.default_rng(5)
+        kinds = set()
+        for _ in range(60):
+            machine = sample_machine(rng)
+            rf = sample_rf_config(rng, machine)
+            machine.validate_rf(rf)  # raises on an invalid pair
+            kinds.add(rf.kind)
+        assert len(kinds) >= 3  # the sampler explores several families
+
+    def test_sampling_is_reproducible_from_the_seed(self):
+        first = sample_rf_config(np.random.default_rng(7))
+        second = sample_rf_config(np.random.default_rng(7))
+        assert first == second
+
+
+# --------------------------------------------------------------------------- #
+# The pipeline runner
+# --------------------------------------------------------------------------- #
+class TestRunPipeline:
+    def test_clean_kernel_is_ok(self):
+        outcome = run_pipeline(build_kernel("daxpy"), config_by_name("S64"))
+        assert outcome.status == "ok"
+        assert not outcome.is_failure
+        assert outcome.report is not None and outcome.report.ok
+
+    def test_impossible_pressure_is_unschedulable_not_a_failure(self):
+        # A long chain of carried values cannot fit two registers at any II.
+        graph = DepGraph()
+        previous = graph.add_node(OpType.LOAD, mem_ref=MemRef(array="a"))
+        for _ in range(24):
+            node = graph.add_node(OpType.FADD)
+            graph.add_edge(previous, node, distance=4)
+            previous = node
+        store = graph.add_node(OpType.STORE, mem_ref=MemRef(array="out"))
+        graph.add_edge(previous, store)
+        loop = Loop(name="pressure", graph=graph)
+        rf = config_by_name("S128")
+        tiny = type(rf)(n_clusters=1, cluster_regs=None, shared_regs=2)
+        outcome = run_pipeline(loop, tiny, scale_to_clock=False)
+        assert outcome.status == "unschedulable"
+        assert not outcome.is_failure
+
+
+# --------------------------------------------------------------------------- #
+# Reproducer / failure message format
+# --------------------------------------------------------------------------- #
+class TestReproducerFormat:
+    def test_reproducer_embeds_seed_profile_config_and_ii(self):
+        text = format_reproducer(2017, "balanced", "4C16S16", ii=9)
+        assert "seed=2017" in text
+        assert "profile=balanced" in text
+        assert "config=4C16S16" in text
+        assert "II=9" in text
+        assert "python -m repro.cli fuzz --seeds 1 --base-seed 2017" in text
+        assert "--profiles balanced" in text
+        assert "--configs 4C16S16" in text
+
+    def test_sampled_configs_replay_with_the_sampling_flag(self):
+        text = format_reproducer(3, "large", "2C16S32", sampled=True)
+        assert "--sample-configs" in text
+        assert "--configs" not in text
+
+    def test_non_default_knobs_are_spelled_out(self):
+        text = format_reproducer(
+            3, "large", "S64", budget_ratio=2.0, n_iterations=20
+        )
+        assert "--budget-ratio 2.0" in text
+        assert "--iterations 20" in text
+        # ... and defaults keep the command short.
+        assert "--budget-ratio" not in format_reproducer(3, "large", "S64")
+        assert "--iterations" not in format_reproducer(3, "large", "S64")
+
+    def test_validation_error_carries_the_reproducer(self):
+        rf = config_by_name("S64")
+        machine, _spec = scaled_machine(baseline_machine(), rf)
+        loop = build_kernel("daxpy")
+        result = MirsHC(machine, rf).schedule_loop(loop)
+        assert result.success
+        # Tamper with one placement so validation fails.
+        victim = next(
+            node_id for node_id, placed in result.assignments.items()
+            if not placed.op.is_pseudo
+        )
+        import dataclasses
+        result.assignments[victim] = dataclasses.replace(
+            result.assignments[victim], cycle=result.assignments[victim].cycle + 10_000
+        )
+        reproducer = format_reproducer(42, "balanced", "S64", ii=result.ii)
+        with pytest.raises(ValidationError) as excinfo:
+            validate_schedule(result, machine, rf, reproducer=reproducer)
+        message = str(excinfo.value)
+        assert "reproduce:" in message
+        assert "seed=42" in message and "config=S64" in message
+        assert excinfo.value.reproducer == reproducer
+
+    def test_validation_error_without_reproducer_is_unchanged(self):
+        error = ValidationError("plain message")
+        assert str(error) == "plain message"
+        assert error.reproducer is None
+
+
+# --------------------------------------------------------------------------- #
+# The shrinker
+# --------------------------------------------------------------------------- #
+class TestShrinker:
+    def test_shrinks_to_the_failure_carrying_core(self):
+        graph = DepGraph()
+        nodes = [graph.add_node(OpType.FADD) for _ in range(10)]
+        trigger = graph.add_node(OpType.FDIV, name="trigger")
+        for first, second in zip(nodes, nodes[1:]):
+            graph.add_edge(first, second)
+        graph.add_edge(nodes[-1], trigger)
+        loop = Loop(name="shrinkme", graph=graph)
+
+        def still_fails(candidate):
+            return any(
+                node.op is OpType.FDIV for node in candidate.graph.nodes()
+            )
+
+        minimized = shrink_loop(loop, still_fails, max_attempts=200)
+        assert len(minimized.graph) == 1
+        assert next(iter(minimized.graph.nodes())).op is OpType.FDIV
+
+    def test_shrinker_respects_a_passed_deadline(self):
+        import time
+
+        graph = DepGraph()
+        for _ in range(8):
+            graph.add_node(OpType.FADD)
+        loop = Loop(name="deadline", graph=graph)
+        attempts = {"n": 0}
+
+        def still_fails(candidate):
+            attempts["n"] += 1
+            return True
+
+        minimized = shrink_loop(
+            loop, still_fails, max_attempts=1000,
+            deadline=time.perf_counter() - 1.0,
+        )
+        assert attempts["n"] == 0
+        assert len(minimized.graph) == len(loop.graph)
+
+    def test_shrinker_respects_the_attempt_budget(self):
+        graph = DepGraph()
+        for _ in range(8):
+            graph.add_node(OpType.FADD)
+        loop = Loop(name="budget", graph=graph)
+        attempts = {"n": 0}
+
+        def still_fails(candidate):
+            attempts["n"] += 1
+            return True
+
+        shrink_loop(loop, still_fails, max_attempts=5)
+        assert attempts["n"] <= 5
+
+
+# --------------------------------------------------------------------------- #
+# The fuzz driver
+# --------------------------------------------------------------------------- #
+class TestFuzzDriver:
+    def test_small_deterministic_sweep_is_clean(self):
+        report = fuzz_schedules(3, base_seed=2003, shrink=False)
+        assert report.ok
+        assert report.n_cases == 3
+        assert report.n_ok == 3
+        assert "3 case(s)" in report.summary()
+
+    def test_time_budget_stops_early(self):
+        report = fuzz_schedules(10_000, base_seed=2003, time_budget_s=1.0,
+                                shrink=False)
+        assert report.stopped_early
+        assert report.n_cases < 10_000
+        assert "stopped early" in report.summary()
+
+    def test_failures_are_shrunk_and_frozen_as_corpus_cases(
+        self, tmp_path, monkeypatch
+    ):
+        real_run_pipeline = fuzz_mod.run_pipeline
+
+        def breaking_run_pipeline(loop, rf, machine=None, **kwargs):
+            # Pretend the differential checker trips whenever the loop
+            # contains a store (shrinking should then strip all the rest).
+            if any(node.op is OpType.STORE for node in loop.graph.nodes()):
+                return fuzz_mod.PipelineOutcome(
+                    status="mismatch", message="synthetic mismatch"
+                )
+            return real_run_pipeline(loop, rf, machine, **kwargs)
+
+        monkeypatch.setattr(fuzz_mod, "run_pipeline", breaking_run_pipeline)
+        report = fuzz_mod.fuzz_schedules(
+            1, base_seed=2003, corpus_dir=tmp_path, max_shrink_attempts=400
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.status == "mismatch"
+        assert "base-seed 2003" in failure.reproducer
+        assert failure.corpus_path is not None and failure.corpus_path.exists()
+        case = load_case(failure.corpus_path)
+        assert case.expect == "ok"
+        assert case.origin["failure"] == "mismatch"
+        # Shrinking kept only what the failure needs: a single store.
+        ops = [node.op for node in case.loop.graph.nodes()]
+        assert ops == [OpType.STORE]
+
+    def test_api_facade_returns_the_report(self):
+        report = api.fuzz_schedules(1, base_seed=2003, shrink=False)
+        assert report.n_cases == 1
+
+
+# --------------------------------------------------------------------------- #
+# Corpus serialization
+# --------------------------------------------------------------------------- #
+class TestCorpusRoundTrip:
+    def test_loop_roundtrip_preserves_fingerprint(self):
+        loop = generate_loop(
+            np.random.default_rng(9), PROFILES["memory_bound"], index=0
+        )
+        clone = loop_from_json(loop_to_json(loop))
+        assert clone.fingerprint() == loop.fingerprint()
+
+    def test_roundtrip_remaps_inserted_for_across_id_gaps(self):
+        # Shrunk loops have non-contiguous node ids; inserted_for must be
+        # remapped alongside the edges, not copied verbatim.
+        graph = DepGraph()
+        graph.add_node(OpType.FADD)          # id 0, removed below
+        owner = graph.add_node(OpType.FMUL)  # id 1
+        comm = graph.add_node(
+            OpType.LOADR, is_inserted=True, inserted_for=owner, home_cluster=0
+        )                                    # id 2
+        graph.add_edge(owner, comm)
+        graph.remove_node(0)
+        loop = Loop(name="gaps", graph=graph)
+        clone = loop_from_json(loop_to_json(loop))
+        nodes = {node.op: node for node in clone.graph.nodes()}
+        assert nodes[OpType.LOADR].inserted_for == nodes[OpType.FMUL].node_id
+        assert clone.graph.has_edge(
+            nodes[OpType.FMUL].node_id, nodes[OpType.LOADR].node_id
+        )
+
+    def test_case_roundtrip_preserves_everything(self, tmp_path):
+        loop = build_kernel("daxpy")
+        case = CorpusCase(
+            loop=loop,
+            rf=config_by_name("4C16S16"),
+            machine=baseline_machine(),
+            expect="ok",
+            description="round trip",
+            origin={"seed": 1, "profile": "kernel"},
+            config_name="4C16S16",
+            budget_ratio=5.0,
+            n_iterations=8,
+        )
+        path = save_case(case, tmp_path / "case.json")
+        loaded = load_case(path)
+        assert loaded.loop.fingerprint() == loop.fingerprint()
+        assert loaded.rf == case.rf
+        assert loaded.machine.n_fus == case.machine.n_fus
+        assert loaded.expect == "ok"
+        assert loaded.budget_ratio == 5.0
+        assert loaded.n_iterations == 8
+        assert loaded.origin["seed"] == 1
+
+    def test_inline_rf_roundtrip(self, tmp_path):
+        rf = sample_rf_config(np.random.default_rng(3))
+        case = CorpusCase(
+            loop=build_kernel("daxpy"),
+            rf=rf,
+            machine=baseline_machine(),
+        )
+        loaded = load_case(save_case(case, tmp_path / "inline.json"))
+        assert loaded.rf == rf
+
+    def test_discover_cases_is_stable_and_ignores_missing_dirs(self, tmp_path):
+        assert discover_cases(tmp_path / "nope") == []
+        save_case(
+            CorpusCase(loop=build_kernel("daxpy"), rf=config_by_name("S64"),
+                       machine=baseline_machine()),
+            tmp_path / "b.json",
+        )
+        save_case(
+            CorpusCase(loop=build_kernel("daxpy"), rf=config_by_name("S64"),
+                       machine=baseline_machine()),
+            tmp_path / "a.json",
+        )
+        names = [path.name for path in discover_cases(tmp_path)]
+        assert names == ["a.json", "b.json"]
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        loop = build_kernel("daxpy")
+        case = CorpusCase(loop=loop, rf=config_by_name("S64"),
+                          machine=baseline_machine())
+        payload = case.to_json()
+        payload["schema"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema"):
+            load_case(path)
+
+
+# --------------------------------------------------------------------------- #
+# Long randomized sweeps (not part of tier 1)
+# --------------------------------------------------------------------------- #
+@pytest.mark.fuzz
+class TestLongSweeps:
+    def test_preset_sweep_200_seeds(self):
+        report = fuzz_schedules(200, base_seed=2003, shrink=False)
+        assert report.ok, report.render()
+
+    def test_sampled_config_sweep(self):
+        report = fuzz_schedules(
+            40, base_seed=7000, sample_configs=True, shrink=False
+        )
+        assert report.ok, report.render()
