@@ -24,7 +24,7 @@ Quickstart::
     print(result.ii, result.stage_count)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.machine import MachineConfig, RFConfig, baseline_machine, config_by_name
 from repro.ddg import DepGraph, Loop, OpType

@@ -15,12 +15,15 @@ Most users interact with the library through four verbs:
   execution oracle (see :mod:`repro.verify`).
 
 The three scheduling verbs accept ``jobs=N`` to schedule the workbench
-over N worker processes (``jobs=0`` means one per CPU) and
+over N worker processes (``jobs=0`` means one per CPU),
 ``cache=EvalCache(...)`` to memoize (loop, configuration) scheduling
 results -- pass ``EvalCache("some/dir")`` to persist the cache across
-processes.  See :mod:`repro.eval.parallel` and :mod:`repro.eval.cache`.
-(``fuzz_schedules`` takes neither: every fuzz case is a fresh, unique
-scheduling problem.)
+processes -- and ``policy=NAME`` to run the engine with a different
+policy bundle (``repro.core.bundle_names()`` lists them; the default is
+the paper's ``"mirs_hc"``).  See :mod:`repro.eval.parallel`,
+:mod:`repro.eval.cache` and :mod:`repro.core.policy`.
+(``fuzz_schedules`` takes ``policies=`` instead of a cache/jobs pair:
+every fuzz case is a fresh, unique scheduling problem.)
 
 Everything these helpers do is also available through the underlying
 packages (``repro.core``, ``repro.eval``); the helpers just wire the
@@ -65,6 +68,7 @@ def schedule_kernel(
     *,
     machine: Optional[MachineConfig] = None,
     budget_ratio: float = 6.0,
+    policy: str = "mirs_hc",
     jobs: int = 1,
     cache: Optional[EvalCache] = None,
     **kernel_params: object,
@@ -74,7 +78,8 @@ def schedule_kernel(
     ``jobs`` is accepted for uniformity with the other verbs (a single
     loop always schedules in-process).  When ``cache`` is given, a
     previously scheduled identical (kernel, configuration) pair is
-    returned without re-running the scheduler.
+    returned without re-running the scheduler.  ``policy`` selects the
+    policy bundle driving the engine.
 
     Example:
 
@@ -84,13 +89,16 @@ def schedule_kernel(
     True
     >>> result.ii >= result.mii
     True
+    >>> schedule_kernel("fir_filter", "4C16S16", policy="non_iterative",
+    ...                 taps=8).policy
+    'non_iterative'
     """
     loop = build_kernel(kernel, **kernel_params) if isinstance(kernel, str) else kernel
     rf_config = _resolve(rf)
     base = machine or baseline_machine()
     runs = schedule_suite(
         [loop], rf_config, machine=base, budget_ratio=budget_ratio,
-        jobs=jobs, cache=cache,
+        scheduler=policy, jobs=jobs, cache=cache,
     )
     return runs[0].result
 
@@ -131,6 +139,7 @@ def evaluate_configuration(
     n_loops: int = 64,
     seed: int = 2003,
     machine: Optional[MachineConfig] = None,
+    policy: str = "mirs_hc",
     jobs: int = 1,
     cache: Optional[EvalCache] = None,
 ) -> ConfigurationReport:
@@ -138,7 +147,7 @@ def evaluate_configuration(
 
     ``jobs`` schedules the workbench over that many worker processes
     (``0`` = one per CPU); ``cache`` reuses results for already-seen
-    (loop, configuration) pairs.
+    (loop, configuration) pairs; ``policy`` selects the policy bundle.
 
     Example:
 
@@ -152,7 +161,9 @@ def evaluate_configuration(
     rf_config = _resolve(rf)
     base = machine or baseline_machine()
     workbench = list(loops) if loops is not None else perfect_club_like_suite(n_loops, seed=seed)
-    runs = schedule_suite(workbench, rf_config, machine=base, jobs=jobs, cache=cache)
+    runs = schedule_suite(
+        workbench, rf_config, machine=base, scheduler=policy, jobs=jobs, cache=cache
+    )
     spec = derive_hardware(base, rf_config)
     return ConfigurationReport(config=rf_config, spec=spec, runs=runs)
 
@@ -165,6 +176,7 @@ def compare_configurations(
     seed: int = 2003,
     reference: Union[str, RFConfig] = "S64",
     machine: Optional[MachineConfig] = None,
+    policy: str = "mirs_hc",
     jobs: int = 1,
     cache: Optional[EvalCache] = None,
 ) -> Dict[str, object]:
@@ -202,7 +214,8 @@ def compare_configurations(
         all_configs = [reference_rf, *all_configs]
     for config in all_configs:
         report = evaluate_configuration(
-            config, loops=workbench, machine=base, jobs=jobs, cache=cache
+            config, loops=workbench, machine=base, policy=policy,
+            jobs=jobs, cache=cache,
         )
         reports[report.config.name] = report
         names.append(report.config.name)

@@ -22,6 +22,12 @@ Every sub-command takes ``--jobs N`` to schedule loops over N worker
 processes (``--jobs 0`` = one per CPU) and ``--cache DIR`` to persist
 scheduling results on disk, so re-runs -- and tables that share
 (loop, configuration) pairs -- skip the scheduler entirely.
+
+``schedule`` and ``evaluate`` additionally take ``--policy BUNDLE`` to
+run the engine with a different policy bundle (``reproduce
+ablation_policies`` compares all of them), and ``fuzz`` takes
+``--policies BUNDLE... | all`` to spread the differential oracle over
+several bundles.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from typing import Callable, Dict, List, Optional
 from repro import api
 from repro.core.allocation import allocate_registers
 from repro.core.codegen import generate_code
+from repro.core.policy import bundle_names
 from repro.eval import experiments
 from repro.eval.cache import EvalCache
 from repro.hwmodel.timing import scaled_machine
@@ -52,6 +59,7 @@ EXPERIMENT_DRIVERS: Dict[str, Callable[..., "experiments.ExperimentResult"]] = {
     "table6": experiments.run_table6,
     "figure4": experiments.run_figure4,
     "figure6": experiments.run_figure6,
+    "ablation_policies": experiments.run_ablation_policies,
 }
 
 
@@ -63,7 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_engine_flags(command: argparse.ArgumentParser) -> None:
+    def add_engine_flags(
+        command: argparse.ArgumentParser, *, policy: bool = True
+    ) -> None:
         command.add_argument(
             "--jobs", type=_nonnegative_int, default=1, metavar="N",
             help="schedule loops over N worker processes (0 = one per CPU; "
@@ -75,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "(loop, configuration) pairs are never re-scheduled "
                  "(default: no cache)",
         )
+        if policy:
+            command.add_argument(
+                "--policy", default="mirs_hc", choices=bundle_names(),
+                metavar="BUNDLE",
+                help="policy bundle driving the scheduling engine "
+                     f"(default: mirs_hc; known: {', '.join(bundle_names())})",
+            )
 
     schedule = sub.add_parser("schedule", help="schedule one kernel on one configuration")
     schedule.add_argument("kernel", choices=sorted(kernel_names()))
@@ -93,11 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--reference", default="S64")
     add_engine_flags(evaluate)
 
-    reproduce = sub.add_parser("reproduce", help="regenerate a table/figure of the paper")
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="regenerate a table/figure of the paper (or the policy ablation)",
+    )
     reproduce.add_argument("target", choices=sorted(EXPERIMENT_DRIVERS) + ["all"])
     reproduce.add_argument("--loops", type=int, default=48)
     reproduce.add_argument("--seed", type=int, default=2003)
-    add_engine_flags(reproduce)
+    # No --policy: the paper's tables are defined for the MIRS_HC bundle;
+    # 'reproduce ablation_policies' compares every registered bundle.
+    add_engine_flags(reproduce, policy=False)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -114,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--profiles", nargs="+", default=None, metavar="PROF",
                       help="generator profiles to draw loops from "
                            "(default: all profiles)")
+    fuzz.add_argument("--policies", nargs="+", default=None, metavar="BUNDLE",
+                      choices=bundle_names() + ["all"],
+                      help="policy bundles to draw schedulers from; the "
+                           "special value 'all' covers every registered "
+                           "bundle (default: mirs_hc only)")
     fuzz.add_argument("--sample-configs", action="store_true",
                       help="sample a random machine/register-file pair per "
                            "case instead of rotating through --configs")
@@ -180,7 +207,7 @@ def _cache_from_args(args: argparse.Namespace) -> Optional[EvalCache]:
 def _cmd_schedule(args: argparse.Namespace) -> int:
     result = api.schedule_kernel(
         args.kernel, args.config, budget_ratio=args.budget_ratio,
-        jobs=args.jobs, cache=_cache_from_args(args),
+        policy=args.policy, jobs=args.jobs, cache=_cache_from_args(args),
     )
     print(result.summary())
     print(result.kernel_table())
@@ -202,7 +229,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     comparison = api.compare_configurations(
         args.configs, n_loops=args.loops, seed=args.seed, reference=args.reference,
-        jobs=args.jobs, cache=_cache_from_args(args),
+        policy=args.policy, jobs=args.jobs, cache=_cache_from_args(args),
     )
     print(comparison["table"].render())
     print()
@@ -240,17 +267,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             scale_to_clock=case.scale_to_clock,
             n_iterations=case.n_iterations,
             reproducer=f"python -m repro.cli fuzz --replay {args.replay}",
+            policy=case.policy,
         )
         print(f"{args.replay}: {outcome.status} (expected {case.expect})")
         if outcome.message:
             print(outcome.message)
         return 0 if outcome.status == case.expect else 1
 
+    policies = args.policies
+    if policies and "all" in policies:
+        policies = bundle_names()
     report = fuzz_schedules(
         args.seeds,
         base_seed=args.base_seed,
         configs=args.configs or DEFAULT_FUZZ_CONFIGS,
         profiles=args.profiles,
+        policies=policies,
         sample_configs=args.sample_configs,
         budget_ratio=args.budget_ratio,
         time_budget_s=args.budget,

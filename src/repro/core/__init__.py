@@ -16,18 +16,24 @@ Module map
 ``banks``            bank identifiers and value-residence rules
 ``mrt``              the modulo reservation table
 ``partial``          the mutable partial schedule (slots, force & eject)
-``priority``         HRMS-inspired node ordering
+``pressure``         incremental per-bank MaxLive tracking
+``priority``         node orderings (HRMS-inspired + alternatives)
 ``lifetimes``        register-pressure (MaxLive) computation per bank
 ``communication``    insertion/removal of Move / LoadR / StoreR chains
-``spill``            two-level spill insertion
-``cluster_select``   the Select_Cluster heuristic
-``mirs_hc``          the integrated iterative scheduler (Figure 5)
-``baseline``         the non-iterative scheduler MIRS_HC is compared with
+``spill``            two-level spill insertion + victim policies
+``cluster_select``   Select_Cluster heuristics (one per policy)
+``policy``           policy registries and named policy bundles
+``engine``           the scheduling engine every bundle runs on
+``mirs_hc``          MIRS_HC = engine + the ``mirs_hc`` bundle (Figure 5)
+``baseline``         the non-iterative bundle MIRS_HC is compared with
 ``result``           schedule result containers
 ``validate``         independent schedule validity checker (used in tests)
 """
 
 from repro.core.result import ScheduledOp, ScheduleResult
+from repro.core.engine import SchedulerEngine
+from repro.core.policy import PolicyBundle, bundle_names, get_bundle, resolve_bundle
+from repro.core.pressure import PressureTracker
 from repro.core.mirs_hc import MirsHC, schedule_loop
 from repro.core.baseline import NonIterativeScheduler
 from repro.core.validate import ValidationError, validate_schedule
@@ -37,6 +43,12 @@ from repro.core.codegen import VLIWProgram, generate_code
 __all__ = [
     "ScheduledOp",
     "ScheduleResult",
+    "SchedulerEngine",
+    "PolicyBundle",
+    "PressureTracker",
+    "bundle_names",
+    "get_bundle",
+    "resolve_bundle",
     "MirsHC",
     "schedule_loop",
     "NonIterativeScheduler",

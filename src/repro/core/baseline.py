@@ -2,15 +2,18 @@
 
 The paper compares MIRS_HC against its authors' earlier scheduler for
 two-level hierarchical (non-clustered) register files [36], which is
-*non-iterative*: scheduling decisions are never undone.  This module
-implements that style of scheduler on top of the same substrate:
+*non-iterative*: scheduling decisions are never undone.  Since the
+engine/policy refactor this is simply the shared
+:class:`~repro.core.engine.SchedulerEngine` running the
+``non_iterative`` policy bundle:
 
 * nodes are scheduled in the same HRMS-inspired priority order,
 * communication operations and spill code are inserted with the same
-  machinery, but
-* when an operation finds no free slot inside its dependence window the
-  whole attempt is abandoned and scheduling restarts at ``II + 1`` -- no
-  force-and-eject, no backtracking.
+  machinery (and the same incremental pressure tracker), but
+* when an operation finds no free slot inside its dependence window --
+  or placing it would require revisiting an earlier decision -- the whole
+  attempt is abandoned and scheduling restarts at ``II + 1`` (a linear
+  II search; no force-and-eject, no backtracking, no bisection).
 
 Because nothing is ever ejected, a single unlucky placement can force the
 II up, which is exactly the deficit the iterative MIRS_HC recovers in the
@@ -19,27 +22,13 @@ paper's Table 4.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Optional, Tuple
-
-from repro.ddg.analysis import compute_mii
-from repro.ddg.graph import DepGraph
-from repro.ddg.loop import Loop
 from repro.machine.config import MachineConfig, RFConfig
-from repro.machine.resources import ResourceModel
-from repro.core.banks import bank_capacity
-from repro.core.cluster_select import select_cluster
-from repro.core.communication import plan_communication
-from repro.core.lifetimes import register_usage
-from repro.core.partial import PartialSchedule, ScheduleInfeasible
-from repro.core.priority import PriorityList, order_nodes
-from repro.core.result import ScheduledOp, ScheduleResult
-from repro.core.spill import SpillState, check_and_insert_spill
+from repro.core.engine import SchedulerEngine
 
 __all__ = ["NonIterativeScheduler"]
 
 
-class NonIterativeScheduler:
+class NonIterativeScheduler(SchedulerEngine):
     """Modulo scheduler without backtracking (restart-on-failure only)."""
 
     def __init__(
@@ -49,154 +38,4 @@ class NonIterativeScheduler:
         *,
         max_ii: int = 512,
     ) -> None:
-        machine.validate_rf(rf)
-        self.machine = machine
-        self.rf = rf
-        self.resources = ResourceModel(machine, rf)
-        self.max_ii = max_ii
-        self._check_registers = not (
-            (rf.cluster_regs is None or rf.cluster_regs_unbounded)
-            and (rf.shared_regs is None or rf.shared_regs_unbounded)
-        )
-
-    # ------------------------------------------------------------------ #
-    def schedule_loop(self, loop: Loop) -> ScheduleResult:
-        started = time.perf_counter()
-        breakdown = compute_mii(loop.graph, self.resources, self.machine.latency)
-        ii = breakdown.mii
-        restarts = 0
-        while ii <= self.max_ii:
-            try:
-                attempt = self._attempt(loop.graph.copy(), ii)
-            except ScheduleInfeasible:
-                attempt = None
-            if attempt is not None:
-                graph, schedule = attempt
-                elapsed = time.perf_counter() - started
-                return self._build_result(loop, graph, schedule, breakdown, restarts, elapsed)
-            ii += 1
-            restarts += 1
-        elapsed = time.perf_counter() - started
-        return ScheduleResult(
-            loop_name=loop.name,
-            config_name=self.rf.name,
-            success=False,
-            ii=self.max_ii,
-            mii=breakdown.mii,
-            mii_breakdown=breakdown,
-            stage_count=0,
-            scheduling_time_s=elapsed,
-            restarts=restarts,
-            bound=breakdown.bound,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _attempt(
-        self, graph: DepGraph, ii: int
-    ) -> Optional[Tuple[DepGraph, PartialSchedule]]:
-        schedule = PartialSchedule(graph, ii, self.machine, self.rf, self.resources)
-        order = order_nodes(graph, self.machine.latency)
-        if not order:
-            return graph, schedule
-        priority = PriorityList(order)
-        spill_state = SpillState()
-        # A generous cap on total placements protects against pathological
-        # spill loops; a non-iterative scheduler otherwise places each node
-        # exactly once.
-        placements_left = 8 * len(order) + 64
-
-        while True:
-            while priority:
-                if placements_left <= 0:
-                    return None
-                node_id = priority.pop()
-                if node_id not in graph:
-                    continue
-                cluster = select_cluster(graph, schedule, node_id, self.rf, None)
-                new_comm, requeue = plan_communication(
-                    graph, schedule, node_id, cluster, self.rf
-                )
-                if requeue:
-                    # A non-iterative scheduler cannot revisit previous
-                    # decisions; needing to do so means this II fails.
-                    return None
-                for comm_node in new_comm:
-                    home = graph.node(comm_node).home_cluster
-                    slot = schedule.find_slot(comm_node, home)
-                    if slot is None:
-                        return None
-                    schedule.place(comm_node, slot, home)
-                    placements_left -= 1
-                slot = schedule.find_slot(node_id, cluster)
-                if slot is None:
-                    return None
-                schedule.place(node_id, slot, cluster)
-                placements_left -= 1
-
-                if self._check_registers:
-                    new_spill, _usage = check_and_insert_spill(
-                        graph, schedule, self.rf, self.machine, spill_state
-                    )
-                    for spill_node in new_spill:
-                        priority.push(spill_node, after=node_id)
-
-            if not self._check_registers:
-                break
-            usage = register_usage(
-                graph, schedule.times, schedule.clusters, ii, self.rf, self.machine.latency
-            )
-            over = [b for b, used in usage.items() if used > bank_capacity(self.rf, b)]
-            if not over:
-                break
-            new_spill, _usage = check_and_insert_spill(
-                graph, schedule, self.rf, self.machine, spill_state, max_spills_per_call=4
-            )
-            if not new_spill:
-                return None
-            for spill_node in new_spill:
-                priority.push(spill_node)
-
-        return graph, schedule
-
-    # ------------------------------------------------------------------ #
-    def _build_result(
-        self,
-        loop: Loop,
-        graph: DepGraph,
-        schedule: PartialSchedule,
-        breakdown,
-        restarts: int,
-        elapsed: float,
-    ) -> ScheduleResult:
-        assignments: Dict[int, ScheduledOp] = {
-            node_id: ScheduledOp(
-                node_id=node_id,
-                op=graph.node(node_id).op,
-                cycle=cycle,
-                cluster=schedule.clusters.get(node_id),
-            )
-            for node_id, cycle in schedule.times.items()
-        }
-        usage = register_usage(
-            graph, schedule.times, schedule.clusters, schedule.ii,
-            self.rf, self.machine.latency,
-        )
-        final_breakdown = compute_mii(graph, self.resources, self.machine.latency)
-        return ScheduleResult(
-            loop_name=loop.name,
-            config_name=self.rf.name,
-            success=True,
-            ii=schedule.ii,
-            mii=breakdown.mii,
-            mii_breakdown=breakdown,
-            stage_count=schedule.stage_count(),
-            assignments=assignments,
-            graph=graph,
-            register_usage=usage,
-            memory_ops_per_iteration=len(graph.memory_operations()),
-            n_spill_memory_ops=sum(1 for op in graph.memory_operations() if op.is_spill),
-            n_comm_ops=len(graph.communication_operations()),
-            scheduling_time_s=elapsed,
-            restarts=restarts,
-            bound=final_breakdown.bound,
-        )
+        super().__init__(machine, rf, policy="non_iterative", max_ii=max_ii)

@@ -27,7 +27,42 @@ from repro.machine.config import RFConfig, RFKind
 from repro.core.banks import SHARED, read_bank, value_bank
 from repro.core.partial import PartialSchedule
 
-__all__ = ["select_cluster"]
+__all__ = [
+    "select_cluster",
+    "select_cluster_round_robin",
+    "select_cluster_min_pressure",
+    "preassigned_cluster",
+    "UNDECIDED",
+]
+
+#: Sentinel returned by :func:`preassigned_cluster` when the operation has
+#: no forced cluster and a policy must actually score the candidates.
+UNDECIDED = object()
+
+
+def preassigned_cluster(graph: DepGraph, node_id: int, rf: RFConfig):
+    """The cluster an operation is forced onto, or :data:`UNDECIDED`.
+
+    Every cluster-selection policy shares these rules (they are facts of
+    the register-file organization, not heuristics): live-in pseudo nodes
+    and the memory operations of monolithic/hierarchical organizations are
+    not tied to any cluster, communication operations carry their cluster
+    with them (``home_cluster``), and single-cluster organizations leave
+    no choice.
+    """
+    node = graph.node(node_id)
+    op = node.op
+    if op is OpType.LIVE_IN:
+        return None
+    if op.is_communication:
+        return node.home_cluster if node.home_cluster is not None else 0
+    if op.is_memory and rf.kind is not RFKind.CLUSTERED:
+        return None
+    if not rf.has_cluster_banks:
+        return 0
+    if rf.n_clusters == 1:
+        return 0
+    return UNDECIDED
 
 #: Relative weights of the Select_Cluster score terms.  Exposed at module
 #: level so the ablation benchmarks can study their sensitivity.
@@ -88,19 +123,10 @@ def select_cluster(
     communication operations carry their cluster with them
     (``home_cluster``).  Everything else is scored across all clusters.
     """
-    node = graph.node(node_id)
-    op = node.op
-
-    if op is OpType.LIVE_IN:
-        return None
-    if op.is_communication:
-        return node.home_cluster if node.home_cluster is not None else 0
-    if op.is_memory and rf.kind is not RFKind.CLUSTERED:
-        return None
-    if not rf.has_cluster_banks:
-        return 0
-    if rf.n_clusters == 1:
-        return 0
+    fixed = preassigned_cluster(graph, node_id, rf)
+    if fixed is not UNDECIDED:
+        return fixed
+    op = graph.node(node_id).op
 
     usage = register_usage or {}
     capacity = float(rf.cluster_regs or 1)
@@ -134,3 +160,61 @@ def select_cluster(
             best_score = score
             best_cluster = cluster
     return best_cluster
+
+
+def _assigned_counts(schedule: PartialSchedule, n_clusters: int) -> Dict[int, int]:
+    counts = {cluster: 0 for cluster in range(n_clusters)}
+    for assigned in schedule.clusters.values():
+        if assigned is not None and assigned >= 0:
+            counts[assigned] = counts.get(assigned, 0) + 1
+    return counts
+
+
+def select_cluster_round_robin(
+    graph: DepGraph,
+    schedule: PartialSchedule,
+    node_id: int,
+    rf: RFConfig,
+    register_usage: Optional[Dict[int, int]] = None,
+) -> Optional[int]:
+    """Alternative policy: least-loaded rotation, blind to communication.
+
+    Picks the cluster with the fewest operations assigned so far (lowest
+    index on ties), spreading work evenly without looking at operand
+    placement or register pressure -- the classic cheap baseline the
+    paper's Select_Cluster heuristic is implicitly compared against.
+    """
+    fixed = preassigned_cluster(graph, node_id, rf)
+    if fixed is not UNDECIDED:
+        return fixed
+    counts = _assigned_counts(schedule, rf.n_clusters)
+    return min(range(rf.n_clusters), key=lambda cluster: (counts[cluster], cluster))
+
+
+def select_cluster_min_pressure(
+    graph: DepGraph,
+    schedule: PartialSchedule,
+    node_id: int,
+    rf: RFConfig,
+    register_usage: Optional[Dict[int, int]] = None,
+) -> Optional[int]:
+    """Alternative policy: pressure-first placement.
+
+    Prefers any cluster with a free slot, then the one whose register
+    bank currently holds the fewest live values (ties: fewest assigned
+    operations, lowest index).  Ignores communication cost entirely, so
+    it trades extra LoadR/StoreR/Move traffic for headroom against
+    spilling -- the opposite corner of the design space from
+    :func:`select_cluster`.
+    """
+    fixed = preassigned_cluster(graph, node_id, rf)
+    if fixed is not UNDECIDED:
+        return fixed
+    usage = register_usage or {}
+    counts = _assigned_counts(schedule, rf.n_clusters)
+
+    def score(cluster: int):
+        slot = schedule.find_slot(node_id, cluster)
+        return (0 if slot is not None else 1, usage.get(cluster, 0), counts[cluster], cluster)
+
+    return min(range(rf.n_clusters), key=score)

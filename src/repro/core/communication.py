@@ -166,6 +166,26 @@ def plan_communication(
             if not schedule.is_scheduled(dst):
                 continue
             dst_node = graph.node(dst)
+            if dst_node.is_inserted and dst_node.op is OpType.MOVE:
+                # The Move reserved its source port for the bank this
+                # producer lived in when the Move was scheduled; placing
+                # the producer on another cluster leaves that reservation
+                # stale even when the Move's destination bank (checked
+                # below) still matches.  Compare against the reservation
+                # the Move will need once this producer lands in
+                # ``my_value_bank`` and eject it on any mismatch so it
+                # re-schedules against the new source.  (The engine's
+                # stale-reservation sweep catches the cases where the
+                # Move's source changes without a placement event, e.g.
+                # through chain re-routing.)
+                move_src = 0 if my_value_bank == SHARED else my_value_bank
+                needed = schedule.resources.move_uses(
+                    move_src, schedule.clusters[dst]
+                )
+                if not schedule.reservation_matches(dst, needed):
+                    schedule.remove(dst)
+                    requeue.append(dst)
+                    continue
             dst_bank = read_bank(graph, dst, schedule.clusters.get(dst), rf)
             if dst_bank is None or dst_bank == my_value_bank:
                 continue

@@ -1,53 +1,45 @@
 """MIRS_HC: the integrated iterative modulo scheduler (paper, Figure 5).
 
-The driver follows the structure of the paper's pseudo-code:
+Since the engine/policy refactor this module is a thin facade: the actual
+driver lives in :class:`repro.core.engine.SchedulerEngine`, and MIRS_HC
+is the engine configured with the ``mirs_hc`` policy bundle --
 
-1. compute the MII and pre-order the nodes (HRMS-inspired ordering);
-2. repeatedly pop the highest-priority node, pick a cluster for it
-   (``Select_Cluster``), insert and schedule whatever communication
-   operations the placement needs, then schedule the node itself --
-   forcing it into the schedule and ejecting conflicting operations when
-   no free slot exists;
-3. after every placement, check the register pressure of every bank and
-   spill (cluster bank -> shared bank -> memory) when a bank overflows;
-   spill code joins the priority list and is scheduled like any other
-   operation;
-4. a *budget* (``Budget_Ratio`` attempts per node, replenished whenever
-   new nodes are inserted) bounds the total backtracking effort: when it
-   is exhausted the partial schedule is discarded, the II is incremented,
-   and scheduling restarts from the original graph.
+1. HRMS-inspired node ordering (``ordering=hrms``);
+2. the communication-affinity ``Select_Cluster`` heuristic
+   (``cluster=comm_affinity``), fed the *exact* current register pressure
+   by the incremental tracker;
+3. per-placement integrated register spilling with longest-lifetime
+   victims (``spill=longest_lifetime``);
+4. force-and-eject backtracking bounded by the paper's ``Budget_Ratio``;
+5. a geometric II search with bisection refinement
+   (``ii_search=geometric_bisect``): II + 1 for the first three restarts,
+   then accelerated jumps, then -- once a jump lands on a feasible II --
+   bisection back toward the last failed II so acceleration cannot
+   overshoot the minimal achievable II.
 
 The scheduler handles all four register-file families (monolithic,
 clustered, hierarchical, hierarchical clustered) through the same code
 path; the organization only changes which communication chains are
-needed and where values live.
+needed and where values live.  Alternative heuristics for every axis are
+registered in :mod:`repro.core.policy` (pass ``policy=...`` here, or
+``--policy`` on the CLI) and compared by the policy-ablation driver.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional, Union
 
-from repro.ddg.analysis import compute_mii
-from repro.ddg.graph import DepGraph
 from repro.ddg.loop import Loop
-from repro.ddg.operations import OpType
 from repro.machine.config import MachineConfig, RFConfig
 from repro.machine.presets import baseline_machine, config_by_name
-from repro.machine.resources import ResourceModel
-from repro.core.banks import bank_capacity
-from repro.core.cluster_select import select_cluster
-from repro.core.communication import cleanup_after_eject, plan_communication
-from repro.core.lifetimes import register_usage
-from repro.core.partial import PartialSchedule, ScheduleInfeasible
-from repro.core.priority import PriorityList, order_nodes
-from repro.core.result import ScheduledOp, ScheduleResult
-from repro.core.spill import SpillState, check_and_insert_spill
+from repro.core.engine import SchedulerEngine
+from repro.core.policy import PolicyBundle
+from repro.core.result import ScheduleResult
 
 __all__ = ["MirsHC", "schedule_loop"]
 
 
-class MirsHC:
+class MirsHC(SchedulerEngine):
     """Modulo scheduling with Integrated Register Spilling for HC VLIWs.
 
     Parameters
@@ -63,6 +55,9 @@ class MirsHC:
         current II is abandoned (the paper's ``Budget_Ratio``).
     max_ii:
         Hard upper bound on the II explored before giving up on a loop.
+    policy:
+        Policy bundle to run the engine with (default: the paper's
+        ``mirs_hc`` bundle).
     """
 
     def __init__(
@@ -72,245 +67,16 @@ class MirsHC:
         *,
         budget_ratio: float = 6.0,
         max_ii: int = 512,
+        policy: Union[str, PolicyBundle] = "mirs_hc",
+        incremental_pressure: bool = True,
     ) -> None:
-        machine.validate_rf(rf)
-        self.machine = machine
-        self.rf = rf
-        self.resources = ResourceModel(machine, rf)
-        self.budget_ratio = budget_ratio
-        self.max_ii = max_ii
-        self._check_registers = not (
-            (rf.cluster_regs is None or rf.cluster_regs_unbounded)
-            and (rf.shared_regs is None or rf.shared_regs_unbounded)
-        )
-
-    # ------------------------------------------------------------------ #
-    def schedule_loop(self, loop: Loop) -> ScheduleResult:
-        """Schedule one loop, searching upward from its MII."""
-        started = time.perf_counter()
-        breakdown = compute_mii(loop.graph, self.resources, self.machine.latency)
-        ii = breakdown.mii
-        restarts = 0
-        while ii <= self.max_ii:
-            try:
-                attempt = self._attempt(loop.graph.copy(), ii)
-            except ScheduleInfeasible:
-                attempt = None
-            if attempt is not None:
-                graph, schedule = attempt
-                elapsed = time.perf_counter() - started
-                return self._build_result(
-                    loop, graph, schedule, breakdown, restarts, elapsed
-                )
-            # The paper restarts at II+1.  For loops whose register pressure
-            # is far above the bank capacity the II has to grow by a large
-            # factor before a schedule fits, so after a few single-step
-            # restarts the search accelerates geometrically (this only
-            # affects loops that are many restarts away from their MII).
-            if restarts < 3:
-                ii += 1
-            else:
-                ii += max(1, round(ii * 0.15))
-            restarts += 1
-        elapsed = time.perf_counter() - started
-        return ScheduleResult(
-            loop_name=loop.name,
-            config_name=self.rf.name,
-            success=False,
-            ii=self.max_ii,
-            mii=breakdown.mii,
-            mii_breakdown=breakdown,
-            stage_count=0,
-            scheduling_time_s=elapsed,
-            restarts=restarts,
-            bound=breakdown.bound,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _attempt(
-        self, graph: DepGraph, ii: int
-    ) -> Optional[Tuple[DepGraph, PartialSchedule]]:
-        """One scheduling attempt at a fixed II (None = budget exhausted / infeasible)."""
-        schedule = PartialSchedule(graph, ii, self.machine, self.rf, self.resources)
-        order = order_nodes(graph, self.machine.latency)
-        if not order:
-            return graph, schedule
-        priority = PriorityList(order)
-        spill_state = SpillState()
-        budget = self.budget_ratio * len(order)
-        # Budget is replenished only for *net* graph growth (new spill or
-        # communication nodes that were not there before): churn that
-        # removes one communication node and inserts another must not keep
-        # the budget alive forever.
-        max_graph_size = len(graph)
-        # Hard cap on scheduling steps, as a backstop against pathological
-        # interactions between spilling and communication insertion.
-        steps_left = int(self.budget_ratio * len(order) * 4) + 128
-        # Register pressure is re-checked at this granularity (every node
-        # when a bank is close to its capacity, see below).
-        spill_check_interval = max(3, len(order) // 16)
-
-        def award_growth() -> float:
-            nonlocal max_graph_size
-            grown = len(graph) - max_graph_size
-            if grown > 0:
-                max_graph_size = len(graph)
-                return self.budget_ratio * grown
-            return 0.0
-
-        # Register pressure is re-evaluated after scheduling each node for
-        # the spill check; the most recent evaluation is reused as the
-        # (slightly stale) pressure input of the cluster-selection
-        # heuristic rather than recomputing it twice per node.
-        last_usage: Optional[Dict[int, int]] = None
-        nodes_since_spill_check = 0
-
-        while True:
-            while priority:
-                if budget <= 0 or steps_left <= 0:
-                    return None
-                steps_left -= 1
-                node_id = priority.pop()
-                if node_id not in graph:
-                    continue  # deleted by communication cleanup while pending
-
-                cluster = select_cluster(graph, schedule, node_id, self.rf, last_usage)
-
-                new_comm, requeue = plan_communication(
-                    graph, schedule, node_id, cluster, self.rf
-                )
-                for stale in requeue:
-                    priority.push(stale, after=node_id)
-                budget += award_growth()
-                failed = False
-                for comm_node in new_comm:
-                    if comm_node not in graph:
-                        # Scheduling an earlier member of this chain ejected
-                        # a neighbour whose cleanup deleted this one.
-                        continue
-                    home = graph.node(comm_node).home_cluster
-                    ejected = schedule.schedule(comm_node, home)
-                    budget -= 1
-                    self._handle_ejections(graph, schedule, ejected, priority)
-                    if budget <= 0:
-                        failed = True
-                        break
-                if failed:
-                    return None
-
-                if node_id not in graph:
-                    # Scheduling the communication chain above ejected a
-                    # neighbour whose cleanup deleted this very node (it
-                    # was an inserted comm/spill op of the ejected owner).
-                    continue
-                ejected = schedule.schedule(node_id, cluster)
-                budget -= 1
-                self._handle_ejections(graph, schedule, ejected, priority)
-
-                if self._check_registers:
-                    nodes_since_spill_check += 1
-                    near_capacity = last_usage is not None and any(
-                        used >= 0.75 * bank_capacity(self.rf, bank)
-                        for bank, used in last_usage.items()
-                        if bank_capacity(self.rf, bank) != float("inf")
-                    )
-                    if near_capacity or nodes_since_spill_check >= spill_check_interval or not priority:
-                        nodes_since_spill_check = 0
-                        new_spill, last_usage = check_and_insert_spill(
-                            graph, schedule, self.rf, self.machine, spill_state
-                        )
-                        for spill_node in new_spill:
-                            priority.push(spill_node, after=node_id)
-                        budget += award_growth()
-
-            # Priority list empty: final register-allocation check.
-            if not self._check_registers:
-                break
-            usage = register_usage(
-                graph, schedule.times, schedule.clusters, ii,
-                self.rf, self.machine.latency,
-            )
-            over = [
-                bank for bank, used in usage.items()
-                if used > bank_capacity(self.rf, bank)
-            ]
-            if not over:
-                break
-            new_spill, last_usage = check_and_insert_spill(
-                graph, schedule, self.rf, self.machine, spill_state,
-                max_spills_per_call=4,
-            )
-            if not new_spill:
-                return None  # pressure cannot be reduced at this II
-            for spill_node in new_spill:
-                priority.push(spill_node)
-            budget += award_growth()
-
-        return graph, schedule
-
-    # ------------------------------------------------------------------ #
-    def _handle_ejections(
-        self,
-        graph: DepGraph,
-        schedule: PartialSchedule,
-        ejected: Set[int],
-        priority: PriorityList,
-    ) -> None:
-        """Re-queue ejected nodes and drop the communication code they owned."""
-        for node_id in ejected:
-            if node_id not in graph:
-                continue
-            node = graph.node(node_id)
-            if not (node.is_inserted and node.op.is_communication):
-                removed = cleanup_after_eject(graph, schedule, node_id)
-                for removed_id in removed:
-                    priority.discard(removed_id)
-            if node_id in graph:
-                priority.push(node_id)
-
-    # ------------------------------------------------------------------ #
-    def _build_result(
-        self,
-        loop: Loop,
-        graph: DepGraph,
-        schedule: PartialSchedule,
-        breakdown,
-        restarts: int,
-        elapsed: float,
-    ) -> ScheduleResult:
-        assignments: Dict[int, ScheduledOp] = {}
-        for node_id, cycle in schedule.times.items():
-            assignments[node_id] = ScheduledOp(
-                node_id=node_id,
-                op=graph.node(node_id).op,
-                cycle=cycle,
-                cluster=schedule.clusters.get(node_id),
-            )
-        usage = register_usage(
-            graph, schedule.times, schedule.clusters, schedule.ii,
-            self.rf, self.machine.latency,
-        )
-        final_breakdown = compute_mii(graph, self.resources, self.machine.latency)
-        n_spill_mem = sum(
-            1 for op in graph.memory_operations() if op.is_spill
-        )
-        return ScheduleResult(
-            loop_name=loop.name,
-            config_name=self.rf.name,
-            success=True,
-            ii=schedule.ii,
-            mii=breakdown.mii,
-            mii_breakdown=breakdown,
-            stage_count=schedule.stage_count(),
-            assignments=assignments,
-            graph=graph,
-            register_usage=usage,
-            memory_ops_per_iteration=len(graph.memory_operations()),
-            n_spill_memory_ops=n_spill_mem,
-            n_comm_ops=len(graph.communication_operations()),
-            scheduling_time_s=elapsed,
-            restarts=restarts,
-            bound=final_breakdown.bound,
+        super().__init__(
+            machine,
+            rf,
+            policy=policy,
+            budget_ratio=budget_ratio,
+            max_ii=max_ii,
+            incremental_pressure=incremental_pressure,
         )
 
 
@@ -321,6 +87,7 @@ def schedule_loop(
     *,
     scale_to_clock: bool = True,
     budget_ratio: float = 6.0,
+    policy: Union[str, PolicyBundle] = "mirs_hc",
 ) -> ScheduleResult:
     """Convenience wrapper: schedule one loop on one configuration.
 
@@ -328,6 +95,7 @@ def schedule_loop(
     When ``scale_to_clock`` is true the operation latencies are first
     re-scaled to the configuration's derived clock (the paper's
     methodology); otherwise the baseline latencies are used unchanged.
+    ``policy`` selects the policy bundle (see :mod:`repro.core.policy`).
     """
     from repro.hwmodel.timing import scaled_machine  # local import: avoid cycle
 
@@ -337,5 +105,7 @@ def schedule_loop(
         scaled, _spec = scaled_machine(base, rf_config)
     else:
         scaled = base
-    scheduler = MirsHC(scaled, rf_config, budget_ratio=budget_ratio)
+    scheduler = SchedulerEngine(
+        scaled, rf_config, policy=policy, budget_ratio=budget_ratio
+    )
     return scheduler.schedule_loop(loop)

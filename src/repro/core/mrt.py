@@ -96,6 +96,18 @@ class ModuloReservationTable:
     def holds(self, node_id: int) -> bool:
         return node_id in self._held
 
+    def held_keys(self, node_id: int) -> List["ResourceKey"]:
+        """Resource keys ``node_id`` occupies, one entry per occupied slot.
+
+        Lets callers compare (as a multiset -- the keys mix unorderable
+        enum kinds) what a node *reserved* at placement time against what
+        it needs now: a ``Move``'s source-port reservation follows its
+        producer's cluster, which backtracking and communication-chain
+        re-routing can change after the fact.  See the stale-reservation
+        sweep in :class:`repro.core.engine.SchedulerEngine`.
+        """
+        return [key for key, _slot in self._held.get(node_id, [])]
+
     def conflicting_nodes(self, uses: Sequence[ResourceUse], cycle: int) -> Set[int]:
         """Nodes whose eviction would free the requested reservations.
 

@@ -17,6 +17,7 @@ paper's Figure 5(b):
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.ddg.graph import DepGraph
@@ -49,6 +50,8 @@ class PartialSchedule:
         machine: MachineConfig,
         rf: RFConfig,
         resources: ResourceModel,
+        *,
+        track_pressure: bool = False,
     ) -> None:
         self.graph = graph
         self.ii = ii
@@ -58,6 +61,17 @@ class PartialSchedule:
         self.times: Dict[int, int] = {}
         self.clusters: Dict[int, Optional[int]] = {}
         self.mrt = ModuloReservationTable(ii, resources.counts)
+        #: Incremental per-bank MaxLive state, kept in sync with every
+        #: placement and graph edit (``None`` when pressure tracking is
+        #: off -- e.g. unbounded banks, or the validator's replay probe,
+        #: which writes ``times`` directly).
+        self.pressure: Optional["PressureTracker"] = None
+        if track_pressure:
+            from repro.core.pressure import PressureTracker  # import cycle guard
+
+            self.pressure = PressureTracker(
+                graph, ii, rf, machine.latency, self.times, self.clusters
+            )
         #: Last cycle each node was (forcibly) placed at; the force rule
         #: places a node at ``max(estart, previous + 1)`` so repeated
         #: ejection cannot ping-pong between the same two cycles.
@@ -158,6 +172,8 @@ class PartialSchedule:
         self.times[node_id] = cycle
         self.clusters[node_id] = cluster
         self._last_cycle[node_id] = cycle
+        if self.pressure is not None:
+            self.pressure.on_place(node_id)
 
     def remove(self, node_id: int) -> None:
         """Eject a node from the schedule (graph is left untouched)."""
@@ -165,11 +181,32 @@ class PartialSchedule:
             self.mrt.release(node_id)
             del self.times[node_id]
             del self.clusters[node_id]
+            if self.pressure is not None:
+                self.pressure.on_remove(node_id)
 
     def forget(self, node_id: int) -> None:
         """Drop all bookkeeping for a node that was deleted from the graph."""
         self.remove(node_id)
         self._last_cycle.pop(node_id, None)
+
+    def reservation_matches(
+        self, node_id: int, uses: Sequence[ResourceUse]
+    ) -> bool:
+        """Whether the node's held MRT reservation equals ``uses``.
+
+        Duration-weighted multiset comparison (one slot per occupied
+        cycle, mirroring :meth:`ModuloReservationTable.reserve`).  A
+        ``Move``'s source port follows its producer's cluster, which
+        backtracking and communication-chain re-routing can change after
+        placement; callers pass the uses the node *should* hold and eject
+        it on a mismatch (see the stale-reservation sweep in
+        :class:`repro.core.engine.SchedulerEngine` and the proactive
+        check in :func:`repro.core.communication.plan_communication`).
+        """
+        expected: Counter = Counter()
+        for use in uses:
+            expected[use.key] += min(use.duration, self.ii)
+        return expected == Counter(self.mrt.held_keys(node_id))
 
     def find_slot(self, node_id: int, cluster: Optional[int]) -> Optional[int]:
         """A free cycle inside the node's dependence window, or ``None``.

@@ -1,0 +1,268 @@
+"""Pluggable scheduler policies and policy bundles.
+
+The scheduling engine (:mod:`repro.core.engine`) is deliberately
+heuristic-free: every decision the paper ablates is delegated to one of
+four policy axes, each behind a small registry so experiments, the CLI
+(``--policy``) and the fuzzer can swap them without touching the engine:
+
+====================  =====================================================
+axis                  decides
+====================  =====================================================
+``ordering``          the pre-order of the priority list (HRMS vs. simpler
+                      list-scheduling orders)
+``cluster``           which cluster hosts an operation (Select_Cluster)
+``spill``             which value a bank over capacity evicts first
+``ii_search``         how the II is advanced between failed attempts, and
+                      whether an accelerated search bisects back down
+====================  =====================================================
+
+A :class:`PolicyBundle` names one choice per axis plus the engine mode
+(``backtracking``: force-and-eject vs. the non-iterative restart-only
+scheduler), so the paper's two schedulers are just the two bundles
+``mirs_hc`` and ``non_iterative``; the other registered bundles vary one
+axis at a time for the ablation driver
+(:func:`repro.eval.experiments.run_ablation_policies`).
+
+The actual policy implementations live next to the machinery they steer
+(:mod:`repro.core.priority`, :mod:`repro.core.cluster_select`,
+:mod:`repro.core.spill`); this module owns the registries, the II-search
+strategies and the bundle catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Type, Union
+
+from repro.core.cluster_select import (
+    select_cluster,
+    select_cluster_min_pressure,
+    select_cluster_round_robin,
+)
+from repro.core.priority import order_nodes, order_nodes_asap, order_nodes_by_height
+from repro.core.spill import (
+    victim_fewest_reloads,
+    victim_latest_def,
+    victim_longest_lifetime,
+)
+
+__all__ = [
+    "PolicyBundle",
+    "IISearchPolicy",
+    "LinearIISearch",
+    "GeometricIISearch",
+    "GeometricBisectIISearch",
+    "ordering_policy",
+    "cluster_policy",
+    "spill_victim_policy",
+    "ii_search_policy",
+    "register_bundle",
+    "resolve_bundle",
+    "bundle_names",
+    "get_bundle",
+    "ORDERING_POLICIES",
+    "CLUSTER_POLICIES",
+    "SPILL_VICTIM_POLICIES",
+    "II_SEARCH_POLICIES",
+]
+
+
+# --------------------------------------------------------------------------- #
+# II-search policies
+# --------------------------------------------------------------------------- #
+class IISearchPolicy:
+    """Strategy for walking the II search space of one loop.
+
+    :meth:`next_ii` maps a failed II (and the number of failures so far)
+    to the next candidate.  When :attr:`refine_with_bisection` is true and
+    the first feasible II lies more than one step above the last failed
+    one (an accelerated search overshot), the engine bisects the
+    ``(last failed, feasible]`` interval to recover the smallest II the
+    acceleration skipped.
+    """
+
+    name = "base"
+    refine_with_bisection = False
+
+    def next_ii(self, ii: int, n_failures: int) -> int:
+        raise NotImplementedError
+
+
+class LinearIISearch(IISearchPolicy):
+    """The paper's restart rule: II + 1 after every failed attempt."""
+
+    name = "linear"
+
+    def next_ii(self, ii: int, n_failures: int) -> int:
+        return ii + 1
+
+
+class GeometricIISearch(IISearchPolicy):
+    """Linear for three restarts, then geometric acceleration.
+
+    Loops whose register pressure is far above the bank capacity need the
+    II to grow by a large factor before a schedule fits; accelerating
+    after a few single steps bounds the number of (expensive) failed
+    attempts.  Without bisection the first feasible II found after a jump
+    is kept as-is -- this is the pre-refactor behaviour, retained as an
+    ablation point for the overshoot it can commit.
+    """
+
+    name = "geometric"
+
+    def next_ii(self, ii: int, n_failures: int) -> int:
+        # Acceleration kicks in on the fourth failed attempt: the first
+        # three restarts advance linearly (matching the pre-refactor
+        # driver, whose `restarts < 3` check ran before incrementing).
+        if n_failures <= 3:
+            return ii + 1
+        return ii + max(1, round(ii * 0.15))
+
+
+class GeometricBisectIISearch(GeometricIISearch):
+    """Geometric acceleration plus bisection back to the minimal II.
+
+    After an accelerated jump lands on a feasible II, the engine bisects
+    toward the last failed II, so the acceleration can no longer overshoot
+    the smallest achievable II (the default).
+    """
+
+    name = "geometric_bisect"
+    refine_with_bisection = True
+
+
+# --------------------------------------------------------------------------- #
+# Registries
+# --------------------------------------------------------------------------- #
+ORDERING_POLICIES: Dict[str, Callable] = {
+    "hrms": order_nodes,
+    "height": order_nodes_by_height,
+    "asap": order_nodes_asap,
+}
+
+CLUSTER_POLICIES: Dict[str, Callable] = {
+    "comm_affinity": select_cluster,
+    "round_robin": select_cluster_round_robin,
+    "min_pressure": select_cluster_min_pressure,
+}
+
+SPILL_VICTIM_POLICIES: Dict[str, Callable] = {
+    "longest_lifetime": victim_longest_lifetime,
+    "fewest_reloads": victim_fewest_reloads,
+    "latest_def": victim_latest_def,
+}
+
+II_SEARCH_POLICIES: Dict[str, Type[IISearchPolicy]] = {
+    "linear": LinearIISearch,
+    "geometric": GeometricIISearch,
+    "geometric_bisect": GeometricBisectIISearch,
+}
+
+
+def _lookup(registry: Dict[str, object], name: str, axis: str):
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown {axis} policy {name!r} (known: {known})") from None
+
+
+def ordering_policy(name: str) -> Callable:
+    return _lookup(ORDERING_POLICIES, name, "ordering")
+
+
+def cluster_policy(name: str) -> Callable:
+    return _lookup(CLUSTER_POLICIES, name, "cluster-selection")
+
+
+def spill_victim_policy(name: str) -> Callable:
+    return _lookup(SPILL_VICTIM_POLICIES, name, "spill-victim")
+
+
+def ii_search_policy(name: str) -> Type[IISearchPolicy]:
+    return _lookup(II_SEARCH_POLICIES, name, "II-search")
+
+
+# --------------------------------------------------------------------------- #
+# Bundles
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PolicyBundle:
+    """One named choice per policy axis plus the engine mode."""
+
+    name: str
+    ordering: str = "hrms"
+    cluster: str = "comm_affinity"
+    spill: str = "longest_lifetime"
+    ii_search: str = "geometric_bisect"
+    #: True = iterative force-and-eject (MIRS_HC); False = non-iterative
+    #: (restart at the first placement that finds no free slot).
+    backtracking: bool = True
+
+    def validate(self) -> "PolicyBundle":
+        ordering_policy(self.ordering)
+        cluster_policy(self.cluster)
+        spill_victim_policy(self.spill)
+        ii_search_policy(self.ii_search)
+        return self
+
+    def axes(self) -> Tuple:
+        """Hashable identity of the bundle's behaviour (cache-key token)."""
+        return (
+            self.ordering,
+            self.cluster,
+            self.spill,
+            self.ii_search,
+            self.backtracking,
+        )
+
+    def describe(self) -> str:
+        mode = "iterative" if self.backtracking else "non-iterative"
+        return (
+            f"{self.name}: ordering={self.ordering} cluster={self.cluster} "
+            f"spill={self.spill} ii_search={self.ii_search} ({mode})"
+        )
+
+
+BUNDLES: Dict[str, PolicyBundle] = {}
+
+
+def register_bundle(bundle: PolicyBundle) -> PolicyBundle:
+    """Add a bundle to the catalogue (validating its axis names)."""
+    bundle.validate()
+    BUNDLES[bundle.name] = bundle
+    return bundle
+
+
+def get_bundle(name: str) -> PolicyBundle:
+    try:
+        return BUNDLES[name]
+    except KeyError:
+        known = ", ".join(sorted(BUNDLES))
+        raise ValueError(f"unknown policy bundle {name!r} (known: {known})") from None
+
+
+def resolve_bundle(policy: Union[str, PolicyBundle]) -> PolicyBundle:
+    """Normalize a bundle name or an ad-hoc :class:`PolicyBundle`."""
+    if isinstance(policy, PolicyBundle):
+        return policy.validate()
+    return get_bundle(policy)
+
+
+def bundle_names() -> List[str]:
+    """Every registered bundle name, sorted."""
+    return sorted(BUNDLES)
+
+
+# The paper's two schedulers ...
+register_bundle(PolicyBundle("mirs_hc"))
+register_bundle(PolicyBundle("non_iterative", ii_search="linear", backtracking=False))
+# ... and one-axis ablation variants of MIRS_HC.
+register_bundle(PolicyBundle("mirs_height_order", ordering="height"))
+register_bundle(PolicyBundle("mirs_asap_order", ordering="asap"))
+register_bundle(PolicyBundle("mirs_rr_cluster", cluster="round_robin"))
+register_bundle(PolicyBundle("mirs_min_pressure", cluster="min_pressure"))
+register_bundle(PolicyBundle("mirs_fewest_reloads", spill="fewest_reloads"))
+register_bundle(PolicyBundle("mirs_latest_def", spill="latest_def"))
+register_bundle(PolicyBundle("mirs_linear_ii", ii_search="linear"))
+register_bundle(PolicyBundle("mirs_geometric_ii", ii_search="geometric"))

@@ -1,0 +1,217 @@
+"""Incremental register-pressure tracking for the scheduler hot path.
+
+MIRS_HC re-checks the register pressure of every bank after nearly every
+placement (paper, Figure 5).  Recomputing MaxLive from scratch for each
+check -- a full sweep over every scheduled value of the graph -- made
+pressure analysis the dominant cost of a scheduling attempt and forced
+the old drivers to throttle the check with a staleness interval.
+
+:class:`PressureTracker` maintains the same MaxLive state *incrementally*:
+
+* per-bank modulo slot counts (one counter per kernel slot per bank),
+* the lifetime interval each scheduled value currently contributes, and
+* the bank set each live-in value currently occupies.
+
+Placement events (``place``/``remove``/``forget`` on the owning
+:class:`~repro.core.partial.PartialSchedule`) and structural graph edits
+(spill insertion, communication re-routing, eject cleanup -- observed
+through a :class:`~repro.ddg.graph.GraphListener`) only mark the affected
+producers *dirty*; the next :meth:`usage` query re-derives just those
+lifetimes, so a pressure check costs O(affected lifetimes), not O(graph).
+
+The tracker state is, by construction, always equal to a from-scratch
+:func:`repro.core.lifetimes.register_usage` recompute over the same
+(graph, times, clusters); ``tests/test_properties.py`` pins that with a
+hypothesis differential oracle over arbitrary place/eject/spill
+sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Set
+
+from repro.ddg.graph import DepGraph, Dependence, GraphListener
+from repro.ddg.operations import OpType
+from repro.machine.config import RFConfig
+from repro.core.banks import all_banks, value_bank
+from repro.core.lifetimes import SWEEP_COUNTERS, ValueLifetime, live_in_banks
+
+__all__ = ["PressureTracker", "SWEEP_COUNTERS"]
+
+
+class PressureTracker(GraphListener):
+    """Incrementally maintained per-bank MaxLive of a partial schedule.
+
+    Parameters mirror :func:`repro.core.lifetimes.register_usage`: the
+    tracker shares the ``times``/``clusters`` dictionaries of its owning
+    :class:`~repro.core.partial.PartialSchedule` (it never copies them)
+    and registers itself as a mutation listener on ``graph``.
+    """
+
+    def __init__(
+        self,
+        graph: DepGraph,
+        ii: int,
+        rf: RFConfig,
+        latency_of: Callable[[str], int],
+        times: Dict[int, int],
+        clusters: Dict[int, Optional[int]],
+    ) -> None:
+        self.graph = graph
+        self.ii = ii
+        self.rf = rf
+        self.latency_of = latency_of
+        self.times = times
+        self.clusters = clusters
+        self._slots: Dict[int, List[int]] = {bank: [0] * ii for bank in all_banks(rf)}
+        #: Lifetime interval currently accumulated for each producer node.
+        self._contrib: Dict[int, ValueLifetime] = {}
+        #: Banks currently charged one whole-loop register per live-in.
+        self._live_contrib: Dict[int, FrozenSet[int]] = {}
+        self._dirty: Set[int] = set()
+        #: usage() queries served (the per-node spill checks of the paper).
+        self.n_checks: int = 0
+        #: Individual lifetime re-derivations (the incremental work unit).
+        self.n_updates: int = 0
+        graph.add_listener(self)
+
+    # ------------------------------------------------------------------ #
+    # Event intake (placement + graph mutation)
+    # ------------------------------------------------------------------ #
+    def on_place(self, node_id: int) -> None:
+        """The owning schedule placed ``node_id``."""
+        self._touch(node_id)
+
+    def on_remove(self, node_id: int) -> None:
+        """The owning schedule ejected or forgot ``node_id``."""
+        self._touch(node_id)
+
+    def _touch(self, node_id: int) -> None:
+        """Mark a node and the producers whose lifetimes it extends dirty."""
+        self._dirty.add(node_id)
+        if node_id in self.graph:
+            for src, _edge in self.graph.flow_producers(node_id):
+                self._dirty.add(src)
+
+    # GraphListener callbacks: spill insertion, communication chains and
+    # eject cleanup re-route flow edges; only the producer side of a flow
+    # edge owns a lifetime (or, for live-ins, a bank set), so marking the
+    # source dirty is sufficient.
+    def on_edge_added(self, edge: Dependence) -> None:
+        if edge.kind == "flow":
+            self._dirty.add(edge.src)
+
+    def on_edge_removed(self, edge: Dependence) -> None:
+        if edge.kind == "flow":
+            self._dirty.add(edge.src)
+
+    def on_node_removed(self, node_id: int) -> None:
+        self._dirty.add(node_id)
+
+    # ------------------------------------------------------------------ #
+    # Slot-count arithmetic (mirrors lifetimes._accumulate)
+    # ------------------------------------------------------------------ #
+    def _apply(self, bank: int, start: int, end: int, sign: int) -> None:
+        slots = self._slots[bank]
+        ii = self.ii
+        length = max(1, end - start)
+        base, rem = divmod(length, ii)
+        if base:
+            delta = base * sign
+            for slot in range(ii):
+                slots[slot] += delta
+        anchor = start % ii
+        for offset in range(rem):
+            slots[(anchor + offset) % ii] += sign
+
+    def _apply_whole(self, bank: int, sign: int) -> None:
+        slots = self._slots[bank]
+        for slot in range(self.ii):
+            slots[slot] += sign
+
+    # ------------------------------------------------------------------ #
+    # Dirty flush
+    # ------------------------------------------------------------------ #
+    def _refresh(self, node_id: int) -> None:
+        """Re-derive one node's contribution from the current state."""
+        self.n_updates += 1
+        old = self._contrib.pop(node_id, None)
+        if old is not None:
+            self._apply(old.bank, old.start, old.end, -1)
+        old_banks = self._live_contrib.pop(node_id, None)
+        if old_banks:
+            for bank in old_banks:
+                self._apply_whole(bank, -1)
+        if node_id not in self.graph:
+            return
+        node = self.graph.node(node_id)
+        if node.op is OpType.LIVE_IN:
+            banks = frozenset(
+                bank
+                for bank in live_in_banks(self.graph, node_id, self.clusters, self.rf)
+                if bank in self._slots
+            )
+            if banks:
+                for bank in banks:
+                    self._apply_whole(bank, +1)
+                self._live_contrib[node_id] = banks
+            return
+        if not node.op.defines_register:
+            return
+        if node_id not in self.times:
+            return
+        bank = value_bank(self.graph, node_id, self.clusters.get(node_id), self.rf)
+        if bank is None or bank not in self._slots:
+            return
+        producer_latency = (
+            node.latency_override
+            if node.latency_override is not None
+            else self.latency_of(node.op.mnemonic)
+        )
+        start = self.times[node_id] + producer_latency
+        end = start + 1
+        for dst, edge in self.graph.flow_consumers(node_id):
+            if dst not in self.times:
+                continue
+            use = self.times[dst] + edge.distance * self.ii
+            end = max(end, use + 1)
+        lifetime = ValueLifetime(node_id, bank, start, end)
+        self._apply(bank, start, end, +1)
+        self._contrib[node_id] = lifetime
+
+    def _flush(self) -> None:
+        if not self._dirty:
+            return
+        for node_id in self._dirty:
+            self._refresh(node_id)
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def usage(self) -> Dict[int, int]:
+        """MaxLive per bank -- same contract as :func:`register_usage`."""
+        self._flush()
+        self.n_checks += 1
+        return {
+            bank: (max(slots) if slots else 0) for bank, slots in self._slots.items()
+        }
+
+    def lifetimes_by_bank(self) -> Dict[int, List[ValueLifetime]]:
+        """Current value lifetimes grouped by bank (spill-victim input).
+
+        Live-in values are not listed (they have no spillable lifetime of
+        their own); this mirrors
+        :func:`repro.core.lifetimes.lifetimes_by_bank`.
+        """
+        self._flush()
+        per_bank: Dict[int, List[ValueLifetime]] = {bank: [] for bank in self._slots}
+        for lifetime in self._contrib.values():
+            per_bank[lifetime.bank].append(lifetime)
+        for lifetimes in per_bank.values():
+            lifetimes.sort(key=lambda lt: lt.node_id)
+        return per_bank
+
+    def detach(self) -> None:
+        """Stop observing the graph (owning schedule is being discarded)."""
+        self.graph.remove_listener(self)

@@ -28,7 +28,12 @@ from repro.ddg.analysis import recurrence_components, rec_mii, heights, depths
 from repro.ddg.graph import DepGraph
 from repro.ddg.operations import OpType
 
-__all__ = ["order_nodes", "PriorityList"]
+__all__ = [
+    "order_nodes",
+    "order_nodes_by_height",
+    "order_nodes_asap",
+    "PriorityList",
+]
 
 LatencyFn = Callable[[str], int]
 
@@ -99,6 +104,40 @@ def order_nodes(graph: DepGraph, latency_of: LatencyFn) -> List[int]:
         placed.add(chosen)
 
     return ordered
+
+
+def _schedulable(graph: DepGraph) -> List[int]:
+    return [n.node_id for n in graph.nodes() if n.op is not OpType.LIVE_IN]
+
+
+def order_nodes_by_height(graph: DepGraph, latency_of: LatencyFn) -> List[int]:
+    """Alternative ordering policy: critical-path height, highest first.
+
+    A classic list-scheduling order.  Unlike the HRMS-style order it
+    ignores recurrence membership and adjacency to the already-ordered
+    set, so lifetimes can be longer -- which is exactly what the policy
+    ablation wants to measure.
+    """
+    schedulable = _schedulable(graph)
+    if not schedulable:
+        return []
+    height = heights(graph, latency_of)
+    depth = depths(graph, latency_of)
+    return sorted(schedulable, key=lambda n: (-height[n], depth[n], n))
+
+
+def order_nodes_asap(graph: DepGraph, latency_of: LatencyFn) -> List[int]:
+    """Alternative ordering policy: ASAP (smallest depth first).
+
+    Schedules producers strictly before their consumers, top of the graph
+    first; ties broken by height so critical chains stay early.
+    """
+    schedulable = _schedulable(graph)
+    if not schedulable:
+        return []
+    height = heights(graph, latency_of)
+    depth = depths(graph, latency_of)
+    return sorted(schedulable, key=lambda n: (depth[n], -height[n], n))
 
 
 class PriorityList:

@@ -11,7 +11,7 @@ scheduling wall time, and the loop-bound classification used by Table 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.ddg.analysis import MIIBreakdown
 from repro.ddg.graph import DepGraph
@@ -63,6 +63,20 @@ class ScheduleResult:
     #: Classification of the final schedule (fu / mem / rec / com), based on
     #: the binding lower bound of the final dependence graph.
     bound: str = "fu"
+    #: Every II the search actually attempted, in attempt order (includes
+    #: the bisection refinement of an accelerated search).  On failure,
+    #: ``ii`` above is the *last II tried*, not the search ceiling.
+    attempted_iis: List[int] = field(default_factory=list)
+    #: Register-pressure queries the scheduler issued while building the
+    #: schedule (the paper's per-node spill checks plus the pressure input
+    #: of cluster selection).
+    n_pressure_checks: int = 0
+    #: Full-graph MaxLive sweeps spent on this loop (the incremental
+    #: tracker keeps this near zero; the benchmark harness compares it
+    #: against ``n_pressure_checks``).
+    n_full_sweeps: int = 0
+    #: Name of the policy bundle that produced this schedule.
+    policy: str = "mirs_hc"
 
     @property
     def achieved_mii(self) -> bool:

@@ -32,7 +32,13 @@ from repro.core.banks import SHARED, bank_capacity, read_bank
 from repro.core.lifetimes import ValueLifetime, lifetimes_by_bank, live_in_banks, register_usage
 from repro.core.partial import PartialSchedule
 
-__all__ = ["SpillState", "check_and_insert_spill"]
+__all__ = [
+    "SpillState",
+    "check_and_insert_spill",
+    "victim_longest_lifetime",
+    "victim_fewest_reloads",
+    "victim_latest_def",
+]
 
 
 class SpillState:
@@ -74,6 +80,49 @@ def _spillable(
         return False
     # Spilling only helps when the value has at least one consumer to re-load.
     return bool(graph.flow_consumers(lifetime.node_id))
+
+
+# --------------------------------------------------------------------------- #
+# Spill-victim policies
+# --------------------------------------------------------------------------- #
+def victim_longest_lifetime(
+    graph: DepGraph, candidates: Sequence[ValueLifetime]
+) -> List[ValueLifetime]:
+    """Default policy: spill the value that is live the longest.
+
+    A long lifetime occupies the most register-slot instances per
+    iteration, so evicting it frees the most pressure per inserted spill
+    (the classic MaxLive-driven choice of the HRMS lineage).
+    """
+    return sorted(candidates, key=lambda lt: -lt.length)
+
+
+def victim_fewest_reloads(
+    graph: DepGraph, candidates: Sequence[ValueLifetime]
+) -> List[ValueLifetime]:
+    """Alternative policy: spill the value that is cheapest to re-load.
+
+    Prefers victims with the fewest consumers (each consumer costs one
+    re-load operation), breaking ties toward longer lifetimes.  Minimizes
+    inserted spill code at the price of possibly needing several spills
+    to relieve the same pressure.
+    """
+    return sorted(
+        candidates,
+        key=lambda lt: (len(graph.flow_consumers(lt.node_id)), -lt.length),
+    )
+
+
+def victim_latest_def(
+    graph: DepGraph, candidates: Sequence[ValueLifetime]
+) -> List[ValueLifetime]:
+    """Alternative policy: spill the most recently defined value.
+
+    Late definitions are the values the scheduler committed to last, so
+    evicting them perturbs the established part of the schedule least
+    (ties broken toward longer lifetimes).
+    """
+    return sorted(candidates, key=lambda lt: (-lt.start, -lt.length))
 
 
 def _spill_value_to_shared(
@@ -177,6 +226,7 @@ def check_and_insert_spill(
     state: SpillState,
     *,
     max_spills_per_call: int = 2,
+    victim_policy=victim_longest_lifetime,
 ) -> Tuple[List[int], Dict[int, int]]:
     """Spill values out of over-subscribed banks.
 
@@ -187,10 +237,22 @@ def check_and_insert_spill(
     ``max_spills_per_call`` values are spilled per invocation: the check
     runs repeatedly as the schedule is built, so pressure is relieved
     incrementally instead of spilling a large batch on one estimate.
+
+    When the schedule carries an incremental
+    :class:`~repro.core.pressure.PressureTracker`, both the per-bank
+    usage and the candidate lifetimes come from it (O(affected
+    lifetimes)); a tracker-less schedule falls back to the full MaxLive
+    sweep.  ``victim_policy`` orders the admissible candidates of an
+    over-subscribed bank, best victim first (see
+    :func:`victim_longest_lifetime` and friends).
     """
-    usage = register_usage(
-        graph, schedule.times, schedule.clusters, schedule.ii, rf, machine.latency
-    )
+    tracker = schedule.pressure
+    if tracker is not None:
+        usage = tracker.usage()
+    else:
+        usage = register_usage(
+            graph, schedule.times, schedule.clusters, schedule.ii, rf, machine.latency
+        )
     new_nodes: List[int] = []
     spills_done = 0
 
@@ -202,19 +264,23 @@ def check_and_insert_spill(
         if capacity == float("inf") or used <= capacity:
             continue
         if per_bank is None:
-            per_bank = lifetimes_by_bank(
-                graph, schedule.times, schedule.clusters, schedule.ii, rf, machine.latency
-            )
-        candidates = sorted(
-            (
+            if tracker is not None:
+                per_bank = tracker.lifetimes_by_bank()
+            else:
+                per_bank = lifetimes_by_bank(
+                    graph, schedule.times, schedule.clusters, schedule.ii,
+                    rf, machine.latency,
+                )
+        candidates = victim_policy(
+            graph,
+            [
                 lt
                 for lt in per_bank.get(bank, [])
                 # In the shared bank, spill copies may continue to memory
                 # (the second level of the cluster -> shared -> memory
                 # chain); everywhere else they are off limits.
                 if _spillable(graph, lt, state, allow_spill_copies=bank == SHARED)
-            ),
-            key=lambda lt: -lt.length,
+            ],
         )
         # A cluster-bank value normally spills one level up, to the shared
         # bank; but when the shared bank itself is (close to) full, pushing

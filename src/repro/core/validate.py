@@ -15,6 +15,14 @@ definition of a valid modulo schedule:
    consistency of the clustered / hierarchical organization); and
 5. no register bank uses more registers (MaxLive) than it has, unless the
    bank is unbounded.
+
+Deliberately, this module does **not** use the scheduler's incremental
+:class:`~repro.core.pressure.PressureTracker`: the register-capacity
+check is a from-scratch :func:`~repro.core.lifetimes.register_usage`
+sweep (and the replay probe below writes ``times`` directly, bypassing
+the tracked placement path), so a tracker bug cannot validate its own
+output.  The hypothesis differential oracle in
+``tests/test_properties.py`` holds the two implementations equal.
 """
 
 from __future__ import annotations

@@ -20,7 +20,24 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.ddg.operations import MemRef, OpType
 
-__all__ = ["Operation", "Dependence", "DepGraph"]
+__all__ = ["Operation", "Dependence", "DepGraph", "GraphListener"]
+
+
+class GraphListener:
+    """Base class for :class:`DepGraph` mutation observers.
+
+    Subclasses override the callbacks they care about; the defaults do
+    nothing, so a listener only pays for the events it uses.
+    """
+
+    def on_edge_added(self, edge: "Dependence") -> None:  # pragma: no cover
+        pass
+
+    def on_edge_removed(self, edge: "Dependence") -> None:  # pragma: no cover
+        pass
+
+    def on_node_removed(self, node_id: int) -> None:  # pragma: no cover
+        pass
 
 
 @dataclass
@@ -85,6 +102,26 @@ class DepGraph:
         self._succ: Dict[int, Dict[int, Dependence]] = {}
         self._pred: Dict[int, Dict[int, Dependence]] = {}
         self._next_id: int = 0
+        #: Mutation observers (see :meth:`add_listener`).  Not copied by
+        #: :meth:`copy`: a listener tracks one concrete graph instance.
+        self._listeners: List["GraphListener"] = []
+
+    # ------------------------------------------------------------------ #
+    # Mutation listeners
+    # ------------------------------------------------------------------ #
+    def add_listener(self, listener: "GraphListener") -> None:
+        """Register an observer of structural mutations.
+
+        Listeners receive ``on_edge_added(edge)``, ``on_edge_removed(edge)``
+        and ``on_node_removed(node_id)`` callbacks.  The incremental
+        register-pressure tracker uses this to follow spill insertion and
+        communication re-routing without rescanning the graph.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: "GraphListener") -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # ------------------------------------------------------------------ #
     # Construction / mutation
@@ -128,11 +165,17 @@ class DepGraph:
         edge = Dependence(src=src, dst=dst, distance=distance, kind=kind)
         self._succ[src][dst] = edge
         self._pred[dst][src] = edge
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_edge_added(edge)
         return edge
 
     def remove_edge(self, src: int, dst: int) -> None:
-        self._succ[src].pop(dst, None)
+        edge = self._succ[src].pop(dst, None)
         self._pred[dst].pop(src, None)
+        if edge is not None and self._listeners:
+            for listener in self._listeners:
+                listener.on_edge_removed(edge)
 
     def remove_node(self, node_id: int) -> None:
         """Remove a node and every edge incident to it."""
@@ -143,6 +186,9 @@ class DepGraph:
         del self._succ[node_id]
         del self._pred[node_id]
         del self._nodes[node_id]
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_node_removed(node_id)
 
     def copy(self) -> "DepGraph":
         """Deep copy of the graph (fresh Operation objects, same ids)."""

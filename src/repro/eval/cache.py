@@ -53,7 +53,8 @@ __all__ = ["CACHE_SCHEMA_VERSION", "EvalCache", "schedule_key"]
 #: package version is part of the key as well (see :func:`schedule_key`),
 #: so *scheduler behavior* changes invalidate on-disk caches through the
 #: normal release version bump without touching this constant.
-CACHE_SCHEMA_VERSION: int = 1
+#: (v2: the scheduler token became the policy bundle's name + axes.)
+CACHE_SCHEMA_VERSION: int = 2
 
 
 def _rf_token(rf: RFConfig) -> Tuple:
@@ -85,6 +86,20 @@ def _prefetch_token(
     return (prefetch.enabled, prefetch.min_trip_count)
 
 
+def _scheduler_token(scheduler) -> Tuple:
+    """Identity of the policy bundle driving the engine.
+
+    Both the name and the four policy axes (plus the engine mode) are in
+    the key: two differently named bundles with identical axes may share
+    behaviour but never share results by accident, and an ad-hoc
+    :class:`~repro.core.policy.PolicyBundle` keys on what it *does*.
+    """
+    from repro.core.policy import resolve_bundle
+
+    bundle = resolve_bundle(scheduler)
+    return (bundle.name, *bundle.axes())
+
+
 def schedule_key(
     loop: Loop,
     rf: RFConfig,
@@ -92,15 +107,16 @@ def schedule_key(
     *,
     scale_to_clock: bool = True,
     budget_ratio: float = 6.0,
-    scheduler: str = "mirs_hc",
+    scheduler="mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
 ) -> str:
     """The cache key of one (loop, configuration) scheduling problem.
 
-    Besides the problem itself (loop content, configuration, knobs), the
-    key carries the cache schema version and the package version: a
-    release that changes what the scheduler *produces* must not be served
-    stale results from an on-disk cache written by an older release.
+    Besides the problem itself (loop content, configuration, knobs --
+    including the policy bundle, see :func:`_scheduler_token`), the key
+    carries the cache schema version and the package version: a release
+    that changes what the scheduler *produces* must not be served stale
+    results from an on-disk cache written by an older release.
     """
     import repro
 
@@ -112,7 +128,7 @@ def schedule_key(
         _machine_token(machine),
         bool(scale_to_clock),
         float(budget_ratio),
-        scheduler,
+        _scheduler_token(scheduler),
         _prefetch_token(prefetch, scale_to_clock),
     )
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()

@@ -38,8 +38,8 @@ from repro.machine.presets import (
 )
 from repro.machine.config import UNBOUNDED
 from repro.hwmodel.timing import derive_hardware, scaled_machine
-from repro.core.baseline import NonIterativeScheduler
-from repro.core.mirs_hc import MirsHC
+from repro.core.engine import SchedulerEngine
+from repro.core.policy import PolicyBundle, bundle_names, resolve_bundle
 from repro.core.result import ScheduleResult
 from repro.eval.metrics import LoopRun, aggregate_cycles, aggregate_time_ns, aggregate_traffic
 from repro.eval.reporting import Table
@@ -63,6 +63,7 @@ __all__ = [
     "run_ablation_budget_ratio",
     "run_ablation_prefetch",
     "run_ablation_ports",
+    "run_ablation_policies",
 ]
 
 DEFAULT_N_LOOPS = 96
@@ -96,27 +97,26 @@ def _build_engine(
     base: MachineConfig,
     scale_to_clock: bool,
     budget_ratio: float,
-    scheduler: str,
+    scheduler: "str | PolicyBundle",
 ):
     """Instantiate a scheduling engine for one configuration.
 
-    Returns ``(engine, scaled_machine, spec)``; ``spec`` is ``None`` when
-    latencies are not re-scaled to the configuration's clock.  Shared by
-    the serial path below and by the workers of
-    :mod:`repro.eval.parallel`, so both build byte-for-byte identical
-    engines.
+    ``scheduler`` is a policy-bundle name (``"mirs_hc"``,
+    ``"non_iterative"``, any registered ablation bundle) or an ad-hoc
+    :class:`~repro.core.policy.PolicyBundle`.  Returns ``(engine,
+    scaled_machine, spec)``; ``spec`` is ``None`` when latencies are not
+    re-scaled to the configuration's clock.  Shared by the serial path
+    below and by the workers of :mod:`repro.eval.parallel`, so both build
+    byte-for-byte identical engines.
     """
     spec = None
     if scale_to_clock:
         scaled, spec = scaled_machine(base, rf_config)
     else:
         scaled = base
-    if scheduler == "mirs_hc":
-        engine = MirsHC(scaled, rf_config, budget_ratio=budget_ratio)
-    elif scheduler == "non_iterative":
-        engine = NonIterativeScheduler(scaled, rf_config)
-    else:
-        raise ValueError(f"unknown scheduler {scheduler!r}")
+    engine = SchedulerEngine(
+        scaled, rf_config, policy=scheduler, budget_ratio=budget_ratio
+    )
     return engine, scaled, spec
 
 
@@ -145,12 +145,16 @@ def schedule_suite(
     machine: Optional[MachineConfig] = None,
     scale_to_clock: bool = True,
     budget_ratio: float = 6.0,
-    scheduler: str = "mirs_hc",
+    scheduler: "str | PolicyBundle" = "mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
     jobs: int = 1,
     cache: Optional["EvalCache"] = None,
 ) -> List[LoopRun]:
     """Schedule a whole workbench on one configuration.
+
+    ``scheduler`` selects the policy bundle driving the engine (a
+    registered name or a :class:`~repro.core.policy.PolicyBundle`); the
+    default is the paper's MIRS_HC bundle.
 
     ``prefetch`` enables selective binding prefetching: the selected loads
     are scheduled with the configuration's miss latency (this is how the
@@ -833,3 +837,65 @@ def run_ablation_ports(
         table.add_row(lp, sp, sum_ii, pct_mii)
         rows[(lp, sp)] = {"sum_ii": sum_ii, "pct_mii": pct_mii}
     return ExperimentResult("ablation_ports", table, {"rows": rows})
+
+
+def run_ablation_policies(
+    n_loops: int = 48,
+    seed: int = DEFAULT_SEED,
+    config_name: str = "4C16S16",
+    policies: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
+) -> ExperimentResult:
+    """Head-to-head comparison of every registered policy bundle.
+
+    Schedules the same workbench on the same configuration once per
+    bundle, so every heuristic the paper describes (HRMS-style ordering,
+    Select_Cluster, spill-victim choice, the II search, and
+    backtracking itself) can be ablated against the MIRS_HC defaults.
+    Bundles default to every registered one (see
+    :func:`repro.core.policy.bundle_names`).
+    """
+    loops = _suite(n_loops, seed)
+    names = list(policies) if policies else bundle_names()
+    table = Table(
+        [
+            "policy", "axes", "sum II", "failed", "%MII",
+            "spill mem", "comm", "pressure checks", "sched s",
+        ],
+        title=f"Ablation: policy bundles on {config_name} ({n_loops} loops)",
+    )
+    rows: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        bundle = resolve_bundle(name)
+        runs = schedule_suite(loops, config_name, scheduler=name, jobs=jobs, cache=cache)
+        # Loops a bundle gives up on are charged a penalty so weak
+        # bundles show up in the aggregate instead of shrinking the sum.
+        sum_ii = sum(
+            run.result.ii if run.result.success else 8 * run.result.mii
+            for run in runs
+        )
+        failed = sum(1 for run in runs if not run.result.success)
+        pct_mii = 100.0 * sum(1 for r in runs if r.result.achieved_mii) / len(runs)
+        spill_mem = sum(run.result.n_spill_memory_ops for run in runs)
+        comm = sum(run.result.n_comm_ops for run in runs)
+        checks = sum(run.result.n_pressure_checks for run in runs)
+        sched = sum(run.result.scheduling_time_s for run in runs)
+        axes = "/".join(
+            (bundle.ordering, bundle.cluster, bundle.spill, bundle.ii_search)
+        ) + ("" if bundle.backtracking else " (non-iter)")
+        table.add_row(name, axes, sum_ii, failed, pct_mii, spill_mem, comm, checks, sched)
+        rows[name] = {
+            "axes": bundle.axes(),
+            "sum_ii": sum_ii,
+            "failed": failed,
+            "pct_mii": pct_mii,
+            "spill_mem": spill_mem,
+            "comm": comm,
+            "pressure_checks": checks,
+            "sched_time_s": sched,
+        }
+    return ExperimentResult(
+        "ablation_policies", table, {"rows": rows, "config": config_name}
+    )

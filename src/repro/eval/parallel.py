@@ -76,7 +76,7 @@ def _schedule_chunk(
         MachineConfig,
         bool,
         float,
-        str,
+        object,  # policy-bundle name or a picklable PolicyBundle
         Optional[PrefetchPolicy],
     ],
 ) -> List[Tuple[int, LoopRun]]:
@@ -102,7 +102,7 @@ def schedule_loops_parallel(
     *,
     scale_to_clock: bool = True,
     budget_ratio: float = 6.0,
-    scheduler: str = "mirs_hc",
+    scheduler="mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
     jobs: Optional[int] = None,
 ) -> List[Tuple[int, LoopRun]]:

@@ -195,6 +195,9 @@ class CorpusCase:
     budget_ratio: float = 6.0
     scale_to_clock: bool = True
     n_iterations: Optional[int] = None
+    #: Policy bundle the failing schedule was produced with (replay must
+    #: use the same heuristics to reproduce the bug).
+    policy: str = "mirs_hc"
 
     @property
     def name(self) -> str:
@@ -209,6 +212,7 @@ class CorpusCase:
             "budget_ratio": self.budget_ratio,
             "scale_to_clock": self.scale_to_clock,
             "n_iterations": self.n_iterations,
+            "policy": self.policy,
             "loop": loop_to_json(self.loop),
         }
         if self.config_name is not None:
@@ -236,6 +240,7 @@ class CorpusCase:
             budget_ratio=payload.get("budget_ratio", 6.0),
             scale_to_clock=payload.get("scale_to_clock", True),
             n_iterations=payload.get("n_iterations"),
+            policy=payload.get("policy", "mirs_hc"),
         )
 
 

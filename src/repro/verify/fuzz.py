@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.mirs_hc import MirsHC
+from repro.core.engine import SchedulerEngine
 from repro.core.result import ScheduleResult
 from repro.core.validate import ValidationError, validate_schedule
 from repro.ddg.loop import Loop
@@ -55,10 +55,11 @@ __all__ = [
 #: clustered organization.
 DEFAULT_FUZZ_CONFIGS: Tuple[str, ...] = ("S128", "S64", "4C16S16")
 
-# Independent sub-seeds so pinning --profiles / --configs on replay does
-# not change what the other generators draw.
+# Independent sub-seeds so pinning --profiles / --configs / --policies on
+# replay does not change what the other generators draw.
 _PROFILE_STREAM = 0x50524F46   # "PROF"
 _CONFIG_STREAM = 0x434F4E46    # "CONF"
+_POLICY_STREAM = 0x504F4C49    # "POLI"
 
 
 @dataclass
@@ -90,6 +91,7 @@ def format_reproducer(
     sampled: bool = False,
     budget_ratio: float = 6.0,
     n_iterations: Optional[int] = None,
+    policy: str = "mirs_hc",
 ) -> str:
     """The replay command (and context) embedded in failure messages.
 
@@ -97,6 +99,8 @@ def format_reproducer(
     is spelled out, so the command regenerates the failure verbatim.
     """
     context = f"seed={seed} profile={profile} config={config_name}"
+    if policy != "mirs_hc":
+        context += f" policy={policy}"
     if ii is not None:
         context += f" II={ii}"
     command = (
@@ -104,6 +108,8 @@ def format_reproducer(
         f"--profiles {profile} "
     )
     command += "--sample-configs" if sampled else f"--configs {config_name}"
+    if policy != "mirs_hc":
+        command += f" --policies {policy}"
     if budget_ratio != 6.0:
         command += f" --budget-ratio {budget_ratio}"
     if n_iterations is not None:
@@ -120,6 +126,7 @@ def run_pipeline(
     scale_to_clock: bool = True,
     n_iterations: Optional[int] = None,
     reproducer: Optional[str] = None,
+    policy: str = "mirs_hc",
 ) -> PipelineOutcome:
     """Push one loop through the full verification pipeline.
 
@@ -127,7 +134,9 @@ def run_pipeline(
     and corpus replay can classify every ending uniformly.  ``machine``
     is the *base* datapath (latencies are re-scaled to the
     configuration's clock when ``scale_to_clock`` is set, exactly as the
-    evaluation drivers do).
+    evaluation drivers do).  ``policy`` selects the policy bundle the
+    engine schedules with, so the differential oracle covers every
+    registered bundle, not just MIRS_HC.
     """
     base = machine or baseline_machine()
     if scale_to_clock:
@@ -135,7 +144,9 @@ def run_pipeline(
     else:
         scaled = base
     try:
-        result = MirsHC(scaled, rf, budget_ratio=budget_ratio).schedule_loop(loop)
+        result = SchedulerEngine(
+            scaled, rf, policy=policy, budget_ratio=budget_ratio
+        ).schedule_loop(loop)
     except Exception:
         return PipelineOutcome(
             status="emit-error",
@@ -240,6 +251,7 @@ class FuzzFailure:
     message: str
     reproducer: str
     corpus_path: Optional[Path] = None
+    policy: str = "mirs_hc"
 
 
 @dataclass
@@ -288,6 +300,11 @@ def _case_profile(seed: int, profiles: Sequence[str]) -> str:
     return profiles[int(rng.integers(0, len(profiles)))]
 
 
+def _case_policy(seed: int, policies: Sequence[str]) -> str:
+    rng = np.random.default_rng((seed, _POLICY_STREAM))
+    return policies[int(rng.integers(0, len(policies)))]
+
+
 def _case_config(
     seed: int,
     index: int,
@@ -310,6 +327,7 @@ def fuzz_schedules(
     base_seed: int = 2003,
     configs: Sequence[str] = DEFAULT_FUZZ_CONFIGS,
     profiles: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
     sample_configs: bool = False,
     machine: Optional[MachineConfig] = None,
     budget_ratio: float = 6.0,
@@ -323,14 +341,28 @@ def fuzz_schedules(
     """Hunt for scheduler/codegen/allocation bugs with randomized cases.
 
     Case ``k`` uses seed ``base_seed + k``; the seed alone determines the
-    loop (via a generator profile) and, with ``sample_configs``, the
-    random machine/register-file pair -- otherwise the case rotates
-    through the ``configs`` presets.  Every failure is shrunk (when
-    ``shrink``) and written into ``corpus_dir`` as a JSON case the test
-    suite replays.  ``time_budget_s`` bounds the wall-clock time: the
-    run stops early (reported, not an error) once exceeded.
+    loop (via a generator profile), the policy bundle (drawn from
+    ``policies``; default: only ``mirs_hc``) and, with
+    ``sample_configs``, the random machine/register-file pair --
+    otherwise the case rotates through the ``configs`` presets.  Every
+    failure is shrunk (when ``shrink``) and written into ``corpus_dir``
+    as a JSON case the test suite replays.  ``time_budget_s`` bounds the
+    wall-clock time: the run stops early (reported, not an error) once
+    exceeded.
+
+    Pass ``policies=repro.core.bundle_names()`` (CLI:
+    ``--policies all``) to spread the differential oracle over every
+    registered policy bundle.
     """
     profile_names = list(profiles) if profiles else sorted(PROFILES)
+    # Validate bundle names up front: a typo'd --policies value must fail
+    # loudly here, not be misclassified as a scheduler crash on every
+    # case (and pollute the corpus with bogus "failures").
+    from repro.core.policy import resolve_bundle
+
+    policy_names = [
+        resolve_bundle(name).name for name in (policies or ["mirs_hc"])
+    ]
     base = machine or baseline_machine()
     report = FuzzReport()
     started = time.perf_counter()
@@ -342,6 +374,7 @@ def fuzz_schedules(
             break
         seed = base_seed + index
         profile = _case_profile(seed, profile_names)
+        policy = _case_policy(seed, policy_names)
         rf, case_machine, config_name, sampled = _case_config(
             seed, index, configs, sample_configs, base
         )
@@ -349,12 +382,14 @@ def fuzz_schedules(
         reproducer = format_reproducer(
             seed, profile, config_name, sampled=sampled,
             budget_ratio=budget_ratio, n_iterations=n_iterations,
+            policy=policy,
         )
         outcome = run_pipeline(
             loop, rf, case_machine,
             budget_ratio=budget_ratio,
             n_iterations=n_iterations,
             reproducer=reproducer,
+            policy=policy,
         )
         report.n_cases += 1
         if outcome.status == "ok":
@@ -369,6 +404,7 @@ def fuzz_schedules(
         reproducer = format_reproducer(
             seed, profile, config_name, ii=ii, sampled=sampled,
             budget_ratio=budget_ratio, n_iterations=n_iterations,
+            policy=policy,
         )
         if progress:
             progress(f"failure ({outcome.status}): {reproducer}")
@@ -381,6 +417,7 @@ def fuzz_schedules(
                     candidate, rf, case_machine,
                     budget_ratio=budget_ratio,
                     n_iterations=n_iterations,
+                    policy=policy,
                 )
                 return probe.status == failure_kind
 
@@ -410,11 +447,13 @@ def fuzz_schedules(
                     "profile": profile,
                     "config": config_name,
                     "sampled_config": sampled,
+                    "policy": policy,
                     "failure": outcome.status,
                 },
                 config_name=None if sampled else config_name,
                 budget_ratio=budget_ratio,
                 n_iterations=n_iterations,
+                policy=policy,
             )
             corpus_path = save_case(
                 case, Path(corpus_dir) / f"fuzz_{seed}_{config_name}.json"
@@ -428,6 +467,7 @@ def fuzz_schedules(
                 message=outcome.message,
                 reproducer=reproducer,
                 corpus_path=corpus_path,
+                policy=policy,
             )
         )
     report.elapsed_s = time.perf_counter() - started

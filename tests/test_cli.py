@@ -106,3 +106,36 @@ class TestCommands:
         assert main(["fuzz", "--replay", str(path)]) == 0
         out = capsys.readouterr().out
         assert "ok (expected ok)" in out
+
+
+class TestPolicyFlags:
+    def test_schedule_with_policy(self, capsys):
+        from repro.cli import main
+
+        assert main(["schedule", "daxpy", "4C16S16",
+                     "--policy", "mirs_rr_cluster"]) == 0
+        out = capsys.readouterr().out
+        assert "daxpy" in out
+
+    def test_unknown_policy_rejected(self):
+        import pytest as _pytest
+
+        from repro.cli import build_parser
+
+        with _pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "daxpy", "S64",
+                                       "--policy", "nope"])
+
+    def test_reproduce_ablation_policies_target(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["reproduce", "ablation_policies"])
+        assert args.target == "ablation_policies"
+
+    def test_fuzz_policies_all_expansion(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--seeds", "2", "--base-seed", "2003",
+                     "--policies", "mirs_linear_ii", "--no-shrink"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out

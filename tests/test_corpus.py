@@ -37,6 +37,7 @@ def test_replay_corpus_case(path):
         scale_to_clock=case.scale_to_clock,
         n_iterations=case.n_iterations,
         reproducer=f"python -m repro.cli fuzz --replay {path}",
+        policy=case.policy,
     )
     assert outcome.status == case.expect, (
         f"{path.name}: expected {case.expect!r}, observed {outcome.status!r}\n"

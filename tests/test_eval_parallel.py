@@ -6,7 +6,7 @@ The contract under test:
   serial path (same schedules, same metrics, same order) for any N;
 * a warm :class:`~repro.eval.cache.EvalCache` makes re-evaluation skip
   the scheduler entirely (asserted with a spy on
-  :meth:`MirsHC.schedule_loop`);
+  :meth:`SchedulerEngine.schedule_loop`);
 * cache keys are content-addressed: they survive regenerating the same
   workbench, and change whenever the loop, the configuration or any
   scheduling knob changes.
@@ -15,7 +15,7 @@ The contract under test:
 import pytest
 
 from repro import api
-from repro.core.mirs_hc import MirsHC
+from repro.core.engine import SchedulerEngine
 from repro.eval.cache import EvalCache, schedule_key
 from repro.eval.experiments import schedule_suite
 from repro.eval.parallel import chunk_indices, resolve_jobs
@@ -62,15 +62,15 @@ def signatures(runs):
 
 @pytest.fixture
 def schedule_calls(monkeypatch):
-    """Count every in-process MirsHC.schedule_loop invocation."""
+    """Count every in-process SchedulerEngine.schedule_loop invocation."""
     calls = {"n": 0}
-    original = MirsHC.schedule_loop
+    original = SchedulerEngine.schedule_loop
 
     def spy(self, loop):
         calls["n"] += 1
         return original(self, loop)
 
-    monkeypatch.setattr(MirsHC, "schedule_loop", spy)
+    monkeypatch.setattr(SchedulerEngine, "schedule_loop", spy)
     return calls
 
 

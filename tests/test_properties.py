@@ -227,6 +227,103 @@ class TestPressureProperties:
 
 
 # --------------------------------------------------------------------------- #
+# Incremental pressure tracker: differential oracle
+# --------------------------------------------------------------------------- #
+class TestPressureTrackerProperties:
+    """The tracker must equal a from-scratch MaxLive recompute, always.
+
+    The refactored engine trusts :class:`PressureTracker` for every spill
+    check; this oracle drives a partial schedule through arbitrary
+    place / eject / spill / cleanup sequences (including the graph edits
+    spilling and communication insertion perform) and asserts after every
+    step that the incremental state matches ``register_usage`` recomputed
+    from scratch.
+    """
+
+    @given(
+        random_loops(),
+        st.sampled_from(["S32", "2C32S32", "4C16S16", "4C32"]),
+        st.integers(min_value=2, max_value=9),
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 10_000)),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_tracker_equals_full_recompute(self, loop, config_name, ii, actions):
+        from repro.core.communication import cleanup_after_eject, plan_communication
+        from repro.core.cluster_select import select_cluster
+        from repro.core.partial import PartialSchedule
+        from repro.core.spill import SpillState, check_and_insert_spill
+        from repro.machine import ResourceModel
+
+        rf = config_by_name(config_name)
+        machine, _ = scaled_machine(baseline_machine(), rf)
+        graph = loop.graph.copy()
+        schedule = PartialSchedule(
+            graph, ii, machine, rf, ResourceModel(machine, rf),
+            track_pressure=True,
+        )
+        spill_state = SpillState()
+
+        def oracle():
+            usage = schedule.pressure.usage()
+            fresh = register_usage(
+                graph, schedule.times, schedule.clusters, ii, rf, machine.latency
+            )
+            assert usage == fresh, f"tracker {usage} != recompute {fresh}"
+            # The tracked lifetimes must match the full sweep as well
+            # (they feed spill-victim selection).
+            from repro.core.lifetimes import lifetimes_by_bank
+
+            tracked = {
+                bank: sorted(lts)
+                for bank, lts in schedule.pressure.lifetimes_by_bank().items()
+            }
+            swept = {
+                bank: sorted(lts)
+                for bank, lts in lifetimes_by_bank(
+                    graph, schedule.times, schedule.clusters, ii, rf, machine.latency
+                ).items()
+            }
+            assert tracked == swept
+
+        oracle()
+        for action, pick in actions:
+            schedulable = [
+                n.node_id for n in graph.nodes()
+                if not n.op.is_pseudo and n.node_id not in schedule.times
+            ]
+            scheduled = sorted(schedule.times)
+            if action == 0 and schedulable:
+                # Place a node (with communication planning and possible
+                # force-and-eject, exactly like the engine does).
+                node_id = schedulable[pick % len(schedulable)]
+                cluster = select_cluster(graph, schedule, node_id, rf,
+                                         schedule.pressure.usage())
+                new_comm, _requeue = plan_communication(
+                    graph, schedule, node_id, cluster, rf
+                )
+                for comm_node in new_comm:
+                    if comm_node not in graph:
+                        continue
+                    schedule.schedule(comm_node, graph.node(comm_node).home_cluster)
+                if node_id in graph:
+                    schedule.schedule(node_id, cluster)
+            elif action == 1 and scheduled:
+                # Eject a node and clean up the communication it owned.
+                node_id = scheduled[pick % len(scheduled)]
+                schedule.remove(node_id)
+                cleanup_after_eject(graph, schedule, node_id)
+            elif action == 2:
+                # Run the spill check (may insert spill code = graph edits).
+                check_and_insert_spill(graph, schedule, rf, machine, spill_state)
+            oracle()
+
+
+# --------------------------------------------------------------------------- #
 # End-to-end scheduling properties
 # --------------------------------------------------------------------------- #
 class TestSchedulerProperties:
