@@ -16,15 +16,27 @@ The package is organized as:
   for the real-memory scenario.
 * :mod:`repro.eval` -- metrics and the drivers that regenerate every table
   and figure of the paper's evaluation section.
+* :mod:`repro.session` -- the session-based public API: construct a
+  :class:`~repro.session.Session` once (machine, policy, worker pool,
+  shared cache) and call the verbs as methods, including the streaming
+  ``evaluate_stream``.
+* :mod:`repro.serialize` -- versioned JSON serialization for every public
+  result type (schedules, runs, reports, configurations, fuzz cases).
+* :mod:`repro.service` -- the in-process batch scheduling service and its
+  ``repro serve`` / ``repro submit`` HTTP front end.
 
 Quickstart::
 
-    from repro import api
-    result = api.schedule_kernel("daxpy", "4C16S64")
+    from repro.session import Session
+    session = Session()
+    result = session.schedule_kernel("daxpy", "4C16S64")
     print(result.ii, result.stage_count)
+
+The flat v1 verbs (``repro.api.schedule_kernel`` and friends) keep
+working as thin shims over a default session.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.machine import MachineConfig, RFConfig, baseline_machine, config_by_name
 from repro.ddg import DepGraph, Loop, OpType
@@ -34,6 +46,7 @@ __all__ = [
     "__version__",
     "MachineConfig",
     "RFConfig",
+    "Session",
     "baseline_machine",
     "config_by_name",
     "DepGraph",
@@ -42,3 +55,14 @@ __all__ = [
     "derive_hardware",
     "scaled_machine",
 ]
+
+
+def __getattr__(name: str):
+    # Session is re-exported lazily: repro.session imports the evaluation
+    # stack, which would make a plain ``import repro`` heavy (and create
+    # an import cycle with the submodules imported above).
+    if name == "Session":
+        from repro.session import Session
+
+        return Session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,6 +1,7 @@
-"""High-level convenience API.
+"""High-level convenience API (v1 verbs; thin shims over a Session).
 
-Most users interact with the library through four verbs:
+The four verbs below predate the session-based API and are kept working
+for compatibility:
 
 * :func:`schedule_kernel` -- schedule one named kernel (or any
   :class:`~repro.ddg.loop.Loop`) on one register-file configuration;
@@ -10,44 +11,42 @@ Most users interact with the library through four verbs:
 * :func:`compare_configurations` -- the design-space view: evaluate
   several configurations and rank them by execution time;
 * :func:`fuzz_schedules` -- the verification view: hunt for
-  scheduler/codegen/allocation bugs by pushing randomized loops on
-  randomized (or preset) configurations through the differential
-  execution oracle (see :mod:`repro.verify`).
+  scheduler/codegen/allocation bugs through the differential execution
+  oracle (see :mod:`repro.verify`).
 
-The three scheduling verbs accept ``jobs=N`` to schedule the workbench
-over N worker processes (``jobs=0`` means one per CPU),
-``cache=EvalCache(...)`` to memoize (loop, configuration) scheduling
-results -- pass ``EvalCache("some/dir")`` to persist the cache across
-processes -- and ``policy=NAME`` to run the engine with a different
-policy bundle (``repro.core.bundle_names()`` lists them; the default is
-the paper's ``"mirs_hc"``).  See :mod:`repro.eval.parallel`,
-:mod:`repro.eval.cache` and :mod:`repro.core.policy`.
-(``fuzz_schedules`` takes ``policies=`` instead of a cache/jobs pair:
-every fuzz case is a fresh, unique scheduling problem.)
+Since v2 they are *shims* over :class:`repro.session.Session`: each call
+delegates to the process-wide :func:`~repro.session.default_session`, or
+to a short-lived session when state-shaped plumbing is passed.  The
+plumbing keywords (``machine=``, ``policy=``, ``jobs=``, ``cache=``,
+``budget_ratio=``) still work but emit a :class:`DeprecationWarning` --
+construct a :class:`~repro.session.Session` once instead of re-wiring
+machine/cache/pool per call::
 
-Everything these helpers do is also available through the underlying
-packages (``repro.core``, ``repro.eval``); the helpers just wire the
-common path (build workbench -> scale latencies -> schedule -> aggregate)
-together.
+    from repro.session import Session
+    from repro.eval.cache import EvalCache
+
+    with Session(jobs=0, cache=EvalCache(".repro-cache")) as session:
+        session.evaluate_configuration("4C16S16", n_loops=64)
+        session.compare_configurations(["S64", "4C16S16", "8C16S16"])
+        for run in session.evaluate_stream("4C32S16"):   # v2-only verb
+            ...
+
+See ``docs/api.md`` for the full v1 -> v2 migration table, the streaming
+contract, and the batch service built on top of sessions
+(:mod:`repro.service`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+import warnings
+from typing import Dict, Optional, Sequence, Union
 
 from repro.core.result import ScheduleResult
 from repro.ddg.loop import Loop
 from repro.eval.cache import EvalCache
-from repro.eval.metrics import LoopRun, aggregate_cycles, aggregate_time_ns, aggregate_traffic
-from repro.eval.experiments import schedule_suite
-from repro.eval.reporting import Table
-from repro.hwmodel.spec import HardwareSpec
-from repro.hwmodel.timing import derive_hardware
+from repro.eval.reporting import ConfigurationReport
 from repro.machine.config import MachineConfig, RFConfig
-from repro.machine.presets import baseline_machine, config_by_name
-from repro.workloads.kernels import build_kernel
-from repro.workloads.suite import perfect_club_like_suite
+from repro.session import Session, default_session
 
 __all__ = [
     "schedule_kernel",
@@ -57,9 +56,47 @@ __all__ = [
     "ConfigurationReport",
 ]
 
+#: The v1 per-call plumbing keywords a Session now owns.
+_PLUMBING = ("machine", "budget_ratio", "policy", "jobs", "cache")
 
-def _resolve(rf: Union[str, RFConfig]) -> RFConfig:
-    return config_by_name(rf) if isinstance(rf, str) else rf
+
+def _session_for(
+    verb: str, **plumbing
+) -> "tuple[Session, Optional[int], Optional[str], bool]":
+    """Resolve the session a v1 shim runs on, warning about plumbing.
+
+    Returns ``(session, jobs, policy, ephemeral)``: ``jobs``/``policy``
+    are forwarded as per-call overrides; machine, cache and budget ratio
+    are state-shaped, so passing any of them builds a short-lived session
+    carrying them (exactly the re-wiring v1 did on every call -- which is
+    why each explicitly passed plumbing keyword draws a
+    ``DeprecationWarning`` pointing at :class:`repro.session.Session`).
+    ``ephemeral`` marks that short-lived session: the shim must close it
+    after the call so any worker pool it spawned is torn down, just as
+    the v1 implementations tore their pools down per call.
+    """
+    explicit = sorted(key for key, value in plumbing.items() if value is not None)
+    if explicit:
+        warnings.warn(
+            f"repro.api.{verb}: the {', '.join(explicit)} keyword(s) are "
+            f"deprecated per-call plumbing; construct a "
+            f"repro.session.Session with these defaults instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    machine = plumbing.get("machine")
+    budget_ratio = plumbing.get("budget_ratio")
+    cache = plumbing.get("cache")
+    ephemeral = machine is not None or budget_ratio is not None or cache is not None
+    if ephemeral:
+        session = Session(
+            machine=machine,
+            budget_ratio=6.0 if budget_ratio is None else budget_ratio,
+            cache=cache,
+        )
+    else:
+        session = default_session()
+    return session, plumbing.get("jobs"), plumbing.get("policy"), ephemeral
 
 
 def schedule_kernel(
@@ -67,19 +104,17 @@ def schedule_kernel(
     rf: Union[str, RFConfig],
     *,
     machine: Optional[MachineConfig] = None,
-    budget_ratio: float = 6.0,
-    policy: str = "mirs_hc",
-    jobs: int = 1,
+    budget_ratio: Optional[float] = None,
+    policy: Optional[str] = None,
+    jobs: Optional[int] = None,
     cache: Optional[EvalCache] = None,
     **kernel_params: object,
 ) -> ScheduleResult:
     """Schedule a named kernel (or a ready-made loop) on a configuration.
 
-    ``jobs`` is accepted for uniformity with the other verbs (a single
-    loop always schedules in-process).  When ``cache`` is given, a
-    previously scheduled identical (kernel, configuration) pair is
-    returned without re-running the scheduler.  ``policy`` selects the
-    policy bundle driving the engine.
+    Shim over :meth:`repro.session.Session.schedule_kernel` (which also
+    warns when a no-op ``jobs`` request is made: a single loop always
+    schedules in-process).
 
     Example:
 
@@ -89,47 +124,18 @@ def schedule_kernel(
     True
     >>> result.ii >= result.mii
     True
-    >>> schedule_kernel("fir_filter", "4C16S16", policy="non_iterative",
-    ...                 taps=8).policy
-    'non_iterative'
     """
-    loop = build_kernel(kernel, **kernel_params) if isinstance(kernel, str) else kernel
-    rf_config = _resolve(rf)
-    base = machine or baseline_machine()
-    runs = schedule_suite(
-        [loop], rf_config, machine=base, budget_ratio=budget_ratio,
-        scheduler=policy, jobs=jobs, cache=cache,
+    session, jobs, policy, ephemeral = _session_for(
+        "schedule_kernel", machine=machine, budget_ratio=budget_ratio,
+        policy=policy, jobs=jobs, cache=cache,
     )
-    return runs[0].result
-
-
-@dataclass
-class ConfigurationReport:
-    """Aggregate metrics of one configuration over a workbench."""
-
-    config: RFConfig
-    spec: HardwareSpec
-    runs: List[LoopRun]
-
-    @property
-    def cycles(self) -> float:
-        return aggregate_cycles(self.runs)
-
-    @property
-    def memory_traffic(self) -> float:
-        return aggregate_traffic(self.runs)
-
-    @property
-    def time_ns(self) -> float:
-        return aggregate_time_ns(self.runs)
-
-    @property
-    def area_mlambda2(self) -> float:
-        return self.spec.total_area_mlambda2
-
-    @property
-    def n_failed(self) -> int:
-        return sum(1 for run in self.runs if not run.result.success)
+    try:
+        return session.schedule_kernel(
+            kernel, rf, policy=policy, jobs=jobs, **kernel_params
+        )
+    finally:
+        if ephemeral:
+            session.close()
 
 
 def evaluate_configuration(
@@ -139,33 +145,36 @@ def evaluate_configuration(
     n_loops: int = 64,
     seed: int = 2003,
     machine: Optional[MachineConfig] = None,
-    policy: str = "mirs_hc",
-    jobs: int = 1,
+    policy: Optional[str] = None,
+    jobs: Optional[int] = None,
     cache: Optional[EvalCache] = None,
 ) -> ConfigurationReport:
     """Schedule a workbench on one configuration and aggregate the metrics.
 
-    ``jobs`` schedules the workbench over that many worker processes
-    (``0`` = one per CPU); ``cache`` reuses results for already-seen
-    (loop, configuration) pairs; ``policy`` selects the policy bundle.
+    Shim over :meth:`repro.session.Session.evaluate_configuration`; the
+    streaming variant (results as workers finish) is
+    :meth:`repro.session.Session.evaluate_stream`.
 
     Example:
 
     >>> from repro.api import evaluate_configuration
-    >>> report = evaluate_configuration("4C16S16", n_loops=4, jobs=1)
+    >>> report = evaluate_configuration("4C16S16", n_loops=4)
     >>> report.n_failed
     0
     >>> report.cycles > 0
     True
     """
-    rf_config = _resolve(rf)
-    base = machine or baseline_machine()
-    workbench = list(loops) if loops is not None else perfect_club_like_suite(n_loops, seed=seed)
-    runs = schedule_suite(
-        workbench, rf_config, machine=base, scheduler=policy, jobs=jobs, cache=cache
+    session, jobs, policy, ephemeral = _session_for(
+        "evaluate_configuration", machine=machine, policy=policy,
+        jobs=jobs, cache=cache,
     )
-    spec = derive_hardware(base, rf_config)
-    return ConfigurationReport(config=rf_config, spec=spec, runs=runs)
+    try:
+        return session.evaluate_configuration(
+            rf, loops=loops, n_loops=n_loops, seed=seed, policy=policy, jobs=jobs
+        )
+    finally:
+        if ephemeral:
+            session.close()
 
 
 def compare_configurations(
@@ -176,64 +185,37 @@ def compare_configurations(
     seed: int = 2003,
     reference: Union[str, RFConfig] = "S64",
     machine: Optional[MachineConfig] = None,
-    policy: str = "mirs_hc",
-    jobs: int = 1,
+    policy: Optional[str] = None,
+    jobs: Optional[int] = None,
     cache: Optional[EvalCache] = None,
 ) -> Dict[str, object]:
     """Evaluate several configurations and rank them by execution time.
 
     Returns a dict with a ``reports`` mapping (name -> ConfigurationReport),
-    a rendered ``table`` and the ``ranking`` (fastest first).
-
-    ``jobs`` parallelizes each per-configuration evaluation; ``cache``
-    memoizes (loop, configuration) pairs.  When no cache is passed, an
-    ephemeral in-memory one deduplicates repeated configurations within
-    this comparison; pass your own :class:`~repro.eval.cache.EvalCache` to
-    reuse results across calls (a warm cache makes a repeated comparison
-    run without any scheduling at all).
+    a rendered ``table`` and the ``ranking`` (fastest first).  Shim over
+    :meth:`repro.session.Session.compare_configurations`: on a session
+    with a configured cache the sweep reuses it across calls, so a warm
+    session re-ranks the design space without scheduling at all.
 
     Example:
 
     >>> from repro.api import compare_configurations
-    >>> from repro.eval.cache import EvalCache
-    >>> cache = EvalCache()
-    >>> cold = compare_configurations(["S64", "4C16S16"], n_loops=4, cache=cache)
-    >>> warm = compare_configurations(["S64", "4C16S16"], n_loops=4, cache=cache)
-    >>> cold["ranking"] == warm["ranking"]
+    >>> comparison = compare_configurations(["S64", "4C16S16"], n_loops=4)
+    >>> comparison["ranking"][0] in comparison["reports"]
     True
     """
-    base = machine or baseline_machine()
-    workbench = list(loops) if loops is not None else perfect_club_like_suite(n_loops, seed=seed)
-    if cache is None:
-        cache = EvalCache()
-    names: List[str] = []
-    reports: Dict[str, ConfigurationReport] = {}
-    all_configs = list(configs)
-    reference_rf = _resolve(reference)
-    if reference_rf.name not in {(_resolve(c)).name for c in all_configs}:
-        all_configs = [reference_rf, *all_configs]
-    for config in all_configs:
-        report = evaluate_configuration(
-            config, loops=workbench, machine=base, policy=policy,
-            jobs=jobs, cache=cache,
-        )
-        reports[report.config.name] = report
-        names.append(report.config.name)
-
-    ref_time = reports[reference_rf.name].time_ns
-    table = Table(
-        ["config", "kind", "area (Mλ²)", "clock (ns)", "cycles", "rel time", "speedup"],
-        title=f"Configuration comparison (relative to {reference_rf.name})",
+    session, jobs, policy, ephemeral = _session_for(
+        "compare_configurations", machine=machine, policy=policy,
+        jobs=jobs, cache=cache,
     )
-    for name in names:
-        report = reports[name]
-        rel = report.time_ns / ref_time if ref_time else float("nan")
-        table.add_row(
-            name, report.config.kind.value, report.area_mlambda2,
-            report.spec.clock_ns, report.cycles, rel, 1.0 / rel if rel else float("nan"),
+    try:
+        return session.compare_configurations(
+            configs, loops=loops, n_loops=n_loops, seed=seed,
+            reference=reference, policy=policy, jobs=jobs,
         )
-    ranking = sorted(names, key=lambda n: reports[n].time_ns)
-    return {"reports": reports, "table": table, "ranking": ranking}
+    finally:
+        if ephemeral:
+            session.close()
 
 
 def fuzz_schedules(n_seeds: int = 100, **kwargs):
@@ -243,7 +225,8 @@ def fuzz_schedules(n_seeds: int = 100, **kwargs):
     validates the schedule, allocates registers, emits the
     software-pipelined code, and executes it cycle by cycle against a
     scalar reference execution of the loop; failures are shrunk and
-    written to a JSON corpus the test suite replays.  Returns a
+    written to a JSON corpus the test suite replays.  Shim over
+    :meth:`repro.session.Session.fuzz_schedules`; returns a
     :class:`repro.verify.fuzz.FuzzReport`.
 
     Example:
@@ -255,6 +238,4 @@ def fuzz_schedules(n_seeds: int = 100, **kwargs):
     >>> report.n_cases
     2
     """
-    from repro.verify.fuzz import fuzz_schedules as _fuzz
-
-    return _fuzz(n_seeds, **kwargs)
+    return default_session().fuzz_schedules(n_seeds, **kwargs)

@@ -1,42 +1,47 @@
 """Command-line interface.
 
-Four sub-commands cover the common workflows::
+Seven sub-commands cover the common workflows::
 
     python -m repro.cli schedule daxpy 4C16S16 --code --registers
     python -m repro.cli evaluate 4C16S16 S64 --loops 32 --jobs 4
     python -m repro.cli reproduce table6 --loops 48 --jobs 0 --cache .repro-cache
     python -m repro.cli fuzz --seeds 200 --budget 120s --corpus tests/corpus
+    python -m repro.cli serve --port 8734 --jobs 0 --cache .repro-cache
+    python -m repro.cli submit schedule daxpy 4C16S16
+    python -m repro.cli schema --out repro-schema.json
 
 * ``schedule`` schedules one named kernel on one configuration and prints
-  the kernel table (optionally the register allocation and the emitted
-  software-pipelined code);
+  the kernel table (optionally the register allocation, the emitted
+  software-pipelined code, or the serialized JSON result);
 * ``evaluate`` compares configurations on a workbench (area, clock,
   cycles, execution time);
 * ``reproduce`` regenerates one of the paper's tables/figures (or ``all``);
 * ``fuzz`` hunts for scheduler/codegen/allocation bugs by differentially
   executing randomized loops on preset or randomly sampled
   configurations (failures are shrunk and frozen as corpus cases;
-  ``--replay FILE`` re-runs one such case).
+  ``--replay FILE`` re-runs one such case);
+* ``serve`` runs the batch scheduling service: one long-lived
+  :class:`~repro.session.Session` (warm cache, warm worker pool) behind
+  a small HTTP API (see :mod:`repro.service`);
+* ``submit`` sends one job to a running ``serve`` instance, polls it to
+  completion and prints the JSON result envelope;
+* ``schema`` writes the machine-readable serialization schema that wire
+  results validate against.
 
-Every sub-command takes ``--jobs N`` to schedule loops over N worker
-processes (``--jobs 0`` = one per CPU) and ``--cache DIR`` to persist
-scheduling results on disk, so re-runs -- and tables that share
-(loop, configuration) pairs -- skip the scheduler entirely.
-
-``schedule`` and ``evaluate`` additionally take ``--policy BUNDLE`` to
-run the engine with a different policy bundle (``reproduce
-ablation_policies`` compares all of them), and ``fuzz`` takes
-``--policies BUNDLE... | all`` to spread the differential oracle over
-several bundles.
+Every scheduling sub-command builds a :class:`repro.session.Session`
+from its flags: ``--jobs N`` (worker processes; ``0`` = one per CPU),
+``--cache DIR`` (persist scheduling results on disk), and -- where it
+makes sense -- ``--policy BUNDLE`` (``reproduce ablation_policies``
+compares all of them; ``fuzz`` takes ``--policies BUNDLE... | all``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro import api
 from repro.core.allocation import allocate_registers
 from repro.core.codegen import generate_code
 from repro.core.policy import bundle_names
@@ -44,6 +49,7 @@ from repro.eval import experiments
 from repro.eval.cache import EvalCache
 from repro.hwmodel.timing import scaled_machine
 from repro.machine.presets import baseline_machine, config_by_name
+from repro.session import Session
 from repro.workloads.kernels import kernel_names
 
 __all__ = ["main", "build_parser"]
@@ -61,6 +67,8 @@ EXPERIMENT_DRIVERS: Dict[str, Callable[..., "experiments.ExperimentResult"]] = {
     "figure6": experiments.run_figure6,
     "ablation_policies": experiments.run_ablation_policies,
 }
+
+DEFAULT_SERVICE_PORT = 8734
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also print the wrap-around register allocation")
     schedule.add_argument("--code", action="store_true",
                           help="also print the software-pipelined code")
+    schedule.add_argument("--json", action="store_true",
+                          help="print the serialized JSON result envelope "
+                               "instead of the human-readable tables")
     add_engine_flags(schedule)
 
     evaluate = sub.add_parser("evaluate", help="compare configurations on a workbench")
@@ -160,11 +171,62 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", default=None, metavar="FILE",
                       help="replay one corpus case file and exit")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the batch scheduling service (one warm session, "
+             "many clients) behind a small HTTP API",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                       help=f"TCP port (default: {DEFAULT_SERVICE_PORT}; "
+                            f"0 = pick a free one)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    add_engine_flags(serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one job to a running 'repro serve', poll it to "
+             "completion and print the JSON result envelope",
+    )
+    submit.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_SERVICE_PORT}",
+                        metavar="URL", help="service base URL")
+    submit.add_argument("--timeout", type=_duration, default=300.0, metavar="TIME",
+                        help="give up after this long (default: 300s)")
+    submit.add_argument("--poll", type=float, default=0.25, metavar="S",
+                        help="poll interval in seconds (default: 0.25)")
+    submit.add_argument("--validate", action="store_true",
+                        help="validate the result envelope against the "
+                             "service's serialization schema")
+    submit_kind = submit.add_subparsers(dest="kind", required=True)
+    submit_schedule = submit_kind.add_parser(
+        "schedule", help="schedule one kernel on one configuration")
+    submit_schedule.add_argument("kernel", choices=sorted(kernel_names()))
+    submit_schedule.add_argument("config")
+    submit_schedule.add_argument("--policy", default=None, choices=bundle_names())
+    submit_schedule.add_argument("--param", action="append", default=[],
+                                 metavar="KEY=VALUE",
+                                 help="kernel parameter, e.g. --param taps=8")
+    submit_evaluate = submit_kind.add_parser(
+        "evaluate", help="evaluate a workbench on one configuration")
+    submit_evaluate.add_argument("config")
+    submit_evaluate.add_argument("--loops", type=int, default=16)
+    submit_evaluate.add_argument("--seed", type=int, default=2003)
+    submit_evaluate.add_argument("--policy", default=None, choices=bundle_names())
+
+    schema = sub.add_parser(
+        "schema",
+        help="write the machine-readable serialization schema "
+             "(what service results validate against)",
+    )
+    schema.add_argument("--out", default=None, metavar="FILE",
+                        help="write to FILE instead of stdout")
+
     return parser
 
 
 def _duration(text: str) -> float:
-    """argparse type for --budget: seconds, accepting 60, 60s, 5m, 1h."""
+    """argparse type for durations: seconds, accepting 60, 60s, 5m, 1h."""
     raw = text.strip().lower()
     scale = 1.0
     if raw.endswith(("s", "m", "h")):
@@ -204,11 +266,31 @@ def _cache_from_args(args: argparse.Namespace) -> Optional[EvalCache]:
         raise SystemExit(f"error: --cache {args.cache}: {exc}")
 
 
-def _cmd_schedule(args: argparse.Namespace) -> int:
-    result = api.schedule_kernel(
-        args.kernel, args.config, budget_ratio=args.budget_ratio,
-        policy=args.policy, jobs=args.jobs, cache=_cache_from_args(args),
+def _session_from_args(
+    args: argparse.Namespace, *, budget_ratio: Optional[float] = None
+) -> Session:
+    """The session one CLI invocation runs on (flags become defaults)."""
+    return Session(
+        policy=getattr(args, "policy", "mirs_hc"),
+        budget_ratio=6.0 if budget_ratio is None else budget_ratio,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
     )
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    with _session_from_args(args, budget_ratio=args.budget_ratio) as session:
+        result = session.schedule_kernel(
+            args.kernel, args.config,
+            # Forward an explicit parallelism request so the session can
+            # warn that it is a no-op for a single loop.
+            jobs=args.jobs if args.jobs != 1 else None,
+        )
+    if args.json:
+        from repro import serialize
+
+        print(serialize.dumps(result))
+        return 0 if result.success else 1
     print(result.summary())
     print(result.kernel_table())
     if not result.success:
@@ -227,10 +309,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    comparison = api.compare_configurations(
-        args.configs, n_loops=args.loops, seed=args.seed, reference=args.reference,
-        policy=args.policy, jobs=args.jobs, cache=_cache_from_args(args),
-    )
+    with _session_from_args(args) as session:
+        comparison = session.compare_configurations(
+            args.configs, n_loops=args.loops, seed=args.seed,
+            reference=args.reference,
+        )
     print(comparison["table"].render())
     print()
     print("ranking (fastest first):", ", ".join(comparison["ranking"]))
@@ -239,35 +322,30 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     targets = sorted(EXPERIMENT_DRIVERS) if args.target == "all" else [args.target]
-    # One cache for the whole invocation: with ``reproduce all`` the
+    # One session for the whole invocation: with ``reproduce all`` the
     # tables share many (loop, configuration) pairs, so later drivers
-    # start warm even without --cache DIR.  (EvalCache.__bool__ makes an
-    # empty cache truthy, but the None check stays explicit.)
+    # start warm even without --cache DIR.
     cache = _cache_from_args(args)
     if cache is None:
         cache = EvalCache()
-    for target in targets:
-        driver = EXPERIMENT_DRIVERS[target]
-        result = driver(n_loops=args.loops, seed=args.seed,
-                        jobs=args.jobs, cache=cache)
-        print()
-        print(result.render())
+    with Session(jobs=args.jobs, cache=cache) as session:
+        for target in targets:
+            driver = EXPERIMENT_DRIVERS[target]
+            result = driver(n_loops=args.loops, seed=args.seed, session=session)
+            print()
+            print(result.render())
     return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.verify.corpus import load_case
-    from repro.verify.fuzz import DEFAULT_FUZZ_CONFIGS, fuzz_schedules, run_pipeline
+    from repro.verify.fuzz import DEFAULT_FUZZ_CONFIGS, replay_case
 
     if args.replay:
+        from repro.verify.corpus import load_case
+
         case = load_case(args.replay)
-        outcome = run_pipeline(
-            case.loop, case.rf, case.machine,
-            budget_ratio=case.budget_ratio,
-            scale_to_clock=case.scale_to_clock,
-            n_iterations=case.n_iterations,
-            reproducer=f"python -m repro.cli fuzz --replay {args.replay}",
-            policy=case.policy,
+        outcome = replay_case(
+            case, reproducer=f"python -m repro.cli fuzz --replay {args.replay}"
         )
         print(f"{args.replay}: {outcome.status} (expected {case.expect})")
         if outcome.message:
@@ -277,7 +355,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     policies = args.policies
     if policies and "all" in policies:
         policies = bundle_names()
-    report = fuzz_schedules(
+    session = Session(budget_ratio=args.budget_ratio)
+    report = session.fuzz_schedules(
         args.seeds,
         base_seed=args.base_seed,
         configs=args.configs or DEFAULT_FUZZ_CONFIGS,
@@ -302,17 +381,131 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import BatchScheduler, make_server
+
+    session = _session_from_args(args)
+    scheduler = BatchScheduler(session)
+    server = make_server(scheduler, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro service listening on http://{host}:{port} "
+          f"(jobs={args.jobs}, cache={args.cache or 'memory-only'}, "
+          f"policy={args.policy})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.shutdown()
+        scheduler.shutdown()
+        session.close()
+    return 0
+
+
+def _build_submit_request(args: argparse.Namespace) -> Dict[str, object]:
+    if args.kind == "schedule":
+        kernel_params: Dict[str, object] = {}
+        for item in args.param:
+            key, sep, raw = item.partition("=")
+            if not sep or not key:
+                raise SystemExit(f"error: --param expects KEY=VALUE, got {item!r}")
+            try:
+                value: object = json.loads(raw)
+            except json.JSONDecodeError:
+                value = raw
+            kernel_params[key] = value
+        params: Dict[str, object] = {"kernel": args.kernel, "config": args.config}
+        if args.policy:
+            params["policy"] = args.policy
+        if kernel_params:
+            params["kernel_params"] = kernel_params
+        return {"kind": "schedule", "params": params}
+    params = {"config": args.config, "n_loops": args.loops, "seed": args.seed}
+    if args.policy:
+        params["policy"] = args.policy
+    return {"kind": "evaluate", "params": params}
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro import serialize
+    from repro.service import fetch_json, poll_job, submit_job
+
+    request = _build_submit_request(args)
+    job_id = submit_job(args.url, request)
+    print(f"submitted {request['kind']} job {job_id} to {args.url}",
+          file=sys.stderr, flush=True)
+
+    def progress(status: Dict) -> None:
+        bar = status.get("progress") or {}
+        print(f"  {status['state']}: {bar.get('n_done', 0)}/"
+              f"{bar.get('n_total', 0)}", file=sys.stderr, flush=True)
+
+    try:
+        status = poll_job(
+            args.url, job_id,
+            poll_interval=args.poll, timeout=args.timeout, progress=progress,
+        )
+    except TimeoutError as exc:
+        raise SystemExit(f"error: {exc}")
+    if status["state"] != "done":
+        raise SystemExit(
+            f"error: job {job_id} ended {status['state']}"
+            + (f": {status['error']}" if status.get("error") else "")
+        )
+    envelope = status["result"]
+    if args.validate:
+        serialize.validate(envelope)
+        remote = fetch_json(f"{args.url.rstrip('/')}/v2/schema")
+        remote_type = remote.get("types", {}).get(envelope["type"])
+        if remote_type is None:
+            raise SystemExit(
+                f"error: the service's schema does not describe "
+                f"{envelope['type']!r} (version skew between client and "
+                f"server?)"
+            )
+        required = remote_type["required"]
+        lacking = [key for key in required if key not in envelope["data"]]
+        if lacking:
+            raise SystemExit(
+                f"error: result is missing schema-required keys: {lacking}"
+            )
+        print(f"result validates against schema v{remote['schema']} "
+              f"({envelope['type']})", file=sys.stderr, flush=True)
+    print(json.dumps(envelope, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    from repro import serialize
+
+    text = json.dumps(serialize.schema(), indent=2, sort_keys=True)
+    if args.out:
+        from pathlib import Path
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"wrote serialization schema to {path}")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "schedule":
-        return _cmd_schedule(args)
-    if args.command == "evaluate":
-        return _cmd_evaluate(args)
-    if args.command == "reproduce":
-        return _cmd_reproduce(args)
-    if args.command == "fuzz":
-        return _cmd_fuzz(args)
-    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+    handlers = {
+        "schedule": _cmd_schedule,
+        "evaluate": _cmd_evaluate,
+        "reproduce": _cmd_reproduce,
+        "fuzz": _cmd_fuzz,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "schema": _cmd_schema,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:  # pragma: no cover - argparse guards this
+        raise AssertionError(f"unhandled command {args.command}")
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

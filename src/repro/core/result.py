@@ -83,6 +83,24 @@ class ScheduleResult:
         """True when the loop was scheduled at its minimum initiation interval."""
         return self.success and self.ii == self.mii
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of this result (see :mod:`repro.serialize`).
+
+        The final dependence graph and every placement survive the round
+        trip, so a schedule can cross process and wire boundaries and
+        still be validated, rendered or diffed on the other side.
+        """
+        from repro import serialize
+
+        return serialize.schedule_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScheduleResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro import serialize
+
+        return serialize.schedule_result_from_dict(payload)
+
     def cycle_of(self, node_id: int) -> int:
         return self.assignments[node_id].cycle
 

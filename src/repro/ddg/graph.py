@@ -136,10 +136,23 @@ class DepGraph:
         is_inserted: bool = False,
         inserted_for: Optional[int] = None,
         home_cluster: Optional[int] = None,
+        node_id: Optional[int] = None,
     ) -> int:
-        """Add an operation and return its node id."""
-        node_id = self._next_id
-        self._next_id += 1
+        """Add an operation and return its node id.
+
+        ``node_id`` pins an explicit id: deserialization uses it to
+        preserve the ids a graph was saved with (including gaps left by
+        removed nodes), so side tables keyed by node id -- schedule
+        assignments, corpus provenance -- stay valid across a round
+        trip.  Fresh ids never collide with pinned ones.
+        """
+        if node_id is None:
+            node_id = self._next_id
+            self._next_id += 1
+        else:
+            if node_id in self._nodes:
+                raise ValueError(f"node id {node_id} is already in the graph")
+            self._next_id = max(self._next_id, node_id + 1)
         self._nodes[node_id] = Operation(
             node_id=node_id,
             op=op,

@@ -19,7 +19,7 @@
 """
 
 from repro.eval.cache import EvalCache, schedule_key
-from repro.eval.parallel import resolve_jobs, schedule_loops_parallel
+from repro.eval.parallel import iter_schedule_loops, resolve_jobs, schedule_loops_parallel
 from repro.eval.metrics import (
     LoopRun,
     execution_cycles,
@@ -30,7 +30,7 @@ from repro.eval.metrics import (
     aggregate_time_ns,
     aggregate_traffic,
 )
-from repro.eval.reporting import Table
+from repro.eval.reporting import ConfigurationReport, Table
 from repro.eval.experiments import (
     run_figure1,
     run_table1,
@@ -41,6 +41,7 @@ from repro.eval.experiments import (
     run_table6,
     run_figure4,
     run_figure6,
+    iter_schedule_suite,
     schedule_suite,
 )
 
@@ -48,7 +49,10 @@ __all__ = [
     "EvalCache",
     "schedule_key",
     "resolve_jobs",
+    "iter_schedule_loops",
+    "iter_schedule_suite",
     "schedule_loops_parallel",
+    "ConfigurationReport",
     "LoopRun",
     "execution_cycles",
     "execution_time_ns",

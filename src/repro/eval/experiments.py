@@ -17,10 +17,11 @@ scaled from quick smoke tests (a few dozen loops) up to the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.eval.cache import EvalCache
+    from repro.session import Session
 
 from repro.ddg.loop import Loop
 from repro.machine.config import MachineConfig, RFConfig
@@ -50,6 +51,7 @@ from repro.workloads.suite import perfect_club_like_suite
 
 __all__ = [
     "ExperimentResult",
+    "iter_schedule_suite",
     "schedule_suite",
     "run_figure1",
     "run_table1",
@@ -87,6 +89,27 @@ class ExperimentResult:
 
 def _suite(n_loops: int, seed: int) -> List[Loop]:
     return perfect_club_like_suite(n_loops=n_loops, seed=seed)
+
+
+def _engine_context(
+    session: "Optional[Session]",
+    jobs: Optional[int],
+    cache: "Optional[EvalCache]",
+) -> Tuple[int, "Optional[EvalCache]", object]:
+    """Resolve a driver's (jobs, cache, executor) from an optional session.
+
+    Explicit ``jobs=``/``cache=`` arguments win; a session fills whatever
+    the caller left unset and contributes its warm worker pool.  Without
+    a session the historical defaults apply (serial, no cache).
+    """
+    executor = None
+    if session is not None:
+        if jobs is None:
+            jobs = session.jobs
+        if cache is None:
+            cache = session.cache
+        executor = session.executor(jobs)
+    return (1 if jobs is None else jobs), cache, executor
 
 
 # --------------------------------------------------------------------------- #
@@ -138,7 +161,7 @@ def _schedule_one(
     return LoopRun(loop=target, result=result, spec=spec)
 
 
-def schedule_suite(
+def iter_schedule_suite(
     loops: Sequence[Loop],
     rf: RFConfig | str,
     *,
@@ -149,26 +172,21 @@ def schedule_suite(
     prefetch: Optional[PrefetchPolicy] = None,
     jobs: int = 1,
     cache: Optional["EvalCache"] = None,
-) -> List[LoopRun]:
-    """Schedule a whole workbench on one configuration.
+    executor=None,
+) -> Iterator[Tuple[int, LoopRun, bool]]:
+    """Schedule a workbench, yielding ``(position, run, cached)`` as ready.
 
-    ``scheduler`` selects the policy bundle driving the engine (a
-    registered name or a :class:`~repro.core.policy.PolicyBundle`); the
-    default is the paper's MIRS_HC bundle.
+    The streaming primitive under :func:`schedule_suite` and
+    :meth:`repro.session.Session.evaluate_stream`.  Cache hits are
+    yielded immediately (in workbench order, ``cached=True``); the
+    missing loops follow in *completion* order as the serial engine or
+    the worker pool produces them.  Duplicate problems within one call
+    are scheduled once and yielded for every position that needs them.
 
-    ``prefetch`` enables selective binding prefetching: the selected loads
-    are scheduled with the configuration's miss latency (this is how the
-    real-memory experiments of Figure 6 run the scheduler).
-
-    ``jobs`` fans the workbench out over that many worker processes
-    (``0`` means one per CPU); the default of ``1`` keeps the serial
-    in-process path.  Results are in workbench order and identical to the
-    serial path regardless of ``jobs``.
-
-    ``cache`` (an :class:`repro.eval.cache.EvalCache`) memoizes one
-    result per unique (loop, configuration, knobs) problem: cache hits
-    skip scheduling entirely, and only the missing loops are (re)scheduled
-    -- serially or in parallel, as requested.
+    ``executor`` is an optional live pool (a session's warm workers);
+    without one the call spawns and tears down its own, exactly like
+    :func:`schedule_suite`.  The stream ends with every position covered
+    or raises ``RuntimeError`` on a bookkeeping hole.
     """
     if jobs < 0:
         # Validated up front so the same bad argument fails identically
@@ -176,14 +194,15 @@ def schedule_suite(
         raise ValueError(f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}")
     rf_config = config_by_name(rf) if isinstance(rf, str) else rf
     base = machine or baseline_machine()
-    # Build the engine up front even when every loop turns out to be
-    # cached: this validates the configuration and the scheduler name, so
-    # bad arguments fail identically on cold and warm runs.
+    # Built up front even when every loop turns out to be cached: this
+    # validates the configuration and the scheduler name, so bad
+    # arguments fail identically on cold and warm runs.  The serial path
+    # below schedules on this same engine.
     engine, scaled, spec = _build_engine(
         rf_config, base, scale_to_clock, budget_ratio, scheduler
     )
 
-    runs: List[Optional[LoopRun]] = [None] * len(loops)
+    covered = 0
     keys: List[Optional[str]] = [None] * len(loops)
     #: key -> every workbench position that needs its (missing) result;
     #: only the first position of a group is actually scheduled.
@@ -192,6 +211,7 @@ def schedule_suite(
     if cache is not None:
         from repro.eval.cache import schedule_key
 
+        hits: List[Tuple[int, LoopRun]] = []
         for position, loop in enumerate(loops):
             key = schedule_key(
                 loop,
@@ -211,23 +231,28 @@ def schedule_suite(
                 continue
             hit = cache.get(key)
             if hit is not None:
-                runs[position] = hit
+                hits.append((position, hit))
             else:
                 miss_groups[key] = [position]
                 pending.append((position, loop))
+        for position, run in hits:
+            covered += 1
+            yield position, run, True
     else:
         pending = list(enumerate(loops))
 
     if pending:
         if jobs == 1 or len(pending) == 1:
-            fresh = [
+            # Serial in-process path, on the engine built above -- still
+            # incremental: each run is yielded the moment it exists.
+            fresh = (
                 (position, _schedule_one(loop, engine, scaled, spec, prefetch))
                 for position, loop in pending
-            ]
+            )
         else:
-            from repro.eval.parallel import schedule_loops_parallel
+            from repro.eval.parallel import iter_schedule_loops
 
-            fresh = schedule_loops_parallel(
+            fresh = iter_schedule_loops(
                 pending,
                 rf_config,
                 base,
@@ -236,24 +261,80 @@ def schedule_suite(
                 scheduler=scheduler,
                 prefetch=prefetch,
                 jobs=jobs,
+                executor=executor,
             )
         for position, run in fresh:
             key = keys[position]
             if key is not None:
                 cache.put(key, run)
                 for duplicate in miss_groups[key]:
-                    runs[duplicate] = run
+                    covered += 1
+                    yield duplicate, run, duplicate != position
             else:
-                runs[position] = run
-    unfilled = [position for position, run in enumerate(runs) if run is None]
-    if unfilled:
+                covered += 1
+                yield position, run, False
+    if covered != len(loops):
         # Every position must be covered by a cache hit, a duplicate
         # group, or a fresh schedule; a hole is a bookkeeping bug and
         # silently dropping it would skew every downstream aggregate.
         raise RuntimeError(
-            f"schedule_suite left {len(unfilled)} of {len(loops)} loops "
-            f"unscheduled (positions {unfilled[:5]}...)"
+            f"schedule_suite left {len(loops) - covered} of {len(loops)} "
+            f"loops unscheduled"
         )
+
+
+def schedule_suite(
+    loops: Sequence[Loop],
+    rf: RFConfig | str,
+    *,
+    machine: Optional[MachineConfig] = None,
+    scale_to_clock: bool = True,
+    budget_ratio: float = 6.0,
+    scheduler: "str | PolicyBundle" = "mirs_hc",
+    prefetch: Optional[PrefetchPolicy] = None,
+    jobs: int = 1,
+    cache: Optional["EvalCache"] = None,
+    executor=None,
+) -> List[LoopRun]:
+    """Schedule a whole workbench on one configuration.
+
+    The barrier view of :func:`iter_schedule_suite`: the stream is
+    collected into workbench order, so results are identical to the
+    incremental path by construction.
+
+    ``scheduler`` selects the policy bundle driving the engine (a
+    registered name or a :class:`~repro.core.policy.PolicyBundle`); the
+    default is the paper's MIRS_HC bundle.
+
+    ``prefetch`` enables selective binding prefetching: the selected loads
+    are scheduled with the configuration's miss latency (this is how the
+    real-memory experiments of Figure 6 run the scheduler).
+
+    ``jobs`` fans the workbench out over that many worker processes
+    (``0`` means one per CPU); the default of ``1`` keeps the serial
+    in-process path.  Results are in workbench order and identical to the
+    serial path regardless of ``jobs``.  ``executor`` optionally reuses a
+    live pool (sessions pass their warm workers) instead of spawning one.
+
+    ``cache`` (an :class:`repro.eval.cache.EvalCache`) memoizes one
+    result per unique (loop, configuration, knobs) problem: cache hits
+    skip scheduling entirely, and only the missing loops are (re)scheduled
+    -- serially or in parallel, as requested.
+    """
+    runs: List[Optional[LoopRun]] = [None] * len(loops)
+    for position, run, _cached in iter_schedule_suite(
+        loops,
+        rf,
+        machine=machine,
+        scale_to_clock=scale_to_clock,
+        budget_ratio=budget_ratio,
+        scheduler=scheduler,
+        prefetch=prefetch,
+        jobs=jobs,
+        cache=cache,
+        executor=executor,
+    ):
+        runs[position] = run
     return list(runs)
 
 
@@ -269,10 +350,12 @@ def run_figure1(
     n_loops: int = DEFAULT_N_LOOPS,
     seed: int = DEFAULT_SEED,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """IPC achieved by a monolithic 128-register machine as resources grow."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     table = Table(
         ["resources", "fus", "mem_ports", "ipc", "efficiency"],
@@ -282,7 +365,7 @@ def run_figure1(
     rf = config_by_name("S128")
     for machine in figure1_machines():
         runs = schedule_suite(
-            loops, rf, machine=machine, scale_to_clock=False, jobs=jobs, cache=cache
+            loops, rf, machine=machine, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor
         )
         total_ops = sum(
             _ops_per_iteration(run.loop) * run.loop.total_iterations for run in runs
@@ -311,10 +394,12 @@ def run_table1(
     n_loops: int = DEFAULT_N_LOOPS,
     seed: int = DEFAULT_SEED,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Execution-cycle breakdown (FU / MemPort / Rec / Com bound) per configuration."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     categories = ["fu", "mem", "rec", "com"]
     labels = {"fu": "F.U.", "mem": "MemPort", "rec": "Rec.", "com": "Com."}
@@ -325,7 +410,7 @@ def run_table1(
     per_config: Dict[str, Dict[str, Dict[str, float]]] = {}
     totals: Dict[str, float] = {}
     for rf in table1_configs():
-        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor)
         breakdown = {c: {"loops": 0.0, "cycles": 0.0} for c in categories}
         for run in runs:
             bound = run.result.bound if run.result.bound in breakdown else "fu"
@@ -404,15 +489,16 @@ def run_table2(
     n_loops: int = 0,
     seed: int = DEFAULT_SEED,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Access time and area of the 128-register configurations (Table 2).
 
     Purely analytical (no workbench, no scheduling): every parameter is
     accepted only to keep the driver interface uniform for the CLI.
     """
-    del n_loops, seed, jobs, cache
+    del n_loops, seed, jobs, cache, session
     return _hardware_rows(
         table2_configs(),
         "Table 2: access time and area of 128-register configurations",
@@ -424,15 +510,16 @@ def run_table5(
     n_loops: int = 0,
     seed: int = DEFAULT_SEED,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Hardware evaluation of the 15 configurations of Table 5.
 
     Purely analytical (no workbench, no scheduling): every parameter is
     accepted only to keep the driver interface uniform for the CLI.
     """
-    del n_loops, seed, jobs, cache
+    del n_loops, seed, jobs, cache, session
     return _hardware_rows(
         table5_configs(),
         "Table 5: hardware evaluation of the evaluated RF configurations",
@@ -447,10 +534,12 @@ def run_table3(
     n_loops: int = 64,
     seed: int = DEFAULT_SEED,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """%MII achieved, total II and scheduling time with unbounded registers."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     table = Table(
         [
@@ -466,7 +555,7 @@ def run_table3(
         per_variant = []
         for variant in (unlimited, limited):
             runs = schedule_suite(
-                loops, variant, scale_to_clock=False, jobs=jobs, cache=cache
+                loops, variant, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor
             )
             achieved = sum(1 for run in runs if run.result.achieved_mii)
             sum_ii = sum(run.result.ii for run in runs if run.result.success)
@@ -500,16 +589,18 @@ def run_table4(
     seed: int = DEFAULT_SEED,
     config_name: str = "1C32S64",
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Head-to-head II comparison on a hierarchical non-clustered configuration."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     iterative = schedule_suite(
-        loops, config_name, scheduler="mirs_hc", jobs=jobs, cache=cache
+        loops, config_name, scheduler="mirs_hc", jobs=jobs, cache=cache, executor=executor
     )
     baseline = schedule_suite(
-        loops, config_name, scheduler="non_iterative", jobs=jobs, cache=cache
+        loops, config_name, scheduler="non_iterative", jobs=jobs, cache=cache, executor=executor
     )
 
     better = {"count": 0, "baseline_ii": 0, "mirs_ii": 0}
@@ -556,14 +647,16 @@ def run_table6(
     seed: int = DEFAULT_SEED,
     reference: str = "S64",
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Execution cycles, memory traffic, execution time and speedup vs S64."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     raw: Dict[str, Dict[str, float]] = {}
     for rf in table6_configs():
-        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor)
         raw[rf.name] = {
             "cycles": aggregate_cycles(runs),
             "traffic": aggregate_traffic(runs),
@@ -612,10 +705,12 @@ def run_figure4(
     seed: int = DEFAULT_SEED,
     max_ports: int = 6,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Cumulative distribution of the lp / sp ports loops need per cluster bank."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     table = Table(
         ["clusters"] + [f"lp<={p}" for p in range(max_ports + 1)]
@@ -625,7 +720,7 @@ def run_figure4(
     data: Dict[int, Dict[str, List[float]]] = {}
     for n_clusters in figure4_cluster_counts():
         rf = _figure4_config(n_clusters)
-        runs = schedule_suite(loops, rf, scale_to_clock=False, jobs=jobs, cache=cache)
+        runs = schedule_suite(loops, rf, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor)
         lp_needed: List[int] = []
         sp_needed: List[int] = []
         for run in runs:
@@ -664,17 +759,19 @@ def run_figure6(
     reference: str = "S64",
     prefetch: Optional[PrefetchPolicy] = None,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Useful / stall cycles and execution time under the real memory system."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     policy = prefetch or PrefetchPolicy()
     machine = baseline_machine()
     raw: Dict[str, Dict[str, float]] = {}
     for rf in figure6_configs():
         spec = derive_hardware(machine, rf)
-        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache)
+        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache, executor=executor)
         cache_config = CacheConfig(
             size_bytes=machine.cache_size_bytes,
             line_bytes=machine.cache_line_bytes,
@@ -738,10 +835,12 @@ def run_ablation_budget_ratio(
     seed: int = DEFAULT_SEED,
     config_name: str = "4C32S16",
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Sensitivity of schedule quality and scheduling time to Budget_Ratio."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     table = Table(
         ["budget_ratio", "sum II", "failed", "%MII", "sched time (s)"],
@@ -750,7 +849,7 @@ def run_ablation_budget_ratio(
     rows = {}
     for ratio in ratios:
         runs = schedule_suite(
-            loops, config_name, budget_ratio=ratio, jobs=jobs, cache=cache
+            loops, config_name, budget_ratio=ratio, jobs=jobs, cache=cache, executor=executor
         )
         # Loops the scheduler gives up on are charged a large penalty so
         # that starving the budget shows up in the aggregate instead of
@@ -777,10 +876,12 @@ def run_ablation_prefetch(
     seed: int = DEFAULT_SEED,
     config_name: str = "4C32S16",
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Effect of selective binding prefetching on stall cycles (one configuration)."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     machine = baseline_machine()
     rf = config_by_name(config_name)
@@ -799,7 +900,7 @@ def run_ablation_prefetch(
     rows = {}
     for enabled in (False, True):
         policy = PrefetchPolicy(enabled=enabled)
-        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache)
+        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache, executor=executor)
         useful = 0.0
         stall = 0.0
         for run in runs:
@@ -818,10 +919,12 @@ def run_ablation_ports(
     seed: int = DEFAULT_SEED,
     base_config: str = "4C16S16",
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Sensitivity of the achieved II to the number of lp/sp ports."""
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     base = config_by_name(base_config)
     table = Table(
@@ -831,7 +934,7 @@ def run_ablation_ports(
     rows = {}
     for lp, sp in port_counts:
         rf = base.with_ports(lp, sp)
-        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor)
         sum_ii = sum(run.result.ii for run in runs if run.result.success)
         pct_mii = 100.0 * sum(1 for r in runs if r.result.achieved_mii) / len(runs)
         table.add_row(lp, sp, sum_ii, pct_mii)
@@ -845,8 +948,9 @@ def run_ablation_policies(
     config_name: str = "4C16S16",
     policies: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache: Optional["EvalCache"] = None,
+    session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Head-to-head comparison of every registered policy bundle.
 
@@ -857,6 +961,7 @@ def run_ablation_policies(
     Bundles default to every registered one (see
     :func:`repro.core.policy.bundle_names`).
     """
+    jobs, cache, executor = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     names = list(policies) if policies else bundle_names()
     table = Table(
@@ -869,7 +974,7 @@ def run_ablation_policies(
     rows: Dict[str, Dict[str, object]] = {}
     for name in names:
         bundle = resolve_bundle(name)
-        runs = schedule_suite(loops, config_name, scheduler=name, jobs=jobs, cache=cache)
+        runs = schedule_suite(loops, config_name, scheduler=name, jobs=jobs, cache=cache, executor=executor)
         # Loops a bundle gives up on are charged a penalty so weak
         # bundles show up in the aggregate instead of shrinking the sum.
         sum_ii = sum(

@@ -108,6 +108,19 @@ class LoopRun:
             return self.cycles
         return execution_time_ns(self.cycles, self.spec.clock_ns)
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict of this run (see :mod:`repro.serialize`)."""
+        from repro import serialize
+
+        return serialize.loop_run_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LoopRun":
+        """Rebuild a run from :meth:`to_dict` output."""
+        from repro import serialize
+
+        return serialize.loop_run_from_dict(payload)
+
 
 def aggregate_cycles(runs: Iterable[LoopRun]) -> float:
     """Total execution cycles over a workbench."""

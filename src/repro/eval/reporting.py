@@ -1,10 +1,70 @@
-"""Plain-text table rendering shared by experiments, examples and benches."""
+"""Reporting containers: plain-text tables and per-configuration reports.
+
+:class:`Table` is the fixed-width renderer every experiment driver and
+example prints through; :class:`ConfigurationReport` is the aggregate
+view of one configuration over a workbench that the evaluation verbs
+(:meth:`repro.session.Session.evaluate_configuration` and the
+``repro.api`` shim) return.  Both are shared by experiments, examples,
+benchmarks and the batch service.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Union
 
-__all__ = ["Table", "format_value"]
+from repro.eval.metrics import (
+    LoopRun,
+    aggregate_cycles,
+    aggregate_time_ns,
+    aggregate_traffic,
+)
+from repro.hwmodel.spec import HardwareSpec
+from repro.machine.config import RFConfig
+
+__all__ = ["ConfigurationReport", "Table", "format_value"]
+
+
+@dataclass
+class ConfigurationReport:
+    """Aggregate metrics of one configuration over a workbench."""
+
+    config: RFConfig
+    spec: HardwareSpec
+    runs: List[LoopRun]
+
+    @property
+    def cycles(self) -> float:
+        return aggregate_cycles(self.runs)
+
+    @property
+    def memory_traffic(self) -> float:
+        return aggregate_traffic(self.runs)
+
+    @property
+    def time_ns(self) -> float:
+        return aggregate_time_ns(self.runs)
+
+    @property
+    def area_mlambda2(self) -> float:
+        return self.spec.total_area_mlambda2
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for run in self.runs if not run.result.success)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of this report (see :mod:`repro.serialize`)."""
+        from repro import serialize
+
+        return serialize.configuration_report_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ConfigurationReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        from repro import serialize
+
+        return serialize.configuration_report_from_dict(payload)
 
 Cell = Union[str, int, float, None]
 

@@ -250,6 +250,33 @@ class RFConfig:
         """Return a copy of this configuration with different lp/sp ports."""
         return replace(self, lp=lp, sp=sp)
 
+    # ------------------------------------------------------------------ #
+    # Serialization (the JSON convention shared by the verification
+    # corpus and the repro.serialize registry)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of this organization (see :mod:`repro.serialize`)."""
+        return {
+            "n_clusters": self.n_clusters,
+            "cluster_regs": self.cluster_regs,
+            "shared_regs": self.shared_regs,
+            "lp": self.lp,
+            "sp": self.sp,
+            "n_buses": self.n_buses,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RFConfig":
+        """Rebuild an :class:`RFConfig` from :meth:`to_dict` output."""
+        return cls(
+            n_clusters=int(payload.get("n_clusters", 1)),
+            cluster_regs=payload.get("cluster_regs"),
+            shared_regs=payload.get("shared_regs", 128),
+            lp=int(payload.get("lp", 1)),
+            sp=int(payload.get("sp", 1)),
+            n_buses=payload.get("n_buses"),
+        )
+
     def with_unbounded_registers(self) -> "RFConfig":
         """Return a copy with every present bank made unbounded (Table 3)."""
         return replace(
@@ -377,6 +404,54 @@ class MachineConfig:
         merged = dict(self.latencies)
         merged.update(factors)
         return replace(self, latencies=merged)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (the JSON convention shared by the verification
+    # corpus and the repro.serialize registry)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of this datapath (see :mod:`repro.serialize`)."""
+        return {
+            "n_fus": self.n_fus,
+            "n_mem_ports": self.n_mem_ports,
+            "latencies": dict(self.latencies),
+            "unpipelined": sorted(self.unpipelined),
+            "miss_latency_ns": self.miss_latency_ns,
+            "cache_size_bytes": self.cache_size_bytes,
+            "cache_line_bytes": self.cache_line_bytes,
+            "cache_max_pending": self.cache_max_pending,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, object]]) -> "MachineConfig":
+        """Rebuild a :class:`MachineConfig` from :meth:`to_dict` output.
+
+        Missing keys fall back to the baseline defaults, so the narrower
+        corpus-case payloads of older schema versions keep loading.
+        """
+        if payload is None:
+            return cls()
+        defaults = cls()
+        return cls(
+            n_fus=int(payload.get("n_fus", defaults.n_fus)),
+            n_mem_ports=int(payload.get("n_mem_ports", defaults.n_mem_ports)),
+            latencies=dict(payload.get("latencies") or defaults.latencies),
+            unpipelined=frozenset(
+                payload.get("unpipelined", sorted(defaults.unpipelined))
+            ),
+            miss_latency_ns=float(
+                payload.get("miss_latency_ns", defaults.miss_latency_ns)
+            ),
+            cache_size_bytes=int(
+                payload.get("cache_size_bytes", defaults.cache_size_bytes)
+            ),
+            cache_line_bytes=int(
+                payload.get("cache_line_bytes", defaults.cache_line_bytes)
+            ),
+            cache_max_pending=int(
+                payload.get("cache_max_pending", defaults.cache_max_pending)
+            ),
+        )
 
 
 def is_unbounded(count: Optional[int]) -> bool:

@@ -1,0 +1,35 @@
+"""Batch scheduling service over a shared session.
+
+Two layers:
+
+* :mod:`repro.service.batch` -- :class:`BatchScheduler`, the in-process
+  job queue (submit -> job id -> poll/stream -> JSON result envelope)
+  running every job on one shared :class:`~repro.session.Session`, so
+  all clients see one warm cache and one warm worker pool;
+* :mod:`repro.service.http` -- the stdlib HTTP front end and client
+  helpers behind the ``repro serve`` / ``repro submit`` CLI pair.
+
+Results cross the wire as :mod:`repro.serialize` envelopes; ``repro
+schema`` exports the schema they validate against.
+"""
+
+from repro.service.batch import JOB_KINDS, JOB_STATES, BatchScheduler, JobRequest
+from repro.service.http import (
+    ServiceHTTPServer,
+    fetch_json,
+    make_server,
+    poll_job,
+    submit_job,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "BatchScheduler",
+    "JobRequest",
+    "ServiceHTTPServer",
+    "make_server",
+    "fetch_json",
+    "submit_job",
+    "poll_job",
+]

@@ -1,0 +1,372 @@
+"""The in-process batch scheduling service.
+
+A :class:`BatchScheduler` is a long-lived job queue over one
+:class:`~repro.session.Session`: clients submit work (``submit`` returns
+a job id), poll or stream its status, and fetch the finished result as a
+versioned JSON envelope (:mod:`repro.serialize`).  Because every job
+runs on the *same* session, all clients share one warm evaluation cache
+and one warm worker pool -- the scenario the ROADMAP's
+production-service north star needs.
+
+Jobs execute one at a time on a background thread, in submission order;
+intra-job parallelism comes from the session's worker pool.  Progress is
+observable while a job runs: evaluation jobs drive
+:meth:`~repro.session.Session.evaluate_stream` and bump their
+``n_done``/``n_total`` counters on every completed loop.
+
+The HTTP front end (:mod:`repro.service.http`, ``repro serve`` /
+``repro submit``) is a thin wire adapter over this class; everything it
+can do is available in-process here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro import serialize
+from repro.session import RunReady, Session, SuiteFinished
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "JobRequest",
+    "BatchScheduler",
+]
+
+#: Work the service accepts: one kernel on one configuration
+#: (``schedule``), or a whole workbench on one configuration
+#: (``evaluate``).
+JOB_KINDS = ("schedule", "evaluate")
+
+#: Every state a job can report.  ``queued -> running -> done | failed``;
+#: ``cancelled`` is reachable from ``queued`` only.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated unit of work for the service.
+
+    ``params`` depends on the kind:
+
+    * ``schedule``: ``kernel`` (name, required), ``config`` (required),
+      optional ``policy``, ``budget_ratio``, and ``kernel_params`` (a
+      dict of scalars forwarded to the kernel builder, e.g. ``taps``);
+    * ``evaluate``: ``config`` (required), optional ``n_loops``,
+      ``seed``, ``policy``, ``jobs``.
+    """
+
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    _REQUIRED = {"schedule": ("kernel", "config"), "evaluate": ("config",)}
+    _OPTIONAL = {
+        "schedule": ("policy", "budget_ratio", "kernel_params"),
+        "evaluate": ("n_loops", "seed", "policy", "jobs"),
+    }
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "JobRequest":
+        """Validate a wire payload into a request (raises ``ValueError``)."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"job request must be a dict, got {type(payload).__name__}")
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {kind!r} (known: {', '.join(JOB_KINDS)})"
+            )
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError(f"job params must be a dict, got {type(params).__name__}")
+        missing = [key for key in cls._REQUIRED[kind] if key not in params]
+        if missing:
+            raise ValueError(f"{kind} job is missing required params: {missing}")
+        unknown = sorted(
+            set(params) - set(cls._REQUIRED[kind]) - set(cls._OPTIONAL[kind])
+        )
+        if unknown:
+            raise ValueError(f"{kind} job has unknown params: {unknown}")
+        kernel_params = params.get("kernel_params", {})
+        if not isinstance(kernel_params, dict):
+            raise ValueError("kernel_params must be a dict of scalars")
+        # Numeric knobs are coerced here so a malformed value is a 400 at
+        # submission, not an opaque failure deep inside the running job.
+        for key, coerce in (("n_loops", int), ("seed", int), ("jobs", int),
+                            ("budget_ratio", float)):
+            if params.get(key) is not None:
+                try:
+                    params = {**params, key: coerce(params[key])}
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"{key} must be {'an integer' if coerce is int else 'a number'}, "
+                        f"got {params[key]!r}"
+                    )
+        return cls(kind=kind, params=dict(params))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass
+class _JobRecord:
+    """Internal per-job bookkeeping (exposed to clients via ``status``)."""
+
+    job_id: str
+    request: JobRequest
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    n_done: int = 0
+    n_total: int = 0
+    error: Optional[str] = None
+    #: The serialized result envelope (schedule_result or
+    #: configuration_report) once the job is done.
+    result: Optional[Dict] = None
+
+    def status(self, *, include_result: bool = False) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "job_id": self.job_id,
+            "kind": self.request.kind,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "progress": {"n_done": self.n_done, "n_total": self.n_total},
+            "error": self.error,
+        }
+        if include_result and self.result is not None:
+            payload["result"] = self.result
+        return payload
+
+
+class BatchScheduler:
+    """A job queue over one shared session (submit -> poll -> JSON result).
+
+    Example::
+
+        scheduler = BatchScheduler(Session(jobs=0, cache=EvalCache()))
+        job_id = scheduler.submit({"kind": "schedule",
+                                   "params": {"kernel": "daxpy",
+                                              "config": "4C16S16"}})
+        status = scheduler.wait(job_id, timeout=60)
+        envelope = scheduler.result(job_id)       # a repro.serialize envelope
+        result = serialize.from_dict(envelope)    # a live ScheduleResult
+
+    ``shutdown()`` stops the worker thread; the session is owned by the
+    caller and is *not* closed.
+    """
+
+    def __init__(self, session: Session, *, start: bool = True) -> None:
+        self.session = session
+        self._records: Dict[str, _JobRecord] = {}
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._stop = False
+        self._counter = 0
+        self._worker = threading.Thread(
+            target=self._run, name="repro-batch-scheduler", daemon=True
+        )
+        # ``start=False`` keeps jobs queued until :meth:`start` -- tests
+        # use it to observe the queue deterministically.
+        if start:
+            self._worker.start()
+
+    def start(self) -> None:
+        """Start the worker thread (no-op when already running)."""
+        if not self._worker.is_alive() and not self._stop:
+            self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Client surface
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Union[JobRequest, Dict]) -> str:
+        """Queue one job; returns its id immediately."""
+        if not isinstance(request, JobRequest):
+            request = JobRequest.from_dict(request)
+        with self._changed:
+            if self._stop:
+                raise RuntimeError("the batch scheduler is shut down")
+            self._counter += 1
+            job_id = f"job-{self._counter}"
+            self._records[job_id] = _JobRecord(
+                job_id=job_id, request=request, submitted_at=time.time()
+            )
+            self._queue.append(job_id)
+            self._changed.notify_all()
+        return job_id
+
+    def _record(self, job_id: str) -> _JobRecord:
+        record = self._records.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        return record
+
+    def status(self, job_id: str, *, include_result: bool = False) -> Dict:
+        """The current status view of one job (JSON-safe)."""
+        with self._lock:
+            return self._record(job_id).status(include_result=include_result)
+
+    def result(self, job_id: str) -> Dict:
+        """The serialized result envelope of a finished job.
+
+        Raises ``KeyError`` for unknown ids and ``RuntimeError`` when the
+        job is not (successfully) done.
+        """
+        with self._lock:
+            record = self._record(job_id)
+            if record.state != "done" or record.result is None:
+                raise RuntimeError(
+                    f"job {job_id} has no result (state: {record.state}"
+                    + (f", error: {record.error}" if record.error else "")
+                    + ")"
+                )
+            return record.result
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        """Block until the job reaches a terminal state; returns its status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._changed:
+            record = self._record(job_id)
+            while record.state in ("queued", "running"):
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._changed.wait(timeout=remaining)
+            return record.status()
+
+    def stream(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict]:
+        """Yield a status snapshot on every observable change.
+
+        Ends after the terminal snapshot (or when ``timeout`` elapses
+        without the job finishing).  This is the in-process analogue of
+        polling ``GET /v2/jobs/<id>`` until completion.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        last: Optional[Dict] = None
+        while True:
+            with self._changed:
+                record = self._record(job_id)
+                snapshot = record.status()
+                if snapshot == last:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        return
+                    self._changed.wait(timeout=remaining)
+                    snapshot = record.status()
+            if snapshot != last:
+                yield snapshot
+                last = snapshot
+            if snapshot["state"] not in ("queued", "running"):
+                return
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running jobs are not interrupted."""
+        with self._changed:
+            record = self._record(job_id)
+            if record.state != "queued":
+                return False
+            record.state = "cancelled"
+            record.finished_at = time.time()
+            try:
+                self._queue.remove(job_id)
+            except ValueError:  # pragma: no cover - already popped
+                pass
+            self._changed.notify_all()
+            return True
+
+    def list_jobs(self) -> List[Dict]:
+        """Status of every known job, in submission order."""
+        with self._lock:
+            return [record.status() for record in self._records.values()]
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting and executing jobs (queued jobs stay queued)."""
+        with self._changed:
+            self._stop = True
+            self._changed.notify_all()
+        if wait and self._worker.is_alive():
+            self._worker.join(timeout=10.0)
+
+    # ------------------------------------------------------------------ #
+    # Worker
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            with self._changed:
+                while not self._queue and not self._stop:
+                    self._changed.wait()
+                if self._stop:
+                    return
+                job_id = self._queue.popleft()
+                record = self._records[job_id]
+                record.state = "running"
+                record.started_at = time.time()
+                self._changed.notify_all()
+            try:
+                envelope = self._execute(record)
+            except Exception as exc:
+                with self._changed:
+                    record.state = "failed"
+                    record.error = f"{type(exc).__name__}: {exc}"
+                    record.finished_at = time.time()
+                    self._changed.notify_all()
+                # The traceback is part of the service log, not the wire
+                # status (clients get the one-line error above).
+                traceback.print_exc()
+            else:
+                with self._changed:
+                    record.state = "done"
+                    record.result = envelope
+                    record.finished_at = time.time()
+                    self._changed.notify_all()
+
+    def _progress(self, record: _JobRecord, n_done: int, n_total: int) -> None:
+        with self._changed:
+            record.n_done = n_done
+            record.n_total = n_total
+            self._changed.notify_all()
+
+    def _execute(self, record: _JobRecord) -> Dict:
+        params = record.request.params
+        if record.request.kind == "schedule":
+            self._progress(record, 0, 1)
+            kernel_params = dict(params.get("kernel_params", {}))
+            result = self.session.schedule_kernel(
+                params["kernel"],
+                params["config"],
+                policy=params.get("policy"),
+                budget_ratio=params.get("budget_ratio"),
+                **kernel_params,
+            )
+            self._progress(record, 1, 1)
+            return serialize.to_dict(result)
+
+        assert record.request.kind == "evaluate"
+        report = None
+        # The streaming path keeps the job's progress counters live while
+        # loops complete, which is what poll/stream clients observe.
+        for event in self.session.evaluate_stream(
+            params["config"],
+            n_loops=int(params.get("n_loops", 16)),
+            seed=int(params.get("seed", 2003)),
+            policy=params.get("policy"),
+            jobs=params.get("jobs"),
+            events=True,
+        ):
+            if isinstance(event, RunReady):
+                self._progress(record, event.n_done, event.n_total)
+            elif isinstance(event, SuiteFinished):
+                report = event.report
+        assert report is not None
+        return serialize.to_dict(report)

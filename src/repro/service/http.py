@@ -1,0 +1,222 @@
+"""HTTP front end (and client) for the batch scheduling service.
+
+Pure standard library -- :class:`http.server.ThreadingHTTPServer` on the
+serving side, :mod:`urllib.request` on the client side -- so ``repro
+serve`` / ``repro submit`` add no dependencies.  The wire format is the
+versioned JSON of :mod:`repro.serialize`.
+
+Endpoints (all JSON):
+
+========  ==================  ===========================================
+method    path                meaning
+========  ==================  ===========================================
+GET       /v2/health          liveness + version + job counter
+GET       /v2/schema          the serialization schema (see ``repro schema``)
+GET       /v2/jobs            status of every known job
+POST      /v2/jobs            submit a job request; returns ``job_id``
+GET       /v2/jobs/<id>       status of one job (result embedded when done)
+DELETE    /v2/jobs/<id>       cancel a queued job
+========  ==================  ===========================================
+
+The client helpers (:func:`submit_job`, :func:`poll_job`,
+:func:`fetch_json`) are what ``repro submit`` is built on: submit, poll
+until terminal, return the result envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro import serialize
+from repro.service.batch import BatchScheduler
+
+__all__ = [
+    "ServiceHTTPServer",
+    "make_server",
+    "fetch_json",
+    "submit_job",
+    "poll_job",
+]
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """An HTTP server bound to one :class:`BatchScheduler`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], scheduler: BatchScheduler,
+                 *, verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+        self.verbose = verbose
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: object) -> None:
+        if self.server.verbose:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    def _send(self, code: int, payload: Dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def _job_id(self) -> Optional[str]:
+        parts = self.path.rstrip("/").split("/")
+        # /v2/jobs/<id> -> ["", "v2", "jobs", "<id>"]
+        if len(parts) == 4 and parts[1] == "v2" and parts[2] == "jobs":
+            return parts[3]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        import repro
+
+        scheduler = self.server.scheduler
+        path = self.path.rstrip("/")
+        if path == "/v2/health":
+            self._send(200, {
+                "status": "ok",
+                "version": repro.__version__,
+                "schema": serialize.SCHEMA_VERSION,
+                "n_jobs": len(scheduler.list_jobs()),
+            })
+            return
+        if path == "/v2/schema":
+            self._send(200, serialize.schema())
+            return
+        if path == "/v2/jobs":
+            self._send(200, {"jobs": scheduler.list_jobs()})
+            return
+        job_id = self._job_id()
+        if job_id is not None:
+            try:
+                self._send(200, scheduler.status(job_id, include_result=True))
+            except KeyError:
+                self._error(404, f"unknown job id {job_id!r}")
+            return
+        self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if self.path.rstrip("/") != "/v2/jobs":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            job_id = self.server.scheduler.submit(payload)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, str(exc))
+            return
+        except RuntimeError as exc:  # shut down
+            self._error(503, str(exc))
+            return
+        self._send(202, {"job_id": job_id})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        job_id = self._job_id()
+        if job_id is None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            cancelled = self.server.scheduler.cancel(job_id)
+        except KeyError:
+            self._error(404, f"unknown job id {job_id!r}")
+            return
+        self._send(200, {"job_id": job_id, "cancelled": cancelled})
+
+
+def make_server(
+    scheduler: BatchScheduler,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    *,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind the service to ``host:port`` (``port=0`` picks a free one)."""
+    return ServiceHTTPServer((host, port), scheduler, verbose=verbose)
+
+
+# --------------------------------------------------------------------------- #
+# Client helpers (what ``repro submit`` runs on)
+# --------------------------------------------------------------------------- #
+def fetch_json(url: str, *, timeout: float = 10.0) -> Dict:
+    """GET one JSON document (raises ``RuntimeError`` on HTTP errors)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        raise RuntimeError(f"GET {url} failed: {exc.code} {detail}") from exc
+    except urllib.error.URLError as exc:
+        raise RuntimeError(f"GET {url} failed: {exc.reason}") from exc
+
+
+def submit_job(base_url: str, request: Dict, *, timeout: float = 10.0) -> str:
+    """POST a job request; returns the job id."""
+    body = json.dumps(request).encode("utf-8")
+    http_request = urllib.request.Request(
+        f"{base_url.rstrip('/')}/v2/jobs",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(http_request, timeout=timeout) as response:
+            payload = json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        raise RuntimeError(f"submit failed: {exc.code} {detail}") from exc
+    except urllib.error.URLError as exc:
+        raise RuntimeError(f"submit failed: {exc.reason}") from exc
+    return payload["job_id"]
+
+
+def poll_job(
+    base_url: str,
+    job_id: str,
+    *,
+    poll_interval: float = 0.25,
+    timeout: float = 300.0,
+    progress=None,
+) -> Dict:
+    """Poll one job until it reaches a terminal state; returns its status.
+
+    ``progress`` (optional callable) receives every status snapshot whose
+    progress counters changed.  Raises ``TimeoutError`` when the deadline
+    passes first.
+    """
+    deadline = time.monotonic() + timeout
+    last_progress: Optional[Dict] = None
+    base = base_url.rstrip("/")
+    while True:
+        status = fetch_json(f"{base}/v2/jobs/{job_id}")
+        if progress is not None and status.get("progress") != last_progress:
+            last_progress = status.get("progress")
+            progress(status)
+        if status.get("state") not in ("queued", "running"):
+            return status
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"job {job_id} did not finish within {timeout:.0f}s "
+                f"(last state: {status.get('state')})"
+            )
+        time.sleep(poll_interval)

@@ -1,0 +1,28 @@
+"""Session-based public API (v2).
+
+:class:`Session` is the front door of the library: construct it once
+with your defaults (machine, policy bundle, budget ratio, worker count,
+shared result cache) and call the verbs as methods --
+:meth:`~repro.session.Session.schedule_kernel`,
+:meth:`~repro.session.Session.evaluate_configuration`,
+:meth:`~repro.session.Session.compare_configurations`,
+:meth:`~repro.session.Session.fuzz_schedules`, plus the streaming
+:meth:`~repro.session.Session.evaluate_stream` that yields results as
+workers finish.  The v1 module-level verbs in :mod:`repro.api` are thin
+shims over :func:`default_session`.
+
+See ``docs/api.md`` for the lifecycle, the streaming contract, and the
+v1 -> v2 migration table.
+"""
+
+from repro.session.core import Session, default_session
+from repro.session.events import RunReady, StreamEvent, SuiteFinished, SuiteStarted
+
+__all__ = [
+    "Session",
+    "default_session",
+    "StreamEvent",
+    "SuiteStarted",
+    "RunReady",
+    "SuiteFinished",
+]

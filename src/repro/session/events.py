@@ -1,0 +1,57 @@
+"""Progress events yielded by :meth:`repro.session.Session.evaluate_stream`.
+
+With ``events=True`` the stream interleaves results with lifecycle
+markers, so long evaluations can drive progress bars, service job
+status, or live dashboards without waiting for the barrier:
+
+* :class:`SuiteStarted` -- emitted once, before any result;
+* :class:`RunReady` -- one per loop, in *completion* order, carrying the
+  run plus running ``n_done``/``n_total`` counters (``cached`` marks
+  results served by the session cache or shared within the call);
+* :class:`SuiteFinished` -- emitted last, carrying the assembled
+  :class:`~repro.eval.reporting.ConfigurationReport` (identical to what
+  :meth:`~repro.session.Session.evaluate_configuration` returns).
+
+With ``events=False`` (the default) the stream yields bare
+:class:`~repro.eval.metrics.LoopRun` objects in completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.metrics import LoopRun
+from repro.eval.reporting import ConfigurationReport
+
+__all__ = ["StreamEvent", "SuiteStarted", "RunReady", "SuiteFinished"]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """Base class of every event on an evaluation stream."""
+
+
+@dataclass(frozen=True)
+class SuiteStarted(StreamEvent):
+    """The evaluation began: the workbench size is known."""
+
+    config_name: str
+    n_total: int
+
+
+@dataclass(frozen=True)
+class RunReady(StreamEvent):
+    """One loop finished (or was served from cache)."""
+
+    position: int
+    run: LoopRun
+    cached: bool
+    n_done: int
+    n_total: int
+
+
+@dataclass(frozen=True)
+class SuiteFinished(StreamEvent):
+    """Every loop is done; the aggregate report is attached."""
+
+    report: ConfigurationReport

@@ -33,7 +33,7 @@ from repro.verify.differential import (
     DifferentialReport,
     differential_check,
 )
-from repro.verify.fuzz import FuzzReport, fuzz_schedules, run_pipeline
+from repro.verify.fuzz import FuzzReport, fuzz_schedules, replay_case, run_pipeline
 from repro.verify.reference import reference_execute
 from repro.verify.vliw import interpret_program
 
@@ -43,6 +43,7 @@ __all__ = [
     "differential_check",
     "FuzzReport",
     "fuzz_schedules",
+    "replay_case",
     "run_pipeline",
     "reference_execute",
     "interpret_program",

@@ -33,6 +33,8 @@ from repro.machine.presets import config_by_name
 __all__ = [
     "CORPUS_SCHEMA_VERSION",
     "CorpusCase",
+    "graph_to_json",
+    "graph_from_json",
     "loop_to_json",
     "loop_from_json",
     "rf_to_json",
@@ -48,11 +50,17 @@ CORPUS_SCHEMA_VERSION = 1
 
 
 # --------------------------------------------------------------------------- #
-# Loop <-> JSON
+# Dependence graph <-> JSON
 # --------------------------------------------------------------------------- #
-def loop_to_json(loop: Loop) -> Dict:
+def graph_to_json(graph: DepGraph) -> Dict:
+    """Node-by-node, edge-by-edge JSON form of a dependence graph.
+
+    This is the graph convention every serialized artifact shares: corpus
+    cases, serialized loops and serialized schedule results (see
+    :mod:`repro.serialize`) all embed graphs in this shape.
+    """
     nodes = []
-    for op in sorted(loop.graph.nodes(), key=lambda node: node.node_id):
+    for op in sorted(graph.nodes(), key=lambda node: node.node_id):
         entry: Dict[str, object] = {"id": op.node_id, "op": op.op.value}
         if op.name:
             entry["name"] = op.name
@@ -70,30 +78,28 @@ def loop_to_json(loop: Loop) -> Dict:
             entry["inserted_for"] = op.inserted_for
         if op.home_cluster is not None:
             entry["home_cluster"] = op.home_cluster
+        if op.latency_override is not None:
+            entry["latency_override"] = op.latency_override
         nodes.append(entry)
     edges = [
         [edge.src, edge.dst, edge.distance, edge.kind]
         for edge in sorted(
-            loop.graph.edges(), key=lambda e: (e.src, e.dst, e.distance, e.kind)
+            graph.edges(), key=lambda e: (e.src, e.dst, e.distance, e.kind)
         )
     ]
-    return {
-        "name": loop.name,
-        "trip_count": loop.trip_count,
-        "times_entered": loop.times_entered,
-        "weight": loop.weight,
-        "source": loop.source,
-        "attributes": {
-            key: value
-            for key, value in loop.attributes.items()
-            if isinstance(value, (str, int, float, bool))
-        },
-        "nodes": nodes,
-        "edges": edges,
-    }
+    return {"nodes": nodes, "edges": edges}
 
 
-def loop_from_json(payload: Dict) -> Loop:
+def graph_from_json(payload: Dict) -> "tuple[DepGraph, Dict[int, int]]":
+    """Rebuild a graph; returns ``(graph, id_map)``.
+
+    Node ids are *preserved* -- including the gaps a shrunk or scheduled
+    graph carries after node removal -- so per-node side tables (e.g. the
+    assignments of a serialized schedule result) stay valid verbatim and
+    a round trip is canonical-form exact.  ``id_map`` (payload id ->
+    rebuilt id, the identity today) is returned for callers that remap
+    defensively.
+    """
     graph = DepGraph()
     id_map: Dict[int, int] = {}
     for entry in payload["nodes"]:
@@ -113,16 +119,46 @@ def loop_from_json(payload: Dict) -> Loop:
             is_spill=bool(entry.get("is_spill", False)),
             is_inserted=bool(entry.get("is_inserted", False)),
             home_cluster=entry.get("home_cluster"),
+            node_id=int(entry["id"]),
         )
+        if entry.get("latency_override") is not None:
+            graph.node(node_id).latency_override = int(entry["latency_override"])
         id_map[entry["id"]] = node_id
-    # inserted_for references other nodes (possibly saved with id gaps
-    # after shrinking), so it is remapped once every node exists.
+    # inserted_for references other nodes, so it is restored once every
+    # node exists.  The owner may legitimately be gone from the final
+    # graph (ejected after its communication node survived); the stored
+    # id is kept verbatim in that case -- it is provenance, not an edge.
     for entry in payload["nodes"]:
         owner = entry.get("inserted_for")
         if owner is not None:
-            graph.node(id_map[entry["id"]]).inserted_for = id_map.get(owner)
+            graph.node(id_map[entry["id"]]).inserted_for = id_map.get(owner, owner)
     for src, dst, distance, kind in payload["edges"]:
         graph.add_edge(id_map[src], id_map[dst], distance=distance, kind=kind)
+    return graph, id_map
+
+
+# --------------------------------------------------------------------------- #
+# Loop <-> JSON
+# --------------------------------------------------------------------------- #
+def loop_to_json(loop: Loop) -> Dict:
+    payload = {
+        "name": loop.name,
+        "trip_count": loop.trip_count,
+        "times_entered": loop.times_entered,
+        "weight": loop.weight,
+        "source": loop.source,
+        "attributes": {
+            key: value
+            for key, value in loop.attributes.items()
+            if isinstance(value, (str, int, float, bool))
+        },
+    }
+    payload.update(graph_to_json(loop.graph))
+    return payload
+
+
+def loop_from_json(payload: Dict) -> Loop:
+    graph, _id_map = graph_from_json(payload)
     return Loop(
         name=payload["name"],
         graph=graph,
@@ -135,43 +171,25 @@ def loop_from_json(payload: Dict) -> Loop:
 
 
 # --------------------------------------------------------------------------- #
-# Configurations <-> JSON
+# Configurations <-> JSON (delegating to the config objects' own
+# to_dict/from_dict, the single JSON convention shared with repro.serialize)
 # --------------------------------------------------------------------------- #
 def rf_to_json(rf: RFConfig) -> Dict:
-    return {
-        "n_clusters": rf.n_clusters,
-        "cluster_regs": rf.cluster_regs,
-        "shared_regs": rf.shared_regs,
-        "lp": rf.lp,
-        "sp": rf.sp,
-        "n_buses": rf.n_buses,
-    }
+    return rf.to_dict()
 
 
 def rf_from_json(payload: Union[str, Dict]) -> RFConfig:
     if isinstance(payload, str):
         return config_by_name(payload)
-    return RFConfig(**payload)
+    return RFConfig.from_dict(payload)
 
 
 def machine_to_json(machine: MachineConfig) -> Dict:
-    return {
-        "n_fus": machine.n_fus,
-        "n_mem_ports": machine.n_mem_ports,
-        "latencies": dict(machine.latencies),
-        "unpipelined": sorted(machine.unpipelined),
-    }
+    return machine.to_dict()
 
 
 def machine_from_json(payload: Optional[Dict]) -> MachineConfig:
-    if payload is None:
-        return MachineConfig()
-    return MachineConfig(
-        n_fus=payload["n_fus"],
-        n_mem_ports=payload["n_mem_ports"],
-        latencies=dict(payload.get("latencies") or MachineConfig().latencies),
-        unpipelined=frozenset(payload.get("unpipelined", ("fdiv", "fsqrt"))),
-    )
+    return MachineConfig.from_dict(payload)
 
 
 # --------------------------------------------------------------------------- #

@@ -35,7 +35,7 @@ from repro.hwmodel.timing import scaled_machine
 from repro.machine.config import MachineConfig, RFConfig
 from repro.machine.presets import baseline_machine, config_by_name
 from repro.machine.sampler import sample_machine, sample_rf_config
-from repro.verify.corpus import CorpusCase, save_case
+from repro.verify.corpus import CorpusCase, load_case, save_case
 from repro.verify.differential import DifferentialReport, differential_check
 from repro.workloads.generator import PROFILES, generate_loop
 
@@ -46,8 +46,13 @@ __all__ = [
     "FuzzReport",
     "format_reproducer",
     "run_pipeline",
+    "replay_case",
     "shrink_loop",
     "fuzz_schedules",
+    "fuzz_failure_to_dict",
+    "fuzz_failure_from_dict",
+    "fuzz_report_to_dict",
+    "fuzz_report_from_dict",
 ]
 
 #: The preset rotation fuzzed by default: the monolithic baseline, the
@@ -182,6 +187,32 @@ def run_pipeline(
     return PipelineOutcome(status="ok", result=result, report=report)
 
 
+def replay_case(
+    case: Union[CorpusCase, str, Path],
+    *,
+    reproducer: Optional[str] = None,
+) -> PipelineOutcome:
+    """Replay one frozen corpus case through the full pipeline.
+
+    ``case`` is a :class:`~repro.verify.corpus.CorpusCase` or the path of
+    one of its JSON files.  The replay runs with the exact knobs the case
+    froze (budget ratio, clock scaling, iteration count, policy bundle);
+    compare ``outcome.status`` against ``case.expect``.
+    """
+    if not isinstance(case, CorpusCase):
+        path = Path(case)
+        reproducer = reproducer or f"python -m repro.cli fuzz --replay {path}"
+        case = load_case(path)
+    return run_pipeline(
+        case.loop, case.rf, case.machine,
+        budget_ratio=case.budget_ratio,
+        scale_to_clock=case.scale_to_clock,
+        n_iterations=case.n_iterations,
+        reproducer=reproducer,
+        policy=case.policy,
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Shrinking
 # --------------------------------------------------------------------------- #
@@ -286,6 +317,70 @@ class FuzzReport:
             if failure.corpus_path is not None:
                 lines.append(f"    minimized case: {failure.corpus_path}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict of this report (see :mod:`repro.serialize`)."""
+        return fuzz_report_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FuzzReport":
+        return fuzz_report_from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Serialization (payload shapes registered in repro.serialize)
+# --------------------------------------------------------------------------- #
+def fuzz_failure_to_dict(failure: FuzzFailure) -> Dict:
+    """The ``data`` payload of a serialized :class:`FuzzFailure`."""
+    return {
+        "seed": failure.seed,
+        "profile": failure.profile,
+        "config_name": failure.config_name,
+        "status": failure.status,
+        "message": failure.message,
+        "reproducer": failure.reproducer,
+        "corpus_path": str(failure.corpus_path) if failure.corpus_path else None,
+        "policy": failure.policy,
+    }
+
+
+def fuzz_failure_from_dict(payload: Dict) -> FuzzFailure:
+    corpus_path = payload.get("corpus_path")
+    return FuzzFailure(
+        seed=int(payload["seed"]),
+        profile=payload.get("profile", ""),
+        config_name=payload.get("config_name", ""),
+        status=payload["status"],
+        message=payload.get("message", ""),
+        reproducer=payload["reproducer"],
+        corpus_path=Path(corpus_path) if corpus_path else None,
+        policy=payload.get("policy", "mirs_hc"),
+    )
+
+
+def fuzz_report_to_dict(report: FuzzReport) -> Dict:
+    """The ``data`` payload of a serialized :class:`FuzzReport`."""
+    return {
+        "n_cases": report.n_cases,
+        "n_ok": report.n_ok,
+        "n_unschedulable": report.n_unschedulable,
+        "failures": [fuzz_failure_to_dict(failure) for failure in report.failures],
+        "elapsed_s": report.elapsed_s,
+        "stopped_early": report.stopped_early,
+    }
+
+
+def fuzz_report_from_dict(payload: Dict) -> FuzzReport:
+    return FuzzReport(
+        n_cases=int(payload.get("n_cases", 0)),
+        n_ok=int(payload.get("n_ok", 0)),
+        n_unschedulable=int(payload.get("n_unschedulable", 0)),
+        failures=[
+            fuzz_failure_from_dict(entry) for entry in payload.get("failures", ())
+        ],
+        elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        stopped_early=bool(payload.get("stopped_early", False)),
+    )
 
 
 def _case_loop(seed: int, profile: str) -> Loop:

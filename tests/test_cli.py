@@ -108,6 +108,36 @@ class TestCommands:
         assert "ok (expected ok)" in out
 
 
+class TestSessionBackedCommands:
+    def test_schedule_json_output(self, capsys):
+        import json
+
+        from repro import serialize
+
+        assert main(["schedule", "daxpy", "4C16S16", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        serialize.validate(envelope, expect_type="schedule_result")
+        assert envelope["data"]["success"] is True
+
+    def test_commands_emit_no_deprecation_warnings(self, capsys):
+        # The CLI moved onto the session layer; only the v1 shims warn.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["schedule", "daxpy", "S64"]) == 0
+            assert main(["evaluate", "S64", "--loops", "2"]) == 0
+            assert main(["reproduce", "table4", "--loops", "2"]) == 0
+        capsys.readouterr()
+
+    def test_schedule_warns_on_noop_jobs(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.warns(UserWarning, match="no effect"):
+            assert main(["schedule", "daxpy", "S64", "--jobs", "4"]) == 0
+        capsys.readouterr()
+
+
 class TestPolicyFlags:
     def test_schedule_with_policy(self, capsys):
         from repro.cli import main

@@ -112,10 +112,11 @@ class TestParallelIdentity:
     def test_jobs1_never_touches_the_pool(self, monkeypatch):
         import repro.eval.parallel as parallel_mod
 
-        def boom(*args, **kwargs):  # pragma: no cover - failure path
-            raise AssertionError("jobs=1 must stay on the serial path")
+        class Boom:  # pragma: no cover - failure path
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("jobs=1 must stay off the process pool")
 
-        monkeypatch.setattr(parallel_mod, "schedule_loops_parallel", boom)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", Boom)
         loops = tiny_suite()[:3]
         runs = schedule_suite(loops, "S64", jobs=1)
         assert len(runs) == 3

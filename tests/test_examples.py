@@ -65,3 +65,13 @@ class TestApiDocstrings:
         results = doctest.testmod(repro.api, verbose=False)
         assert results.failed == 0
         assert results.attempted >= 6  # every verb documents a runnable example
+
+    def test_session_examples_run(self):
+        """The usage examples in the Session docstrings execute as written."""
+        import doctest
+
+        import repro.session.core
+
+        results = doctest.testmod(repro.session.core, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 8  # every verb documents a runnable example

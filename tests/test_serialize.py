@@ -1,0 +1,251 @@
+"""Tests for the versioned serialization registry (repro.serialize).
+
+The contract under test:
+
+* every registered type survives ``from_dict(to_dict(x))`` with
+  canonical-form equality (``to_dict`` of the round-tripped object equals
+  ``to_dict`` of the original) -- property-tested over random loops,
+  configurations and machines;
+* cache-keyed inputs (loops, configurations, machines) preserve the
+  :func:`repro.eval.cache.schedule_key` exactly, so a result computed
+  for a serialized problem is a cache hit for the deserialized one;
+* envelopes are validated: unknown types, newer schemas and missing
+  required keys are :class:`repro.serialize.SerializationError`, never
+  silent garbage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import serialize
+from repro.eval.cache import schedule_key
+from repro.machine import MachineConfig, RFConfig, baseline_machine, config_by_name
+from repro.machine.presets import table5_configs
+from repro.hwmodel.timing import derive_hardware
+from repro.workloads.generator import PROFILES, generate_loop
+from repro.workloads.kernels import build_kernel
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+profile_names = st.sampled_from(sorted(PROFILES))
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def random_loops(draw):
+    profile = PROFILES[draw(profile_names)]
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    return generate_loop(rng, profile, index=0, name=f"ser_{seed}")
+
+
+@st.composite
+def random_rf_configs(draw):
+    n_clusters = draw(st.sampled_from([1, 2, 4, 8]))
+    cluster_regs = draw(st.sampled_from([None, 8, 16, 32]))
+    shared_regs = draw(st.sampled_from([None, 16, 64, 128]))
+    if cluster_regs is None:
+        n_clusters = 1
+        shared_regs = shared_regs or 128
+    if cluster_regs is None and shared_regs is None:
+        shared_regs = 64
+    return RFConfig(
+        n_clusters=n_clusters,
+        cluster_regs=cluster_regs,
+        shared_regs=shared_regs,
+        lp=draw(st.integers(min_value=1, max_value=4)),
+        sp=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+@st.composite
+def random_machines(draw):
+    base = MachineConfig()
+    n_clusters_divisible = draw(st.sampled_from([4, 8, 16]))
+    latencies = dict(base.latencies)
+    latencies["fadd"] = draw(st.integers(min_value=1, max_value=8))
+    latencies["load"] = draw(st.integers(min_value=1, max_value=6))
+    return MachineConfig(
+        n_fus=n_clusters_divisible,
+        n_mem_ports=draw(st.sampled_from([2, 4, 8])),
+        latencies=latencies,
+        miss_latency_ns=draw(st.sampled_from([5.0, 10.0, 20.0])),
+    )
+
+
+def roundtrip(obj):
+    return serialize.loads(serialize.dumps(obj))
+
+
+def canonical(obj):
+    return serialize.to_dict(obj)
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: JSON round trip preserves canonical form and cache keys
+# --------------------------------------------------------------------------- #
+class TestRoundTripProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(loop=random_loops())
+    def test_loop_roundtrip_preserves_canonical_form_and_key(self, loop):
+        back = roundtrip(loop)
+        assert canonical(back) == canonical(loop)
+        assert back.fingerprint() == loop.fingerprint()
+        rf = config_by_name("4C16S16")
+        machine = baseline_machine()
+        assert schedule_key(back, rf, machine) == schedule_key(loop, rf, machine)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rf=random_rf_configs())
+    def test_rf_config_roundtrip_is_exact(self, rf):
+        back = roundtrip(rf)
+        assert back == rf
+        loop = build_kernel("daxpy")
+        machine = baseline_machine()
+        assert schedule_key(loop, back, machine) == schedule_key(loop, rf, machine)
+
+    @settings(max_examples=25, deadline=None)
+    @given(machine=random_machines())
+    def test_machine_roundtrip_is_exact(self, machine):
+        back = roundtrip(machine)
+        assert back == machine
+        loop = build_kernel("daxpy")
+        rf = config_by_name("S64")
+        assert schedule_key(loop, rf, back) == schedule_key(loop, rf, machine)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(loop=random_loops(), config_name=st.sampled_from(["S64", "4C16S16"]))
+    def test_schedule_result_roundtrip(self, loop, config_name):
+        from repro.session import Session
+
+        result = Session().schedule_kernel(loop, config_name)
+        back = roundtrip(result)
+        assert canonical(back) == canonical(result)
+        assert back.ii == result.ii
+        assert back.success == result.success
+        assert len(back.assignments) == len(result.assignments)
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic round trips for the composite types
+# --------------------------------------------------------------------------- #
+class TestCompositeRoundTrips:
+    def test_hardware_spec_roundtrip(self):
+        for rf in table5_configs()[:4]:
+            spec = derive_hardware(baseline_machine(), rf)
+            back = roundtrip(spec)
+            assert back == spec
+            assert back.total_area_mlambda2 == spec.total_area_mlambda2
+
+    def test_loop_run_roundtrip(self):
+        from repro.session import Session
+
+        session = Session()
+        run = next(iter(session.evaluate_stream("4C16S16", n_loops=1)))
+        back = roundtrip(run)
+        assert canonical(back) == canonical(run)
+        assert back.cycles == run.cycles
+        assert back.traffic == run.traffic
+        assert back.time_ns == run.time_ns
+
+    def test_configuration_report_roundtrip(self):
+        from repro.session import Session
+
+        report = Session().evaluate_configuration("S64", n_loops=3)
+        back = roundtrip(report)
+        assert canonical(back) == canonical(report)
+        assert back.cycles == report.cycles
+        assert back.n_failed == report.n_failed
+        # The convenience methods are the same payloads.
+        assert report.to_dict() == serialize.configuration_report_to_dict(report)
+
+    def test_corpus_case_roundtrip(self, tmp_path):
+        from repro.verify.corpus import discover_cases, load_case
+
+        paths = discover_cases("tests/corpus")
+        assert paths, "corpus must not be empty"
+        case = load_case(paths[0])
+        back = roundtrip(case)
+        assert canonical(back) == canonical(case)
+        assert back.loop.fingerprint() == case.loop.fingerprint()
+
+    def test_fuzz_report_roundtrip(self):
+        from repro.api import fuzz_schedules
+
+        report = fuzz_schedules(2, base_seed=2003, shrink=False)
+        back = roundtrip(report)
+        assert canonical(back) == canonical(report)
+        assert back.ok == report.ok
+        assert report.to_dict()["n_cases"] == report.n_cases
+
+    def test_save_load_file_roundtrip(self, tmp_path):
+        rf = config_by_name("4C32S16")
+        path = serialize.save(rf, tmp_path / "rf.json")
+        assert serialize.load(path) == rf
+        assert serialize.load(path, expect_type="rf_config") == rf
+
+    def test_schedule_result_with_id_gap_graph(self):
+        """Assignments stay consistent when the saved graph has id gaps."""
+        from repro.session import Session
+
+        loop = build_kernel("daxpy")
+        # Force an id gap: add then remove a node before scheduling.
+        doomed = loop.graph.add_node(next(iter(loop.graph.nodes())).op)
+        loop.graph.remove_node(doomed)
+        result = Session().schedule_kernel(loop, "4C16S16")
+        back = roundtrip(result)
+        # Remapped ids must agree between graph and assignments.
+        graph_ids = set(back.graph.node_ids())
+        assert set(back.assignments) <= graph_ids
+        assert len(back.assignments) == len(result.assignments)
+
+
+# --------------------------------------------------------------------------- #
+# Envelope validation
+# --------------------------------------------------------------------------- #
+class TestEnvelopeValidation:
+    def test_unregistered_object_rejected(self):
+        with pytest.raises(serialize.SerializationError, match="not a registered"):
+            serialize.to_dict(object())
+
+    def test_missing_envelope_keys_rejected(self):
+        with pytest.raises(serialize.SerializationError, match="missing keys"):
+            serialize.from_dict({"type": "rf_config"})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(serialize.SerializationError, match="unknown envelope type"):
+            serialize.from_dict({"schema": 1, "type": "nope", "data": {}})
+
+    def test_newer_schema_rejected(self):
+        envelope = serialize.to_dict(config_by_name("S64"))
+        envelope["schema"] = serialize.SCHEMA_VERSION + 1
+        with pytest.raises(serialize.SerializationError, match="unknown schema"):
+            serialize.from_dict(envelope)
+
+    def test_expect_type_mismatch_rejected(self):
+        envelope = serialize.to_dict(config_by_name("S64"))
+        with pytest.raises(serialize.SerializationError, match="expected an envelope"):
+            serialize.from_dict(envelope, expect_type="schedule_result")
+
+    def test_missing_required_data_keys_rejected(self):
+        envelope = serialize.to_dict(config_by_name("S64"))
+        del envelope["data"]["n_clusters"]
+        with pytest.raises(serialize.SerializationError, match="required keys"):
+            serialize.validate(envelope)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(serialize.SerializationError, match="not valid JSON"):
+            serialize.loads("{nope")
+
+    def test_schema_covers_every_registered_type(self):
+        schema = serialize.schema()
+        assert set(schema["types"]) == set(serialize.registered_types())
+        for name, description in schema["types"].items():
+            assert isinstance(description["required"], list)

@@ -1,0 +1,282 @@
+"""Tests for the batch scheduling service (repro.service) and its CLI.
+
+Covers the three layers: request validation, the in-process
+:class:`BatchScheduler` (submit -> poll/stream -> serialized result),
+and the HTTP wire (server + client helpers + ``repro submit``), all on a
+single shared session exactly as ``repro serve`` runs them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import serialize
+from repro.service import (
+    BatchScheduler,
+    JobRequest,
+    fetch_json,
+    make_server,
+    poll_job,
+    submit_job,
+)
+from repro.session import Session
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    session = Session()
+    batch = BatchScheduler(session)
+    yield batch
+    batch.shutdown()
+    session.close()
+
+
+@pytest.fixture(scope="module")
+def server(scheduler):
+    http_server = make_server(scheduler, "127.0.0.1", 0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+# --------------------------------------------------------------------------- #
+# Request validation
+# --------------------------------------------------------------------------- #
+class TestJobRequest:
+    def test_valid_schedule_request(self):
+        request = JobRequest.from_dict(
+            {"kind": "schedule",
+             "params": {"kernel": "daxpy", "config": "4C16S16",
+                        "kernel_params": {"trip_count": 64}}}
+        )
+        assert request.kind == "schedule"
+        assert request.to_dict()["params"]["kernel"] == "daxpy"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobRequest.from_dict({"kind": "explode", "params": {}})
+
+    def test_missing_required_params_rejected(self):
+        with pytest.raises(ValueError, match="missing required"):
+            JobRequest.from_dict({"kind": "schedule", "params": {"kernel": "daxpy"}})
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ValueError, match="unknown params"):
+            JobRequest.from_dict(
+                {"kind": "evaluate", "params": {"config": "S64", "frobnicate": 1}}
+            )
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            JobRequest.from_dict("schedule daxpy")
+
+
+# --------------------------------------------------------------------------- #
+# In-process batch scheduler
+# --------------------------------------------------------------------------- #
+class TestBatchScheduler:
+    def test_schedule_job_roundtrip(self, scheduler):
+        job_id = scheduler.submit(
+            {"kind": "schedule", "params": {"kernel": "daxpy", "config": "4C16S16"}}
+        )
+        status = scheduler.wait(job_id, timeout=120)
+        assert status["state"] == "done"
+        assert status["progress"] == {"n_done": 1, "n_total": 1}
+        envelope = scheduler.result(job_id)
+        serialize.validate(envelope, expect_type="schedule_result")
+        result = serialize.from_dict(envelope)
+        assert result.success and result.config_name == "4C16S16"
+
+    def test_evaluate_job_reports_progress(self, scheduler):
+        job_id = scheduler.submit(
+            {"kind": "evaluate", "params": {"config": "S64", "n_loops": 4}}
+        )
+        snapshots = list(scheduler.stream(job_id, timeout=120))
+        assert snapshots[-1]["state"] == "done"
+        assert snapshots[-1]["progress"] == {"n_done": 4, "n_total": 4}
+        report = serialize.from_dict(scheduler.result(job_id))
+        assert report.n_failed == 0
+        assert len(report.runs) == 4
+
+    def test_failed_job_carries_error(self, scheduler):
+        job_id = scheduler.submit(
+            {"kind": "schedule",
+             "params": {"kernel": "daxpy", "config": "not-a-config"}}
+        )
+        status = scheduler.wait(job_id, timeout=60)
+        assert status["state"] == "failed"
+        assert "not-a-config" in status["error"]
+        with pytest.raises(RuntimeError, match="no result"):
+            scheduler.result(job_id)
+
+    def test_unknown_job_id_raises(self, scheduler):
+        with pytest.raises(KeyError):
+            scheduler.status("job-999999")
+
+    def test_jobs_share_one_warm_session_cache(self):
+        from repro.eval.cache import EvalCache
+
+        session = Session(cache=EvalCache())
+        batch = BatchScheduler(session)
+        try:
+            first = batch.submit(
+                {"kind": "evaluate", "params": {"config": "S64", "n_loops": 3}}
+            )
+            batch.wait(first, timeout=120)
+            stores = session.cache.stores
+            assert stores == 3
+            second = batch.submit(
+                {"kind": "evaluate", "params": {"config": "S64", "n_loops": 3}}
+            )
+            batch.wait(second, timeout=120)
+            # The second client's job was served entirely by the cache.
+            assert session.cache.stores == stores
+            assert session.cache.hits >= 3
+        finally:
+            batch.shutdown()
+            session.close()
+
+    def test_cancel_and_queue_order(self):
+        session = Session()
+        batch = BatchScheduler(session, start=False)
+        try:
+            first = batch.submit(
+                {"kind": "schedule", "params": {"kernel": "daxpy", "config": "S64"}}
+            )
+            second = batch.submit(
+                {"kind": "schedule", "params": {"kernel": "vadd", "config": "S64"}}
+            )
+            assert [job["state"] for job in batch.list_jobs()] == ["queued", "queued"]
+            assert batch.cancel(second) is True
+            assert batch.cancel(second) is False  # already cancelled
+            batch.start()
+            status = batch.wait(first, timeout=120)
+            assert status["state"] == "done"
+            assert batch.status(second)["state"] == "cancelled"
+        finally:
+            batch.shutdown()
+            session.close()
+
+    def test_submit_after_shutdown_rejected(self):
+        session = Session()
+        batch = BatchScheduler(session)
+        batch.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            batch.submit(
+                {"kind": "schedule", "params": {"kernel": "daxpy", "config": "S64"}}
+            )
+        session.close()
+
+
+# --------------------------------------------------------------------------- #
+# HTTP wire
+# --------------------------------------------------------------------------- #
+class TestHTTPService:
+    def test_health_and_schema(self, base_url):
+        health = fetch_json(f"{base_url}/v2/health")
+        assert health["status"] == "ok"
+        assert health["schema"] == serialize.SCHEMA_VERSION
+        remote_schema = fetch_json(f"{base_url}/v2/schema")
+        assert remote_schema == serialize.schema()
+
+    def test_submit_poll_result_roundtrip(self, base_url):
+        job_id = submit_job(
+            base_url,
+            {"kind": "schedule",
+             "params": {"kernel": "fir_filter", "config": "S64",
+                        "kernel_params": {"taps": 4}}},
+        )
+        status = poll_job(base_url, job_id, timeout=120, poll_interval=0.05)
+        assert status["state"] == "done"
+        envelope = status["result"]
+        serialize.validate(envelope, expect_type="schedule_result")
+        assert serialize.from_dict(envelope).success
+
+    def test_bad_request_is_400(self, base_url):
+        with pytest.raises(RuntimeError, match="unknown job kind"):
+            submit_job(base_url, {"kind": "nope", "params": {}})
+
+    def test_unknown_job_is_404(self, base_url):
+        with pytest.raises(RuntimeError, match="404"):
+            fetch_json(f"{base_url}/v2/jobs/job-424242")
+
+    def test_unknown_path_is_404(self, base_url):
+        with pytest.raises(RuntimeError, match="404"):
+            fetch_json(f"{base_url}/v2/frobnicate")
+
+    def test_jobs_listing(self, base_url):
+        listing = fetch_json(f"{base_url}/v2/jobs")
+        assert isinstance(listing["jobs"], list)
+
+
+# --------------------------------------------------------------------------- #
+# CLI: serve/submit/schema plumbing
+# --------------------------------------------------------------------------- #
+class TestServiceCLI:
+    def test_parser_serve_and_submit(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--port", "0", "--jobs", "2"])
+        assert args.command == "serve" and args.port == 0
+
+        args = build_parser().parse_args(
+            ["submit", "--url", "http://localhost:1", "schedule", "daxpy",
+             "4C16S16", "--param", "trip_count=64"]
+        )
+        assert args.kind == "schedule" and args.param == ["trip_count=64"]
+
+        args = build_parser().parse_args(
+            ["submit", "evaluate", "S64", "--loops", "8"]
+        )
+        assert args.kind == "evaluate" and args.loops == 8
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])  # kind is required
+
+    def test_build_submit_request_parses_params(self):
+        from repro.cli import _build_submit_request, build_parser
+
+        args = build_parser().parse_args(
+            ["submit", "schedule", "fir_filter", "4C16S16",
+             "--param", "taps=8", "--policy", "non_iterative"]
+        )
+        request = _build_submit_request(args)
+        assert request == {
+            "kind": "schedule",
+            "params": {"kernel": "fir_filter", "config": "4C16S16",
+                       "policy": "non_iterative",
+                       "kernel_params": {"taps": 8}},
+        }
+
+    def test_submit_command_end_to_end(self, base_url, capsys):
+        from repro.cli import main
+
+        exit_code = main([
+            "submit", "--url", base_url, "--poll", "0.05", "--validate",
+            "schedule", "daxpy", "S64",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        envelope = json.loads(out)
+        serialize.validate(envelope, expect_type="schedule_result")
+
+    def test_schema_command_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "schema.json"
+        assert main(["schema", "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload == serialize.schema()
+        assert main(["schema"]) == 0  # stdout variant
+        printed = capsys.readouterr().out
+        assert '"schedule_result"' in printed

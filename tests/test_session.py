@@ -1,0 +1,348 @@
+"""Tests for the session-based API (repro.session) and the v1 shims.
+
+The acceptance contract of the v2 redesign:
+
+* ``Session.evaluate_stream`` yields results *incrementally* -- the
+  first run arrives while the slowest loop is still scheduling (verified
+  with an instrumented worker) -- and its collected output is
+  bit-identical to the batch path on the standard workbench;
+* a warm session makes ``compare_configurations`` free (zero
+  ``schedule_loop`` calls on the second sweep);
+* no-op parallelism requests are warned about, not swallowed;
+* every v1 verb keeps working through the shims, with deprecation
+  warnings on the plumbing kwargs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import api, serialize
+from repro.core.engine import SchedulerEngine
+from repro.eval.cache import EvalCache
+from repro.session import (
+    RunReady,
+    Session,
+    SuiteFinished,
+    SuiteStarted,
+    default_session,
+)
+from repro.workloads.kernels import build_kernel
+from repro.workloads.suite import perfect_club_like_suite
+
+SEED = 2003
+
+
+def normalized(run):
+    """The canonical envelope of one run, wall-clock counter zeroed."""
+    envelope = serialize.to_dict(run)
+    envelope["data"]["result"]["scheduling_time_s"] = 0.0
+    return envelope
+
+
+@pytest.fixture
+def schedule_calls(monkeypatch):
+    """Count every in-process SchedulerEngine.schedule_loop invocation."""
+    calls = {"n": 0}
+    original = SchedulerEngine.schedule_loop
+
+    def spy(self, loop):
+        calls["n"] += 1
+        return original(self, loop)
+
+    monkeypatch.setattr(SchedulerEngine, "schedule_loop", spy)
+    return calls
+
+
+# --------------------------------------------------------------------------- #
+# Streaming: equivalence with the batch path
+# --------------------------------------------------------------------------- #
+class TestEvaluateStream:
+    def test_stream_equals_batch_on_64_loop_workbench(self):
+        """The acceptance criterion: collected stream == batch, bit for bit."""
+        loops = perfect_club_like_suite(64, seed=SEED)
+        session = Session()
+        streamed = list(session.evaluate_stream("S64", loops=loops))
+        batch = session.evaluate_configuration("S64", loops=loops)
+        assert len(streamed) == len(batch.runs) == 64
+        # Serial streams arrive in workbench order; compare pointwise and
+        # as canonical JSON (everything but the wall-clock counter).
+        for stream_run, batch_run in zip(streamed, batch.runs):
+            assert normalized(stream_run) == normalized(batch_run)
+
+    def test_parallel_stream_equals_batch_any_arrival_order(self):
+        loops = perfect_club_like_suite(12, seed=7)
+        session = Session()
+        batch = session.evaluate_configuration("4C16S16", loops=loops)
+        with Session(jobs=2) as parallel_session:
+            streamed = list(
+                parallel_session.evaluate_stream("4C16S16", loops=loops)
+            )
+        assert len(streamed) == len(batch.runs)
+        # Arrival order is unspecified: match by loop identity.
+        by_name = {run.loop.name: run for run in streamed}
+        assert set(by_name) == {run.loop.name for run in batch.runs}
+        for batch_run in batch.runs:
+            assert normalized(by_name[batch_run.loop.name]) == normalized(batch_run)
+
+    def test_event_stream_structure_and_report(self):
+        session = Session()
+        events = list(session.evaluate_stream("S64", n_loops=5, events=True))
+        assert isinstance(events[0], SuiteStarted)
+        assert events[0].n_total == 5
+        ready = [event for event in events if isinstance(event, RunReady)]
+        assert [event.n_done for event in ready] == [1, 2, 3, 4, 5]
+        assert isinstance(events[-1], SuiteFinished)
+        report = events[-1].report
+        batch = session.evaluate_configuration("S64", n_loops=5)
+        assert [normalized(run) for run in report.runs] == [
+            normalized(run) for run in batch.runs
+        ]
+        assert report.cycles == batch.cycles
+
+    def test_warm_session_streams_from_cache(self, schedule_calls):
+        session = Session(cache=EvalCache())
+        list(session.evaluate_stream("S64", n_loops=6))
+        assert schedule_calls["n"] == 6
+        events = list(session.evaluate_stream("S64", n_loops=6, events=True))
+        assert schedule_calls["n"] == 6  # zero new scheduling
+        ready = [event for event in events if isinstance(event, RunReady)]
+        assert all(event.cached for event in ready)
+
+    def test_first_result_arrives_before_slowest_loop_finishes(self, monkeypatch):
+        """Instrumented-worker check of the incremental contract.
+
+        One marker loop is made artificially slow inside the worker; with
+        two workers the fast loops must be yielded to the consumer while
+        the slow one is still scheduling.  Threads stand in for processes
+        so the instrumentation is observable in-process.
+        """
+        import repro.eval.experiments as experiments_mod
+        import repro.session.core as session_mod
+
+        slow_done_at = {"t": None}
+        original = experiments_mod._schedule_one
+
+        def instrumented(loop, engine, scaled, spec, prefetch):
+            if loop.name == "slow_marker":
+                time.sleep(0.6)
+                run = original(loop, engine, scaled, spec, prefetch)
+                slow_done_at["t"] = time.monotonic()
+                return run
+            return original(loop, engine, scaled, spec, prefetch)
+
+        monkeypatch.setattr(experiments_mod, "_schedule_one", instrumented)
+        monkeypatch.setattr(session_mod, "ProcessPoolExecutor", ThreadPoolExecutor)
+
+        slow = build_kernel("daxpy")
+        slow.name = "slow_marker"
+        fast = []
+        for index in range(7):
+            loop = build_kernel("vadd")
+            loop.name = f"fast_{index}"
+            fast.append(loop)
+        loops = [slow, *fast]  # the slow loop is submitted first
+
+        with Session(jobs=2) as session:
+            first_names, first_yield_at = [], None
+            for run in session.evaluate_stream("S64", loops=loops):
+                if first_yield_at is None:
+                    first_yield_at = time.monotonic()
+                first_names.append(run.loop.name)
+        assert slow_done_at["t"] is not None
+        # The stream yielded its first (fast) result while the slow loop
+        # was still inside the worker, and the slow loop arrived last.
+        assert first_yield_at < slow_done_at["t"]
+        assert first_names[0] != "slow_marker"
+        assert first_names[-1] == "slow_marker"
+        assert sorted(first_names) == sorted(loop.name for loop in loops)
+
+    def test_abandoned_stream_is_safe(self):
+        session = Session()
+        stream = session.evaluate_stream("S64", n_loops=6)
+        first = next(stream)
+        assert first.result.success
+        stream.close()  # no leaked state; session still usable
+        assert session.evaluate_configuration("S64", n_loops=2).n_failed == 0
+
+
+# --------------------------------------------------------------------------- #
+# Session state: cache, pool, lifecycle
+# --------------------------------------------------------------------------- #
+class TestSessionState:
+    def test_session_cache_shared_across_verbs(self, schedule_calls):
+        session = Session(cache=EvalCache())
+        session.evaluate_configuration("S64", n_loops=4)
+        cold = schedule_calls["n"]
+        assert cold == 4
+        session.evaluate_configuration("S64", n_loops=4)
+        assert schedule_calls["n"] == cold
+
+    def test_warm_session_compare_is_free(self, schedule_calls):
+        """Satellite: compare_configurations reuses the session cache."""
+        session = Session(cache=EvalCache())
+        cold = session.compare_configurations(
+            ["S64", "4C16S16"], n_loops=4, seed=SEED
+        )
+        calls_after_cold = schedule_calls["n"]
+        assert calls_after_cold > 0
+        warm = session.compare_configurations(
+            ["S64", "4C16S16"], n_loops=4, seed=SEED
+        )
+        assert schedule_calls["n"] == calls_after_cold  # zero schedule_loop calls
+        assert warm["ranking"] == cold["ranking"]
+
+    def test_compare_without_session_cache_still_dedups(self, schedule_calls):
+        session = Session()
+        # S64 appears as reference and explicitly: scheduled once.
+        session.compare_configurations(["S64"], n_loops=3, seed=SEED)
+        assert schedule_calls["n"] == 3
+
+    def test_schedule_kernel_warms_the_session_cache(self, schedule_calls):
+        session = Session(cache=EvalCache())
+        first = session.schedule_kernel("daxpy", "4C16S16")
+        assert schedule_calls["n"] == 1
+        second = session.schedule_kernel("daxpy", "4C16S16")
+        assert schedule_calls["n"] == 1  # served from the session cache
+        assert second.ii == first.ii
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Session(jobs=-1)
+        with pytest.raises(ValueError):
+            Session(policy="not_a_bundle")
+
+    def test_closed_session_rejected(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.schedule_kernel("daxpy", "S64")
+        with pytest.raises(RuntimeError, match="closed"):
+            list(session.evaluate_stream("S64", n_loops=1))
+
+    def test_context_manager_closes(self):
+        with Session() as session:
+            session.schedule_kernel("daxpy", "S64")
+        assert session.stats()["closed"]
+
+    def test_default_session_is_reused_and_recreated(self):
+        first = default_session()
+        assert default_session() is first
+        first.close()
+        second = default_session()
+        assert second is not first
+        assert not second.stats()["closed"]
+
+    def test_stats_shape(self):
+        session = Session(cache=EvalCache())
+        session.schedule_kernel("daxpy", "S64")
+        stats = session.stats()
+        assert stats["policy"] == "mirs_hc"
+        assert stats["cache"]["stores"] == 1
+        assert stats["pool_active"] is False
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: no-op parallelism is warned about, not swallowed
+# --------------------------------------------------------------------------- #
+class TestNoOpJobsValidation:
+    def test_schedule_kernel_warns_on_noop_jobs(self):
+        session = Session()
+        with pytest.warns(UserWarning, match="no effect"):
+            result = session.schedule_kernel("daxpy", "S64", jobs=4)
+        assert result.success  # warned, not rejected
+
+    def test_schedule_kernel_warns_on_jobs_zero(self):
+        # jobs=0 means "all CPUs" -- still a no-op for one loop, unless
+        # the machine genuinely has a single CPU (then it *is* serial).
+        from repro.eval.parallel import resolve_jobs
+
+        if resolve_jobs(0) == 1:
+            pytest.skip("single-CPU machine: jobs=0 is serial, no warning due")
+        with pytest.warns(UserWarning, match="no effect"):
+            Session().schedule_kernel("daxpy", "S64", jobs=0)
+
+    def test_no_warning_for_serial_or_default(self):
+        session = Session(jobs=2)  # session-wide default is not a no-op request
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            session.schedule_kernel("daxpy", "S64")
+            session.schedule_kernel("daxpy", "S64", jobs=1)
+        session.close()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Session().schedule_kernel("daxpy", "S64", jobs=-2)
+
+
+# --------------------------------------------------------------------------- #
+# v1 shims: identical behaviour plus deprecation warnings
+# --------------------------------------------------------------------------- #
+class TestV1Shims:
+    def test_plain_calls_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.schedule_kernel("daxpy", "S64")
+            api.evaluate_configuration("S64", n_loops=2)
+            api.compare_configurations(["S64"], n_loops=2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policy": "non_iterative"},
+            {"jobs": 1},
+            {"cache": EvalCache()},
+            {"budget_ratio": 4.0},
+        ],
+    )
+    def test_schedule_kernel_plumbing_warns(self, kwargs):
+        with pytest.warns(DeprecationWarning, match="repro.session.Session"):
+            result = api.schedule_kernel("daxpy", "S64", **kwargs)
+        assert result.success
+
+    def test_evaluate_configuration_plumbing_warns(self):
+        from repro.machine import baseline_machine
+
+        with pytest.warns(DeprecationWarning, match="machine"):
+            report = api.evaluate_configuration(
+                "S64", n_loops=2, machine=baseline_machine()
+            )
+        assert report.n_failed == 0
+
+    def test_compare_configurations_cache_warns_but_works(self, schedule_calls):
+        cache = EvalCache()
+        with pytest.warns(DeprecationWarning, match="cache"):
+            cold = api.compare_configurations(
+                ["S64", "4C16S16"], n_loops=3, seed=SEED, cache=cache
+            )
+        calls_after_cold = schedule_calls["n"]
+        with pytest.warns(DeprecationWarning, match="cache"):
+            warm = api.compare_configurations(
+                ["S64", "4C16S16"], n_loops=3, seed=SEED, cache=cache
+            )
+        assert schedule_calls["n"] == calls_after_cold
+        assert warm["ranking"] == cold["ranking"]
+
+    def test_shim_results_match_session_results(self):
+        shim = api.schedule_kernel("fir_filter", "4C16S16", taps=8)
+        direct = Session().schedule_kernel("fir_filter", "4C16S16", taps=8)
+        a, b = serialize.to_dict(shim), serialize.to_dict(direct)
+        a["data"]["scheduling_time_s"] = b["data"]["scheduling_time_s"] = 0.0
+        assert a == b
+
+    def test_policy_override_still_honoured(self):
+        with pytest.warns(DeprecationWarning):
+            result = api.schedule_kernel(
+                "daxpy", "4C16S16", policy="non_iterative"
+            )
+        assert result.policy == "non_iterative"
+
+    def test_configuration_report_reexported(self):
+        assert api.ConfigurationReport is not None
+        report = api.evaluate_configuration("S64", n_loops=2)
+        assert isinstance(report, api.ConfigurationReport)
