@@ -1,0 +1,57 @@
+"""Paper-scale workbench benchmark: sharded, checkpointed evaluation.
+
+Regenerates the machine-readable ``BENCH_workbench.json`` trajectory
+record (wall-clock, loops/sec, cache and shard-resume statistics per
+configuration) for the benchmark tier, and asserts the checkpoint
+subsystem's core invariants at benchmark scale:
+
+* a resumed evaluation restores every shard and schedules nothing;
+* the resumed result is canonically identical to the cold run;
+* resuming is dramatically cheaper than evaluating.
+
+The tier is ``small`` by default so the record regenerates in seconds;
+``REPRO_BENCH_TIER=standard`` (or ``full``) scales it up -- the nightly
+CI job runs the ``full`` 1258-loop tier with a persisted checkpoint
+directory, so it resumes across days.  The committed repo-root
+``BENCH_workbench.json`` is the baseline this record is gated against
+(see ``repro bench compare`` and the ``perf-gate`` CI job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.eval.bench import run_workbench_bench
+
+#: Tier evaluated by the benchmark record; override with REPRO_BENCH_TIER.
+BENCH_TIER = os.environ.get("REPRO_BENCH_TIER", "small")
+BENCH_CONFIGS = ("S64", "4C16S16")
+
+
+def test_workbench_bench_record(output_dir):
+    record = run_workbench_bench(
+        tier=BENCH_TIER,
+        configs=BENCH_CONFIGS,
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+    )
+
+    # Invariant 1+2: every configuration resumed bit-identically with
+    # zero re-scheduling (the store restored every shard).
+    assert record["totals"]["resume_identical"] is True
+    for name in BENCH_CONFIGS:
+        entry = record["configs"][name]
+        assert entry["resume_identical"] is True
+        assert entry["resume"]["store"]["hits"] == entry["n_shards"]
+        assert entry["resume"]["store"]["stores"] == 0
+        assert entry["cold"]["n_failed"] == 0
+
+    # Invariant 3: restoring shards beats scheduling them.  Kept as a
+    # loose sanity floor (loaded CI runners); the measured ratio is
+    # recorded for trajectory tracking.
+    pressured = record["configs"]["4C16S16"]
+    assert pressured["resume_speedup"] > 1.0
+
+    (output_dir / "BENCH_workbench.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )

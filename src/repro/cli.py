@@ -1,14 +1,16 @@
 """Command-line interface.
 
-Seven sub-commands cover the common workflows::
+Eight sub-commands cover the common workflows::
 
     python -m repro.cli schedule daxpy 4C16S16 --code --registers
-    python -m repro.cli evaluate 4C16S16 S64 --loops 32 --jobs 4
+    python -m repro.cli evaluate 4C16S16 S64 --tier full --jobs 0 \\
+        --checkpoint .repro-checkpoint
     python -m repro.cli reproduce table6 --loops 48 --jobs 0 --cache .repro-cache
     python -m repro.cli fuzz --seeds 200 --budget 120s --corpus tests/corpus
     python -m repro.cli serve --port 8734 --jobs 0 --cache .repro-cache
     python -m repro.cli submit schedule daxpy 4C16S16
     python -m repro.cli schema --out repro-schema.json
+    python -m repro.cli bench run --tier small --out BENCH_workbench.json
 
 * ``schedule`` schedules one named kernel on one configuration and prints
   the kernel table (optionally the register allocation, the emitted
@@ -26,13 +28,21 @@ Seven sub-commands cover the common workflows::
 * ``submit`` sends one job to a running ``serve`` instance, polls it to
   completion and prints the JSON result envelope;
 * ``schema`` writes the machine-readable serialization schema that wire
-  results validate against.
+  results validate against;
+* ``bench`` runs the workbench benchmark (``bench run`` writes the
+  ``BENCH_workbench.json`` trajectory record) and gates fresh records
+  against committed baselines (``bench compare``).
 
 Every scheduling sub-command builds a :class:`repro.session.Session`
 from its flags: ``--jobs N`` (worker processes; ``0`` = one per CPU),
 ``--cache DIR`` (persist scheduling results on disk), and -- where it
 makes sense -- ``--policy BUNDLE`` (``reproduce ablation_policies``
 compares all of them; ``fuzz`` takes ``--policies BUNDLE... | all``).
+Workbench-sized commands additionally take ``--tier`` (the stratified
+workbench registry; ``--loops`` beyond the tier size is an error) and
+``--checkpoint DIR`` / ``--resume`` / ``--shard-size N`` (persist every
+completed evaluation shard so an interrupted run resumes where it
+stopped).
 """
 
 from __future__ import annotations
@@ -47,10 +57,12 @@ from repro.core.codegen import generate_code
 from repro.core.policy import bundle_names
 from repro.eval import experiments
 from repro.eval.cache import EvalCache
+from repro.eval.shards import DEFAULT_SHARD_SIZE, ResultStore
 from repro.hwmodel.timing import scaled_machine
 from repro.machine.presets import baseline_machine, config_by_name
 from repro.session import Session
 from repro.workloads.kernels import kernel_names
+from repro.workloads.suite import WorkbenchSizeError, tier_names
 
 __all__ = ["main", "build_parser"]
 
@@ -101,6 +113,25 @@ def build_parser() -> argparse.ArgumentParser:
                      f"(default: mirs_hc; known: {', '.join(bundle_names())})",
             )
 
+    def add_checkpoint_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--checkpoint", default=None, metavar="DIR",
+            help="persist every completed evaluation shard in DIR; a "
+                 "re-run with the same DIR restores completed shards "
+                 "instead of re-scheduling them (default: no checkpoint)",
+        )
+        command.add_argument(
+            "--resume", action="store_true",
+            help="require that --checkpoint DIR already holds shards to "
+                 "resume from (guards against resuming into an empty or "
+                 "mistyped directory)",
+        )
+        command.add_argument(
+            "--shard-size", type=_positive_int, default=DEFAULT_SHARD_SIZE,
+            metavar="N",
+            help=f"loops per checkpoint shard (default: {DEFAULT_SHARD_SIZE})",
+        )
+
     schedule = sub.add_parser("schedule", help="schedule one kernel on one configuration")
     schedule.add_argument("kernel", choices=sorted(kernel_names()))
     schedule.add_argument("config", help="register-file configuration, e.g. 4C16S16")
@@ -116,10 +147,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = sub.add_parser("evaluate", help="compare configurations on a workbench")
     evaluate.add_argument("configs", nargs="+", help="configuration names")
-    evaluate.add_argument("--loops", type=int, default=32)
+    evaluate.add_argument(
+        "--loops", type=int, default=None,
+        help="workbench size (default: 32, or the whole tier when --tier "
+             "is given explicitly)",
+    )
     evaluate.add_argument("--seed", type=int, default=2003)
+    evaluate.add_argument(
+        "--tier", default=None, choices=tier_names(),
+        help="workbench tier the loops are drawn from (default: standard); "
+             "naming a tier without --loops evaluates the whole tier, and "
+             "--loops beyond the tier size is an error, not a truncation",
+    )
     evaluate.add_argument("--reference", default="S64")
     add_engine_flags(evaluate)
+    add_checkpoint_flags(evaluate)
 
     reproduce = sub.add_parser(
         "reproduce",
@@ -131,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     # No --policy: the paper's tables are defined for the MIRS_HC bundle;
     # 'reproduce ablation_policies' compares every registered bundle.
     add_engine_flags(reproduce, policy=False)
+    add_checkpoint_flags(reproduce)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -183,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     add_engine_flags(serve)
+    add_checkpoint_flags(serve)
 
     submit = sub.add_parser(
         "submit",
@@ -210,8 +254,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit_evaluate = submit_kind.add_parser(
         "evaluate", help="evaluate a workbench on one configuration")
     submit_evaluate.add_argument("config")
-    submit_evaluate.add_argument("--loops", type=int, default=16)
+    submit_evaluate.add_argument(
+        "--loops", type=int, default=None,
+        help="workbench size (default: 16, or the whole tier when --tier "
+             "is given)",
+    )
     submit_evaluate.add_argument("--seed", type=int, default=2003)
+    submit_evaluate.add_argument("--tier", default=None, choices=tier_names(),
+                                 help="workbench tier to draw the loops from "
+                                      "(without --loops: the whole tier)")
     submit_evaluate.add_argument("--policy", default=None, choices=bundle_names())
 
     schema = sub.add_parser(
@@ -221,6 +272,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     schema.add_argument("--out", default=None, metavar="FILE",
                         help="write to FILE instead of stdout")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run or gate the machine-readable performance benchmarks "
+             "(the BENCH_*.json trajectory records)",
+    )
+    bench_kind = bench.add_subparsers(dest="kind", required=True)
+    bench_run = bench_kind.add_parser(
+        "run",
+        help="evaluate a workbench tier cold + resumed and write the "
+             "BENCH_workbench.json record",
+    )
+    bench_run.add_argument("--tier", default="small", choices=tier_names(),
+                           help="workbench tier to benchmark (default: small)")
+    bench_run.add_argument("--configs", nargs="+", metavar="CFG",
+                           default=["S64", "4C16S16"],
+                           help="configurations to evaluate "
+                                "(default: S64 4C16S16)")
+    bench_run.add_argument("--loops", type=int, default=None, metavar="N",
+                           help="benchmark only the tier's first N loops")
+    bench_run.add_argument("--seed", type=int, default=None)
+    bench_run.add_argument("--jobs", type=_nonnegative_int, default=1,
+                           metavar="N",
+                           help="worker processes (0 = one per CPU)")
+    bench_run.add_argument("--shard-size", type=_positive_int,
+                           default=DEFAULT_SHARD_SIZE, metavar="N")
+    bench_run.add_argument("--checkpoint", default=None, metavar="DIR",
+                           help="persist the benchmark's shard stores in DIR "
+                                "(a rerun then resumes; default: temporary)")
+    bench_run.add_argument("--out", default="BENCH_workbench.json",
+                           metavar="FILE",
+                           help="record path (default: BENCH_workbench.json)")
+    bench_compare = bench_kind.add_parser(
+        "compare",
+        help="gate a fresh BENCH_*.json record against a committed baseline",
+    )
+    bench_compare.add_argument("baseline", help="committed baseline record")
+    bench_compare.add_argument("fresh", help="freshly generated record")
+    bench_compare.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="allowed wall-clock regression as a fraction (default: 0.25); "
+             "counter checks (full sweeps, failures, resume identity) are "
+             "always exact",
+    )
 
     return parser
 
@@ -256,6 +351,17 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for strictly positive counts (e.g. --shard-size)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _cache_from_args(args: argparse.Namespace) -> Optional[EvalCache]:
     """Build the on-disk result cache requested by ``--cache DIR`` (if any)."""
     if not args.cache:
@@ -264,6 +370,33 @@ def _cache_from_args(args: argparse.Namespace) -> Optional[EvalCache]:
         return EvalCache(args.cache)
     except OSError as exc:
         raise SystemExit(f"error: --cache {args.cache}: {exc}")
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The shard checkpoint store requested by ``--checkpoint DIR`` (if any).
+
+    ``--resume`` additionally requires the store to already hold at least
+    one shard envelope: resuming into an empty (freshly created, or
+    mistyped) directory is almost certainly not what the caller meant,
+    and silently starting cold would discard hours of prior work.
+    """
+    checkpoint = getattr(args, "checkpoint", None)
+    if not checkpoint:
+        if getattr(args, "resume", False):
+            raise SystemExit("error: --resume requires --checkpoint DIR")
+        return None
+    # Probed before ResultStore() so a mistyped path is rejected without
+    # being mkdir'd into existence (an empty directory left behind would
+    # make the typo look like a valid cold checkpoint on the next run).
+    if getattr(args, "resume", False) and not ResultStore.has_shards(checkpoint):
+        raise SystemExit(
+            f"error: --resume: no completed shards found under "
+            f"{checkpoint!r} (drop --resume for a cold checkpointed run)"
+        )
+    try:
+        return ResultStore(checkpoint)
+    except OSError as exc:
+        raise SystemExit(f"error: --checkpoint {checkpoint}: {exc}")
 
 
 def _session_from_args(
@@ -275,6 +408,8 @@ def _session_from_args(
         budget_ratio=6.0 if budget_ratio is None else budget_ratio,
         jobs=args.jobs,
         cache=_cache_from_args(args),
+        checkpoint=_store_from_args(args),
+        shard_size=getattr(args, "shard_size", DEFAULT_SHARD_SIZE),
     )
 
 
@@ -309,11 +444,26 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import workbench_tier
+
+    # Naming a tier is asking for that workbench: '--tier full' without
+    # --loops means all 1258 loops, not a silent 32-loop subset.  Without
+    # an explicit tier the historical 32-loop default applies, validated
+    # against the standard tier.
+    tier = args.tier or "standard"
+    n_loops = args.loops
+    if n_loops is None:
+        n_loops = workbench_tier(tier).n_loops if args.tier else 32
     with _session_from_args(args) as session:
-        comparison = session.compare_configurations(
-            args.configs, n_loops=args.loops, seed=args.seed,
-            reference=args.reference,
-        )
+        try:
+            comparison = session.compare_configurations(
+                args.configs, n_loops=n_loops, seed=args.seed,
+                tier=tier, reference=args.reference,
+            )
+        except WorkbenchSizeError as exc:
+            # --loops beyond the tier must be reported with the sizes
+            # that are available, never silently truncated.
+            raise SystemExit(f"error: --loops {args.loops}: {exc}")
     print(comparison["table"].render())
     print()
     print("ranking (fastest first):", ", ".join(comparison["ranking"]))
@@ -328,7 +478,10 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     cache = _cache_from_args(args)
     if cache is None:
         cache = EvalCache()
-    with Session(jobs=args.jobs, cache=cache) as session:
+    with Session(
+        jobs=args.jobs, cache=cache,
+        checkpoint=_store_from_args(args), shard_size=args.shard_size,
+    ) as session:
         for target in targets:
             driver = EXPERIMENT_DRIVERS[target]
             result = driver(n_loops=args.loops, seed=args.seed, session=session)
@@ -390,6 +543,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(f"repro service listening on http://{host}:{port} "
           f"(jobs={args.jobs}, cache={args.cache or 'memory-only'}, "
+          f"checkpoint={args.checkpoint or 'off'}, "
           f"policy={args.policy})", flush=True)
     try:
         server.serve_forever()
@@ -420,7 +574,11 @@ def _build_submit_request(args: argparse.Namespace) -> Dict[str, object]:
         if kernel_params:
             params["kernel_params"] = kernel_params
         return {"kind": "schedule", "params": params}
-    params = {"config": args.config, "n_loops": args.loops, "seed": args.seed}
+    params: Dict[str, object] = {"config": args.config, "seed": args.seed}
+    if args.loops is not None:
+        params["n_loops"] = args.loops
+    if args.tier:
+        params["tier"] = args.tier
     if args.policy:
         params["policy"] = args.policy
     return {"kind": "evaluate", "params": params}
@@ -491,6 +649,52 @@ def _cmd_schema(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.eval import bench as bench_mod
+
+    if args.kind == "run":
+        try:
+            record = bench_mod.run_workbench_bench(
+                tier=args.tier,
+                configs=args.configs,
+                n_loops=args.loops,
+                seed=args.seed,
+                jobs=args.jobs,
+                shard_size=args.shard_size,
+                checkpoint_dir=args.checkpoint,
+            )
+        except WorkbenchSizeError as exc:
+            raise SystemExit(f"error: --loops {args.loops}: {exc}")
+        from pathlib import Path
+
+        path = Path(args.out)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        totals = record["totals"]
+        print(f"wrote {path} (tier={record['tier']}, "
+              f"loops={record['n_loops']}, wall={totals['wall_s']:.2f}s, "
+              f"resume_identical={totals['resume_identical']})")
+        return 0 if totals["resume_identical"] else 1
+
+    assert args.kind == "compare"
+    baseline = bench_mod.load_record(args.baseline)
+    fresh = bench_mod.load_record(args.fresh)
+    problems, notes = bench_mod.compare_bench(
+        baseline, fresh, tolerance=args.tolerance
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        print(f"{len(problems)} benchmark regression(s) vs {args.baseline}")
+        return 1
+    print(f"{args.fresh} is within tolerance of {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -501,6 +705,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "schema": _cmd_schema,
+        "bench": _cmd_bench,
     }
     handler = handlers.get(args.command)
     if handler is None:  # pragma: no cover - argparse guards this

@@ -13,7 +13,7 @@ busy, which the reservation logic treats as occupying every row).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.machine.resources import ResourceKey, ResourceUse
 
@@ -45,29 +45,53 @@ class ModuloReservationTable:
         self._held: Dict[int, List[Tuple[ResourceKey, int]]] = {}
 
     # ------------------------------------------------------------------ #
-    def _slots(self, use: ResourceUse, cycle: int) -> Iterable[int]:
+    def _slots(self, use: ResourceUse, cycle: int) -> List[int]:
+        """Modulo slots a use occupies.  Kept allocation-free for the
+        overwhelmingly common fully pipelined (duration == 1) case."""
         start = cycle + use.offset
+        if use.duration == 1:
+            return [start % self.ii]
         span = min(use.duration, self.ii)
-        for delta in range(span):
-            yield (start + delta) % self.ii
+        return [(start + delta) % self.ii for delta in range(span)]
 
     def capacity(self, key: ResourceKey) -> int:
         return self._counts.get(key, 0)
 
     def can_reserve(self, uses: Sequence[ResourceUse], cycle: int) -> bool:
-        """True when every requested reservation has a free instance."""
+        """True when every requested reservation has a free instance.
+
+        This is the scheduler's innermost feasibility check (hundreds of
+        thousands of calls per workbench config), so the common
+        single-slot path is fully inlined: no generator, one dict lookup
+        per use, and the multi-use double-counting dict is only built
+        when a second use actually lands on an already-counted slot.
+        """
+        counts = self._counts
+        table = self._table
+        ii = self.ii
         # Count how many instances each (resource, slot) pair would need,
         # so that two uses of the same resource in the same call are both
         # accounted for.
         needed: Dict[Tuple[ResourceKey, int], int] = {}
         for use in uses:
-            if self.capacity(use.key) <= 0:
+            key = use.key
+            capacity = counts.get(key, 0)
+            if capacity <= 0:
                 return False
-            for slot in self._slots(use, cycle):
-                needed[(use.key, slot)] = needed.get((use.key, slot), 0) + 1
-        for (key, slot), extra in needed.items():
-            if len(self._table[key][slot]) + extra > self._counts[key]:
-                return False
+            start = cycle + use.offset
+            if use.duration == 1:
+                slot = start % ii
+                extra = needed.get((key, slot), 0) + 1
+                if len(table[key][slot]) + extra > capacity:
+                    return False
+                needed[(key, slot)] = extra
+            else:
+                for delta in range(min(use.duration, ii)):
+                    slot = (start + delta) % ii
+                    extra = needed.get((key, slot), 0) + 1
+                    if len(table[key][slot]) + extra > capacity:
+                        return False
+                    needed[(key, slot)] = extra
         return True
 
     def reserve(self, node_id: int, uses: Sequence[ResourceUse], cycle: int) -> None:

@@ -218,6 +218,59 @@ class DepGraph:
         return clone
 
     # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Tuple:
+        """Compact pickle form: node tuples + edge tuples.
+
+        The worker fan-out of :mod:`repro.eval.parallel` pickles one
+        graph per loop out to the pool and one scheduled graph per result
+        back; the default dict-of-dicts state roughly doubles that
+        payload by carrying ``_pred`` (fully derivable from ``_succ``)
+        and a per-node ``Operation`` dataclass dict.  Listeners are
+        deliberately dropped: they track one live graph instance (e.g. a
+        scheduler's pressure tracker) and must never travel across a
+        process boundary with a result.
+        """
+        nodes = [
+            (
+                op.node_id, op.op, op.name, op.mem_ref, op.is_spill,
+                op.is_inserted, op.inserted_for, op.home_cluster,
+                op.latency_override,
+            )
+            for op in self._nodes.values()
+        ]
+        edges = [
+            (edge.src, edge.dst, edge.distance, edge.kind)
+            for succ in self._succ.values()
+            for edge in succ.values()
+        ]
+        return (self._next_id, nodes, edges)
+
+    def __setstate__(self, state: Tuple) -> None:
+        next_id, nodes, edges = state
+        self._nodes = {}
+        self._succ = {}
+        self._pred = {}
+        self._next_id = next_id
+        self._listeners = []
+        for (node_id, op, name, mem_ref, is_spill, is_inserted,
+             inserted_for, home_cluster, latency_override) in nodes:
+            operation = Operation(
+                node_id=node_id, op=op, name=name, mem_ref=mem_ref,
+                is_spill=is_spill, is_inserted=is_inserted,
+                inserted_for=inserted_for, home_cluster=home_cluster,
+                latency_override=latency_override,
+            )
+            self._nodes[node_id] = operation
+            self._succ[node_id] = {}
+            self._pred[node_id] = {}
+        for src, dst, distance, kind in edges:
+            edge = Dependence(src=src, dst=dst, distance=distance, kind=kind)
+            self._succ[src][dst] = edge
+            self._pred[dst][src] = edge
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

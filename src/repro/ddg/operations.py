@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 __all__ = ["OpType", "OpClass", "MemRef"]
 
@@ -26,9 +26,24 @@ class OpClass(enum.Enum):
     COMMUNICATION = "comm"      # moves data between register banks
     PSEUDO = "pseudo"           # no resource usage (live-in values)
 
+    # Enum members are singletons, so identity hashing is equivalent to
+    # the default name hashing -- but it runs as a C slot instead of a
+    # Python-level call.  Operation classes key the scheduler's hottest
+    # dictionaries (see :mod:`repro.core.mrt`), where the default hash
+    # showed up as a top-3 cost at paper scale.
+    __hash__ = object.__hash__
+
 
 class OpType(enum.Enum):
-    """The operation kinds that can appear in a dependence graph."""
+    """The operation kinds that can appear in a dependence graph.
+
+    Classification flags (``mnemonic``, ``op_class``, ``is_compute``,
+    ``is_memory``, ``is_communication``, ``is_pseudo``,
+    ``defines_register``) are plain attributes cached on each member
+    after the class is built: the scheduler queries them millions of
+    times per workbench, and property descriptors were a measurable
+    fraction of full-tier scheduling time.
+    """
 
     FADD = "fadd"
     FMUL = "fmul"
@@ -41,52 +56,48 @@ class OpType(enum.Enum):
     STORER = "storer"      # cluster bank -> shared bank  (hierarchical RFs)
     LIVE_IN = "live_in"    # loop-invariant / live-in value (no resources)
 
-    # ------------------------------------------------------------------ #
-    @property
-    def mnemonic(self) -> str:
-        """Lower-case mnemonic used to look up latencies in the machine."""
-        return self.value
+    # See OpClass.__hash__: identity hashing as a C slot for the
+    # scheduler's dictionary-heavy inner loops.
+    __hash__ = object.__hash__
 
-    @property
-    def op_class(self) -> OpClass:
-        if self in _COMPUTE_OPS:
-            return OpClass.COMPUTE
-        if self in _MEMORY_OPS:
-            return OpClass.MEMORY
-        if self in _COMM_OPS:
-            return OpClass.COMMUNICATION
-        return OpClass.PSEUDO
-
-    @property
-    def is_compute(self) -> bool:
-        return self in _COMPUTE_OPS
-
-    @property
-    def is_memory(self) -> bool:
-        return self in _MEMORY_OPS
-
-    @property
-    def is_communication(self) -> bool:
-        return self in _COMM_OPS
-
-    @property
-    def is_pseudo(self) -> bool:
-        return self is OpType.LIVE_IN
-
-    @property
-    def defines_register(self) -> bool:
-        """Operations that write a result into some register bank.
-
-        ``Store`` writes to memory, not to a register; everything else
-        (including ``StoreR``, which writes into the shared bank) defines a
-        register value.
-        """
-        return self is not OpType.STORE
+    if TYPE_CHECKING:  # pragma: no cover - assigned below, typed here
+        mnemonic: str
+        op_class: "OpClass"
+        is_compute: bool
+        is_memory: bool
+        is_communication: bool
+        is_pseudo: bool
+        defines_register: bool
 
 
 _COMPUTE_OPS = frozenset({OpType.FADD, OpType.FMUL, OpType.FDIV, OpType.FSQRT})
 _MEMORY_OPS = frozenset({OpType.LOAD, OpType.STORE})
 _COMM_OPS = frozenset({OpType.MOVE, OpType.LOADR, OpType.STORER})
+
+
+def _classify(op: OpType) -> OpClass:
+    if op in _COMPUTE_OPS:
+        return OpClass.COMPUTE
+    if op in _MEMORY_OPS:
+        return OpClass.MEMORY
+    if op in _COMM_OPS:
+        return OpClass.COMMUNICATION
+    return OpClass.PSEUDO
+
+
+for _op in OpType:
+    #: Lower-case mnemonic used to look up latencies in the machine.
+    _op.mnemonic = _op.value
+    _op.op_class = _classify(_op)
+    _op.is_compute = _op in _COMPUTE_OPS
+    _op.is_memory = _op in _MEMORY_OPS
+    _op.is_communication = _op in _COMM_OPS
+    _op.is_pseudo = _op is OpType.LIVE_IN
+    # Operations that write a result into some register bank: ``Store``
+    # writes to memory, not to a register; everything else (including
+    # ``StoreR``, which writes into the shared bank) defines a value.
+    _op.defines_register = _op is not OpType.STORE
+del _op
 
 
 @dataclass(frozen=True)

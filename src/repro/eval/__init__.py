@@ -20,6 +20,17 @@
 
 from repro.eval.cache import EvalCache, schedule_key
 from repro.eval.parallel import iter_schedule_loops, resolve_jobs, schedule_loops_parallel
+from repro.eval.shards import (
+    DEFAULT_SHARD_SIZE,
+    ResultStore,
+    Shard,
+    ShardPlan,
+    ShardResult,
+    iter_schedule_suite_sharded,
+    plan_shards,
+    report_digest,
+    runs_digest,
+)
 from repro.eval.metrics import (
     LoopRun,
     execution_cycles,
@@ -29,6 +40,7 @@ from repro.eval.metrics import (
     aggregate_cycles,
     aggregate_time_ns,
     aggregate_traffic,
+    static_bound_breakdown,
 )
 from repro.eval.reporting import ConfigurationReport, Table
 from repro.eval.experiments import (
@@ -48,6 +60,16 @@ from repro.eval.experiments import (
 __all__ = [
     "EvalCache",
     "schedule_key",
+    "DEFAULT_SHARD_SIZE",
+    "ResultStore",
+    "Shard",
+    "ShardPlan",
+    "ShardResult",
+    "iter_schedule_suite_sharded",
+    "plan_shards",
+    "report_digest",
+    "runs_digest",
+    "static_bound_breakdown",
     "resolve_jobs",
     "iter_schedule_loops",
     "iter_schedule_suite",

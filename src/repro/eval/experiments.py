@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.eval.cache import EvalCache
+    from repro.eval.shards import ResultStore
     from repro.session import Session
 
 from repro.ddg.loop import Loop
@@ -95,21 +96,25 @@ def _engine_context(
     session: "Optional[Session]",
     jobs: Optional[int],
     cache: "Optional[EvalCache]",
-) -> Tuple[int, "Optional[EvalCache]", object]:
-    """Resolve a driver's (jobs, cache, executor) from an optional session.
+) -> Tuple[int, "Optional[EvalCache]", object, "Optional[ResultStore]"]:
+    """Resolve a driver's (jobs, cache, executor, store) from an optional session.
 
     Explicit ``jobs=``/``cache=`` arguments win; a session fills whatever
-    the caller left unset and contributes its warm worker pool.  Without
-    a session the historical defaults apply (serial, no cache).
+    the caller left unset and contributes its warm worker pool and its
+    shard checkpoint store (so *every* driver becomes resumable when the
+    session was built with ``checkpoint=``).  Without a session the
+    historical defaults apply (serial, no cache, no checkpoint).
     """
     executor = None
+    store = None
     if session is not None:
         if jobs is None:
             jobs = session.jobs
         if cache is None:
             cache = session.cache
         executor = session.executor(jobs)
-    return (1 if jobs is None else jobs), cache, executor
+        store = session.checkpoint
+    return (1 if jobs is None else jobs), cache, executor, store
 
 
 # --------------------------------------------------------------------------- #
@@ -173,6 +178,8 @@ def iter_schedule_suite(
     jobs: int = 1,
     cache: Optional["EvalCache"] = None,
     executor=None,
+    store: "Optional[ResultStore]" = None,
+    shard_size: Optional[int] = None,
 ) -> Iterator[Tuple[int, LoopRun, bool]]:
     """Schedule a workbench, yielding ``(position, run, cached)`` as ready.
 
@@ -187,11 +194,38 @@ def iter_schedule_suite(
     without one the call spawns and tears down its own, exactly like
     :func:`schedule_suite`.  The stream ends with every position covered
     or raises ``RuntimeError`` on a bookkeeping hole.
+
+    ``store`` (a :class:`repro.eval.shards.ResultStore`) turns the run
+    into a *checkpointed* evaluation: the workbench is cut into
+    deterministic shards (``shard_size`` loops each), shards already in
+    the store are restored without scheduling, and every freshly
+    completed shard is persisted immediately -- see
+    :func:`repro.eval.shards.iter_schedule_suite_sharded`.
     """
     if jobs < 0:
-        # Validated up front so the same bad argument fails identically
-        # whether the loops end up cached, serial, or fanned out.
+        # Validated up front -- before the checkpoint short-circuit and
+        # before any cache probing -- so the same bad argument fails
+        # identically whether the loops end up restored, cached, serial,
+        # or fanned out.
         raise ValueError(f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}")
+    if store is not None:
+        from repro.eval.shards import DEFAULT_SHARD_SIZE, iter_schedule_suite_sharded
+
+        yield from iter_schedule_suite_sharded(
+            loops,
+            rf,
+            machine=machine,
+            scale_to_clock=scale_to_clock,
+            budget_ratio=budget_ratio,
+            scheduler=scheduler,
+            prefetch=prefetch,
+            jobs=jobs,
+            cache=cache,
+            executor=executor,
+            store=store,
+            shard_size=shard_size or DEFAULT_SHARD_SIZE,
+        )
+        return
     rf_config = config_by_name(rf) if isinstance(rf, str) else rf
     base = machine or baseline_machine()
     # Built up front even when every loop turns out to be cached: this
@@ -295,6 +329,8 @@ def schedule_suite(
     jobs: int = 1,
     cache: Optional["EvalCache"] = None,
     executor=None,
+    store: "Optional[ResultStore]" = None,
+    shard_size: Optional[int] = None,
 ) -> List[LoopRun]:
     """Schedule a whole workbench on one configuration.
 
@@ -320,6 +356,10 @@ def schedule_suite(
     result per unique (loop, configuration, knobs) problem: cache hits
     skip scheduling entirely, and only the missing loops are (re)scheduled
     -- serially or in parallel, as requested.
+
+    ``store`` (a :class:`repro.eval.shards.ResultStore`) checkpoints the
+    evaluation shard by shard: completed shards are restored from disk
+    on a re-run, so an interrupted suite resumes where it stopped.
     """
     runs: List[Optional[LoopRun]] = [None] * len(loops)
     for position, run, _cached in iter_schedule_suite(
@@ -333,6 +373,8 @@ def schedule_suite(
         jobs=jobs,
         cache=cache,
         executor=executor,
+        store=store,
+        shard_size=shard_size,
     ):
         runs[position] = run
     return list(runs)
@@ -355,7 +397,7 @@ def run_figure1(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """IPC achieved by a monolithic 128-register machine as resources grow."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     table = Table(
         ["resources", "fus", "mem_ports", "ipc", "efficiency"],
@@ -365,7 +407,7 @@ def run_figure1(
     rf = config_by_name("S128")
     for machine in figure1_machines():
         runs = schedule_suite(
-            loops, rf, machine=machine, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor
+            loops, rf, machine=machine, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor, store=store
         )
         total_ops = sum(
             _ops_per_iteration(run.loop) * run.loop.total_iterations for run in runs
@@ -399,7 +441,7 @@ def run_table1(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Execution-cycle breakdown (FU / MemPort / Rec / Com bound) per configuration."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     categories = ["fu", "mem", "rec", "com"]
     labels = {"fu": "F.U.", "mem": "MemPort", "rec": "Rec.", "com": "Com."}
@@ -410,7 +452,7 @@ def run_table1(
     per_config: Dict[str, Dict[str, Dict[str, float]]] = {}
     totals: Dict[str, float] = {}
     for rf in table1_configs():
-        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor, store=store)
         breakdown = {c: {"loops": 0.0, "cycles": 0.0} for c in categories}
         for run in runs:
             bound = run.result.bound if run.result.bound in breakdown else "fu"
@@ -539,7 +581,7 @@ def run_table3(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """%MII achieved, total II and scheduling time with unbounded registers."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     table = Table(
         [
@@ -555,7 +597,7 @@ def run_table3(
         per_variant = []
         for variant in (unlimited, limited):
             runs = schedule_suite(
-                loops, variant, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor
+                loops, variant, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor, store=store
             )
             achieved = sum(1 for run in runs if run.result.achieved_mii)
             sum_ii = sum(run.result.ii for run in runs if run.result.success)
@@ -594,13 +636,13 @@ def run_table4(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Head-to-head II comparison on a hierarchical non-clustered configuration."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     iterative = schedule_suite(
-        loops, config_name, scheduler="mirs_hc", jobs=jobs, cache=cache, executor=executor
+        loops, config_name, scheduler="mirs_hc", jobs=jobs, cache=cache, executor=executor, store=store
     )
     baseline = schedule_suite(
-        loops, config_name, scheduler="non_iterative", jobs=jobs, cache=cache, executor=executor
+        loops, config_name, scheduler="non_iterative", jobs=jobs, cache=cache, executor=executor, store=store
     )
 
     better = {"count": 0, "baseline_ii": 0, "mirs_ii": 0}
@@ -652,11 +694,11 @@ def run_table6(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Execution cycles, memory traffic, execution time and speedup vs S64."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     raw: Dict[str, Dict[str, float]] = {}
     for rf in table6_configs():
-        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor, store=store)
         raw[rf.name] = {
             "cycles": aggregate_cycles(runs),
             "traffic": aggregate_traffic(runs),
@@ -710,7 +752,7 @@ def run_figure4(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Cumulative distribution of the lp / sp ports loops need per cluster bank."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     table = Table(
         ["clusters"] + [f"lp<={p}" for p in range(max_ports + 1)]
@@ -720,7 +762,7 @@ def run_figure4(
     data: Dict[int, Dict[str, List[float]]] = {}
     for n_clusters in figure4_cluster_counts():
         rf = _figure4_config(n_clusters)
-        runs = schedule_suite(loops, rf, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor)
+        runs = schedule_suite(loops, rf, scale_to_clock=False, jobs=jobs, cache=cache, executor=executor, store=store)
         lp_needed: List[int] = []
         sp_needed: List[int] = []
         for run in runs:
@@ -764,14 +806,14 @@ def run_figure6(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Useful / stall cycles and execution time under the real memory system."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     policy = prefetch or PrefetchPolicy()
     machine = baseline_machine()
     raw: Dict[str, Dict[str, float]] = {}
     for rf in figure6_configs():
         spec = derive_hardware(machine, rf)
-        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache, executor=executor)
+        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache, executor=executor, store=store)
         cache_config = CacheConfig(
             size_bytes=machine.cache_size_bytes,
             line_bytes=machine.cache_line_bytes,
@@ -840,7 +882,7 @@ def run_ablation_budget_ratio(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Sensitivity of schedule quality and scheduling time to Budget_Ratio."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     table = Table(
         ["budget_ratio", "sum II", "failed", "%MII", "sched time (s)"],
@@ -849,7 +891,7 @@ def run_ablation_budget_ratio(
     rows = {}
     for ratio in ratios:
         runs = schedule_suite(
-            loops, config_name, budget_ratio=ratio, jobs=jobs, cache=cache, executor=executor
+            loops, config_name, budget_ratio=ratio, jobs=jobs, cache=cache, executor=executor, store=store
         )
         # Loops the scheduler gives up on are charged a large penalty so
         # that starving the budget shows up in the aggregate instead of
@@ -881,7 +923,7 @@ def run_ablation_prefetch(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Effect of selective binding prefetching on stall cycles (one configuration)."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     machine = baseline_machine()
     rf = config_by_name(config_name)
@@ -900,7 +942,7 @@ def run_ablation_prefetch(
     rows = {}
     for enabled in (False, True):
         policy = PrefetchPolicy(enabled=enabled)
-        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache, executor=executor)
+        runs = schedule_suite(loops, rf, prefetch=policy, jobs=jobs, cache=cache, executor=executor, store=store)
         useful = 0.0
         stall = 0.0
         for run in runs:
@@ -924,7 +966,7 @@ def run_ablation_ports(
     session: "Optional[Session]" = None,
 ) -> ExperimentResult:
     """Sensitivity of the achieved II to the number of lp/sp ports."""
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     base = config_by_name(base_config)
     table = Table(
@@ -934,7 +976,7 @@ def run_ablation_ports(
     rows = {}
     for lp, sp in port_counts:
         rf = base.with_ports(lp, sp)
-        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor)
+        runs = schedule_suite(loops, rf, jobs=jobs, cache=cache, executor=executor, store=store)
         sum_ii = sum(run.result.ii for run in runs if run.result.success)
         pct_mii = 100.0 * sum(1 for r in runs if r.result.achieved_mii) / len(runs)
         table.add_row(lp, sp, sum_ii, pct_mii)
@@ -961,7 +1003,7 @@ def run_ablation_policies(
     Bundles default to every registered one (see
     :func:`repro.core.policy.bundle_names`).
     """
-    jobs, cache, executor = _engine_context(session, jobs, cache)
+    jobs, cache, executor, store = _engine_context(session, jobs, cache)
     loops = _suite(n_loops, seed)
     names = list(policies) if policies else bundle_names()
     table = Table(
@@ -974,7 +1016,7 @@ def run_ablation_policies(
     rows: Dict[str, Dict[str, object]] = {}
     for name in names:
         bundle = resolve_bundle(name)
-        runs = schedule_suite(loops, config_name, scheduler=name, jobs=jobs, cache=cache, executor=executor)
+        runs = schedule_suite(loops, config_name, scheduler=name, jobs=jobs, cache=cache, executor=executor, store=store)
         # Loops a bundle gives up on are charged a penalty so weak
         # bundles show up in the aggregate instead of shrinking the sum.
         sum_ii = sum(

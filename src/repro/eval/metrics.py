@@ -32,6 +32,7 @@ __all__ = [
     "aggregate_cycles",
     "aggregate_traffic",
     "aggregate_time_ns",
+    "static_bound_breakdown",
 ]
 
 
@@ -135,3 +136,39 @@ def aggregate_traffic(runs: Iterable[LoopRun]) -> float:
 def aggregate_time_ns(runs: Iterable[LoopRun]) -> float:
     """Total execution time (ns) over a workbench."""
     return sum(run.time_ns for run in runs)
+
+
+def static_bound_breakdown(
+    loops: Iterable[Loop],
+    rf: "object" = "S128",
+    machine: "Optional[object]" = None,
+) -> dict:
+    """Fraction of loops bound by each MII component (no scheduling).
+
+    Classifies every loop by the binding constraint of its *static* MII
+    breakdown (:func:`repro.ddg.analysis.compute_mii` -- memory ports,
+    functional units, recurrences, or communication bandwidth) on the
+    given configuration and machine.  This is how the workbench tiers
+    are checked against the paper's Table 1 targets
+    (:data:`repro.workloads.suite.TABLE1_BOUND_TARGETS`) without paying
+    for a full scheduling pass: MII analysis is a pure graph computation
+    and covers the 1258-loop ``full`` tier in about a second.
+
+    Returns a dict mapping ``{"mem", "fu", "rec", "com"}`` to fractions
+    summing to 1.0 (absent categories are 0.0).
+    """
+    from repro.ddg.analysis import compute_mii
+    from repro.machine.presets import baseline_machine, config_by_name
+    from repro.machine.resources import ResourceModel
+
+    rf_config = config_by_name(rf) if isinstance(rf, str) else rf
+    base = machine or baseline_machine()
+    resources = ResourceModel(base, rf_config)
+    counts = {"mem": 0, "fu": 0, "rec": 0, "com": 0}
+    total = 0
+    for loop in loops:
+        counts[compute_mii(loop.graph, resources, base.latency).bound] += 1
+        total += 1
+    if total == 0:
+        return {name: 0.0 for name in counts}
+    return {name: count / total for name, count in counts.items()}

@@ -45,6 +45,13 @@ class ResourceKind(enum.Enum):
     SP = "sp"          # cluster-bank output port (StoreR / Move source)
     BUS = "bus"        # inter-cluster bus (pure clustered organizations)
 
+    # ResourceKind is the first element of every :data:`ResourceKey`, so
+    # it is hashed on every modulo-reservation-table lookup -- the single
+    # hottest dictionary in the scheduler.  Members are singletons, so
+    # identity hashing (a C slot) is equivalent to the default
+    # Python-level name hashing, just much cheaper.
+    __hash__ = object.__hash__
+
 
 ResourceKey = Tuple[ResourceKind, int]
 

@@ -20,8 +20,10 @@ Registered types: :class:`~repro.machine.config.RFConfig`,
 :class:`~repro.hwmodel.spec.HardwareSpec`,
 :class:`~repro.ddg.loop.Loop`, :class:`~repro.core.result.ScheduleResult`,
 :class:`~repro.eval.metrics.LoopRun`,
-:class:`~repro.eval.reporting.ConfigurationReport`, and the fuzz
-reproducers (:class:`~repro.verify.corpus.CorpusCase`,
+:class:`~repro.eval.reporting.ConfigurationReport`, the shard
+checkpoints of :mod:`repro.eval.shards`
+(:class:`~repro.eval.shards.ShardResult`), and the fuzz reproducers
+(:class:`~repro.verify.corpus.CorpusCase`,
 :class:`~repro.verify.fuzz.FuzzFailure`,
 :class:`~repro.verify.fuzz.FuzzReport`).
 
@@ -52,6 +54,11 @@ from repro.ddg.loop import Loop
 from repro.ddg.operations import OpType
 from repro.eval.metrics import LoopRun
 from repro.eval.reporting import ConfigurationReport
+from repro.eval.shards import (
+    ShardResult,
+    shard_result_from_dict,
+    shard_result_to_dict,
+)
 from repro.hwmodel.spec import BankEstimate, HardwareSpec
 from repro.machine.config import MachineConfig, RFConfig
 from repro.verify.corpus import (
@@ -512,6 +519,11 @@ register(
     "configuration_report", ConfigurationReport,
     configuration_report_to_dict, configuration_report_from_dict,
     required=("config", "spec", "runs"),
+)
+register(
+    "shard_result", ShardResult,
+    shard_result_to_dict, shard_result_from_dict,
+    required=("key", "positions", "runs"),
 )
 register(
     "corpus_case", CorpusCase,

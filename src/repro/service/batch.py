@@ -30,6 +30,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro import serialize
 from repro.session import RunReady, Session, SuiteFinished
+from repro.workloads.suite import tier_names, workbench_tier
 
 __all__ = [
     "JOB_KINDS",
@@ -58,7 +59,12 @@ class JobRequest:
       optional ``policy``, ``budget_ratio``, and ``kernel_params`` (a
       dict of scalars forwarded to the kernel builder, e.g. ``taps``);
     * ``evaluate``: ``config`` (required), optional ``n_loops``,
-      ``seed``, ``policy``, ``jobs``.
+      ``seed``, ``tier`` (a workbench tier name -- requests larger than
+      the tier are rejected at submission), ``policy``, ``jobs``.
+
+    Evaluate jobs run on the service's shared session, so a service
+    started with a checkpoint store evaluates shard by shard and resumes
+    partially evaluated suites across jobs and restarts.
     """
 
     kind: str
@@ -67,7 +73,7 @@ class JobRequest:
     _REQUIRED = {"schedule": ("kernel", "config"), "evaluate": ("config",)}
     _OPTIONAL = {
         "schedule": ("policy", "budget_ratio", "kernel_params"),
-        "evaluate": ("n_loops", "seed", "policy", "jobs"),
+        "evaluate": ("n_loops", "seed", "tier", "policy", "jobs"),
     }
 
     @classmethod
@@ -94,6 +100,12 @@ class JobRequest:
         kernel_params = params.get("kernel_params", {})
         if not isinstance(kernel_params, dict):
             raise ValueError("kernel_params must be a dict of scalars")
+        tier = params.get("tier")
+        if tier is not None and tier not in tier_names():
+            raise ValueError(
+                f"unknown workbench tier {tier!r} "
+                f"(known: {', '.join(tier_names())})"
+            )
         # Numeric knobs are coerced here so a malformed value is a 400 at
         # submission, not an opaque failure deep inside the running job.
         for key, coerce in (("n_loops", int), ("seed", int), ("jobs", int),
@@ -106,6 +118,12 @@ class JobRequest:
                         f"{key} must be {'an integer' if coerce is int else 'a number'}, "
                         f"got {params[key]!r}"
                     )
+        # A loop request beyond the tier is a 400 at submission, not a
+        # failed job minutes later.  WorkbenchSizeError is a ValueError,
+        # so the shared check (same one the CLI and session run) surfaces
+        # with the canonical message.
+        if tier is not None:
+            workbench_tier(tier).check_size(params.get("n_loops"))
         return cls(kind=kind, params=dict(params))
 
     def to_dict(self) -> Dict[str, object]:
@@ -354,12 +372,19 @@ class BatchScheduler:
 
         assert record.request.kind == "evaluate"
         report = None
+        # With a tier named and no explicit n_loops, the whole tier runs
+        # (a 'full' job means all 1258 loops, never a silent subset);
+        # tier-less jobs keep the historical 16-loop default.
+        n_loops = params.get("n_loops")
+        if n_loops is None and params.get("tier") is None:
+            n_loops = 16
         # The streaming path keeps the job's progress counters live while
         # loops complete, which is what poll/stream clients observe.
         for event in self.session.evaluate_stream(
             params["config"],
-            n_loops=int(params.get("n_loops", 16)),
+            n_loops=None if n_loops is None else int(n_loops),
             seed=int(params.get("seed", 2003)),
+            tier=params.get("tier"),
             policy=params.get("policy"),
             jobs=params.get("jobs"),
             events=True,

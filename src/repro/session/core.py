@@ -30,6 +30,8 @@ import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from pathlib import Path
+
 from repro.core.policy import resolve_bundle
 from repro.core.result import ScheduleResult
 from repro.ddg.loop import Loop
@@ -38,12 +40,13 @@ from repro.eval.experiments import iter_schedule_suite, schedule_suite
 from repro.eval.metrics import LoopRun
 from repro.eval.parallel import resolve_jobs
 from repro.eval.reporting import ConfigurationReport, Table
+from repro.eval.shards import DEFAULT_SHARD_SIZE, ResultStore
 from repro.hwmodel.timing import derive_hardware
 from repro.machine.config import MachineConfig, RFConfig
 from repro.machine.presets import baseline_machine, config_by_name
 from repro.session.events import RunReady, StreamEvent, SuiteFinished, SuiteStarted
 from repro.workloads.kernels import build_kernel
-from repro.workloads.suite import perfect_club_like_suite
+from repro.workloads.suite import build_workbench, perfect_club_like_suite
 
 __all__ = ["Session", "default_session"]
 
@@ -71,6 +74,16 @@ class Session:
         :meth:`compare_configurations`, so a warm session makes a
         design-space sweep near-free.  ``None`` disables cross-call
         caching (comparisons still deduplicate internally).
+    checkpoint:
+        A :class:`~repro.eval.shards.ResultStore` (or a directory path
+        for one): every workbench-sized verb then evaluates *shard by
+        shard*, restoring shards already on disk and persisting each
+        freshly completed one.  A session killed mid-suite resumes where
+        it stopped on the next run -- with an identical report, since
+        schedules are deterministic and the stored form round-trips
+        canonically.  ``None`` (default) disables checkpointing.
+    shard_size:
+        Loops per checkpoint shard (only meaningful with ``checkpoint``).
 
     Example::
 
@@ -87,6 +100,8 @@ class Session:
         budget_ratio: float = 6.0,
         jobs: int = 1,
         cache: Optional[EvalCache] = None,
+        checkpoint: Optional[Union[str, Path, ResultStore]] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
     ) -> None:
         resolve_jobs(jobs)  # validates the worker count
         resolve_bundle(policy)  # fail on unknown bundles at construction
@@ -95,6 +110,12 @@ class Session:
         self.budget_ratio = float(budget_ratio)
         self.jobs = jobs
         self.cache = cache
+        self.checkpoint: Optional[ResultStore] = (
+            checkpoint
+            if checkpoint is None or isinstance(checkpoint, ResultStore)
+            else ResultStore(checkpoint)
+        )
+        self.shard_size = int(shard_size)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_size = 0
         self._closed = False
@@ -145,7 +166,7 @@ class Session:
             raise RuntimeError("this Session is closed; construct a new one")
 
     def stats(self) -> Dict[str, object]:
-        """Observable session state: cache counters and pool status."""
+        """Observable session state: cache/checkpoint counters, pool status."""
         return {
             "policy": self.policy,
             "jobs": self.jobs,
@@ -153,6 +174,9 @@ class Session:
             "pool_size": self._pool_size,
             "closed": self._closed,
             "cache": self.cache.stats() if self.cache is not None else None,
+            "checkpoint": (
+                self.checkpoint.stats() if self.checkpoint is not None else None
+            ),
         }
 
     # ------------------------------------------------------------------ #
@@ -162,11 +186,33 @@ class Session:
         """Resolve a configuration name to an :class:`RFConfig`."""
         return config_by_name(rf) if isinstance(rf, str) else rf
 
+    #: Workbench size of the ad-hoc (tier-less) verbs, kept from v1.
+    DEFAULT_N_LOOPS: int = 64
+
     def _workbench(
-        self, loops: Optional[Sequence[Loop]], n_loops: int, seed: int
+        self,
+        loops: Optional[Sequence[Loop]],
+        n_loops: Optional[int],
+        seed: int,
+        tier: Optional[str] = None,
     ) -> List[Loop]:
-        return list(loops) if loops is not None else perfect_club_like_suite(
-            n_loops, seed=seed
+        """Resolve a verb's workbench: explicit loops, a tier, or ad hoc.
+
+        With ``tier`` the loops come from the stratified registry
+        (:func:`repro.workloads.suite.build_workbench`): ``n_loops=None``
+        means the *whole* tier (naming ``"full"`` is asking for all 1258
+        loops, never a silent subset), and a request for more loops than
+        the tier holds raises
+        :class:`~repro.workloads.suite.WorkbenchSizeError` naming the
+        available sizes instead of silently truncating.  Without a tier,
+        ``n_loops=None`` keeps the historical 64-loop default.
+        """
+        if loops is not None:
+            return list(loops)
+        if tier is not None:
+            return build_workbench(tier, n_loops=n_loops, seed=seed)
+        return perfect_club_like_suite(
+            self.DEFAULT_N_LOOPS if n_loops is None else n_loops, seed=seed
         )
 
     # ------------------------------------------------------------------ #
@@ -225,8 +271,9 @@ class Session:
         rf: Union[str, RFConfig],
         *,
         loops: Optional[Sequence[Loop]] = None,
-        n_loops: int = 64,
+        n_loops: Optional[int] = None,
         seed: int = 2003,
+        tier: Optional[str] = None,
         policy: Optional[str] = None,
         jobs: Optional[int] = None,
     ) -> ConfigurationReport:
@@ -234,7 +281,11 @@ class Session:
 
         The barrier sibling of :meth:`evaluate_stream` -- identical
         results, returned all at once as a
-        :class:`~repro.eval.reporting.ConfigurationReport`.
+        :class:`~repro.eval.reporting.ConfigurationReport`.  ``tier``
+        selects a stratified workbench tier (``tiny``/``small``/
+        ``standard``/``full``); asking for more loops than the tier
+        holds is an error, not a truncation.  With a session
+        ``checkpoint`` the evaluation is sharded and resumable.
 
         Example:
 
@@ -250,7 +301,7 @@ class Session:
         rf_config = self.resolve_rf(rf)
         effective_jobs = self.jobs if jobs is None else jobs
         runs = schedule_suite(
-            self._workbench(loops, n_loops, seed),
+            self._workbench(loops, n_loops, seed, tier),
             rf_config,
             machine=self.machine,
             budget_ratio=self.budget_ratio,
@@ -258,6 +309,8 @@ class Session:
             jobs=effective_jobs,
             cache=self.cache,
             executor=self.executor(effective_jobs),
+            store=self.checkpoint,
+            shard_size=self.shard_size,
         )
         spec = derive_hardware(self.machine, rf_config)
         return ConfigurationReport(config=rf_config, spec=spec, runs=runs)
@@ -267,8 +320,9 @@ class Session:
         rf: Union[str, RFConfig],
         *,
         loops: Optional[Sequence[Loop]] = None,
-        n_loops: int = 64,
+        n_loops: Optional[int] = None,
         seed: int = 2003,
+        tier: Optional[str] = None,
         policy: Optional[str] = None,
         jobs: Optional[int] = None,
         events: bool = False,
@@ -301,7 +355,7 @@ class Session:
         """
         self._check_open()
         rf_config = self.resolve_rf(rf)
-        workbench = self._workbench(loops, n_loops, seed)
+        workbench = self._workbench(loops, n_loops, seed, tier)
         effective_jobs = self.jobs if jobs is None else jobs
         stream = iter_schedule_suite(
             workbench,
@@ -312,6 +366,8 @@ class Session:
             jobs=effective_jobs,
             cache=self.cache,
             executor=self.executor(effective_jobs),
+            store=self.checkpoint,
+            shard_size=self.shard_size,
         )
         if events:
             yield SuiteStarted(config_name=rf_config.name, n_total=len(workbench))
@@ -347,8 +403,9 @@ class Session:
         configs: Sequence[Union[str, RFConfig]],
         *,
         loops: Optional[Sequence[Loop]] = None,
-        n_loops: int = 64,
+        n_loops: Optional[int] = None,
         seed: int = 2003,
+        tier: Optional[str] = None,
         reference: Union[str, RFConfig] = "S64",
         policy: Optional[str] = None,
         jobs: Optional[int] = None,
@@ -374,7 +431,7 @@ class Session:
         ['4C16S16', 'S64']
         """
         self._check_open()
-        workbench = self._workbench(loops, n_loops, seed)
+        workbench = self._workbench(loops, n_loops, seed, tier)
         # Satellite of the v2 redesign: reuse the session cache when one
         # is configured (warm sessions sweep for free); otherwise fall
         # back to an ephemeral per-call dedup cache, like v1.
@@ -397,6 +454,8 @@ class Session:
                 jobs=effective_jobs,
                 cache=cache,
                 executor=self.executor(effective_jobs),
+                store=self.checkpoint,
+                shard_size=self.shard_size,
             )
             spec = derive_hardware(self.machine, rf_config)
             report = ConfigurationReport(config=rf_config, spec=spec, runs=runs)

@@ -24,7 +24,19 @@ counts) and statistically similar *shape*:
 from repro.workloads.builder import LoopBuilder
 from repro.workloads.kernels import KERNEL_BUILDERS, build_kernel, kernel_names
 from repro.workloads.generator import GeneratorProfile, PROFILES, generate_loop
-from repro.workloads.suite import perfect_club_like_suite, small_suite, tiny_suite
+from repro.workloads.suite import (
+    PAPER_LOOP_COUNT,
+    TABLE1_BOUND_TARGETS,
+    WORKBENCH_TIERS,
+    WorkbenchSizeError,
+    WorkbenchTier,
+    build_workbench,
+    perfect_club_like_suite,
+    small_suite,
+    tier_names,
+    tiny_suite,
+    workbench_tier,
+)
 from repro.workloads.traces import AddressStream, loop_address_streams
 
 __all__ = [
@@ -38,6 +50,14 @@ __all__ = [
     "perfect_club_like_suite",
     "small_suite",
     "tiny_suite",
+    "PAPER_LOOP_COUNT",
+    "TABLE1_BOUND_TARGETS",
+    "WORKBENCH_TIERS",
+    "WorkbenchSizeError",
+    "WorkbenchTier",
+    "build_workbench",
+    "tier_names",
+    "workbench_tier",
     "AddressStream",
     "loop_address_streams",
 ]

@@ -15,7 +15,8 @@ values, so evaluation results cached by :class:`repro.eval.cache.EvalCache`
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -24,7 +25,33 @@ from repro.ddg.transform import unroll
 from repro.workloads.generator import PROFILES, GeneratorProfile, generate_loop
 from repro.workloads.kernels import KERNEL_BUILDERS
 
-__all__ = ["perfect_club_like_suite", "small_suite", "tiny_suite", "DEFAULT_PROFILE_MIX"]
+__all__ = [
+    "perfect_club_like_suite",
+    "small_suite",
+    "tiny_suite",
+    "DEFAULT_PROFILE_MIX",
+    "PAPER_LOOP_COUNT",
+    "TABLE1_BOUND_TARGETS",
+    "WorkbenchTier",
+    "WorkbenchSizeError",
+    "WORKBENCH_TIERS",
+    "tier_names",
+    "workbench_tier",
+    "build_workbench",
+]
+
+#: Number of software-pipelinable Perfect Club loops in the paper's
+#: evaluation -- the size of the ``full`` workbench tier.
+PAPER_LOOP_COUNT: int = 1258
+
+#: The paper's Table 1 loop-bound breakdown on the baseline monolithic
+#: S128 machine, as fractions of the workbench: roughly half the loops
+#: memory-bound, a fifth FU-bound and a third recurrence-bound.  The
+#: ``full`` tier's generator mix is calibrated so its *static* breakdown
+#: (argmax of the MII components, see
+#: :func:`repro.eval.metrics.static_bound_breakdown`) lands near these
+#: targets; ``tests/test_workloads_suite.py`` pins the tolerance.
+TABLE1_BOUND_TARGETS: Dict[str, float] = {"mem": 0.50, "fu": 0.20, "rec": 0.30}
 
 #: Mix of generator profiles (fractions sum to 1).  Chosen so that the
 #: loop-bound breakdown of the workbench on the baseline monolithic S128
@@ -138,3 +165,134 @@ def small_suite(n_loops: int = 48, *, seed: int = 2003) -> List[Loop]:
 def tiny_suite(*, seed: int = 2003) -> List[Loop]:
     """A handful of loops (all named kernels only) for unit tests."""
     return perfect_club_like_suite(n_loops=16, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Stratified workbench tiers
+# --------------------------------------------------------------------------- #
+class WorkbenchSizeError(ValueError):
+    """A requested loop count exceeds the selected workbench tier.
+
+    Raised (instead of silently truncating to the tier size) so a
+    ``--loops`` request that cannot be honoured is reported together
+    with the sizes that *are* available.
+    """
+
+
+@dataclass(frozen=True)
+class WorkbenchTier:
+    """One named size of the Perfect-Club-like workbench.
+
+    All tiers share the generator seed and the kernel prefix, so a
+    smaller tier is always an exact prefix of a larger one: results
+    cached or checkpointed for ``small`` are reused verbatim when the
+    same configuration is later evaluated on ``standard`` or ``full``.
+    """
+
+    name: str
+    n_loops: int
+    description: str
+    seed: int = 2003
+    #: ``None`` means :data:`DEFAULT_PROFILE_MIX` (the Table-1-calibrated
+    #: mix shared by every stock tier).
+    profile_mix: Optional[Mapping[str, float]] = None
+    include_kernels: bool = True
+
+    def check_size(self, n_loops: Optional[int]) -> int:
+        """Validate a loop-count request against this tier.
+
+        Returns the effective count (``None`` means the whole tier);
+        raises :class:`WorkbenchSizeError` -- naming every registered
+        size -- when the request exceeds the tier.  The single source of
+        the "never silently truncate" contract: the CLI, the session
+        verbs and the service submission path all validate through here,
+        so their error messages cannot drift apart.
+        """
+        if n_loops is None:
+            return self.n_loops
+        if n_loops < 1:
+            raise WorkbenchSizeError(
+                f"n_loops must be positive, got {n_loops}"
+            )
+        if n_loops > self.n_loops:
+            sizes = ", ".join(
+                f"{tier.name} ({tier.n_loops})" for tier in WORKBENCH_TIERS.values()
+            )
+            raise WorkbenchSizeError(
+                f"the {self.name!r} workbench tier has {self.n_loops} loops; "
+                f"cannot evaluate {n_loops} (available tiers: {sizes})"
+            )
+        return n_loops
+
+    def build(self, n_loops: Optional[int] = None, *, seed: Optional[int] = None) -> List[Loop]:
+        """Build this tier's workbench (optionally only its first loops).
+
+        ``n_loops`` larger than the tier raises
+        :class:`WorkbenchSizeError` (see :meth:`check_size`); asking for
+        fewer loops returns the deterministic prefix.
+        """
+        return perfect_club_like_suite(
+            n_loops=self.check_size(n_loops),
+            seed=self.seed if seed is None else seed,
+            profile_mix=dict(self.profile_mix) if self.profile_mix else None,
+            include_kernels=self.include_kernels,
+        )
+
+
+#: The stratified workbench registry, smallest tier first.  ``full`` is
+#: the paper-scale workbench: all 1258 software-pipelinable loops, with
+#: the kernel/generator mix calibrated to Table 1 (see
+#: :data:`TABLE1_BOUND_TARGETS`).
+WORKBENCH_TIERS: Dict[str, WorkbenchTier] = {
+    tier.name: tier
+    for tier in (
+        WorkbenchTier(
+            "tiny", 16,
+            "named kernels only; unit tests and doc examples",
+        ),
+        WorkbenchTier(
+            "small", 48,
+            "kernels + first generated loops; smoke tests and CI benches",
+        ),
+        WorkbenchTier(
+            "standard", 256,
+            "the default evaluation workbench (statistical mix preserved)",
+        ),
+        WorkbenchTier(
+            "full", PAPER_LOOP_COUNT,
+            "paper scale: all 1258 loops, Table-1-calibrated mix",
+        ),
+    )
+}
+
+
+def tier_names() -> List[str]:
+    """Every registered workbench tier name, smallest first."""
+    return list(WORKBENCH_TIERS)
+
+
+def workbench_tier(name: str) -> WorkbenchTier:
+    """Look up a tier by name (raises ``ValueError`` listing the options)."""
+    tier = WORKBENCH_TIERS.get(name)
+    if tier is None:
+        raise ValueError(
+            f"unknown workbench tier {name!r} "
+            f"(known: {', '.join(tier_names())})"
+        )
+    return tier
+
+
+def build_workbench(
+    tier: str = "standard",
+    *,
+    n_loops: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> List[Loop]:
+    """Build the workbench of a named tier.
+
+    ``n_loops`` limits the build to the tier's first loops (tiers are
+    prefix-stable, see :class:`WorkbenchTier`); a request *larger* than
+    the tier raises :class:`WorkbenchSizeError` naming every available
+    size instead of silently truncating.
+    """
+    return workbench_tier(tier).build(n_loops, seed=seed)

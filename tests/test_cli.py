@@ -169,3 +169,103 @@ class TestPolicyFlags:
                      "--policies", "mirs_linear_ii", "--no-shrink"]) == 0
         out = capsys.readouterr().out
         assert "0 failure(s)" in out
+
+
+class TestWorkbenchTierFlags:
+    def test_loops_beyond_tier_errors_with_available_sizes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["evaluate", "S64", "--loops", "300", "--tier", "small"])
+        message = str(excinfo.value)
+        assert "48 loops" in message
+        assert "full (1258)" in message  # the fix: report sizes, not truncate
+
+    def test_loops_beyond_default_standard_tier_errors(self):
+        with pytest.raises(SystemExit, match="256 loops"):
+            main(["evaluate", "S64", "--loops", "257"])
+
+    def test_tier_choices_are_validated_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "S64", "--tier", "huge"])
+
+    def test_evaluate_with_explicit_tier(self, capsys):
+        assert main(["evaluate", "S64", "--loops", "6", "--tier", "tiny"]) == 0
+        assert "ranking" in capsys.readouterr().out
+
+
+class TestCheckpointFlags:
+    def test_evaluate_checkpoint_then_resume(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "ck")
+        argv = ["evaluate", "S64", "--loops", "6", "--tier", "tiny",
+                "--checkpoint", checkpoint, "--shard-size", "2"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_resume_without_checkpoint_errors(self):
+        with pytest.raises(SystemExit, match="--resume requires --checkpoint"):
+            main(["evaluate", "S64", "--loops", "4", "--resume"])
+
+    def test_resume_into_empty_directory_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no completed shards"):
+            main(["evaluate", "S64", "--loops", "4",
+                  "--checkpoint", str(tmp_path / "empty"), "--resume"])
+
+    def test_reproduce_accepts_checkpoint(self, capsys, tmp_path):
+        assert main(["reproduce", "table3", "--loops", "4",
+                     "--checkpoint", str(tmp_path / "ck")]) == 0
+        assert "Table 3" in capsys.readouterr().out
+        # at least one shard envelope was persisted
+        assert list((tmp_path / "ck").glob("*/*.json"))
+
+
+class TestTierDefaultLoops:
+    @pytest.fixture
+    def compare_spy(self, monkeypatch):
+        """Capture the n_loops each evaluate invocation resolves to."""
+        from repro.session import Session
+
+        seen = {}
+
+        def spy(self, configs, **kwargs):
+            seen.update(kwargs)
+            workbench = self._workbench(
+                kwargs.get("loops"), kwargs.get("n_loops"),
+                kwargs.get("seed", 2003), kwargs.get("tier"),
+            )
+            seen["resolved_loops"] = len(workbench)
+
+            class _Table:
+                def render(self):
+                    return "spy table"
+
+            return {"table": _Table(), "ranking": ["S64"], "reports": {}}
+
+        monkeypatch.setattr(Session, "compare_configurations", spy)
+        return seen
+
+    def test_explicit_tier_without_loops_evaluates_whole_tier(
+        self, capsys, compare_spy
+    ):
+        # '--tier tiny' with no --loops must mean all 16 loops of the
+        # tier, not the historical 32-loop default (which would even
+        # exceed the tier).
+        assert main(["evaluate", "S64", "--tier", "tiny"]) == 0
+        assert compare_spy["resolved_loops"] == 16
+        capsys.readouterr()
+
+    def test_no_tier_keeps_the_32_loop_default(self, capsys, compare_spy):
+        assert main(["evaluate", "S64"]) == 0
+        assert compare_spy["n_loops"] == 32
+        assert compare_spy["resolved_loops"] == 32
+        capsys.readouterr()
+
+
+class TestResumeSideEffects:
+    def test_resume_rejection_does_not_create_the_directory(self, tmp_path):
+        missing = tmp_path / "typo" / "ck"
+        with pytest.raises(SystemExit, match="no completed shards"):
+            main(["evaluate", "S64", "--loops", "4",
+                  "--checkpoint", str(missing), "--resume"])
+        assert not missing.exists()

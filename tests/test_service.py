@@ -280,3 +280,71 @@ class TestServiceCLI:
         assert main(["schema"]) == 0  # stdout variant
         printed = capsys.readouterr().out
         assert '"schedule_result"' in printed
+
+
+class TestWorkbenchTierJobs:
+    def test_unknown_tier_rejected_at_submission(self):
+        with pytest.raises(ValueError, match="unknown workbench tier"):
+            JobRequest.from_dict(
+                {"kind": "evaluate", "params": {"config": "S64", "tier": "huge"}}
+            )
+
+    def test_oversized_tier_request_rejected_at_submission(self):
+        with pytest.raises(ValueError, match="available tiers"):
+            JobRequest.from_dict(
+                {"kind": "evaluate",
+                 "params": {"config": "S64", "tier": "tiny", "n_loops": 40}}
+            )
+
+    def test_evaluate_job_with_tier_runs(self, scheduler):
+        job_id = scheduler.submit(
+            {"kind": "evaluate",
+             "params": {"config": "S64", "tier": "tiny", "n_loops": 4}}
+        )
+        status = scheduler.wait(job_id, timeout=120)
+        assert status["state"] == "done"
+        envelope = scheduler.result(job_id)
+        assert envelope["type"] == "configuration_report"
+        assert len(envelope["data"]["runs"]) == 4
+
+    def test_checkpointed_session_resumes_across_jobs(self, tmp_path):
+        from repro.session import Session
+
+        session = Session(checkpoint=tmp_path / "ck", shard_size=2)
+        scheduler = BatchScheduler(session)
+        try:
+            request = {"kind": "evaluate",
+                       "params": {"config": "S64", "tier": "tiny",
+                                  "n_loops": 4}}
+            first = scheduler.submit(request)
+            assert scheduler.wait(first, timeout=120)["state"] == "done"
+            stores = session.checkpoint.stores
+            assert stores > 0
+            second = scheduler.submit(request)
+            assert scheduler.wait(second, timeout=120)["state"] == "done"
+            # the second job restored every shard instead of re-scheduling
+            assert session.checkpoint.stores == stores
+            assert session.checkpoint.hits >= stores
+            assert scheduler.result(first) == scheduler.result(second)
+        finally:
+            scheduler.shutdown()
+            session.close()
+
+
+class TestTierJobDefaults:
+    def test_tier_job_without_n_loops_runs_the_whole_tier(self, scheduler):
+        job_id = scheduler.submit(
+            {"kind": "evaluate", "params": {"config": "S64", "tier": "tiny"}}
+        )
+        status = scheduler.wait(job_id, timeout=120)
+        assert status["state"] == "done"
+        envelope = scheduler.result(job_id)
+        assert len(envelope["data"]["runs"]) == 16  # the whole tiny tier
+
+    def test_tierless_job_keeps_the_16_loop_default(self, scheduler):
+        job_id = scheduler.submit(
+            {"kind": "evaluate", "params": {"config": "S64"}}
+        )
+        status = scheduler.wait(job_id, timeout=120)
+        assert status["state"] == "done"
+        assert len(scheduler.result(job_id)["data"]["runs"]) == 16

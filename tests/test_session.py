@@ -346,3 +346,21 @@ class TestV1Shims:
         assert api.ConfigurationReport is not None
         report = api.evaluate_configuration("S64", n_loops=2)
         assert isinstance(report, api.ConfigurationReport)
+
+
+class TestTierResolution:
+    """Naming a tier means the whole tier -- never a silent subset."""
+
+    def test_tier_without_n_loops_builds_the_whole_tier(self):
+        from repro.session import Session
+
+        with Session() as session:
+            report = session.evaluate_configuration("S64", tier="tiny")
+        assert len(report.runs) == 16
+
+    def test_no_tier_keeps_the_64_loop_default(self):
+        from repro.session import Session
+
+        with Session() as session:
+            workbench = session._workbench(None, None, 2003, None)
+        assert len(workbench) == Session.DEFAULT_N_LOOPS == 64

@@ -1,0 +1,118 @@
+"""The stratified workbench registry (tiny/small/standard/full tiers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.metrics import static_bound_breakdown
+from repro.workloads.suite import (
+    PAPER_LOOP_COUNT,
+    TABLE1_BOUND_TARGETS,
+    WORKBENCH_TIERS,
+    WorkbenchSizeError,
+    build_workbench,
+    perfect_club_like_suite,
+    tier_names,
+    workbench_tier,
+)
+
+
+class TestTierRegistry:
+    def test_registered_tiers_and_sizes(self):
+        assert tier_names() == ["tiny", "small", "standard", "full"]
+        assert workbench_tier("tiny").n_loops == 16
+        assert workbench_tier("small").n_loops == 48
+        assert workbench_tier("standard").n_loops == 256
+        assert workbench_tier("full").n_loops == PAPER_LOOP_COUNT == 1258
+
+    def test_sizes_strictly_increase(self):
+        sizes = [tier.n_loops for tier in WORKBENCH_TIERS.values()]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_unknown_tier_lists_the_options(self):
+        with pytest.raises(ValueError, match="tiny.*small.*standard.*full"):
+            workbench_tier("huge")
+
+    def test_build_matches_legacy_builder(self):
+        tier = workbench_tier("tiny")
+        built = build_workbench("tiny")
+        legacy = perfect_club_like_suite(n_loops=tier.n_loops, seed=tier.seed)
+        assert [l.name for l in built] == [l.name for l in legacy]
+        assert [l.fingerprint() for l in built] == [l.fingerprint() for l in legacy]
+
+    def test_smaller_tier_is_prefix_of_larger(self):
+        small = build_workbench("small")
+        standard_prefix = build_workbench("standard", n_loops=len(small))
+        assert [l.fingerprint() for l in small] == [
+            l.fingerprint() for l in standard_prefix
+        ]
+
+
+class TestSizeValidation:
+    def test_oversized_request_raises_not_truncates(self):
+        with pytest.raises(WorkbenchSizeError) as excinfo:
+            build_workbench("small", n_loops=49)
+        message = str(excinfo.value)
+        # The error must advertise every available size, so the caller
+        # can pick a tier that fits instead of guessing.
+        for name, tier in WORKBENCH_TIERS.items():
+            assert name in message
+            assert str(tier.n_loops) in message
+
+    def test_non_positive_request_raises(self):
+        with pytest.raises(WorkbenchSizeError):
+            build_workbench("small", n_loops=0)
+
+    def test_exact_tier_size_is_allowed(self):
+        assert len(build_workbench("tiny", n_loops=16)) == 16
+
+    def test_prefix_request_is_allowed(self):
+        assert len(build_workbench("standard", n_loops=10)) == 10
+
+
+class TestFullTier:
+    """The paper-scale workbench: 1258 loops, Table-1-like breakdown."""
+
+    @pytest.fixture(scope="class")
+    def full_workbench(self):
+        return build_workbench("full")
+
+    def test_full_tier_builds_1258_loops(self, full_workbench):
+        assert len(full_workbench) == PAPER_LOOP_COUNT
+
+    def test_full_tier_is_deterministic(self, full_workbench):
+        again = build_workbench("full")
+        assert [l.fingerprint() for l in again] == [
+            l.fingerprint() for l in full_workbench
+        ]
+
+    def test_full_tier_bound_breakdown_matches_table1(self, full_workbench):
+        """Static loop-bound breakdown lands near the paper's Table 1.
+
+        Classified by the binding MII component on the baseline
+        monolithic S128 machine -- about half the loops memory-bound, a
+        fifth FU-bound, a third recurrence-bound.  The tolerance is wide
+        enough to survive generator tweaks that preserve the calibration
+        and tight enough to catch a broken or missing mix.
+        """
+        breakdown = static_bound_breakdown(full_workbench, rf="S128")
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        targets = TABLE1_BOUND_TARGETS
+        assert breakdown["mem"] == pytest.approx(targets["mem"], abs=0.10)
+        assert breakdown["fu"] == pytest.approx(targets["fu"], abs=0.10)
+        assert breakdown["rec"] == pytest.approx(targets["rec"], abs=0.10)
+
+    def test_full_tier_profile_diversity(self, full_workbench):
+        """Every generator profile (and the kernels) is represented."""
+        profiles = {
+            loop.attributes.get("profile", "kernel") for loop in full_workbench
+        }
+        assert profiles >= {
+            "kernel",
+            "memory_bound",
+            "compute_bound",
+            "recurrence_bound",
+            "balanced",
+            "large",
+        }
