@@ -1,0 +1,629 @@
+"""Array-native backends for the scheduler's hot state.
+
+The object backends (:class:`~repro.core.mrt.ModuloReservationTable`,
+:class:`~repro.core.pressure.PressureTracker`) keep their state in
+per-resource / per-node dictionaries of Python containers.  That layout
+is easy to audit but pays a dictionary lookup and a container allocation
+on nearly every probe of the scheduler's innermost loops.  This module
+provides drop-in replacements built on flat arrays and bitmasks:
+
+* :class:`ArrayMRT` -- resources are numbered densely once at
+  construction; occupancy lives in one flat list indexed by
+  ``resource * II + slot`` and every resource additionally maintains a
+  *full-slot bitmask* (bit ``s`` set iff modulo slot ``s`` is at
+  capacity).  A window probe (:meth:`ArrayMRT.first_free_cycle`) rotates
+  and ORs those masks once per resource use and then tests one bit per
+  candidate cycle instead of re-walking every use.
+* :class:`ArrayPressureTracker` -- per-node lifetime state lives in
+  parallel int arrays indexed by :meth:`repro.ddg.graph.DepGraph.dense_index`
+  (stable per node, recycled through a free list), bank slot counts live
+  in one flat list indexed by ``bank * II + slot``, and the per-bank
+  MaxLive is cached and only recomputed for banks whose counts changed.
+
+Both classes are *behaviourally identical* to their object counterparts:
+same probe answers, same exception behaviour, same dictionary key order
+in query results, and -- critical for the force-and-eject path -- the
+same element insertion order into the sets returned by
+``conflicting_nodes``.  ``tests/test_core_equivalence.py`` pins the
+equivalence with a differential hypothesis harness, and the corpus
+replay asserts bit-identical end-to-end schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.ddg.graph import DepGraph, Dependence, GraphListener
+from repro.ddg.operations import OpType
+from repro.machine.config import RFConfig
+from repro.machine.resources import ResourceKey, ResourceUse
+from repro.core.banks import all_banks, value_bank
+from repro.core.lifetimes import ValueLifetime, live_in_banks
+
+__all__ = ["ArrayMRT", "ArrayPressureTracker"]
+
+
+class ArrayMRT:
+    """Modulo reservation table over flat occupancy arrays and bitmasks.
+
+    Same constructor and method contract as
+    :class:`~repro.core.mrt.ModuloReservationTable`.
+    """
+
+    def __init__(self, ii: int, counts: Dict[ResourceKey, int]) -> None:
+        if ii < 1:
+            raise ValueError("the initiation interval must be >= 1")
+        self.ii = ii
+        self._counts = dict(counts)
+        #: Resource keys in inventory order (defines the dense numbering
+        #: and the key order of :meth:`utilization`).
+        self._keys: List[ResourceKey] = list(counts)
+        self._index: Dict[ResourceKey, int] = {
+            key: index for index, key in enumerate(self._keys)
+        }
+        self._caps: List[int] = [counts[key] for key in self._keys]
+        n_slots = len(self._keys) * ii
+        #: Occupants per (resource, slot), flat-indexed; append order is
+        #: identical to the object table's so ``conflicting_nodes`` builds
+        #: its result set in the same element order.
+        self._occupants: List[List[int]] = [[] for _ in range(n_slots)]
+        #: Bit ``s`` of ``_full[r]`` set iff slot ``s`` of resource ``r``
+        #: is at capacity.  Zero-capacity resources read as always-full.
+        self._all_ones = (1 << ii) - 1
+        self._full: List[int] = [
+            0 if cap > 0 else self._all_ones for cap in self._caps
+        ]
+        #: node -> flat (resource, slot) indices it occupies.
+        self._held: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    def capacity(self, key: ResourceKey) -> int:
+        return self._counts.get(key, 0)
+
+    def can_reserve(self, uses: Sequence[ResourceUse], cycle: int) -> bool:
+        """True when every requested reservation has a free instance."""
+        ii = self.ii
+        index = self._index
+        caps = self._caps
+        occupants = self._occupants
+        if len(uses) == 1:
+            # Fast path: one use never double-counts a slot (a multi-cycle
+            # span covers min(duration, II) *distinct* modulo slots).
+            use = uses[0]
+            resource = index.get(use.key)
+            if resource is None:
+                return False
+            cap = caps[resource]
+            if cap <= 0:
+                return False
+            start = cycle + use.offset
+            base = resource * ii
+            if use.duration == 1:
+                return len(occupants[base + start % ii]) < cap
+            for delta in range(min(use.duration, ii)):
+                if len(occupants[base + (start + delta) % ii]) >= cap:
+                    return False
+            return True
+        needed: Dict[int, int] = {}
+        for use in uses:
+            resource = index.get(use.key)
+            if resource is None:
+                return False
+            cap = caps[resource]
+            if cap <= 0:
+                return False
+            start = cycle + use.offset
+            base = resource * ii
+            if use.duration == 1:
+                flat = base + start % ii
+                extra = needed.get(flat, 0) + 1
+                if len(occupants[flat]) + extra > cap:
+                    return False
+                needed[flat] = extra
+            else:
+                for delta in range(min(use.duration, ii)):
+                    flat = base + (start + delta) % ii
+                    extra = needed.get(flat, 0) + 1
+                    if len(occupants[flat]) + extra > cap:
+                        return False
+                    needed[flat] = extra
+        return True
+
+    def _blocked_mask(self, uses: Sequence[ResourceUse]) -> Optional[int]:
+        """Bit ``s`` set iff issuing at any cycle ``c`` with ``c % II == s``
+        is infeasible because some use hits a slot that is already full.
+
+        ``None`` means every cycle is infeasible (unknown or
+        zero-capacity resource).  A clear bit is only *necessary* for
+        feasibility (several uses may still collide on one slot), so
+        callers confirm candidates with :meth:`can_reserve`.
+        """
+        ii = self.ii
+        index = self._index
+        blocked = 0
+        for use in uses:
+            resource = index.get(use.key)
+            if resource is None or self._caps[resource] <= 0:
+                return None
+            full = self._full[resource]
+            if not full:
+                continue
+            for delta in range(1 if use.duration == 1 else min(use.duration, ii)):
+                k = (use.offset + delta) % ii
+                if k:
+                    rotated = ((full >> k) | (full << (ii - k))) & self._all_ones
+                else:
+                    rotated = full
+                blocked |= rotated
+                if blocked == self._all_ones:
+                    return None
+        return blocked
+
+    def first_free_cycle(
+        self, uses: Sequence[ResourceUse], cycles: Sequence[int]
+    ) -> Optional[int]:
+        """First cycle of ``cycles`` where ``can_reserve`` holds, or ``None``."""
+        if not uses:
+            for cycle in cycles:
+                return cycle
+            return None
+        blocked = self._blocked_mask(uses)
+        if blocked is None:
+            return None
+        ii = self.ii
+        # When no two uses can land on the same (resource, slot) pair --
+        # every use is a single slot on a distinct resource -- a clear
+        # blocked bit is feasibility itself, so no confirmation probe is
+        # needed.  (Multi-cycle spans and repeated resources can still
+        # collide below capacity, so those confirm with can_reserve.)
+        exact = True
+        if len(uses) > 1:
+            seen = set()
+            for use in uses:
+                if use.duration != 1 or use.key in seen:
+                    exact = False
+                    break
+                seen.add(use.key)
+        elif uses[0].duration != 1:
+            exact = False
+        if exact:
+            if blocked == 0:
+                for cycle in cycles:
+                    return cycle
+                return None
+            for cycle in cycles:
+                if not (blocked >> (cycle % ii)) & 1:
+                    return cycle
+            return None
+        if blocked:
+            for cycle in cycles:
+                if not (blocked >> (cycle % ii)) & 1 and self.can_reserve(uses, cycle):
+                    return cycle
+            return None
+        for cycle in cycles:
+            if self.can_reserve(uses, cycle):
+                return cycle
+        return None
+
+    def reserve(self, node_id: int, uses: Sequence[ResourceUse], cycle: int) -> None:
+        """Reserve resources for ``node_id`` issuing at ``cycle``."""
+        if not self.can_reserve(uses, cycle):
+            raise ValueError(f"resources not available for node {node_id} at cycle {cycle}")
+        ii = self.ii
+        held = self._held.setdefault(node_id, [])
+        occupants = self._occupants
+        caps = self._caps
+        for use in uses:
+            resource = self._index[use.key]
+            base = resource * ii
+            start = cycle + use.offset
+            for delta in range(1 if use.duration == 1 else min(use.duration, ii)):
+                slot = (start + delta) % ii
+                flat = base + slot
+                row = occupants[flat]
+                row.append(node_id)
+                held.append(flat)
+                if len(row) >= caps[resource]:
+                    self._full[resource] |= 1 << slot
+
+    def release(self, node_id: int) -> None:
+        """Release every reservation held by ``node_id`` (idempotent)."""
+        ii = self.ii
+        for flat in self._held.pop(node_id, []):
+            row = self._occupants[flat]
+            try:
+                row.remove(node_id)
+            except ValueError:  # pragma: no cover - defensive
+                continue
+            resource, slot = divmod(flat, ii)
+            if self._caps[resource] > 0 and len(row) < self._caps[resource]:
+                self._full[resource] &= ~(1 << slot)
+
+    def holds(self, node_id: int) -> bool:
+        return node_id in self._held
+
+    def held_keys(self, node_id: int) -> List[ResourceKey]:
+        """Resource keys ``node_id`` occupies, one entry per occupied slot."""
+        ii = self.ii
+        keys = self._keys
+        return [keys[flat // ii] for flat in self._held.get(node_id, [])]
+
+    def conflicting_nodes(self, uses: Sequence[ResourceUse], cycle: int) -> Set[int]:
+        """Nodes whose eviction would free the requested reservations."""
+        ii = self.ii
+        conflicts: Set[int] = set()
+        for use in uses:
+            resource = self._index.get(use.key)
+            if resource is None:
+                continue
+            cap = self._caps[resource]
+            if cap <= 0:
+                continue
+            base = resource * ii
+            start = cycle + use.offset
+            for delta in range(1 if use.duration == 1 else min(use.duration, ii)):
+                row = self._occupants[base + (start + delta) % ii]
+                if len(row) >= cap:
+                    conflicts.update(row)
+        return conflicts
+
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> Dict[ResourceKey, float]:
+        """Fraction of occupied slots per resource (for reports/tests)."""
+        ii = self.ii
+        result: Dict[ResourceKey, float] = {}
+        for resource, key in enumerate(self._keys):
+            total = self._caps[resource] * ii
+            base = resource * ii
+            used = sum(len(self._occupants[base + slot]) for slot in range(ii))
+            result[key] = used / total if total else 0.0
+        return result
+
+
+#: Sentinel for "no contribution recorded" in the dense bank-index array
+#: (bank *ids* include -1 for the shared bank, so the arrays store dense
+#: bank indices, which are always >= 0).
+_NO_BANK = -1
+
+
+class ArrayPressureTracker(GraphListener):
+    """Incrementally maintained per-bank MaxLive over flat arrays.
+
+    Same constructor and query contract as
+    :class:`~repro.core.pressure.PressureTracker`; per-node state is
+    stored in parallel arrays indexed by the graph's dense node index,
+    and the per-bank maximum is cached between queries.
+    """
+
+    def __init__(
+        self,
+        graph: DepGraph,
+        ii: int,
+        rf: RFConfig,
+        latency_of: Callable[[str], int],
+        times: Dict[int, int],
+        clusters: Dict[int, Optional[int]],
+    ) -> None:
+        self.graph = graph
+        self.ii = ii
+        self.rf = rf
+        self.latency_of = latency_of
+        self.times = times
+        self.clusters = clusters
+        #: Banks in ``all_banks`` order: defines the dense bank numbering
+        #: and the key order of :meth:`usage` / :meth:`lifetimes_by_bank`.
+        self._banks: List[int] = list(all_banks(rf))
+        self._bank_index: Dict[int, int] = {
+            bank: index for index, bank in enumerate(self._banks)
+        }
+        self._slots: List[int] = [0] * (len(self._banks) * ii)
+        #: Cached per-bank MaxLive + the set of banks whose slots changed.
+        self._bank_max: List[int] = [0] * len(self._banks)
+        self._stale_banks: int = 0
+        #: Last :meth:`usage` answer, reused verbatim while no event has
+        #: invalidated it (callers treat the dict as read-only, exactly
+        #: like the fresh dict the object tracker hands out each call).
+        self._usage_cache: Optional[Dict[int, int]] = None
+        # Parallel per-node arrays, indexed by graph.dense_index(node).
+        size = graph.dense_index_bound()
+        self._contrib_bank: List[int] = [_NO_BANK] * size
+        self._contrib_start: List[int] = [0] * size
+        self._contrib_end: List[int] = [0] * size
+        self._contrib_node: List[int] = [-1] * size
+        #: Bitmask of dense bank indices charged one whole-loop register
+        #: (live-in values only).
+        self._live_banks: List[int] = [0] * size
+        self._dirty: Set[int] = set()
+        #: usage() queries served (the per-node spill checks of the paper).
+        self.n_checks: int = 0
+        #: Individual lifetime re-derivations (the incremental work unit).
+        self.n_updates: int = 0
+        graph.add_listener(self)
+
+    # ------------------------------------------------------------------ #
+    # Event intake (placement + graph mutation)
+    # ------------------------------------------------------------------ #
+    def on_place(self, node_id: int) -> None:
+        """The owning schedule placed ``node_id``.
+
+        Placing a node can only *extend* the lifetime of an
+        already-flushed producer (the producer's own cycle, bank and
+        start are untouched; the new consumer adds one more ``use+1``
+        candidate to the end maximum), so such producers are updated in
+        place with an O(delta) slot-count extension instead of a full
+        re-derivation.  Everything else -- the placed node itself,
+        live-in producers (their bank *set* changes with consumer
+        placement), producers with pending dirty state -- falls back to
+        the dirty set.
+        """
+        dirty = self._dirty
+        dirty.add(node_id)
+        graph = self.graph
+        if node_id not in graph:
+            return
+        cycle = self.times.get(node_id)
+        if cycle is None:  # pragma: no cover - defensive (place sets times first)
+            self._touch(node_id)
+            return
+        ii = self.ii
+        contrib_bank = self._contrib_bank
+        contrib_node = self._contrib_node
+        contrib_end = self._contrib_end
+        for src, edge in graph.flow_producers(node_id):
+            if src in dirty:
+                continue
+            index = graph.dense_index(src)
+            if (
+                index < len(contrib_bank)
+                and contrib_bank[index] != _NO_BANK
+                and contrib_node[index] == src
+            ):
+                use_end = cycle + edge.distance * ii + 1
+                if use_end > contrib_end[index]:
+                    self._apply(contrib_bank[index], contrib_end[index], use_end, +1)
+                    contrib_end[index] = use_end
+            else:
+                dirty.add(src)
+
+    def on_remove(self, node_id: int) -> None:
+        """The owning schedule ejected or forgot ``node_id``.
+
+        Called while the node's cycle is still recorded (see
+        :meth:`repro.core.partial.PartialSchedule.remove`).  Removing a
+        consumer can only shrink a producer's lifetime if that consumer
+        attained the current end; producers for which this use was
+        strictly interior keep their contribution untouched.
+        """
+        dirty = self._dirty
+        dirty.add(node_id)
+        graph = self.graph
+        if node_id not in graph:
+            return
+        cycle = self.times.get(node_id)
+        if cycle is None:
+            self._touch(node_id)
+            return
+        ii = self.ii
+        contrib_bank = self._contrib_bank
+        contrib_node = self._contrib_node
+        contrib_end = self._contrib_end
+        for src, edge in graph.flow_producers(node_id):
+            if src in dirty:
+                continue
+            index = graph.dense_index(src)
+            if (
+                index < len(contrib_bank)
+                and contrib_bank[index] != _NO_BANK
+                and contrib_node[index] == src
+                and cycle + edge.distance * ii + 1 < contrib_end[index]
+            ):
+                continue
+            dirty.add(src)
+
+    def _touch(self, node_id: int) -> None:
+        """Mark a node and the producers whose lifetimes it extends dirty."""
+        self._dirty.add(node_id)
+        if node_id in self.graph:
+            for src, _edge in self.graph.flow_producers(node_id):
+                self._dirty.add(src)
+
+    def on_edge_added(self, edge: Dependence) -> None:
+        if edge.kind == "flow":
+            self._dirty.add(edge.src)
+
+    def on_edge_removed(self, edge: Dependence) -> None:
+        if edge.kind == "flow":
+            self._dirty.add(edge.src)
+
+    def on_node_removed(self, node_id: int) -> None:
+        # Handled eagerly (not via the dirty set): the node's dense index
+        # is still alive during this callback but is recycled right after,
+        # so its recorded contribution must be dropped now -- a later
+        # flush could find the index re-used by a new node.
+        self.n_updates += 1
+        index = self.graph.dense_index(node_id)
+        self._clear(index)
+        self._dirty.discard(node_id)
+
+    # ------------------------------------------------------------------ #
+    # Slot-count arithmetic (mirrors pressure.PressureTracker._apply)
+    # ------------------------------------------------------------------ #
+    def _apply(self, bank_index: int, start: int, end: int, sign: int) -> None:
+        ii = self.ii
+        slots = self._slots
+        base_offset = bank_index * ii
+        length = end - start
+        if length < 1:
+            length = 1
+        base, rem = divmod(length, ii)
+        if base:
+            delta = base * sign
+            for flat in range(base_offset, base_offset + ii):
+                slots[flat] += delta
+        anchor = start % ii
+        for offset in range(rem):
+            slots[base_offset + (anchor + offset) % ii] += sign
+        self._stale_banks |= 1 << bank_index
+
+    def _apply_whole(self, bank_index: int, sign: int) -> None:
+        slots = self._slots
+        base_offset = bank_index * self.ii
+        for flat in range(base_offset, base_offset + self.ii):
+            slots[flat] += sign
+        self._stale_banks |= 1 << bank_index
+
+    # ------------------------------------------------------------------ #
+    # Dirty flush
+    # ------------------------------------------------------------------ #
+    def _ensure_index(self, index: int) -> None:
+        grow = index + 1 - len(self._contrib_bank)
+        if grow > 0:
+            self._contrib_bank.extend([_NO_BANK] * grow)
+            self._contrib_start.extend([0] * grow)
+            self._contrib_end.extend([0] * grow)
+            self._contrib_node.extend([-1] * grow)
+            self._live_banks.extend([0] * grow)
+
+    def _clear(self, index: int) -> None:
+        """Subtract and forget whatever is recorded at a dense index."""
+        if index >= len(self._contrib_bank):
+            return
+        bank_index = self._contrib_bank[index]
+        if bank_index != _NO_BANK:
+            self._apply(
+                bank_index, self._contrib_start[index], self._contrib_end[index], -1
+            )
+            self._contrib_bank[index] = _NO_BANK
+            self._contrib_node[index] = -1
+        live = self._live_banks[index]
+        if live:
+            bank_index = 0
+            while live:
+                if live & 1:
+                    self._apply_whole(bank_index, -1)
+                live >>= 1
+                bank_index += 1
+            self._live_banks[index] = 0
+
+    def _refresh(self, node_id: int) -> None:
+        """Re-derive one node's contribution from the current state."""
+        self.n_updates += 1
+        graph = self.graph
+        if node_id not in graph:
+            # Removed nodes were cleared eagerly in on_node_removed.
+            return
+        index = graph.dense_index(node_id)
+        self._ensure_index(index)
+        self._clear(index)
+        node = graph.node(node_id)
+        if node.op is OpType.LIVE_IN:
+            bank_index_map = self._bank_index
+            live = 0
+            for bank in live_in_banks(graph, node_id, self.clusters, self.rf):
+                bank_index = bank_index_map.get(bank)
+                if bank_index is not None:
+                    live |= 1 << bank_index
+            if live:
+                self._live_banks[index] = live
+                bank_index = 0
+                bits = live
+                while bits:
+                    if bits & 1:
+                        self._apply_whole(bank_index, +1)
+                    bits >>= 1
+                    bank_index += 1
+            return
+        if not node.op.defines_register:
+            return
+        times = self.times
+        cycle = times.get(node_id)
+        if cycle is None:
+            return
+        bank = value_bank(graph, node_id, self.clusters.get(node_id), self.rf)
+        if bank is None:
+            return
+        bank_index = self._bank_index.get(bank)
+        if bank_index is None:
+            return
+        producer_latency = (
+            node.latency_override
+            if node.latency_override is not None
+            else self.latency_of(node.op.mnemonic)
+        )
+        start = cycle + producer_latency
+        end = start + 1
+        ii = self.ii
+        for dst, edge in graph.flow_consumers(node_id):
+            use_cycle = times.get(dst)
+            if use_cycle is None:
+                continue
+            use = use_cycle + edge.distance * ii
+            if use + 1 > end:
+                end = use + 1
+        self._apply(bank_index, start, end, +1)
+        self._contrib_bank[index] = bank_index
+        self._contrib_start[index] = start
+        self._contrib_end[index] = end
+        self._contrib_node[index] = node_id
+
+    def _flush(self) -> None:
+        if not self._dirty:
+            return
+        for node_id in self._dirty:
+            self._refresh(node_id)
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def usage(self) -> Dict[int, int]:
+        """MaxLive per bank -- same contract as :func:`register_usage`."""
+        self.n_checks += 1
+        if not self._dirty and not self._stale_banks and self._usage_cache is not None:
+            return self._usage_cache
+        self._flush()
+        stale = self._stale_banks
+        if stale:
+            ii = self.ii
+            slots = self._slots
+            bank_max = self._bank_max
+            bank_index = 0
+            while stale:
+                if stale & 1:
+                    base_offset = bank_index * ii
+                    bank_max[bank_index] = max(slots[base_offset:base_offset + ii])
+                stale >>= 1
+                bank_index += 1
+            self._stale_banks = 0
+        bank_max = self._bank_max
+        result = {bank: bank_max[index] for index, bank in enumerate(self._banks)}
+        self._usage_cache = result
+        return result
+
+    def lifetimes_by_bank(self) -> Dict[int, List[ValueLifetime]]:
+        """Current value lifetimes grouped by bank (spill-victim input)."""
+        self._flush()
+        per_bank: Dict[int, List[ValueLifetime]] = {bank: [] for bank in self._banks}
+        banks = self._banks
+        contrib_bank = self._contrib_bank
+        contrib_node = self._contrib_node
+        contrib_start = self._contrib_start
+        contrib_end = self._contrib_end
+        for index, bank_index in enumerate(contrib_bank):
+            if bank_index == _NO_BANK:
+                continue
+            per_bank[banks[bank_index]].append(
+                ValueLifetime(
+                    contrib_node[index],
+                    banks[bank_index],
+                    contrib_start[index],
+                    contrib_end[index],
+                )
+            )
+        for lifetimes in per_bank.values():
+            lifetimes.sort(key=lambda lt: lt.node_id)
+        return per_bank
+
+    def detach(self) -> None:
+        """Stop observing the graph (owning schedule is being discarded)."""
+        self.graph.remove_listener(self)

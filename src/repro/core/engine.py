@@ -86,6 +86,12 @@ class SchedulerEngine:
         pressure check falls back to a full MaxLive sweep -- kept as a
         benchmark/debug switch so the wall-clock win of the tracker stays
         measurable on the same code path.
+    core:
+        MRT/pressure backend: ``"array"`` (flat arrays + bitmasks, the
+        default) or ``"object"`` (the readable dictionary
+        implementation).  Both produce bit-identical schedules;
+        ``tests/test_core_equivalence.py`` and the corpus replay pin the
+        equivalence.
     """
 
     def __init__(
@@ -97,10 +103,14 @@ class SchedulerEngine:
         budget_ratio: float = 6.0,
         max_ii: int = 512,
         incremental_pressure: bool = True,
+        core: str = "array",
     ) -> None:
         machine.validate_rf(rf)
+        if core not in ("object", "array"):
+            raise ValueError(f"unknown scheduler core {core!r} (use 'object' or 'array')")
         self.machine = machine
         self.rf = rf
+        self.core = core
         self.resources = ResourceModel(machine, rf)
         self.budget_ratio = budget_ratio
         self.max_ii = max_ii
@@ -130,6 +140,12 @@ class SchedulerEngine:
         search = self._ii_search_cls()
         counters = _Counters()
         attempted: List[int] = []
+        # The scheduling order is a pure function of the dependence graph
+        # and the machine latencies, and every II attempt starts from a
+        # fresh copy of the same graph -- so it is computed once per loop
+        # and shared across attempts instead of re-derived (SCCs included)
+        # inside each one.
+        order = self._order_nodes(loop.graph, self.machine.latency)
 
         best: Optional[Tuple[int, Tuple[DepGraph, PartialSchedule]]] = None
         last_failed: Optional[int] = None
@@ -137,7 +153,7 @@ class SchedulerEngine:
         n_failures = 0
         while ii <= self.max_ii:
             attempted.append(ii)
-            attempt = self._try(loop, ii, counters)
+            attempt = self._try(loop, ii, counters, order)
             if attempt is not None:
                 best = (ii, attempt)
                 break
@@ -160,7 +176,7 @@ class SchedulerEngine:
             while hi - lo > 1:
                 mid = (lo + hi) // 2
                 attempted.append(mid)
-                attempt = self._try(loop, mid, counters)
+                attempt = self._try(loop, mid, counters, order)
                 if attempt is not None:
                     hi = mid
                     best = (mid, attempt)
@@ -199,10 +215,10 @@ class SchedulerEngine:
 
     # ------------------------------------------------------------------ #
     def _try(
-        self, loop: Loop, ii: int, counters: _Counters
+        self, loop: Loop, ii: int, counters: _Counters, order: List[int]
     ) -> Optional[Tuple[DepGraph, PartialSchedule]]:
         try:
-            return self._attempt(loop.graph.copy(), ii, counters)
+            return self._attempt(loop.graph.copy(), ii, counters, order)
         except ScheduleInfeasible:
             return None
 
@@ -222,14 +238,17 @@ class SchedulerEngine:
 
     # ------------------------------------------------------------------ #
     def _attempt(
-        self, graph: DepGraph, ii: int, counters: _Counters
+        self, graph: DepGraph, ii: int, counters: _Counters,
+        order: Optional[List[int]] = None,
     ) -> Optional[Tuple[DepGraph, PartialSchedule]]:
         """One scheduling attempt at a fixed II (None = infeasible)."""
         schedule = PartialSchedule(
             graph, ii, self.machine, self.rf, self.resources,
             track_pressure=self._check_registers and self.incremental_pressure,
+            core=self.core,
         )
-        order = self._order_nodes(graph, self.machine.latency)
+        if order is None:
+            order = self._order_nodes(graph, self.machine.latency)
         if not order:
             return graph, schedule
         priority = PriorityList(order)

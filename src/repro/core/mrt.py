@@ -94,6 +94,24 @@ class ModuloReservationTable:
                     needed[(key, slot)] = extra
         return True
 
+    def first_free_cycle(
+        self, uses: Sequence[ResourceUse], cycles: Sequence[int]
+    ) -> "int | None":
+        """First cycle of ``cycles`` where ``can_reserve`` holds, or ``None``.
+
+        The window-scan entry point shared with the array backend
+        (:meth:`repro.core.arraycore.ArrayMRT.first_free_cycle`, which
+        accelerates the same contract with full-slot bitmasks).
+        """
+        if not uses:
+            for cycle in cycles:
+                return cycle
+            return None
+        for cycle in cycles:
+            if self.can_reserve(uses, cycle):
+                return cycle
+        return None
+
     def reserve(self, node_id: int, uses: Sequence[ResourceUse], cycle: int) -> None:
         """Reserve resources for ``node_id`` issuing at ``cycle``.
 

@@ -52,30 +52,56 @@ class PartialSchedule:
         resources: ResourceModel,
         *,
         track_pressure: bool = False,
+        core: str = "object",
     ) -> None:
+        if core not in ("object", "array"):
+            raise ValueError(f"unknown scheduler core {core!r} (use 'object' or 'array')")
         self.graph = graph
         self.ii = ii
         self.machine = machine
         self.rf = rf
         self.resources = resources
+        self.core = core
         self.times: Dict[int, int] = {}
         self.clusters: Dict[int, Optional[int]] = {}
-        self.mrt = ModuloReservationTable(ii, resources.counts)
+        #: The MRT/pressure backend pair.  ``"object"`` is the readable
+        #: dictionary implementation, ``"array"`` the flat-array/bitmask
+        #: one (:mod:`repro.core.arraycore`); both are behaviourally
+        #: identical, so everything above this view layer is agnostic.
+        if core == "array":
+            from repro.core.arraycore import ArrayMRT  # import cycle guard
+
+            self.mrt = ArrayMRT(ii, resources.counts)
+        else:
+            self.mrt = ModuloReservationTable(ii, resources.counts)
         #: Incremental per-bank MaxLive state, kept in sync with every
         #: placement and graph edit (``None`` when pressure tracking is
         #: off -- e.g. unbounded banks, or the validator's replay probe,
         #: which writes ``times`` directly).
         self.pressure: Optional["PressureTracker"] = None
         if track_pressure:
-            from repro.core.pressure import PressureTracker  # import cycle guard
+            if core == "array":
+                from repro.core.arraycore import ArrayPressureTracker
 
-            self.pressure = PressureTracker(
-                graph, ii, rf, machine.latency, self.times, self.clusters
-            )
+                self.pressure = ArrayPressureTracker(
+                    graph, ii, rf, machine.latency, self.times, self.clusters
+                )
+            else:
+                from repro.core.pressure import PressureTracker  # import cycle guard
+
+                self.pressure = PressureTracker(
+                    graph, ii, rf, machine.latency, self.times, self.clusters
+                )
         #: Last cycle each node was (forcibly) placed at; the force rule
         #: places a node at ``max(estart, previous + 1)`` so repeated
         #: ejection cannot ping-pong between the same two cycles.
         self._last_cycle: Dict[int, int] = {}
+        #: Memoized ``uses_for`` answers per (node, cluster).  Safe for
+        #: every operation except ``Move`` (whose source port follows its
+        #: producer's *current* cluster): an operation's type never
+        #: changes, node ids are never reused, and the underlying
+        #: ResourceModel lists are shared immutables anyway.
+        self._uses_cache: Dict[tuple, List[ResourceUse]] = {}
 
     # ------------------------------------------------------------------ #
     # Basic queries
@@ -91,26 +117,35 @@ class PartialSchedule:
 
     def uses_for(self, node_id: int, cluster: Optional[int]) -> List[ResourceUse]:
         """Resource reservations the node needs when issued on ``cluster``."""
+        key = (node_id, cluster)
+        uses = self._uses_cache.get(key)
+        if uses is not None:
+            return uses
         op = self.graph.node(node_id).op
-        if op is OpType.LIVE_IN:
-            return []
-        if op.is_compute:
-            assert cluster is not None and cluster >= 0
-            return self.resources.compute_uses(op.mnemonic, cluster)
-        if op.is_memory:
-            mem_cluster = cluster if cluster is not None and cluster >= 0 else 0
-            return self.resources.memory_uses(mem_cluster)
         if op is OpType.MOVE:
+            # Not memoized: the source port follows the producer's
+            # current cluster, which backtracking can change.
             src_cluster = self._move_source_cluster(node_id)
             assert cluster is not None and cluster >= 0
             return self.resources.move_uses(src_cluster, cluster)
-        if op is OpType.LOADR:
+        if op is OpType.LIVE_IN:
+            uses = []
+        elif op.is_compute:
             assert cluster is not None and cluster >= 0
-            return self.resources.loadr_uses(cluster)
-        if op is OpType.STORER:
+            uses = self.resources.compute_uses(op.mnemonic, cluster)
+        elif op.is_memory:
+            mem_cluster = cluster if cluster is not None and cluster >= 0 else 0
+            uses = self.resources.memory_uses(mem_cluster)
+        elif op is OpType.LOADR:
             assert cluster is not None and cluster >= 0
-            return self.resources.storer_uses(cluster)
-        raise AssertionError(f"unhandled op type {op}")
+            uses = self.resources.loadr_uses(cluster)
+        elif op is OpType.STORER:
+            assert cluster is not None and cluster >= 0
+            uses = self.resources.storer_uses(cluster)
+        else:
+            raise AssertionError(f"unhandled op type {op}")
+        self._uses_cache[key] = uses
+        return uses
 
     def _move_source_cluster(self, node_id: int) -> int:
         """Cluster the (single) producer of a Move operation lives in."""
@@ -128,25 +163,31 @@ class PartialSchedule:
     def earliest_start(self, node_id: int) -> int:
         """Earliest issue cycle allowed by already-scheduled predecessors."""
         estart = 0
-        for edge in self.graph.in_edges(node_id):
-            src = edge.src
-            if src not in self.times:
+        times = self.times
+        graph = self.graph
+        for edge in graph.iter_in_edges(node_id):
+            cycle = times.get(edge.src)
+            if cycle is None:
                 continue
-            latency = self.graph.edge_latency(edge, self.latency_of)
-            bound = self.times[src] + latency - edge.distance * self.ii
-            estart = max(estart, bound)
+            latency = graph.edge_latency(edge, self.latency_of)
+            bound = cycle + latency - edge.distance * self.ii
+            if bound > estart:
+                estart = bound
         return estart
 
     def latest_start(self, node_id: int) -> Optional[int]:
         """Latest issue cycle allowed by already-scheduled successors."""
         lstart: Optional[int] = None
-        for edge in self.graph.out_edges(node_id):
-            dst = edge.dst
-            if dst not in self.times:
+        times = self.times
+        graph = self.graph
+        for edge in graph.iter_out_edges(node_id):
+            cycle = times.get(edge.dst)
+            if cycle is None:
                 continue
-            latency = self.graph.edge_latency(edge, self.latency_of)
-            bound = self.times[dst] - latency + edge.distance * self.ii
-            lstart = bound if lstart is None else min(lstart, bound)
+            latency = graph.edge_latency(edge, self.latency_of)
+            bound = cycle - latency + edge.distance * self.ii
+            if lstart is None or bound < lstart:
+                lstart = bound
         return lstart
 
     # ------------------------------------------------------------------ #
@@ -176,13 +217,19 @@ class PartialSchedule:
             self.pressure.on_place(node_id)
 
     def remove(self, node_id: int) -> None:
-        """Eject a node from the schedule (graph is left untouched)."""
+        """Eject a node from the schedule (graph is left untouched).
+
+        The pressure tracker is notified *before* the placement is
+        dropped: the array tracker inspects the node's (still-present)
+        cycle to decide which producer lifetimes can actually shrink,
+        and the object tracker only records a dirty mark either way.
+        """
         if node_id in self.times:
             self.mrt.release(node_id)
-            del self.times[node_id]
-            del self.clusters[node_id]
             if self.pressure is not None:
                 self.pressure.on_remove(node_id)
+            del self.times[node_id]
+            del self.clusters[node_id]
 
     def forget(self, node_id: int) -> None:
         """Drop all bookkeeping for a node that was deleted from the graph."""
@@ -227,13 +274,10 @@ class PartialSchedule:
             window_hi = min(window_hi, lstart)
         if window_hi < estart:
             return None
-        has_sched_pred = any(src in self.times for src in self.graph.predecessors(node_id))
+        has_sched_pred = any(src in self.times for src in self.graph.iter_predecessors(node_id))
         downward = (lstart is not None) and not has_sched_pred
         cycles = range(window_hi, estart - 1, -1) if downward else range(estart, window_hi + 1)
-        for cycle in cycles:
-            if not uses or self.mrt.can_reserve(uses, cycle):
-                return cycle
-        return None
+        return self.mrt.first_free_cycle(uses, cycles)
 
     def force_cycle(self, node_id: int) -> int:
         """Cycle at which a node with no free slot is forced into the schedule."""
@@ -281,8 +325,9 @@ class PartialSchedule:
         self.place(node_id, cycle, cluster, uses=uses)
 
         # Eject already-scheduled neighbours whose dependence constraints the
-        # forced placement violates.
-        for edge in self.graph.in_edges(node_id):
+        # forced placement violates.  (remove() only touches schedule state,
+        # never the graph, so the allocation-free edge views are safe here.)
+        for edge in self.graph.iter_in_edges(node_id):
             src = edge.src
             if src not in self.times or src == node_id:
                 continue
@@ -290,7 +335,7 @@ class PartialSchedule:
             if self.times[src] + latency - edge.distance * self.ii > cycle:
                 ejected.add(src)
                 self.remove(src)
-        for edge in self.graph.out_edges(node_id):
+        for edge in self.graph.iter_out_edges(node_id):
             dst = edge.dst
             if dst not in self.times or dst == node_id:
                 continue

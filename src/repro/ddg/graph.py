@@ -105,6 +105,12 @@ class DepGraph:
         #: Mutation observers (see :meth:`add_listener`).  Not copied by
         #: :meth:`copy`: a listener tracks one concrete graph instance.
         self._listeners: List["GraphListener"] = []
+        #: Dense index per live node (see :meth:`dense_index`).  Indices of
+        #: removed nodes are recycled LIFO so the index space stays compact
+        #: under the scheduler's insert/remove churn.
+        self._node_index: Dict[int, int] = {}
+        self._free_indices: List[int] = []
+        self._index_size: int = 0
 
     # ------------------------------------------------------------------ #
     # Mutation listeners
@@ -165,6 +171,11 @@ class DepGraph:
         )
         self._succ[node_id] = {}
         self._pred[node_id] = {}
+        if self._free_indices:
+            self._node_index[node_id] = self._free_indices.pop()
+        else:
+            self._node_index[node_id] = self._index_size
+            self._index_size += 1
         return node_id
 
     def add_edge(
@@ -200,8 +211,12 @@ class DepGraph:
         del self._pred[node_id]
         del self._nodes[node_id]
         if self._listeners:
+            # The dense index is released only after the listeners ran:
+            # index-keyed observers (the array pressure tracker) need it to
+            # locate the state they must drop for this node.
             for listener in self._listeners:
                 listener.on_node_removed(node_id)
+        self._free_indices.append(self._node_index.pop(node_id))
 
     def copy(self) -> "DepGraph":
         """Deep copy of the graph (fresh Operation objects, same ids)."""
@@ -215,6 +230,9 @@ class DepGraph:
             for dst, edge in edges.items():
                 clone._succ[src][dst] = edge
                 clone._pred[dst][src] = edge
+        clone._node_index = dict(self._node_index)
+        clone._free_indices = list(self._free_indices)
+        clone._index_size = self._index_size
         return clone
 
     # ------------------------------------------------------------------ #
@@ -254,6 +272,12 @@ class DepGraph:
         self._pred = {}
         self._next_id = next_id
         self._listeners = []
+        # Dense indices are not part of the pickle: they are an internal
+        # acceleration structure, so a round trip simply re-assigns them in
+        # node order (the mapping itself carries no semantics).
+        self._node_index = {}
+        self._free_indices = []
+        self._index_size = 0
         for (node_id, op, name, mem_ref, is_spill, is_inserted,
              inserted_for, home_cluster, latency_override) in nodes:
             operation = Operation(
@@ -265,6 +289,8 @@ class DepGraph:
             self._nodes[node_id] = operation
             self._succ[node_id] = {}
             self._pred[node_id] = {}
+            self._node_index[node_id] = self._index_size
+            self._index_size += 1
         for src, dst, distance, kind in edges:
             edge = Dependence(src=src, dst=dst, distance=distance, kind=kind)
             self._succ[src][dst] = edge
@@ -307,11 +333,55 @@ class DepGraph:
     def in_edges(self, node_id: int) -> List[Dependence]:
         return list(self._pred[node_id].values())
 
+    def iter_out_edges(self, node_id: int) -> Iterable[Dependence]:
+        """Allocation-free view of :meth:`out_edges`.
+
+        Safe while the caller does not add or remove edges of
+        ``node_id``; the scheduler's window computations iterate these
+        views thousands of times per loop, where the defensive list copy
+        of :meth:`out_edges` is pure overhead.
+        """
+        return self._succ[node_id].values()
+
+    def iter_in_edges(self, node_id: int) -> Iterable[Dependence]:
+        """Allocation-free view of :meth:`in_edges` (same caveat)."""
+        return self._pred[node_id].values()
+
+    def iter_predecessors(self, node_id: int) -> Iterable[int]:
+        """Allocation-free view of :meth:`predecessors` (same caveat)."""
+        return self._pred[node_id].keys()
+
     def edge(self, src: int, dst: int) -> Dependence:
         return self._succ[src][dst]
 
     def has_edge(self, src: int, dst: int) -> bool:
         return dst in self._succ.get(src, {})
+
+    # ------------------------------------------------------------------ #
+    # Dense node indexing
+    # ------------------------------------------------------------------ #
+    def dense_index(self, node_id: int) -> int:
+        """Dense array index of a live node.
+
+        Node ids are sparse (deserialization preserves gaps, inserted
+        spill/communication nodes keep growing them), so side structures
+        that want flat-array storage -- the array-core pressure tracker --
+        key their arrays on this index instead.  Indices are stable for
+        the lifetime of a node and recycled (most recently freed first)
+        after :meth:`remove_node`, so :meth:`dense_index_bound` stays
+        within a constant of the live node count.
+
+        Raises ``KeyError`` for unknown/removed nodes.
+        """
+        return self._node_index[node_id]
+
+    def dense_index_bound(self) -> int:
+        """Exclusive upper bound of every index :meth:`dense_index` returned.
+
+        Sized arrays indexed by :meth:`dense_index` are safe at this
+        length until the next :meth:`add_node`.
+        """
+        return self._index_size
 
     # ------------------------------------------------------------------ #
     # Derived quantities

@@ -126,6 +126,7 @@ def _build_engine(
     scale_to_clock: bool,
     budget_ratio: float,
     scheduler: "str | PolicyBundle",
+    core: str = "array",
 ):
     """Instantiate a scheduling engine for one configuration.
 
@@ -143,7 +144,7 @@ def _build_engine(
     else:
         scaled = base
     engine = SchedulerEngine(
-        scaled, rf_config, policy=scheduler, budget_ratio=budget_ratio
+        scaled, rf_config, policy=scheduler, budget_ratio=budget_ratio, core=core
     )
     return engine, scaled, spec
 
@@ -175,6 +176,7 @@ def iter_schedule_suite(
     budget_ratio: float = 6.0,
     scheduler: "str | PolicyBundle" = "mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
+    core: str = "array",
     jobs: int = 1,
     cache: Optional["EvalCache"] = None,
     executor=None,
@@ -219,6 +221,7 @@ def iter_schedule_suite(
             budget_ratio=budget_ratio,
             scheduler=scheduler,
             prefetch=prefetch,
+            core=core,
             jobs=jobs,
             cache=cache,
             executor=executor,
@@ -233,7 +236,7 @@ def iter_schedule_suite(
     # arguments fail identically on cold and warm runs.  The serial path
     # below schedules on this same engine.
     engine, scaled, spec = _build_engine(
-        rf_config, base, scale_to_clock, budget_ratio, scheduler
+        rf_config, base, scale_to_clock, budget_ratio, scheduler, core
     )
 
     covered = 0
@@ -255,6 +258,7 @@ def iter_schedule_suite(
                 budget_ratio=budget_ratio,
                 scheduler=scheduler,
                 prefetch=prefetch,
+                core=core,
             )
             keys[position] = key
             group = miss_groups.get(key)
@@ -294,6 +298,7 @@ def iter_schedule_suite(
                 budget_ratio=budget_ratio,
                 scheduler=scheduler,
                 prefetch=prefetch,
+                core=core,
                 jobs=jobs,
                 executor=executor,
             )
@@ -326,6 +331,7 @@ def schedule_suite(
     budget_ratio: float = 6.0,
     scheduler: "str | PolicyBundle" = "mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
+    core: str = "array",
     jobs: int = 1,
     cache: Optional["EvalCache"] = None,
     executor=None,
@@ -345,6 +351,11 @@ def schedule_suite(
     ``prefetch`` enables selective binding prefetching: the selected loads
     are scheduled with the configuration's miss latency (this is how the
     real-memory experiments of Figure 6 run the scheduler).
+
+    ``core`` selects the reservation-table/pressure backend of the engine
+    (``"array"``, the default, or the reference ``"object"`` core).  The
+    two backends produce bit-identical schedules -- the equivalence suite
+    and ``repro fuzz`` enforce it -- but results are cached per backend.
 
     ``jobs`` fans the workbench out over that many worker processes
     (``0`` means one per CPU); the default of ``1`` keeps the serial
@@ -370,6 +381,7 @@ def schedule_suite(
         budget_ratio=budget_ratio,
         scheduler=scheduler,
         prefetch=prefetch,
+        core=core,
         jobs=jobs,
         cache=cache,
         executor=executor,

@@ -92,6 +92,7 @@ def _schedule_chunk(
         float,
         object,  # policy-bundle name or a picklable PolicyBundle
         Optional[PrefetchPolicy],
+        str,     # scheduler-core backend ("object" | "array")
     ],
 ) -> List[Tuple[int, LoopRun]]:
     """Worker entry point: schedule one chunk of (position, loop) pairs."""
@@ -99,9 +100,10 @@ def _schedule_chunk(
     # worker as well, keeping this module importable before repro.eval is.
     from repro.eval.experiments import _build_engine, _schedule_one
 
-    chunk, rf_config, base, scale_to_clock, budget_ratio, scheduler, prefetch = payload
+    (chunk, rf_config, base, scale_to_clock, budget_ratio, scheduler,
+     prefetch, core) = payload
     engine, scaled, spec = _build_engine(
-        rf_config, base, scale_to_clock, budget_ratio, scheduler
+        rf_config, base, scale_to_clock, budget_ratio, scheduler, core
     )
     return [
         (position, _schedule_one(loop, engine, scaled, spec, prefetch))
@@ -118,6 +120,7 @@ def iter_schedule_loops(
     budget_ratio: float = 6.0,
     scheduler="mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
+    core: str = "array",
     jobs: Optional[int] = None,
     executor: Optional[Executor] = None,
 ) -> Iterator[Tuple[int, LoopRun]]:
@@ -144,7 +147,7 @@ def iter_schedule_loops(
         from repro.eval.experiments import _build_engine, _schedule_one
 
         engine, scaled, spec = _build_engine(
-            rf_config, machine, scale_to_clock, budget_ratio, scheduler
+            rf_config, machine, scale_to_clock, budget_ratio, scheduler, core
         )
         for position, loop in tasks:
             yield position, _schedule_one(loop, engine, scaled, spec, prefetch)
@@ -160,6 +163,7 @@ def iter_schedule_loops(
             budget_ratio,
             scheduler,
             prefetch,
+            core,
         )
         for chunk in chunks
     ]
@@ -188,6 +192,7 @@ def schedule_loops_parallel(
     budget_ratio: float = 6.0,
     scheduler="mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
+    core: str = "array",
     jobs: Optional[int] = None,
     executor: Optional[Executor] = None,
 ) -> List[Tuple[int, LoopRun]]:
@@ -208,6 +213,7 @@ def schedule_loops_parallel(
             budget_ratio=budget_ratio,
             scheduler=scheduler,
             prefetch=prefetch,
+            core=core,
             jobs=jobs,
             executor=executor,
         )

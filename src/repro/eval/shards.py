@@ -154,6 +154,7 @@ def plan_shards(
     budget_ratio: float = 6.0,
     scheduler="mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
+    core: str = "array",
 ) -> ShardPlan:
     """Split a workbench into deterministic, content-addressed shards.
 
@@ -176,6 +177,7 @@ def plan_shards(
             budget_ratio=budget_ratio,
             scheduler=scheduler,
             prefetch=prefetch,
+            core=core,
         )
         for loop in loops
     ]
@@ -223,6 +225,7 @@ class ResultStore:
         self.directory = Path(directory).expanduser()
         self.directory.mkdir(parents=True, exist_ok=True)
         self._warned_write_failure = False
+        self._warned_invalid = False
         self.hits: int = 0
         self.misses: int = 0
         self.stores: int = 0
@@ -267,20 +270,41 @@ class ResultStore:
             return None
         try:
             result = serialize.load(path, expect_type="shard_result")
-        except (OSError, serialize.SerializationError, ValueError, KeyError):
-            self.invalid += 1
-            self.misses += 1
+        except (OSError, serialize.SerializationError, ValueError, KeyError) as exc:
+            self._note_invalid(shard, f"unreadable envelope ({exc!r})")
             return None
         if (
             not isinstance(result, ShardResult)
             or result.key != shard.key
             or len(result.runs) != len(shard.positions)
         ):
-            self.invalid += 1
-            self.misses += 1
+            self._note_invalid(shard, "envelope content does not match the shard")
             return None
         self.hits += 1
         return result.runs
+
+    def _note_invalid(self, shard: Shard, reason: str) -> None:
+        """Count an unusable envelope -- and say so, once, with the key.
+
+        An invalid checkpoint is handled by silently re-scheduling the
+        shard, which is correct but can hide a corrupted or mismatched
+        store for a very long time (the evaluation just gets slower).
+        The first occurrence therefore warns with the shard hash so the
+        situation is diagnosable; every occurrence is counted in
+        ``invalid`` (and as a miss).
+        """
+        self.invalid += 1
+        self.misses += 1
+        if not self._warned_invalid:
+            self._warned_invalid = True
+            warnings.warn(
+                f"checkpoint store {self.directory} holds an invalid "
+                f"envelope for shard {shard.key}: {reason}; the shard "
+                f"will be re-scheduled (further invalid envelopes are "
+                f"counted in stats() without warning again)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def put(self, shard: Shard, runs: Sequence[LoopRun], *, config_name: str = "") -> None:
         """Persist one completed shard (atomic: write-temp + rename)."""
@@ -347,6 +371,7 @@ def iter_schedule_suite_sharded(
     budget_ratio: float = 6.0,
     scheduler="mirs_hc",
     prefetch: Optional[PrefetchPolicy] = None,
+    core: str = "array",
     jobs: int = 1,
     cache: Optional[EvalCache] = None,
     executor=None,
@@ -382,6 +407,7 @@ def iter_schedule_suite_sharded(
         budget_ratio=budget_ratio,
         scheduler=scheduler,
         prefetch=prefetch,
+        core=core,
     )
     wants_pool = executor is None and jobs != 1 and n_workers > 1
     owned_pool = None
@@ -408,6 +434,7 @@ def iter_schedule_suite_sharded(
                 budget_ratio=budget_ratio,
                 scheduler=scheduler,
                 prefetch=prefetch,
+                core=core,
                 jobs=jobs,
                 cache=cache,
                 executor=executor,

@@ -101,6 +101,11 @@ class ResourceModel:
         self.rf = rf
         self._counts: Dict[ResourceKey, int] = {}
         self._build_counts()
+        # Memoized reservation lists: the scheduler re-derives the uses of
+        # an operation on every probe/placement, and a (machine, rf) pair
+        # only has a handful of distinct answers.  ResourceUse is frozen
+        # and callers never mutate the lists, so instances are shared.
+        self._use_cache: Dict[Tuple, List[ResourceUse]] = {}
 
     # ------------------------------------------------------------------ #
     # Resource inventory
@@ -155,30 +160,56 @@ class ResourceModel:
     # ------------------------------------------------------------------ #
     def compute_uses(self, mnemonic: str, cluster: int) -> List[ResourceUse]:
         """Reservations of a compute operation issued on ``cluster``."""
-        occupancy = self.machine.occupancy(mnemonic)
-        return [ResourceUse((ResourceKind.FU, cluster), 0, occupancy)]
+        key = ("compute", mnemonic, cluster)
+        uses = self._use_cache.get(key)
+        if uses is None:
+            occupancy = self.machine.occupancy(mnemonic)
+            uses = [ResourceUse((ResourceKind.FU, cluster), 0, occupancy)]
+            self._use_cache[key] = uses
+        return uses
 
     def memory_uses(self, cluster: int) -> List[ResourceUse]:
         """Reservations of a memory load/store (including spill accesses)."""
-        if self.rf.kind is RFKind.CLUSTERED:
-            return [ResourceUse((ResourceKind.MEM, cluster))]
-        return [ResourceUse((ResourceKind.MEM, SHARED))]
+        key = ("memory", cluster)
+        uses = self._use_cache.get(key)
+        if uses is None:
+            if self.rf.kind is RFKind.CLUSTERED:
+                uses = [ResourceUse((ResourceKind.MEM, cluster))]
+            else:
+                uses = [ResourceUse((ResourceKind.MEM, SHARED))]
+            self._use_cache[key] = uses
+        return uses
 
     def move_uses(self, src_cluster: int, dst_cluster: int) -> List[ResourceUse]:
         """Reservations of an inter-cluster ``Move`` (clustered orgs only)."""
-        return [
-            ResourceUse((ResourceKind.SP, src_cluster)),
-            ResourceUse((ResourceKind.BUS, GLOBAL)),
-            ResourceUse((ResourceKind.LP, dst_cluster)),
-        ]
+        key = ("move", src_cluster, dst_cluster)
+        uses = self._use_cache.get(key)
+        if uses is None:
+            uses = [
+                ResourceUse((ResourceKind.SP, src_cluster)),
+                ResourceUse((ResourceKind.BUS, GLOBAL)),
+                ResourceUse((ResourceKind.LP, dst_cluster)),
+            ]
+            self._use_cache[key] = uses
+        return uses
 
     def loadr_uses(self, dst_cluster: int) -> List[ResourceUse]:
         """Reservations of a ``LoadR`` (shared bank -> cluster bank)."""
-        return [ResourceUse((ResourceKind.LP, dst_cluster))]
+        key = ("loadr", dst_cluster)
+        uses = self._use_cache.get(key)
+        if uses is None:
+            uses = [ResourceUse((ResourceKind.LP, dst_cluster))]
+            self._use_cache[key] = uses
+        return uses
 
     def storer_uses(self, src_cluster: int) -> List[ResourceUse]:
         """Reservations of a ``StoreR`` (cluster bank -> shared bank)."""
-        return [ResourceUse((ResourceKind.SP, src_cluster))]
+        key = ("storer", src_cluster)
+        uses = self._use_cache.get(key)
+        if uses is None:
+            uses = [ResourceUse((ResourceKind.SP, src_cluster))]
+            self._use_cache[key] = uses
+        return uses
 
     # ------------------------------------------------------------------ #
     # Resource-constrained lower bounds (ResMII components)

@@ -132,6 +132,7 @@ def run_pipeline(
     n_iterations: Optional[int] = None,
     reproducer: Optional[str] = None,
     policy: str = "mirs_hc",
+    core: str = "array",
 ) -> PipelineOutcome:
     """Push one loop through the full verification pipeline.
 
@@ -150,7 +151,7 @@ def run_pipeline(
         scaled = base
     try:
         result = SchedulerEngine(
-            scaled, rf, policy=policy, budget_ratio=budget_ratio
+            scaled, rf, policy=policy, budget_ratio=budget_ratio, core=core
         ).schedule_loop(loop)
     except Exception:
         return PipelineOutcome(
@@ -191,6 +192,7 @@ def replay_case(
     case: Union[CorpusCase, str, Path],
     *,
     reproducer: Optional[str] = None,
+    core: str = "array",
 ) -> PipelineOutcome:
     """Replay one frozen corpus case through the full pipeline.
 
@@ -210,6 +212,7 @@ def replay_case(
         n_iterations=case.n_iterations,
         reproducer=reproducer,
         policy=case.policy,
+        core=core,
     )
 
 
@@ -426,6 +429,7 @@ def fuzz_schedules(
     sample_configs: bool = False,
     machine: Optional[MachineConfig] = None,
     budget_ratio: float = 6.0,
+    core: str = "array",
     time_budget_s: Optional[float] = None,
     corpus_dir: Optional[Union[str, Path]] = None,
     shrink: bool = True,
@@ -485,6 +489,7 @@ def fuzz_schedules(
             n_iterations=n_iterations,
             reproducer=reproducer,
             policy=policy,
+            core=core,
         )
         report.n_cases += 1
         if outcome.status == "ok":
@@ -513,6 +518,7 @@ def fuzz_schedules(
                     budget_ratio=budget_ratio,
                     n_iterations=n_iterations,
                     policy=policy,
+                    core=core,
                 )
                 return probe.status == failure_kind
 

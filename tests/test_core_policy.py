@@ -124,10 +124,10 @@ class TestBisectionRefinement:
         engine = SchedulerEngine(machine, rf, policy=policy)
         real_try = engine._try
 
-        def gated_try(loop, ii, counters):
+        def gated_try(loop, ii, counters, order):
             if ii < self.FEASIBLE_FROM:
                 return None
-            return real_try(loop, ii, counters)
+            return real_try(loop, ii, counters, order)
 
         engine._try = gated_try
         return engine
@@ -165,7 +165,7 @@ class TestFailurePath:
     def test_failure_reports_last_attempted_ii(self):
         machine, rf = scaled("S64")
         engine = SchedulerEngine(machine, rf, max_ii=22)
-        engine._try = lambda loop, ii, counters: None  # nothing is feasible
+        engine._try = lambda loop, ii, counters, order: None  # nothing is feasible
         result = engine.schedule_loop(build_kernel("daxpy"))
         assert not result.success
         assert result.attempted_iis  # the trail is recorded

@@ -9,6 +9,7 @@ regressions (like the PR 1 spill dead-end loops that seed the corpus)
 are pinned the same way.
 """
 
+import hashlib
 from pathlib import Path
 
 import pytest
@@ -49,3 +50,48 @@ def test_replay_corpus_case(path):
         # spilling, the corpus needs harder cases.
         assert outcome.result is not None
         assert outcome.result.n_spill_memory_ops > 0
+
+
+def _schedule_digest(result) -> str:
+    """Content hash of everything schedule-shaped in a result.
+
+    Wall-clock time is the only field allowed to differ between the
+    object and array scheduler cores, so it is zeroed before hashing;
+    every placement, counter and usage figure participates.
+    """
+    payload = result.to_dict()
+    payload["scheduling_time_s"] = 0.0
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("path", CASES, ids=[path.stem for path in CASES])
+def test_corpus_case_is_core_invariant(path):
+    """Both scheduler cores produce bit-identical schedules on the corpus.
+
+    The array core is a drop-in replacement for the object core; replay
+    every frozen case under both and require the same outcome status,
+    the same II, the same spill count and the same full-schedule digest
+    (placements, clusters, register usage, search trace).
+    """
+    case = load_case(path)
+    outcomes = {
+        core: run_pipeline(
+            case.loop,
+            case.rf,
+            case.machine,
+            budget_ratio=case.budget_ratio,
+            scale_to_clock=case.scale_to_clock,
+            n_iterations=case.n_iterations,
+            reproducer=f"python -m repro.cli fuzz --replay {path} --core {core}",
+            policy=case.policy,
+            core=core,
+        )
+        for core in ("object", "array")
+    }
+    obj, arr = outcomes["object"], outcomes["array"]
+    assert obj.status == arr.status
+    assert (obj.result is None) == (arr.result is None)
+    if obj.result is not None:
+        assert obj.result.ii == arr.result.ii
+        assert obj.result.n_spill_memory_ops == arr.result.n_spill_memory_ops
+        assert _schedule_digest(obj.result) == _schedule_digest(arr.result)

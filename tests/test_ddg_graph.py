@@ -151,3 +151,130 @@ class TestEdgeLatency:
         g, (_, load, mul, _, _) = build_simple_graph()
         g.node(load).latency_override = 25
         assert g.edge_latency(g.edge(load, mul), machine.latency) == 25
+
+
+class _RecordingListener:
+    """Graph listener that logs every callback it receives."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_edge_added(self, edge):
+        self.events.append(("edge_added", edge.src, edge.dst))
+
+    def on_edge_removed(self, edge):
+        self.events.append(("edge_removed", edge.src, edge.dst))
+
+    def on_node_removed(self, node_id):
+        self.events.append(("node_removed", node_id))
+
+
+class TestListeners:
+    def test_listener_sees_every_mutation(self):
+        g, (alpha, load, mul, add, store) = build_simple_graph()
+        listener = _RecordingListener()
+        g.add_listener(listener)
+        g.add_edge(load, add, kind="seq")
+        g.remove_edge(load, add)
+        g.remove_node(store)
+        assert listener.events == [
+            ("edge_added", load, add),
+            ("edge_removed", load, add),
+            # remove_node detaches incident edges (firing edge callbacks)
+            # before announcing the node itself.
+            ("edge_removed", add, store),
+            ("node_removed", store),
+        ]
+
+    def test_remove_listener_unsubscribes(self):
+        g, (_, load, _, add, _) = build_simple_graph()
+        listener = _RecordingListener()
+        g.add_listener(listener)
+        g.add_edge(load, add, kind="seq")
+        assert len(listener.events) == 1
+        g.remove_listener(listener)
+        g.remove_edge(load, add)
+        assert len(listener.events) == 1
+
+    def test_remove_unregistered_listener_is_a_noop(self):
+        g, _ = build_simple_graph()
+        g.remove_listener(_RecordingListener())   # must not raise
+
+    def test_two_listeners_both_notified_in_order(self):
+        g, (_, load, _, add, _) = build_simple_graph()
+        first, second = _RecordingListener(), _RecordingListener()
+        g.add_listener(first)
+        g.add_listener(second)
+        g.add_edge(load, add, kind="seq")
+        assert first.events == second.events == [("edge_added", load, add)]
+
+    def test_listeners_do_not_survive_pickling(self):
+        import pickle
+
+        g, (_, load, _, add, _) = build_simple_graph()
+        listener = _RecordingListener()
+        g.add_listener(listener)
+        clone = pickle.loads(pickle.dumps(g))
+        clone.add_edge(load, add, kind="seq")
+        # The clone mutation must not reach the original's listener, and
+        # the clone must come back with a clean listener list.
+        assert listener.events == []
+        assert clone._listeners == []
+        g.add_edge(load, add, kind="seq")
+        assert listener.events == [("edge_added", load, add)]
+
+    def test_copy_does_not_carry_listeners(self):
+        g, (_, load, _, add, _) = build_simple_graph()
+        listener = _RecordingListener()
+        g.add_listener(listener)
+        clone = g.copy()
+        clone.add_edge(load, add, kind="seq")
+        assert listener.events == []
+
+
+class TestDenseIndices:
+    def test_indices_are_dense_and_unique(self):
+        g, nodes = build_simple_graph()
+        indices = [g.dense_index(n) for n in nodes]
+        assert sorted(indices) == list(range(len(nodes)))
+        assert g.dense_index_bound() == len(nodes)
+
+    def test_removed_index_is_recycled_for_the_next_node(self):
+        g, (_, load, mul, _, _) = build_simple_graph()
+        freed = g.dense_index(mul)
+        bound = g.dense_index_bound()
+        g.remove_node(mul)
+        with pytest.raises(KeyError):
+            g.dense_index(mul)
+        fresh = g.add_node(OpType.FADD)
+        assert fresh != mul   # node ids are never reused ...
+        assert g.dense_index(fresh) == freed   # ... but dense slots are
+        assert g.dense_index_bound() == bound
+
+    def test_index_freed_after_removal_listeners_run(self):
+        g, (_, _, mul, _, _) = build_simple_graph()
+        seen = {}
+
+        class Probe:
+            def on_edge_added(self, edge): pass
+            def on_edge_removed(self, edge): pass
+            def on_node_removed(self, node_id):
+                # The dense index must still resolve while the removal
+                # callback runs: array-backed listeners clear their slot
+                # for exactly this index.
+                seen[node_id] = g.dense_index(node_id)
+
+        g.add_listener(Probe())
+        expected = g.dense_index(mul)
+        g.remove_node(mul)
+        assert seen == {mul: expected}
+
+    def test_pickle_round_trip_reassigns_dense_indices(self):
+        import pickle
+
+        g, (_, _, mul, _, _) = build_simple_graph()
+        g.remove_node(mul)
+        clone = pickle.loads(pickle.dumps(g))
+        indices = sorted(clone.dense_index(n) for n in clone.node_ids())
+        assert indices == list(range(len(clone)))
+        assert clone.dense_index_bound() == len(clone)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import warnings
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -122,9 +123,33 @@ class TestResultStore:
         shard = plan.shards[0]
         store.put(shard, [runs[p] for p in shard.positions])
         store.path_for(shard.key).write_text("{ not json")
-        assert store.get(shard) is None
+        with pytest.warns(RuntimeWarning, match=shard.key):
+            assert store.get(shard) is None
         assert store.invalid == 1
         assert store.misses == 1
+
+    def test_invalid_envelope_warns_once_with_the_shard_key(
+        self, tmp_path, workbench, uninterrupted
+    ):
+        """A silently re-scheduled shard must not be *invisibly* silent.
+
+        The first unusable envelope warns (naming the shard hash, so the
+        store can be inspected); later ones are only counted -- a mostly
+        corrupt store must not drown the run in one warning per shard.
+        """
+        runs, _digest = uninterrupted
+        plan = plan_shards(workbench, "S64", shard_size=SHARD_SIZE)
+        store = ResultStore(tmp_path)
+        first, second = plan.shards[0], plan.shards[1]
+        for shard in (first, second):
+            store.put(shard, [runs[p] for p in shard.positions])
+            store.path_for(shard.key).write_text("{ not json")
+        with pytest.warns(RuntimeWarning, match=first.key):
+            assert store.get(first) is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get(second) is None
+        assert store.invalid == 2
 
     def test_key_mismatch_is_rejected(self, tmp_path, workbench, uninterrupted):
         runs, _digest = uninterrupted
@@ -137,7 +162,8 @@ class TestResultStore:
         store.path_for(second.key).write_text(
             store.path_for(first.key).read_text()
         )
-        assert store.get(second) is None
+        with pytest.warns(RuntimeWarning, match=second.key):
+            assert store.get(second) is None
         assert store.invalid == 1
 
     def test_write_failure_is_nonfatal_and_warned(
