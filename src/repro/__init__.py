@@ -22,8 +22,10 @@ The package is organized as:
   ``evaluate_stream``.
 * :mod:`repro.serialize` -- versioned JSON serialization for every public
   result type (schedules, runs, reports, configurations, fuzz cases).
-* :mod:`repro.service` -- the in-process batch scheduling service and its
-  ``repro serve`` / ``repro submit`` HTTP front end.
+* :mod:`repro.service` -- the in-process batch scheduling service, its
+  ``repro serve`` / ``repro submit`` HTTP front end, and the distributed
+  shard-evaluation fleet (``repro serve --coordinator`` handing leases
+  to pull-based ``repro worker`` processes).
 
 Quickstart::
 
@@ -36,7 +38,7 @@ The flat v1 verbs (``repro.api.schedule_kernel`` and friends) keep
 working as thin shims over a default session.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.machine import MachineConfig, RFConfig, baseline_machine, config_by_name
 from repro.ddg import DepGraph, Loop, OpType

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight sub-commands cover the common workflows::
+Nine sub-commands cover the common workflows::
 
     python -m repro.cli schedule daxpy 4C16S16 --code --registers
     python -m repro.cli evaluate 4C16S16 S64 --tier full --jobs 0 \\
@@ -8,6 +8,8 @@ Eight sub-commands cover the common workflows::
     python -m repro.cli reproduce table6 --loops 48 --jobs 0 --cache .repro-cache
     python -m repro.cli fuzz --seeds 200 --budget 120s --corpus tests/corpus
     python -m repro.cli serve --port 8734 --jobs 0 --cache .repro-cache
+    python -m repro.cli serve --coordinator --checkpoint .repro-fleet
+    python -m repro.cli worker --url http://127.0.0.1:8734 --jobs 0
     python -m repro.cli submit schedule daxpy 4C16S16
     python -m repro.cli schema --out repro-schema.json
     python -m repro.cli bench run --tier small --out BENCH_workbench.json
@@ -24,7 +26,11 @@ Eight sub-commands cover the common workflows::
   ``--replay FILE`` re-runs one such case);
 * ``serve`` runs the batch scheduling service: one long-lived
   :class:`~repro.session.Session` (warm cache, warm worker pool) behind
-  a small HTTP API (see :mod:`repro.service`);
+  a small HTTP API (see :mod:`repro.service`); with ``--coordinator``
+  it also hands evaluate jobs out to a fleet of pull-based workers as
+  content-addressed shard leases;
+* ``worker`` runs one fleet worker against a coordinator: pull a shard
+  lease, schedule its loops locally, post the result envelope back;
 * ``submit`` sends one job to a running ``serve`` instance, polls it to
   completion and prints the JSON result envelope;
 * ``schema`` writes the machine-readable serialization schema that wire
@@ -233,8 +239,49 @@ def build_parser() -> argparse.ArgumentParser:
                             f"0 = pick a free one)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument(
+        "--coordinator", action="store_true",
+        help="also act as a fleet coordinator: evaluate jobs are planned "
+             "into shards and handed out as leases to workers that "
+             "connect with 'repro worker --url' (completed shards are "
+             "persisted through --checkpoint DIR, or a temporary store)",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=_duration, default=60.0, metavar="TIME",
+        help="fleet lease timeout (default: 60s); a worker silent for "
+             "this long loses its shard to the next puller",
+    )
     add_engine_flags(serve)
     add_checkpoint_flags(serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one fleet worker against a 'repro serve --coordinator' "
+             "instance: pull shard leases, schedule them locally, post "
+             "the results back",
+    )
+    worker.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_SERVICE_PORT}",
+                        metavar="URL", help="coordinator base URL")
+    worker.add_argument("--name", default=None,
+                        help="worker name shown in GET /v2/workers "
+                             "(default: the coordinator-assigned id)")
+    worker.add_argument("--jobs", type=_nonnegative_int, default=1, metavar="N",
+                        help="local worker processes per shard "
+                             "(0 = one per CPU; default: 1, serial)")
+    worker.add_argument("--cache", default=None, metavar="DIR",
+                        help="local scheduling-result cache (same as the "
+                             "other sub-commands' --cache)")
+    worker.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="idle lease-poll interval in seconds "
+                             "(default: 0.5, backed off while idle)")
+    worker.add_argument("--max-leases", type=_positive_int, default=None,
+                        metavar="N",
+                        help="exit after completing N leases "
+                             "(default: run until killed)")
+    worker.add_argument("--idle-exit", type=_duration, default=None,
+                        metavar="TIME",
+                        help="exit after this long without any work "
+                             "(default: keep polling forever)")
 
     submit = sub.add_parser(
         "submit",
@@ -546,16 +593,34 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import BatchScheduler, make_server
+    from repro.service import BatchScheduler, ShardCoordinator, make_server
 
     session = _session_from_args(args)
-    scheduler = BatchScheduler(session)
+    coordinator = None
+    if args.coordinator:
+        # The coordinator persists completed shard envelopes through the
+        # same ResultStore the local execution path checkpoints into, so
+        # distributed runs resume (and digest-match) like local ones.
+        # Without --checkpoint the store is a throwaway directory: the
+        # fleet still works, it just starts cold on every restart.
+        store = session.checkpoint
+        if store is None:
+            import tempfile
+
+            store = ResultStore(tempfile.mkdtemp(prefix="repro-fleet-"))
+        coordinator = ShardCoordinator(store, lease_timeout_s=args.lease_timeout)
+    scheduler = BatchScheduler(session, coordinator=coordinator)
     server = make_server(scheduler, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
+    mode = "fleet coordinator" if coordinator is not None else "local"
     print(f"repro service listening on http://{host}:{port} "
-          f"(jobs={args.jobs}, cache={args.cache or 'memory-only'}, "
+          f"(mode={mode}, jobs={args.jobs}, "
+          f"cache={args.cache or 'memory-only'}, "
           f"checkpoint={args.checkpoint or 'off'}, "
           f"policy={args.policy})", flush=True)
+    if coordinator is not None:
+        print(f"  workers connect with: repro worker --url http://{host}:{port}",
+              flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
@@ -565,6 +630,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scheduler.shutdown()
         session.close()
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+
+    from repro.service import run_worker
+
+    cache = _cache_from_args(args)
+    print(f"repro worker polling {args.url} "
+          f"(jobs={args.jobs}, cache={args.cache or 'memory-only'})",
+          file=sys.stderr, flush=True)
+    try:
+        stats = run_worker(
+            args.url,
+            name=args.name,
+            jobs=args.jobs,
+            cache=cache,
+            poll_interval=args.poll,
+            max_leases=args.max_leases,
+            idle_exit_s=args.idle_exit,
+            progress=lambda line: print(f"  {line}", file=sys.stderr, flush=True),
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print("worker interrupted", file=sys.stderr, flush=True)
+        return 0
+    except URLError as exc:
+        raise SystemExit(f"error: cannot reach coordinator at {args.url}: {exc}")
+    print(f"worker {stats.worker_id} exiting: {stats.n_completed} shard(s) "
+          f"completed ({stats.n_loops} loops), {stats.n_lost} lease(s) lost, "
+          f"{stats.n_errors} error(s)", file=sys.stderr, flush=True)
+    return 0 if not stats.n_errors else 1
 
 
 def _build_submit_request(args: argparse.Namespace) -> Dict[str, object]:
@@ -714,6 +810,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reproduce": _cmd_reproduce,
         "fuzz": _cmd_fuzz,
         "serve": _cmd_serve,
+        "worker": _cmd_worker,
         "submit": _cmd_submit,
         "schema": _cmd_schema,
         "bench": _cmd_bench,

@@ -22,7 +22,10 @@ Registered types: :class:`~repro.machine.config.RFConfig`,
 :class:`~repro.eval.metrics.LoopRun`,
 :class:`~repro.eval.reporting.ConfigurationReport`, the shard
 checkpoints of :mod:`repro.eval.shards`
-(:class:`~repro.eval.shards.ShardResult`), and the fuzz reproducers
+(:class:`~repro.eval.shards.ShardResult`), the fleet protocol's wire
+types (:class:`~repro.service.wire.ShardLease`,
+:class:`~repro.service.wire.LeaseHeartbeat`,
+:class:`~repro.service.wire.WorkerStatus`), and the fuzz reproducers
 (:class:`~repro.verify.corpus.CorpusCase`,
 :class:`~repro.verify.fuzz.FuzzFailure`,
 :class:`~repro.verify.fuzz.FuzzReport`).
@@ -61,6 +64,17 @@ from repro.eval.shards import (
 )
 from repro.hwmodel.spec import BankEstimate, HardwareSpec
 from repro.machine.config import MachineConfig, RFConfig
+from repro.service.wire import (
+    LeaseHeartbeat,
+    ShardLease,
+    WorkerStatus,
+    lease_heartbeat_from_dict,
+    lease_heartbeat_to_dict,
+    shard_lease_from_dict,
+    shard_lease_to_dict,
+    worker_status_from_dict,
+    worker_status_to_dict,
+)
 from repro.verify.corpus import (
     CorpusCase,
     graph_from_json,
@@ -524,6 +538,22 @@ register(
     "shard_result", ShardResult,
     shard_result_to_dict, shard_result_from_dict,
     required=("key", "positions", "runs"),
+)
+register(
+    "shard_lease", ShardLease,
+    shard_lease_to_dict, shard_lease_from_dict,
+    required=("lease_id", "worker_id", "shard_key", "positions", "loops",
+              "config", "machine"),
+)
+register(
+    "lease_heartbeat", LeaseHeartbeat,
+    lease_heartbeat_to_dict, lease_heartbeat_from_dict,
+    required=("lease_id", "worker_id", "extended"),
+)
+register(
+    "worker_status", WorkerStatus,
+    worker_status_to_dict, worker_status_from_dict,
+    required=("worker_id", "state"),
 )
 register(
     "corpus_case", CorpusCase,

@@ -1,35 +1,58 @@
 """Batch scheduling service over a shared session.
 
-Two layers:
+Four layers:
 
 * :mod:`repro.service.batch` -- :class:`BatchScheduler`, the in-process
   job queue (submit -> job id -> poll/stream -> JSON result envelope)
   running every job on one shared :class:`~repro.session.Session`, so
   all clients see one warm cache and one warm worker pool;
-* :mod:`repro.service.http` -- the stdlib HTTP front end and client
-  helpers behind the ``repro serve`` / ``repro submit`` CLI pair.
+* :mod:`repro.service.coordinator` -- :class:`ShardCoordinator`, the
+  distributed execution engine behind ``repro serve --coordinator``:
+  evaluate jobs are planned into content-addressed shards, handed out
+  as leases to a pull-based worker fleet (heartbeats, expiry,
+  retry/reassign on worker death), and persisted through the
+  :class:`~repro.eval.shards.ResultStore` checkpoint layer;
+* :mod:`repro.service.worker` -- :func:`run_worker`, the thin worker
+  loop behind ``repro worker --url`` (pull a lease, schedule locally,
+  post the ``shard_result`` envelope back);
+* :mod:`repro.service.http` -- the stdlib HTTP front end and retrying
+  client helpers behind the ``repro serve`` / ``repro submit`` /
+  ``repro worker`` CLI trio.
 
-Results cross the wire as :mod:`repro.serialize` envelopes; ``repro
-schema`` exports the schema they validate against.
+Results and fleet messages cross the wire as :mod:`repro.serialize`
+envelopes (:mod:`repro.service.wire` defines the lease/heartbeat/worker
+types); ``repro schema`` exports the schema they validate against.
 """
 
 from repro.service.batch import JOB_KINDS, JOB_STATES, BatchScheduler, JobRequest
+from repro.service.coordinator import CoordinatorClosed, ShardCoordinator
 from repro.service.http import (
     ServiceHTTPServer,
     fetch_json,
     make_server,
     poll_job,
+    post_json,
     submit_job,
 )
+from repro.service.wire import LeaseHeartbeat, ShardLease, WorkerStatus
+from repro.service.worker import WorkerStats, run_worker
 
 __all__ = [
     "JOB_KINDS",
     "JOB_STATES",
     "BatchScheduler",
     "JobRequest",
+    "CoordinatorClosed",
+    "ShardCoordinator",
     "ServiceHTTPServer",
     "make_server",
     "fetch_json",
+    "post_json",
     "submit_job",
     "poll_job",
+    "ShardLease",
+    "LeaseHeartbeat",
+    "WorkerStatus",
+    "WorkerStats",
+    "run_worker",
 ]

@@ -32,6 +32,11 @@ from repro import serialize
 from repro.session import RunReady, Session, SuiteFinished
 from repro.workloads.suite import tier_names, workbench_tier
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.coordinator import ShardCoordinator
+
 __all__ = [
     "JOB_KINDS",
     "JOB_STATES",
@@ -176,12 +181,28 @@ class BatchScheduler:
         envelope = scheduler.result(job_id)       # a repro.serialize envelope
         result = serialize.from_dict(envelope)    # a live ScheduleResult
 
-    ``shutdown()`` stops the worker thread; the session is owned by the
+    ``shutdown()`` stops the worker thread and marks still-queued jobs
+    ``cancelled`` (clients blocked in ``wait``/``stream`` observe the
+    terminal state instead of hanging); the session is owned by the
     caller and is *not* closed.
+
+    With a :class:`~repro.service.coordinator.ShardCoordinator`
+    attached, evaluate jobs take the *distributed* execution path: the
+    workbench is planned into shards, handed out as leases to the
+    registered worker fleet, and the job's progress counters advance
+    shard by shard as completions arrive.  Schedule jobs (single loops)
+    always run locally.
     """
 
-    def __init__(self, session: Session, *, start: bool = True) -> None:
+    def __init__(
+        self,
+        session: Session,
+        *,
+        coordinator: "Optional[ShardCoordinator]" = None,
+        start: bool = True,
+    ) -> None:
         self.session = session
+        self.coordinator = coordinator
         self._records: Dict[str, _JobRecord] = {}
         self._queue: deque = deque()
         self._lock = threading.Lock()
@@ -248,16 +269,29 @@ class BatchScheduler:
             return record.result
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict:
-        """Block until the job reaches a terminal state; returns its status."""
+        """Block until the job reaches a terminal state; returns its status.
+
+        When ``timeout`` elapses first, the returned (non-terminal)
+        status carries ``timed_out: True`` -- without the marker a
+        caller checking ``status["state"]`` against a specific terminal
+        value could not tell "the job is still running" from a plain
+        answer, and a caller that forgot to check at all mistook the
+        timeout for completion.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._changed:
             record = self._record(job_id)
+            timed_out = False
             while record.state in ("queued", "running"):
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
+                    timed_out = True
                     break
                 self._changed.wait(timeout=remaining)
-            return record.status()
+            status = record.status()
+            if timed_out:
+                status["timed_out"] = True
+            return status
 
     def stream(
         self, job_id: str, timeout: Optional[float] = None
@@ -309,10 +343,29 @@ class BatchScheduler:
             return [record.status() for record in self._records.values()]
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting and executing jobs (queued jobs stay queued)."""
+        """Stop accepting and executing jobs.
+
+        Jobs still queued are marked ``cancelled`` (with an explanatory
+        ``error``) and their waiters woken -- leaving them ``queued``
+        forever would hang every ``wait()``/``stream()`` client on a job
+        that can no longer run.  The job currently executing (if any)
+        finishes and records its result; an attached fleet coordinator
+        is closed, which aborts a distributed job's wait instead.
+        """
         with self._changed:
             self._stop = True
+            while self._queue:
+                record = self._records[self._queue.popleft()]
+                if record.state == "queued":
+                    record.state = "cancelled"
+                    record.error = (
+                        "cancelled: the batch scheduler shut down before "
+                        "the job started"
+                    )
+                    record.finished_at = time.time()
             self._changed.notify_all()
+        if self.coordinator is not None:
+            self.coordinator.close()
         if wait and self._worker.is_alive():
             self._worker.join(timeout=10.0)
 
@@ -378,6 +431,8 @@ class BatchScheduler:
         n_loops = params.get("n_loops")
         if n_loops is None and params.get("tier") is None:
             n_loops = 16
+        if self.coordinator is not None:
+            return self._execute_fleet(record, params, n_loops)
         # The streaming path keeps the job's progress counters live while
         # loops complete, which is what poll/stream clients observe.
         for event in self.session.evaluate_stream(
@@ -394,4 +449,50 @@ class BatchScheduler:
             elif isinstance(event, SuiteFinished):
                 report = event.report
         assert report is not None
+        return serialize.to_dict(report)
+
+    def _execute_fleet(
+        self, record: _JobRecord, params: Dict, n_loops: Optional[int]
+    ) -> Dict:
+        """Run one evaluate job over the coordinator's worker fleet.
+
+        The workbench and the shard plan are built exactly as the local
+        path would build them, so the assembled report -- restored
+        shards plus worker-computed shards, in position order -- has the
+        same ``runs_digest`` a single-process run produces.  Progress
+        advances per completed shard (the coordinator reports loop
+        counts), which is what poll/stream clients observe.
+        """
+        from repro.eval.reporting import ConfigurationReport
+        from repro.hwmodel.timing import derive_hardware
+
+        session = self.session
+        rf_config = session.resolve_rf(params["config"])
+        workbench = session.workbench(
+            n_loops=None if n_loops is None else int(n_loops),
+            seed=int(params.get("seed", 2003)),
+            tier=params.get("tier"),
+        )
+        assert self.coordinator is not None
+        self.coordinator.start_job(
+            record.job_id,
+            workbench,
+            rf_config,
+            machine=session.machine,
+            policy=params.get("policy") or session.policy,
+            budget_ratio=session.budget_ratio,
+            core=session.core,
+            shard_size=session.shard_size,
+        )
+        try:
+            runs = self.coordinator.wait_job(
+                record.job_id,
+                progress=lambda n_done, n_total: self._progress(
+                    record, n_done, n_total
+                ),
+            )
+        finally:
+            self.coordinator.finish_job(record.job_id)
+        spec = derive_hardware(session.machine, rf_config)
+        report = ConfigurationReport(config=rf_config, spec=spec, runs=runs)
         return serialize.to_dict(report)

@@ -228,6 +228,24 @@ class Session:
             self.DEFAULT_N_LOOPS if n_loops is None else n_loops, seed=seed
         )
 
+    def workbench(
+        self,
+        *,
+        n_loops: Optional[int] = None,
+        seed: int = 2003,
+        tier: Optional[str] = None,
+    ) -> List[Loop]:
+        """The workbench an evaluation verb with these arguments would run.
+
+        Public so out-of-process execution planners (the fleet
+        coordinator behind ``repro serve --coordinator``) build the
+        *identical* loop list the in-process verbs schedule -- same tier
+        semantics (``n_loops=None`` with a tier means the whole tier),
+        same oversize validation, same ad-hoc default.
+        """
+        self._check_open()
+        return self._workbench(None, n_loops, seed, tier)
+
     # ------------------------------------------------------------------ #
     # Verbs
     # ------------------------------------------------------------------ #

@@ -9,6 +9,7 @@ single shared session exactly as ``repro serve`` runs them.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 
 import pytest
@@ -20,6 +21,7 @@ from repro.service import (
     fetch_json,
     make_server,
     poll_job,
+    post_json,
     submit_job,
 )
 from repro.session import Session
@@ -219,6 +221,208 @@ class TestHTTPService:
         assert isinstance(listing["jobs"], list)
 
 
+class TestQueryStringRouting:
+    """Query strings must route like the bare path, on every route.
+
+    Clients legitimately append them (cache busters, tracing ids);
+    routing on the raw request target turned ``GET /v2/jobs?x=1`` into a
+    404 while ``GET /v2/jobs`` worked.
+    """
+
+    def test_get_routes_accept_query_strings(self, base_url):
+        assert fetch_json(f"{base_url}/v2/health?x=1")["status"] == "ok"
+        assert fetch_json(f"{base_url}/v2/schema?probe=1") == serialize.schema()
+        listing = fetch_json(f"{base_url}/v2/jobs?verbose=1")
+        assert isinstance(listing["jobs"], list)
+
+    def test_job_lifecycle_with_query_strings(self, base_url):
+        from repro.service.http import _request_json
+
+        # Submit, fetch and cancel one job, a query string on every call.
+        payload = post_json(
+            f"{base_url}/v2/jobs?trace=abc",
+            {"kind": "schedule",
+             "params": {"kernel": "daxpy", "config": "S64"}},
+        )
+        job_id = payload["job_id"]
+        status = fetch_json(f"{base_url}/v2/jobs/{job_id}?include=result")
+        assert status["job_id"] == job_id
+        answer = _request_json(
+            f"{base_url}/v2/jobs/{job_id}?reason=test", method="DELETE",
+            timeout=10.0, retries=0, backoff=0.01,
+        )
+        assert answer["job_id"] == job_id  # cancelled or already running
+
+    def test_worker_routes_accept_query_strings(self, base_url):
+        # No coordinator attached: still routed (503), never a 404.
+        with pytest.raises(RuntimeError, match="503"):
+            fetch_json(f"{base_url}/v2/workers?x=1")
+        with pytest.raises(RuntimeError, match="503"):
+            post_json(f"{base_url}/v2/workers/register?x=1", {"name": "a"},
+                      retries=0)
+
+    def test_trailing_slash_routes_like_bare_path(self, base_url):
+        assert fetch_json(f"{base_url}/v2/health/")["status"] == "ok"
+
+    def test_unknown_path_with_query_string_is_still_404(self, base_url):
+        with pytest.raises(RuntimeError, match="404"):
+            fetch_json(f"{base_url}/v2/frobnicate?x=1")
+
+
+# --------------------------------------------------------------------------- #
+# Transient-failure retry in the client helpers
+# --------------------------------------------------------------------------- #
+class _FlakyServer(threading.Thread):
+    """A TCP stub that drops the first N connections, then serves JSON.
+
+    Dropping a freshly accepted connection looks to the client exactly
+    like a service restart mid-poll: the TCP handshake succeeds and the
+    HTTP exchange then dies (RemoteDisconnected/ConnectionReset) -- the
+    transient failure class the client helpers must survive.
+    """
+
+    def __init__(self, payload: dict, n_failures: int) -> None:
+        super().__init__(daemon=True)
+        self.payload = payload
+        self.n_failures = n_failures
+        self.n_served = 0
+        self._closing = False
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.url = "http://127.0.0.1:%d" % self.sock.getsockname()[1]
+
+    def run(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                if self.n_failures > 0:
+                    self.n_failures -= 1
+                    continue  # close without answering: transport failure
+                try:
+                    conn.recv(65536)  # drain the request; content ignored
+                    body = json.dumps(self.payload).encode()
+                    conn.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                        b"Connection: close\r\n\r\n" + body
+                    )
+                    self.n_served += 1
+                except OSError:  # pragma: no cover - client went away
+                    pass
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+@pytest.fixture()
+def flaky_server(request):
+    servers = []
+
+    def make(payload: dict, n_failures: int) -> _FlakyServer:
+        server = _FlakyServer(payload, n_failures)
+        server.start()
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+class TestTransientRetry:
+    """The bugfix: one connection blip must not kill a client call."""
+
+    def test_fetch_json_survives_transient_failures(self, flaky_server):
+        server = flaky_server({"ok": True}, n_failures=2)
+        assert fetch_json(server.url, retries=3, backoff=0.01) == {"ok": True}
+        assert server.n_served == 1
+
+    def test_fetch_json_without_retries_fails_fast(self, flaky_server):
+        server = flaky_server({"ok": True}, n_failures=1)
+        with pytest.raises(RuntimeError, match="after 1 attempt"):
+            fetch_json(server.url, retries=0)
+
+    def test_retry_budget_is_bounded(self, flaky_server):
+        server = flaky_server({"ok": True}, n_failures=100)
+        with pytest.raises(RuntimeError, match="after 3 attempt"):
+            fetch_json(server.url, retries=2, backoff=0.01)
+
+    def test_poll_job_survives_blips_inside_the_deadline(self, flaky_server):
+        done = {"job_id": "job-1", "state": "done",
+                "progress": {"n_done": 1, "n_total": 1}}
+        server = flaky_server(done, n_failures=2)
+        status = poll_job(server.url, "job-1", poll_interval=0.01, timeout=30)
+        assert status["state"] == "done"
+
+    def test_poll_job_retries_never_outlive_the_deadline(self, flaky_server):
+        server = flaky_server({"state": "running"}, n_failures=10_000)
+        with pytest.raises(RuntimeError, match="failed after"):
+            poll_job(server.url, "job-1", poll_interval=0.01, timeout=0.3)
+
+    def test_post_json_survives_transient_failures(self, flaky_server):
+        server = flaky_server({"echo": True}, n_failures=1)
+        answer = post_json(server.url, {"probe": 1}, retries=2, backoff=0.01)
+        assert answer == {"echo": True}
+
+
+# --------------------------------------------------------------------------- #
+# Shutdown / wait-timeout lifecycle (the BatchScheduler bugfixes)
+# --------------------------------------------------------------------------- #
+class TestSchedulerLifecycle:
+    def test_shutdown_cancels_queued_jobs(self):
+        """Queued jobs must not be stranded ``queued`` forever."""
+        session = Session()
+        batch = BatchScheduler(session, start=False)  # nothing ever runs
+        try:
+            first = batch.submit(
+                {"kind": "schedule", "params": {"kernel": "daxpy", "config": "S64"}}
+            )
+            second = batch.submit(
+                {"kind": "schedule", "params": {"kernel": "vadd", "config": "S64"}}
+            )
+            batch.shutdown()
+            for job_id in (first, second):
+                status = batch.status(job_id)
+                assert status["state"] == "cancelled"
+                assert "shut down before the job started" in status["error"]
+                assert status["finished_at"] is not None
+            # Waiters observe the terminal state instead of hanging.
+            status = batch.wait(first, timeout=5)
+            assert status["state"] == "cancelled"
+            assert "timed_out" not in status
+        finally:
+            session.close()
+
+    def test_wait_timeout_is_distinguishable_from_completion(self):
+        """``wait(timeout=)`` must mark a non-terminal return."""
+        session = Session()
+        batch = BatchScheduler(session, start=False)  # the job never starts
+        try:
+            job_id = batch.submit(
+                {"kind": "schedule", "params": {"kernel": "daxpy", "config": "S64"}}
+            )
+            status = batch.wait(job_id, timeout=0.05)
+            assert status["state"] == "queued"
+            assert status["timed_out"] is True
+            batch.start()
+            status = batch.wait(job_id, timeout=120)
+            assert status["state"] == "done"
+            assert "timed_out" not in status
+        finally:
+            batch.shutdown()
+            session.close()
+
+
 # --------------------------------------------------------------------------- #
 # CLI: serve/submit/schema plumbing
 # --------------------------------------------------------------------------- #
@@ -242,6 +446,24 @@ class TestServiceCLI:
 
         with pytest.raises(SystemExit):
             build_parser().parse_args(["submit"])  # kind is required
+
+    def test_parser_coordinator_and_worker(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--coordinator", "--lease-timeout", "30s", "--port", "0"]
+        )
+        assert args.coordinator is True and args.lease_timeout == 30.0
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.coordinator is False
+
+        args = build_parser().parse_args(
+            ["worker", "--url", "http://h:1", "--jobs", "2",
+             "--max-leases", "5", "--idle-exit", "2s", "--name", "alice"]
+        )
+        assert args.command == "worker"
+        assert (args.url, args.jobs, args.max_leases) == ("http://h:1", 2, 5)
+        assert args.idle_exit == 2.0 and args.name == "alice"
 
     def test_build_submit_request_parses_params(self):
         from repro.cli import _build_submit_request, build_parser
