@@ -20,6 +20,7 @@ import time
 import pytest
 
 from repro.core import MirsHC
+from repro.core.analysis_cache import AnalysisCache
 from repro.core.lifetimes import SWEEP_COUNTERS
 from repro.hwmodel import scaled_machine
 from repro.machine import baseline_machine, config_by_name
@@ -27,10 +28,11 @@ from repro.workloads import build_kernel, perfect_club_like_suite
 from repro.ddg import unroll
 
 
-def _schedule(config_name, loop, **engine_kwargs):
+def _schedule(config_name, loop, *, analysis_cache=None, **engine_kwargs):
     rf = config_by_name(config_name)
     machine, _ = scaled_machine(baseline_machine(), rf)
-    result = MirsHC(machine, rf, **engine_kwargs).schedule_loop(loop)
+    engine = MirsHC(machine, rf, analysis_cache=analysis_cache, **engine_kwargs)
+    result = engine.schedule_loop(loop)
     assert result.success
     return result
 
@@ -78,15 +80,25 @@ def _pressure_workbench():
 
 
 def _run_mode(cases, incremental):
-    """Schedule every case in one tracking mode; return timings + counters."""
+    """Schedule every case in one tracking mode; return timings + counters.
+
+    Every case shares one fresh :class:`AnalysisCache`, like the suite
+    drivers do (``eos_x2`` appears under three configurations, so the
+    cross-configuration reuse the cache exists for is exercised here).
+    """
     SWEEP_COUNTERS.reset()
+    analysis_cache = AnalysisCache()
     signatures = []
-    checks = 0
+    checks = slot_probes = probe_memo_hits = analysis_reuses = 0
     started = time.perf_counter()
     for config_name, loop in cases:
         result = _schedule(config_name, loop.copy(),
+                           analysis_cache=analysis_cache,
                            incremental_pressure=incremental)
         checks += result.n_pressure_checks
+        slot_probes += result.n_slot_probes
+        probe_memo_hits += result.n_probe_memo_hits
+        analysis_reuses += result.n_analysis_reuses
         signatures.append(
             (result.ii, result.stage_count, result.n_spill_memory_ops,
              result.n_comm_ops, sorted(result.register_usage.items()))
@@ -96,6 +108,9 @@ def _run_mode(cases, incremental):
         "wall_s": elapsed,
         "pressure_checks": checks,
         "full_sweeps": SWEEP_COUNTERS.reset(),
+        "slot_probes": slot_probes,
+        "probe_memo_hits": probe_memo_hits,
+        "analysis_reuses": analysis_reuses,
         "signatures": signatures,
     }
 
@@ -148,10 +163,14 @@ def test_incremental_pressure_tracking(output_dir):
             "ii": result.ii,
             "pressure_checks": result.n_pressure_checks,
             "full_sweeps": result.n_full_sweeps,
+            "slot_probes": result.n_slot_probes,
+            "probe_memo_hits": result.n_probe_memo_hits,
         }
 
+    # Schema 2: workbench modes and per-kernel records additionally carry
+    # the reuse counters (slot_probes, probe_memo_hits, analysis_reuses).
     payload = {
-        "schema": 1,
+        "schema": 2,
         "workbench_cases": len(cases),
         "incremental": {k: v for k, v in incremental.items() if k != "signatures"},
         "full_sweep_mode": {k: v for k, v in full.items() if k != "signatures"},

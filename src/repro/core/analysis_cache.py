@@ -1,0 +1,195 @@
+"""Cross-II / cross-config reuse of machine-independent loop analysis.
+
+Every scheduling attempt needs the loop's MII breakdown and a priority
+order, and suite drivers evaluate the *same* loops across many machine
+configurations.  Both products are pure functions of a small set of
+inputs:
+
+* **RecMII** depends only on the graph structure and the operation
+  latencies -- cached under ``("rec", signature, latency_token)``.
+* **ResMII components** additionally depend on the resource counts of
+  the (machine, register file) pair -- cached under
+  ``("res", signature, latency_token, machine_token, rf_token)``.
+* **Priority orders** depend on the graph, the latencies and the
+  ordering policy -- cached under
+  ``("order", signature, latency_token, ordering_name)``.
+
+The graph key is :meth:`repro.ddg.graph.DepGraph.structural_signature`
+(the same canonical form the evaluation cache content-addresses results
+with), so two structurally identical graphs share entries even across
+distinct ``DepGraph`` objects -- which is exactly what happens across II
+attempts (each attempt copies the loop graph) and across configs whose
+clocks scale latencies identically.
+
+A process-wide instance is shared by every engine built through
+:func:`repro.eval.experiments._build_engine`; worker processes of the
+parallel driver each build their own engines on first use and therefore
+get a per-process shared cache through the same path.  Entries are
+LRU-bounded so long-lived ``repro serve`` sessions cannot grow without
+limit.
+
+Cached order lists are returned *without copying*: callers treat
+priority orders as read-only (the engine already shares one order across
+all II attempts of a loop).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ddg.analysis import MIIBreakdown, rec_mii, res_mii_components
+from repro.ddg.graph import DepGraph
+from repro.machine.config import MachineConfig, RFConfig
+from repro.machine.resources import ResourceModel
+
+__all__ = ["AnalysisCache", "machine_token", "rf_token", "shared_analysis_cache"]
+
+
+def machine_token(machine: MachineConfig) -> Tuple:
+    """Hashable key of everything the cached analyses read from a machine.
+
+    ``MachineConfig`` carries a dict field (``latencies``) and so is not
+    hashable itself.  The token covers the latency/occupancy tables (the
+    inputs of RecMII, unpipelined-cycle counts and priority orders) and
+    the resource counts (the inputs of ResMII).
+    """
+    return (
+        tuple(sorted(machine.latencies.items())),
+        tuple(sorted(machine.unpipelined)),
+        machine.n_fus,
+        machine.n_mem_ports,
+    )
+
+
+def rf_token(rf: RFConfig) -> Tuple:
+    """Hashable key of everything ResMII reads from a register file.
+
+    ``rf.name`` is not enough: distinct organizations can share a name
+    shape while differing in ports or buses, so the token spells out the
+    fields :class:`~repro.machine.resources.ResourceModel` consumes.
+    """
+    return (
+        rf.kind.name,
+        rf.n_clusters,
+        rf.cluster_regs,
+        rf.shared_regs,
+        rf.lp,
+        rf.sp,
+        rf.n_buses,
+    )
+
+
+class AnalysisCache:
+    """LRU-bounded memo for machine-independent loop analysis products."""
+
+    def __init__(self, max_entries: Optional[int] = 4096) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits: int = 0
+        self.misses: int = 0
+        self.evictions: int = 0
+
+    # ------------------------------------------------------------------ #
+    def _get_or_compute(self, key: Tuple, compute: Callable[[], object]):
+        """Look up ``key``, computing and inserting on a miss.
+
+        Returns ``(value, hit)`` where ``hit`` says whether the value was
+        served from the cache.
+        """
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            self.hits += 1
+            return entries[key], True
+        value = compute()
+        entries[key] = value
+        self.misses += 1
+        if self.max_entries is not None and len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            self.evictions += 1
+        return value, False
+
+    # ------------------------------------------------------------------ #
+    def mii(
+        self,
+        graph: DepGraph,
+        resources: ResourceModel,
+        machine: MachineConfig,
+        rf: RFConfig,
+        *,
+        signature: Optional[Tuple] = None,
+    ) -> Tuple[MIIBreakdown, int]:
+        """The loop's MII breakdown, reusing cached components.
+
+        Returns ``(breakdown, n_reuses)`` where ``n_reuses`` counts how
+        many of the two components (RecMII, ResMII) were cache hits.
+        The split keying is the cross-config lever: a machine sweep that
+        varies only ports/buses re-derives the (expensive) RecMII zero
+        times after the first config with the same scaled latencies.
+        """
+        sig = signature if signature is not None else graph.structural_signature()
+        mtok = machine_token(machine)
+        lat_token = (mtok[0], mtok[1])
+        rec, rec_hit = self._get_or_compute(
+            ("rec", sig, lat_token),
+            lambda: rec_mii(graph, machine.latency),
+        )
+        res, res_hit = self._get_or_compute(
+            ("res", sig, lat_token, mtok, rf_token(rf)),
+            lambda: res_mii_components(graph, resources, machine.latency),
+        )
+        mii = max(1, res["fu"], res["mem"], res["com"], rec)
+        breakdown = MIIBreakdown(
+            res_fu=res["fu"], res_mem=res["mem"], res_com=res["com"],
+            rec=rec, mii=mii,
+        )
+        return breakdown, int(rec_hit) + int(res_hit)
+
+    def order(
+        self,
+        graph: DepGraph,
+        machine: MachineConfig,
+        ordering_name: str,
+        order_fn: Callable[[DepGraph, Callable[[str], int]], List[int]],
+        *,
+        signature: Optional[Tuple] = None,
+    ) -> Tuple[List[int], int]:
+        """The scheduling priority order, shared read-only across callers.
+
+        Returns ``(order, n_reuses)`` with ``n_reuses`` in ``{0, 1}``.
+        """
+        sig = signature if signature is not None else graph.structural_signature()
+        mtok = machine_token(machine)
+        lat_token = (mtok[0], mtok[1])
+        order, hit = self._get_or_compute(
+            ("order", sig, lat_token, ordering_name),
+            lambda: order_fn(graph, machine.latency),
+        )
+        return order, int(hit)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_SHARED: Optional[AnalysisCache] = None
+
+
+def shared_analysis_cache() -> AnalysisCache:
+    """The per-process shared cache (created on first use)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = AnalysisCache()
+    return _SHARED

@@ -13,7 +13,11 @@ provides drop-in replacements built on flat arrays and bitmasks:
   *full-slot bitmask* (bit ``s`` set iff modulo slot ``s`` is at
   capacity).  A window probe (:meth:`ArrayMRT.first_free_cycle`) rotates
   and ORs those masks once per resource use and then tests one bit per
-  candidate cycle instead of re-walking every use.
+  candidate cycle instead of re-walking every use.  Window scans are
+  additionally memoized under an *epoch* invalidation contract: every
+  resource row carries a counter bumped whenever its occupancy changes
+  (reserve/release), and a probe answer -- positive or negative -- stays
+  valid for free while the epochs of every involved row are unchanged.
 * :class:`ArrayPressureTracker` -- per-node lifetime state lives in
   parallel int arrays indexed by :meth:`repro.ddg.graph.DepGraph.dense_index`
   (stable per node, recycled through a free list), bank slot counts live
@@ -35,9 +39,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.ddg.graph import DepGraph, Dependence, GraphListener
 from repro.ddg.operations import OpType
-from repro.machine.config import RFConfig
-from repro.machine.resources import ResourceKey, ResourceUse
-from repro.core.banks import all_banks, value_bank
+from repro.machine.config import RFConfig, RFKind
+from repro.machine.resources import ResourceKey, ResourceUse, SHARED
+from repro.core.banks import all_banks, bank_capacity
 from repro.core.lifetimes import ValueLifetime, live_in_banks
 
 __all__ = ["ArrayMRT", "ArrayPressureTracker"]
@@ -75,6 +79,20 @@ class ArrayMRT:
         ]
         #: node -> flat (resource, slot) indices it occupies.
         self._held: Dict[int, List[int]] = {}
+        #: Per-resource epoch, bumped whenever the row's occupancy changes.
+        #: A window-scan answer snapshot-stamped with the epochs of every
+        #: resource it touched is exact while those epochs are unchanged.
+        self._epochs: List[int] = [0] * len(self._keys)
+        #: Memoized :meth:`first_free_cycle` answers, keyed by the uses
+        #: list (identity -- the lists are the shared immutables of
+        #: :class:`~repro.machine.resources.ResourceModel`) and the probed
+        #: range.  Values keep a strong reference to the uses list so an
+        #: ``id()`` can never be recycled under the memo.
+        self._probe_memo: Dict[tuple, tuple] = {}
+        #: Window scans answered (same count as the object backend).
+        self.n_probes: int = 0
+        #: Window scans served from the epoch memo (array backend only).
+        self.n_memo_hits: int = 0
 
     # ------------------------------------------------------------------ #
     def capacity(self, key: ResourceKey) -> int:
@@ -162,11 +180,45 @@ class ArrayMRT:
     def first_free_cycle(
         self, uses: Sequence[ResourceUse], cycles: Sequence[int]
     ) -> Optional[int]:
-        """First cycle of ``cycles`` where ``can_reserve`` holds, or ``None``."""
+        """First cycle of ``cycles`` where ``can_reserve`` holds, or ``None``.
+
+        Range scans are memoized: the answer is a pure function of the
+        occupancy of the involved resource rows, so it is stamped with
+        their current epochs and replayed for free while none of those
+        rows changed.  Both positive and negative answers are sound to
+        reuse -- the dominant pattern is cluster selection probing a
+        window and the placement immediately re-probing the same window
+        with no reservation in between.
+        """
+        self.n_probes += 1
         if not uses:
             for cycle in cycles:
                 return cycle
             return None
+        memo_key = None
+        stamp = None
+        if type(cycles) is range:
+            index = self._index
+            epochs = self._epochs
+            try:
+                stamp = tuple(epochs[index[use.key]] for use in uses)
+            except KeyError:
+                stamp = None  # unknown resource: unmemoized (answer is None)
+            if stamp is not None:
+                memo_key = (id(uses), cycles.start, cycles.stop, cycles.step)
+                entry = self._probe_memo.get(memo_key)
+                if entry is not None and entry[0] is uses and entry[1] == stamp:
+                    self.n_memo_hits += 1
+                    return entry[2]
+        result = self._scan_first_free(uses, cycles)
+        if memo_key is not None:
+            self._probe_memo[memo_key] = (uses, stamp, result)
+        return result
+
+    def _scan_first_free(
+        self, uses: Sequence[ResourceUse], cycles: Sequence[int]
+    ) -> Optional[int]:
+        """The uncached window scan behind :meth:`first_free_cycle`."""
         blocked = self._blocked_mask(uses)
         if blocked is None:
             return None
@@ -205,16 +257,31 @@ class ArrayMRT:
                 return cycle
         return None
 
-    def reserve(self, node_id: int, uses: Sequence[ResourceUse], cycle: int) -> None:
-        """Reserve resources for ``node_id`` issuing at ``cycle``."""
-        if not self.can_reserve(uses, cycle):
+    def reserve(
+        self,
+        node_id: int,
+        uses: Sequence[ResourceUse],
+        cycle: int,
+        *,
+        assume_free: bool = False,
+    ) -> None:
+        """Reserve resources for ``node_id`` issuing at ``cycle``.
+
+        ``assume_free`` skips the availability re-check for callers that
+        just proved it (a positive :meth:`first_free_cycle` /
+        :meth:`can_reserve` answer with no reservation in between) --
+        the fused place fast path of the scheduling engine.
+        """
+        if not assume_free and not self.can_reserve(uses, cycle):
             raise ValueError(f"resources not available for node {node_id} at cycle {cycle}")
         ii = self.ii
         held = self._held.setdefault(node_id, [])
         occupants = self._occupants
         caps = self._caps
+        epochs = self._epochs
         for use in uses:
             resource = self._index[use.key]
+            epochs[resource] += 1
             base = resource * ii
             start = cycle + use.offset
             for delta in range(1 if use.duration == 1 else min(use.duration, ii)):
@@ -229,6 +296,7 @@ class ArrayMRT:
     def release(self, node_id: int) -> None:
         """Release every reservation held by ``node_id`` (idempotent)."""
         ii = self.ii
+        epochs = self._epochs
         for flat in self._held.pop(node_id, []):
             row = self._occupants[flat]
             try:
@@ -236,6 +304,7 @@ class ArrayMRT:
             except ValueError:  # pragma: no cover - defensive
                 continue
             resource, slot = divmod(flat, ii)
+            epochs[resource] += 1
             if self._caps[resource] > 0 and len(row) < self._caps[resource]:
                 self._full[resource] &= ~(1 << slot)
 
@@ -317,9 +386,24 @@ class ArrayPressureTracker(GraphListener):
             bank: index for index, bank in enumerate(self._banks)
         }
         self._slots: List[int] = [0] * (len(self._banks) * ii)
-        #: Cached per-bank MaxLive + the set of banks whose slots changed.
+        #: Cached per-bank MaxLive.  Kept exact on increments (a raised
+        #: slot can only raise the max) and lazily recomputed through
+        #: ``_stale_banks`` when a decrement touched the current max.
         self._bank_max: List[int] = [0] * len(self._banks)
         self._stale_banks: int = 0
+        #: Register capacity per bank (``inf`` for unbounded banks) and
+        #: the number of modulo slots currently strictly above it --
+        #: maintained on every slot update so :meth:`any_over_capacity`
+        #: (the per-placement spill gate) is O(banks), no max recompute.
+        self._caps: List[float] = [bank_capacity(rf, bank) for bank in self._banks]
+        self._n_over: List[int] = [0] * len(self._banks)
+        #: Dense node indices currently contributing a lifetime, per bank
+        #: index -- lets :meth:`lifetimes_by_bank` visit only the values
+        #: of the requested banks instead of scanning every node slot.
+        self._bank_members: List[Set[int]] = [set() for _ in self._banks]
+        #: RF organization, hoisted for the inlined bank dispatch in
+        #: :meth:`_refresh` (same rules as :func:`repro.core.banks.value_bank`).
+        self._rf_kind = rf.kind
         #: Last :meth:`usage` answer, reused verbatim while no event has
         #: invalidated it (callers treat the dict as read-only, exactly
         #: like the fresh dict the object tracker hands out each call).
@@ -452,25 +536,84 @@ class ArrayPressureTracker(GraphListener):
         ii = self.ii
         slots = self._slots
         base_offset = bank_index * ii
+        cap = self._caps[bank_index]
+        n_over = self._n_over[bank_index]
+        bank_max = self._bank_max[bank_index]
         length = end - start
         if length < 1:
             length = 1
         base, rem = divmod(length, ii)
-        if base:
-            delta = base * sign
-            for flat in range(base_offset, base_offset + ii):
-                slots[flat] += delta
         anchor = start % ii
-        for offset in range(rem):
-            slots[base_offset + (anchor + offset) % ii] += sign
-        self._stale_banks |= 1 << bank_index
+        if sign > 0:
+            # Increments can only raise the max: track it in place, no
+            # staleness.  Over-capacity slots are counted at the crossing.
+            if base:
+                for flat in range(base_offset, base_offset + ii):
+                    old = slots[flat]
+                    new = old + base
+                    slots[flat] = new
+                    if new > bank_max:
+                        bank_max = new
+                    if old <= cap < new:
+                        n_over += 1
+            for offset in range(rem):
+                flat = base_offset + (anchor + offset) % ii
+                old = slots[flat]
+                new = old + 1
+                slots[flat] = new
+                if new > bank_max:
+                    bank_max = new
+                if old == cap:
+                    n_over += 1
+            self._bank_max[bank_index] = bank_max
+        else:
+            # Decrements only invalidate the max when they touch a slot
+            # that attains it.
+            demoted = False
+            if base:
+                for flat in range(base_offset, base_offset + ii):
+                    old = slots[flat]
+                    new = old - base
+                    slots[flat] = new
+                    if old == bank_max:
+                        demoted = True
+                    if new <= cap < old:
+                        n_over -= 1
+            for offset in range(rem):
+                flat = base_offset + (anchor + offset) % ii
+                old = slots[flat]
+                slots[flat] = old - 1
+                if old == bank_max:
+                    demoted = True
+                if old - 1 == cap:
+                    n_over -= 1
+            if demoted:
+                self._stale_banks |= 1 << bank_index
+        self._n_over[bank_index] = n_over
+        self._usage_cache = None
 
     def _apply_whole(self, bank_index: int, sign: int) -> None:
         slots = self._slots
         base_offset = bank_index * self.ii
-        for flat in range(base_offset, base_offset + self.ii):
-            slots[flat] += sign
-        self._stale_banks |= 1 << bank_index
+        cap = self._caps[bank_index]
+        n_over = self._n_over[bank_index]
+        if sign > 0:
+            for flat in range(base_offset, base_offset + self.ii):
+                old = slots[flat]
+                slots[flat] = old + 1
+                if old == cap:
+                    n_over += 1
+        else:
+            for flat in range(base_offset, base_offset + self.ii):
+                old = slots[flat]
+                slots[flat] = old - 1
+                if old - 1 == cap:
+                    n_over -= 1
+        self._n_over[bank_index] = n_over
+        # Every slot shifts by the same amount, so the max shifts exactly
+        # (a stale max stays stale-consistent: the bit is still set).
+        self._bank_max[bank_index] += sign
+        self._usage_cache = None
 
     # ------------------------------------------------------------------ #
     # Dirty flush
@@ -495,6 +638,7 @@ class ArrayPressureTracker(GraphListener):
             )
             self._contrib_bank[index] = _NO_BANK
             self._contrib_node[index] = -1
+            self._bank_members[bank_index].discard(index)
         live = self._live_banks[index]
         if live:
             bank_index = 0
@@ -506,7 +650,14 @@ class ArrayPressureTracker(GraphListener):
             self._live_banks[index] = 0
 
     def _refresh(self, node_id: int) -> None:
-        """Re-derive one node's contribution from the current state."""
+        """Re-derive one node's contribution from the current state.
+
+        The new contribution is derived *before* the old one is
+        subtracted; when both are identical (common after eject/replace
+        cycles that end up restoring a producer's lifetime) the -1/+1
+        slot-update pair -- and the usage-cache invalidation it drags
+        along -- is skipped entirely.
+        """
         self.n_updates += 1
         graph = self.graph
         if node_id not in graph:
@@ -514,7 +665,6 @@ class ArrayPressureTracker(GraphListener):
             return
         index = graph.dense_index(node_id)
         self._ensure_index(index)
-        self._clear(index)
         node = graph.node(node_id)
         if node.op is OpType.LIVE_IN:
             bank_index_map = self._bank_index
@@ -523,6 +673,12 @@ class ArrayPressureTracker(GraphListener):
                 bank_index = bank_index_map.get(bank)
                 if bank_index is not None:
                     live |= 1 << bank_index
+            if (
+                live == self._live_banks[index]
+                and self._contrib_bank[index] == _NO_BANK
+            ):
+                return
+            self._clear(index)
             if live:
                 self._live_banks[index] = live
                 bank_index = 0
@@ -533,38 +689,65 @@ class ArrayPressureTracker(GraphListener):
                     bits >>= 1
                     bank_index += 1
             return
-        if not node.op.defines_register:
+        new_bank_index = None
+        start = end = 0
+        if node.op.defines_register:
+            times = self.times
+            cycle = times.get(node_id)
+            if cycle is not None:
+                # Inlined value_bank (STORE/LIVE_IN never reach here --
+                # neither defines a register in scheduling order).
+                kind = self._rf_kind
+                if kind is RFKind.MONOLITHIC:
+                    bank = SHARED
+                elif kind is RFKind.CLUSTERED:
+                    bank = self.clusters.get(node_id)
+                elif node.op is OpType.LOAD or node.op is OpType.STORER:
+                    bank = SHARED
+                else:
+                    bank = self.clusters.get(node_id)
+                if bank is not None:
+                    new_bank_index = self._bank_index.get(bank)
+        if new_bank_index is not None:
+            producer_latency = (
+                node.latency_override
+                if node.latency_override is not None
+                else self.latency_of(node.op.mnemonic)
+            )
+            start = cycle + producer_latency
+            end = start + 1
+            ii = self.ii
+            for dst, edge in graph.flow_consumers(node_id):
+                use_cycle = times.get(dst)
+                if use_cycle is None:
+                    continue
+                use = use_cycle + edge.distance * ii
+                if use + 1 > end:
+                    end = use + 1
+        if (
+            self._contrib_bank[index] == (
+                _NO_BANK if new_bank_index is None else new_bank_index
+            )
+            and not self._live_banks[index]
+            and (
+                new_bank_index is None
+                or (
+                    self._contrib_node[index] == node_id
+                    and self._contrib_start[index] == start
+                    and self._contrib_end[index] == end
+                )
+            )
+        ):
             return
-        times = self.times
-        cycle = times.get(node_id)
-        if cycle is None:
+        self._clear(index)
+        if new_bank_index is None:
             return
-        bank = value_bank(graph, node_id, self.clusters.get(node_id), self.rf)
-        if bank is None:
-            return
-        bank_index = self._bank_index.get(bank)
-        if bank_index is None:
-            return
-        producer_latency = (
-            node.latency_override
-            if node.latency_override is not None
-            else self.latency_of(node.op.mnemonic)
-        )
-        start = cycle + producer_latency
-        end = start + 1
-        ii = self.ii
-        for dst, edge in graph.flow_consumers(node_id):
-            use_cycle = times.get(dst)
-            if use_cycle is None:
-                continue
-            use = use_cycle + edge.distance * ii
-            if use + 1 > end:
-                end = use + 1
-        self._apply(bank_index, start, end, +1)
-        self._contrib_bank[index] = bank_index
+        self._apply(new_bank_index, start, end, +1)
+        self._contrib_bank[index] = new_bank_index
         self._contrib_start[index] = start
         self._contrib_end[index] = end
         self._contrib_node[index] = node_id
+        self._bank_members[new_bank_index].add(index)
 
     def _flush(self) -> None:
         if not self._dirty:
@@ -576,10 +759,25 @@ class ArrayPressureTracker(GraphListener):
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    def any_over_capacity(self) -> bool:
+        """True iff some bank currently exceeds its register capacity.
+
+        The per-placement spill gate: after the dirty flush this is a
+        plain scan of the per-bank over-capacity slot counters, with no
+        max recompute, no dict build and no sort --
+        :func:`repro.core.spill.check_and_insert_spill` is a no-op
+        exactly when this returns False.
+        """
+        self._flush()
+        for count in self._n_over:
+            if count:
+                return True
+        return False
+
     def usage(self) -> Dict[int, int]:
         """MaxLive per bank -- same contract as :func:`register_usage`."""
         self.n_checks += 1
-        if not self._dirty and not self._stale_banks and self._usage_cache is not None:
+        if not self._dirty and self._usage_cache is not None:
             return self._usage_cache
         self._flush()
         stale = self._stale_banks
@@ -600,28 +798,35 @@ class ArrayPressureTracker(GraphListener):
         self._usage_cache = result
         return result
 
-    def lifetimes_by_bank(self) -> Dict[int, List[ValueLifetime]]:
-        """Current value lifetimes grouped by bank (spill-victim input)."""
+    def lifetimes_by_bank(
+        self, banks: "Optional[List[int]]" = None
+    ) -> Dict[int, List[ValueLifetime]]:
+        """Current value lifetimes grouped by bank (spill-victim input).
+
+        ``banks`` restricts the answer to the listed banks (the spill
+        pass only needs the over-capacity ones); ``None`` returns all.
+        """
         self._flush()
-        per_bank: Dict[int, List[ValueLifetime]] = {bank: [] for bank in self._banks}
-        banks = self._banks
-        contrib_bank = self._contrib_bank
+        wanted = self._banks if banks is None else banks
         contrib_node = self._contrib_node
         contrib_start = self._contrib_start
         contrib_end = self._contrib_end
-        for index, bank_index in enumerate(contrib_bank):
-            if bank_index == _NO_BANK:
-                continue
-            per_bank[banks[bank_index]].append(
-                ValueLifetime(
-                    contrib_node[index],
-                    banks[bank_index],
-                    contrib_start[index],
-                    contrib_end[index],
-                )
-            )
-        for lifetimes in per_bank.values():
-            lifetimes.sort(key=lambda lt: lt.node_id)
+        per_bank: Dict[int, List[ValueLifetime]] = {}
+        for bank in wanted:
+            bank_index = self._bank_index.get(bank)
+            lifetimes: List[ValueLifetime] = []
+            if bank_index is not None:
+                for index in self._bank_members[bank_index]:
+                    lifetimes.append(
+                        ValueLifetime(
+                            contrib_node[index],
+                            bank,
+                            contrib_start[index],
+                            contrib_end[index],
+                        )
+                    )
+                lifetimes.sort(key=lambda lt: lt.node_id)
+            per_bank[bank] = lifetimes
         return per_bank
 
     def detach(self) -> None:

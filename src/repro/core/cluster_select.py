@@ -72,37 +72,65 @@ BALANCE_WEIGHT = 0.25
 PRESSURE_WEIGHT = 1.0
 
 
+def _neighbour_banks(
+    graph: DepGraph,
+    schedule: PartialSchedule,
+    node_id: int,
+    rf: RFConfig,
+):
+    """Banks of the scheduled flow neighbours of ``node_id``.
+
+    These depend only on where the *neighbours* currently live, not on
+    the candidate cluster being scored, so :func:`select_cluster` derives
+    them once per decision instead of once per candidate.
+    """
+    producer_banks = []
+    for src, _edge in graph.flow_producers(node_id):
+        if not schedule.is_scheduled(src):
+            continue
+        src_bank = value_bank(graph, src, schedule.clusters.get(src), rf)
+        if src_bank is not None:
+            producer_banks.append(src_bank)
+    consumer_banks = []
+    for dst, _edge in graph.flow_consumers(node_id):
+        if not schedule.is_scheduled(dst):
+            continue
+        dst_bank = read_bank(graph, dst, schedule.clusters.get(dst), rf)
+        if dst_bank is not None:
+            consumer_banks.append(dst_bank)
+    return producer_banks, consumer_banks
+
+
 def _communication_cost(
     graph: DepGraph,
     schedule: PartialSchedule,
     node_id: int,
     cluster: int,
     rf: RFConfig,
+    neighbour_banks=None,
 ) -> int:
     """Number of new communication operations needed if placed on ``cluster``."""
     cost = 0
     my_read = read_bank(graph, node_id, cluster, rf)
     my_value = value_bank(graph, node_id, cluster, rf)
+    if neighbour_banks is None:
+        neighbour_banks = _neighbour_banks(graph, schedule, node_id, rf)
+    producer_banks, consumer_banks = neighbour_banks
+    hierarchical = rf.is_hierarchical
     if my_read is not None:
-        for src, _edge in graph.flow_producers(node_id):
-            if not schedule.is_scheduled(src):
-                continue
-            src_bank = value_bank(graph, src, schedule.clusters.get(src), rf)
-            if src_bank is None or src_bank == my_read:
+        for src_bank in producer_banks:
+            if src_bank == my_read:
                 continue
             # Cluster-to-cluster moves through the shared bank need two ops.
-            if rf.is_hierarchical and src_bank != SHARED and my_read != SHARED:
+            if hierarchical and src_bank != SHARED and my_read != SHARED:
                 cost += 2
             else:
                 cost += 1
     if my_value is not None:
-        for dst, _edge in graph.flow_consumers(node_id):
-            if not schedule.is_scheduled(dst):
+        for dst_bank in consumer_banks:
+            if dst_bank == my_value:
                 continue
-            dst_bank = read_bank(graph, dst, schedule.clusters.get(dst), rf)
-            if dst_bank is None or dst_bank == my_value:
-                continue
-            if rf.is_hierarchical and my_value != SHARED and dst_bank != SHARED:
+            if hierarchical and my_value != SHARED and dst_bank != SHARED:
                 cost += 2
             else:
                 cost += 1
@@ -131,20 +159,25 @@ def select_cluster(
     usage = register_usage or {}
     capacity = float(rf.cluster_regs or 1)
 
+    # Everything that does not depend on the candidate cluster is derived
+    # once: the banks of the scheduled flow neighbours (communication
+    # cost) and the dependence window bounds (slot probe).
+    neighbour_banks = _neighbour_banks(graph, schedule, node_id, rf)
+    estart = schedule.earliest_start(node_id)
+    lstart = schedule.latest_start(node_id)
+
     best_cluster = 0
     best_score = None
     for cluster in range(rf.n_clusters):
-        comm = _communication_cost(graph, schedule, node_id, cluster, rf)
-        slot = schedule.find_slot(node_id, cluster)
-        no_slot_penalty = 0 if slot is not None else 1
-        # Resource balance: fraction of this cluster's reservation rows
-        # already taken by operations of the same class.
-        assigned = sum(
-            1
-            for other, other_cluster in schedule.clusters.items()
-            if other_cluster == cluster
-            and graph.node(other).op.op_class is op.op_class
+        comm = _communication_cost(
+            graph, schedule, node_id, cluster, rf, neighbour_banks
         )
+        slot = schedule.find_slot(node_id, cluster, estart=estart, lstart=lstart)
+        no_slot_penalty = 0 if slot is not None else 1
+        # Resource balance: number of this cluster's placements taken by
+        # operations of the same class (maintained incrementally by the
+        # schedule -- equal to a full scan of ``schedule.clusters``).
+        assigned = schedule.class_count(cluster, op.op_class)
         pressure = usage.get(cluster, 0) / capacity if capacity else 0.0
         # A cluster with no free slot is worse than paying for a full
         # cluster-to-cluster transfer (two operations in a hierarchical
@@ -212,9 +245,11 @@ def select_cluster_min_pressure(
         return fixed
     usage = register_usage or {}
     counts = _assigned_counts(schedule, rf.n_clusters)
+    estart = schedule.earliest_start(node_id)
+    lstart = schedule.latest_start(node_id)
 
     def score(cluster: int):
-        slot = schedule.find_slot(node_id, cluster)
+        slot = schedule.find_slot(node_id, cluster, estart=estart, lstart=lstart)
         return (0 if slot is not None else 1, usage.get(cluster, 0), counts[cluster], cluster)
 
     return min(range(rf.n_clusters), key=score)

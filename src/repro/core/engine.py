@@ -33,13 +33,17 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 from repro.ddg.analysis import compute_mii
 from repro.ddg.graph import DepGraph
 from repro.ddg.loop import Loop
+from repro.ddg.operations import OpType
 from repro.machine.config import MachineConfig, RFConfig
 from repro.machine.resources import ResourceModel
+from repro.core.analysis_cache import AnalysisCache
 from repro.core.banks import bank_capacity
+from repro.core.cluster_select import UNDECIDED, preassigned_cluster
 from repro.core.communication import cleanup_after_eject, plan_communication
 from repro.core.lifetimes import SWEEP_COUNTERS, register_usage
 from repro.core.partial import PartialSchedule, ScheduleInfeasible
 from repro.core.policy import (
+    FailureDiagnosis,
     PolicyBundle,
     cluster_policy,
     ii_search_policy,
@@ -59,6 +63,13 @@ class _Counters:
 
     def __init__(self) -> None:
         self.pressure_checks: int = 0
+        #: MRT window scans (first_free_cycle calls) across all attempts.
+        self.slot_probes: int = 0
+        #: Window scans answered by the array core's epoch memo.
+        self.probe_memo_hits: int = 0
+        #: Analysis products (RecMII, ResMII, priority order) served from
+        #: the cross-II/cross-config cache instead of recomputed.
+        self.analysis_reuses: int = 0
 
 
 class SchedulerEngine:
@@ -92,6 +103,11 @@ class SchedulerEngine:
         implementation).  Both produce bit-identical schedules;
         ``tests/test_core_equivalence.py`` and the corpus replay pin the
         equivalence.
+    analysis_cache:
+        Optional :class:`~repro.core.analysis_cache.AnalysisCache`
+        memoizing MII breakdowns and priority orders across loops,
+        configs and engine instances.  Pure reuse of deterministic
+        products -- results are bit-identical with and without it.
     """
 
     def __init__(
@@ -104,6 +120,7 @@ class SchedulerEngine:
         max_ii: int = 512,
         incremental_pressure: bool = True,
         core: str = "array",
+        analysis_cache: Optional[AnalysisCache] = None,
     ) -> None:
         machine.validate_rf(rf)
         if core not in ("object", "array"):
@@ -115,6 +132,12 @@ class SchedulerEngine:
         self.budget_ratio = budget_ratio
         self.max_ii = max_ii
         self.incremental_pressure = incremental_pressure
+        #: Optional cross-II/cross-config memo for machine-independent
+        #: analysis (MII breakdown, priority orders); ``None`` recomputes
+        #: everything per loop, exactly as before.  The suite drivers
+        #: pass the per-process shared instance
+        #: (:func:`repro.core.analysis_cache.shared_analysis_cache`).
+        self.analysis_cache = analysis_cache
         self.bundle = resolve_bundle(policy)
         self._order_nodes = ordering_policy(self.bundle.ordering)
         self._select_cluster = cluster_policy(self.bundle.cluster)
@@ -136,21 +159,35 @@ class SchedulerEngine:
         """Schedule one loop, searching upward from its MII."""
         started = time.perf_counter()
         sweeps_before = SWEEP_COUNTERS.full_sweeps
-        breakdown = compute_mii(loop.graph, self.resources, self.machine.latency)
         search = self._ii_search_cls()
         counters = _Counters()
         attempted: List[int] = []
-        # The scheduling order is a pure function of the dependence graph
-        # and the machine latencies, and every II attempt starts from a
-        # fresh copy of the same graph -- so it is computed once per loop
-        # and shared across attempts instead of re-derived (SCCs included)
-        # inside each one.
-        order = self._order_nodes(loop.graph, self.machine.latency)
+        # The MII breakdown and the scheduling order are pure functions of
+        # the dependence graph and the machine, and every II attempt
+        # starts from a fresh copy of the same graph -- so both are
+        # computed once per loop and shared across attempts, and (when an
+        # analysis cache is wired in) reused across loops and configs.
+        if self.analysis_cache is not None:
+            signature = loop.graph.structural_signature()
+            breakdown, reused = self.analysis_cache.mii(
+                loop.graph, self.resources, self.machine, self.rf,
+                signature=signature,
+            )
+            counters.analysis_reuses += reused
+            order, reused = self.analysis_cache.order(
+                loop.graph, self.machine, self.bundle.ordering,
+                self._order_nodes, signature=signature,
+            )
+            counters.analysis_reuses += reused
+        else:
+            breakdown = compute_mii(loop.graph, self.resources, self.machine.latency)
+            order = self._order_nodes(loop.graph, self.machine.latency)
 
         best: Optional[Tuple[int, Tuple[DepGraph, PartialSchedule]]] = None
         last_failed: Optional[int] = None
         ii = breakdown.mii
         n_failures = 0
+        diagnosed = False
         while ii <= self.max_ii:
             attempted.append(ii)
             attempt = self._try(loop, ii, counters, order)
@@ -159,6 +196,12 @@ class SchedulerEngine:
                 break
             last_failed = ii
             n_failures += 1
+            if search.wants_diagnosis and not diagnosed:
+                # The only certificate currently extracted is II-independent
+                # (a zero-capacity resource requirement), so one diagnosis
+                # per loop is enough.
+                diagnosed = True
+                search.observe_failure(self._diagnose(loop.graph, ii))
             ii = search.next_ii(ii, n_failures)
 
         # Refinement: an accelerated search that jumped over candidate IIs
@@ -191,21 +234,31 @@ class SchedulerEngine:
         # not inflate the restart count.
         restarts = n_failures
         if best is None:
+            # The reported II is the last *tried* value; the audit note of
+            # any range the II-search policy skipped goes after it, so the
+            # trail reads "tried 3, 4; skipped 5.. because ...".
+            failure_ii = attempted[-1] if attempted else breakdown.mii
+            trail: List[Union[int, str]] = list(attempted)
+            if search.skip_note:
+                trail.append(search.skip_note)
             return ScheduleResult(
                 loop_name=loop.name,
                 config_name=self.rf.name,
                 success=False,
-                ii=attempted[-1] if attempted else breakdown.mii,
+                ii=failure_ii,
                 mii=breakdown.mii,
                 mii_breakdown=breakdown,
                 stage_count=0,
                 scheduling_time_s=elapsed,
                 restarts=restarts,
                 bound=breakdown.bound,
-                attempted_iis=attempted,
+                attempted_iis=trail,
                 n_pressure_checks=counters.pressure_checks,
                 n_full_sweeps=sweeps,
                 policy=self.bundle.name,
+                n_slot_probes=counters.slot_probes,
+                n_probe_memo_hits=counters.probe_memo_hits,
+                n_analysis_reuses=counters.analysis_reuses,
             )
         graph, schedule = best[1]
         return self._build_result(
@@ -221,6 +274,62 @@ class SchedulerEngine:
             return self._attempt(loop.graph.copy(), ii, counters, order)
         except ScheduleInfeasible:
             return None
+
+    # ------------------------------------------------------------------ #
+    def _diagnose(self, graph: DepGraph, ii: int) -> FailureDiagnosis:
+        """Evidence extracted from a failed attempt at ``ii``."""
+        detail = self._unschedulable_certificate(graph)
+        if detail is not None:
+            return FailureDiagnosis(
+                ii=ii,
+                reason="zero_capacity_resource",
+                unschedulable_at_all_iis=True,
+                detail=detail,
+            )
+        return FailureDiagnosis(ii=ii, reason="attempt_failed")
+
+    def _unschedulable_certificate(self, graph: DepGraph) -> Optional[str]:
+        """Proof (if any) that *no* II can schedule this loop here.
+
+        Raising the II adds reservation-table rows but never resource
+        instances, so an original operation that needs a resource with
+        zero instances in **every** cluster it could legally be placed on
+        can never be scheduled.  Only original nodes count as evidence:
+        inserted communication/spill code is attempt-specific (a
+        different II may simply not insert it), and a ``Move``'s source
+        port follows its producer's mutable cluster.
+        """
+        resources = self.resources
+        for node in graph.nodes():
+            op = node.op
+            if node.is_inserted or op is OpType.LIVE_IN or op.is_communication:
+                continue
+            fixed = preassigned_cluster(graph, node.node_id, self.rf)
+            if fixed is UNDECIDED:
+                candidates = range(self.rf.n_clusters)
+            else:
+                candidates = (fixed,)
+            blocked_everywhere = True
+            for cluster in candidates:
+                if op.is_memory:
+                    uses = resources.memory_uses(
+                        cluster if cluster is not None and cluster >= 0 else 0
+                    )
+                elif op.is_compute:
+                    uses = resources.compute_uses(
+                        op.mnemonic, cluster if cluster is not None else 0
+                    )
+                else:  # pragma: no cover - all other op kinds filtered above
+                    uses = []
+                if not any(resources.count(use.key) <= 0 for use in uses):
+                    blocked_everywhere = False
+                    break
+            if blocked_everywhere and candidates:
+                return (
+                    f"node {node.node_id} ({op.mnemonic}) requires a "
+                    f"zero-capacity resource in every permissible cluster"
+                )
+        return None
 
     def _usage(
         self, schedule: PartialSchedule, counters: _Counters
@@ -247,6 +356,18 @@ class SchedulerEngine:
             track_pressure=self._check_registers and self.incremental_pressure,
             core=self.core,
         )
+        try:
+            return self._run_attempt(graph, schedule, counters, order)
+        finally:
+            # Harvest per-attempt MRT instrumentation on every exit path
+            # (success, infeasible return, ScheduleInfeasible raise).
+            counters.slot_probes += schedule.mrt.n_probes
+            counters.probe_memo_hits += schedule.mrt.n_memo_hits
+
+    def _run_attempt(
+        self, graph: DepGraph, schedule: PartialSchedule, counters: _Counters,
+        order: Optional[List[int]] = None,
+    ) -> Optional[Tuple[DepGraph, PartialSchedule]]:
         if order is None:
             order = self._order_nodes(graph, self.machine.latency)
         if not order:
@@ -349,15 +470,23 @@ class SchedulerEngine:
                 if self._check_registers:
                     # The paper's integrated spill check, after *every*
                     # placement: with the incremental tracker each check
-                    # costs O(affected lifetimes), so no throttling.
+                    # costs O(affected lifetimes), so no throttling.  When
+                    # the tracker says no bank is over capacity the spill
+                    # pass would be a pure no-op (it skips every bank at
+                    # or under capacity), so it is elided outright --
+                    # any_over_capacity is O(banks) against maintained
+                    # counters, versus the usage dict + sorted scan the
+                    # no-op call would still have built.
                     counters.pressure_checks += 1
-                    new_spill, _usage = check_and_insert_spill(
-                        graph, schedule, self.rf, self.machine, spill_state,
-                        victim_policy=self._victim_policy,
-                    )
-                    for spill_node in new_spill:
-                        priority.push(spill_node, after=node_id)
-                    budget += award_growth()
+                    tracker = schedule.pressure
+                    if tracker is None or tracker.any_over_capacity():
+                        new_spill, _usage = check_and_insert_spill(
+                            graph, schedule, self.rf, self.machine, spill_state,
+                            victim_policy=self._victim_policy,
+                        )
+                        for spill_node in new_spill:
+                            priority.push(spill_node, after=node_id)
+                        budget += award_growth()
 
             # Priority list empty: re-check communication reservations.
             # A Move's source port follows its producer's cluster, and
@@ -382,16 +511,23 @@ class SchedulerEngine:
                     priority.push(n)
                 continue
 
-            # Final register-pressure check.
+            # Final register-pressure check.  Counting discipline matches
+            # the pre-gate code exactly: +1 for the over-capacity query,
+            # one more for the spill pass when a bank is actually over.
             if not self._check_registers:
                 break
-            usage = self._usage(schedule, counters)
-            over = [
-                bank for bank, used in usage.items()
-                if used > bank_capacity(self.rf, bank)
-            ]
-            if not over:
-                break
+            if schedule.pressure is not None:
+                counters.pressure_checks += 1
+                if not schedule.pressure.any_over_capacity():
+                    break
+            else:
+                usage = self._usage(schedule, counters)
+                over = [
+                    bank for bank, used in usage.items()
+                    if used > bank_capacity(self.rf, bank)
+                ]
+                if not over:
+                    break
             counters.pressure_checks += 1
             new_spill, _usage = check_and_insert_spill(
                 graph, schedule, self.rf, self.machine, spill_state,
@@ -483,4 +619,7 @@ class SchedulerEngine:
             n_pressure_checks=counters.pressure_checks,
             n_full_sweeps=SWEEP_COUNTERS.full_sweeps - sweeps_before,
             policy=self.bundle.name,
+            n_slot_probes=counters.slot_probes,
+            n_probe_memo_hits=counters.probe_memo_hits,
+            n_analysis_reuses=counters.analysis_reuses,
         )

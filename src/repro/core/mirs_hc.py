@@ -69,6 +69,8 @@ class MirsHC(SchedulerEngine):
         max_ii: int = 512,
         policy: Union[str, PolicyBundle] = "mirs_hc",
         incremental_pressure: bool = True,
+        core: str = "array",
+        analysis_cache=None,
     ) -> None:
         super().__init__(
             machine,
@@ -77,6 +79,8 @@ class MirsHC(SchedulerEngine):
             budget_ratio=budget_ratio,
             max_ii=max_ii,
             incremental_pressure=incremental_pressure,
+            core=core,
+            analysis_cache=analysis_cache,
         )
 
 

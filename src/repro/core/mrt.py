@@ -43,6 +43,12 @@ class ModuloReservationTable:
         }
         # node -> list of (resource, slot) entries it occupies
         self._held: Dict[int, List[Tuple[ResourceKey, int]]] = {}
+        #: Window scans answered (:meth:`first_free_cycle` calls) -- the
+        #: same count as the array backend, whose epoch memo additionally
+        #: reports ``n_memo_hits`` (always 0 here: this backend recomputes
+        #: every answer, which is exactly what makes it the oracle).
+        self.n_probes: int = 0
+        self.n_memo_hits: int = 0
 
     # ------------------------------------------------------------------ #
     def _slots(self, use: ResourceUse, cycle: int) -> List[int]:
@@ -103,6 +109,7 @@ class ModuloReservationTable:
         (:meth:`repro.core.arraycore.ArrayMRT.first_free_cycle`, which
         accelerates the same contract with full-slot bitmasks).
         """
+        self.n_probes += 1
         if not uses:
             for cycle in cycles:
                 return cycle
@@ -112,13 +119,22 @@ class ModuloReservationTable:
                 return cycle
         return None
 
-    def reserve(self, node_id: int, uses: Sequence[ResourceUse], cycle: int) -> None:
+    def reserve(
+        self,
+        node_id: int,
+        uses: Sequence[ResourceUse],
+        cycle: int,
+        *,
+        assume_free: bool = False,
+    ) -> None:
         """Reserve resources for ``node_id`` issuing at ``cycle``.
 
         The caller must have checked :meth:`can_reserve` (or be prepared to
         over-subscribe deliberately, which this method refuses).
+        ``assume_free`` skips the re-check for callers that just proved
+        availability -- same fused fast path as the array backend.
         """
-        if not self.can_reserve(uses, cycle):
+        if not assume_free and not self.can_reserve(uses, cycle):
             raise ValueError(f"resources not available for node {node_id} at cycle {cycle}")
         held = self._held.setdefault(node_id, [])
         for use in uses:

@@ -29,6 +29,10 @@ from repro.core.mrt import ModuloReservationTable
 
 __all__ = ["PartialSchedule", "ScheduleInfeasible"]
 
+#: Sentinel distinguishing "caller did not supply lstart" from a supplied
+#: ``None`` (which is a meaningful value: no scheduled successors).
+_UNKNOWN = object()
+
 
 class ScheduleInfeasible(Exception):
     """Raised when an operation cannot be placed even after ejections.
@@ -102,6 +106,14 @@ class PartialSchedule:
         #: changes, node ids are never reused, and the underlying
         #: ResourceModel lists are shared immutables anyway.
         self._uses_cache: Dict[tuple, List[ResourceUse]] = {}
+        #: Incrementally maintained number of scheduled operations per
+        #: (cluster, operation class) -- the balance input of
+        #: Select_Cluster, which would otherwise rescan every placement
+        #: once per candidate cluster on every pop.  Only maintained when
+        #: there is an actual cluster choice to score.
+        self._track_classes = rf.has_cluster_banks and rf.n_clusters > 1
+        self._class_counts: Dict[tuple, int] = {}
+        self._placed_class: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Basic queries
@@ -199,20 +211,29 @@ class PartialSchedule:
         cycle: int,
         cluster: Optional[int],
         uses: Optional[List[ResourceUse]] = None,
+        *,
+        assume_free: bool = False,
     ) -> None:
         """Unconditionally place a node (resources must be available).
 
         ``uses`` may be passed by callers that already computed the
         reservations (the force-and-eject path must reserve exactly the
-        resources it checked conflicts against).
+        resources it checked conflicts against).  ``assume_free`` skips
+        the MRT's availability re-check when the caller just proved it
+        (a positive :meth:`find_slot` answer with no reservation since).
         """
         if uses is None:
             uses = self.uses_for(node_id, cluster)
         if uses:
-            self.mrt.reserve(node_id, uses, cycle)
+            self.mrt.reserve(node_id, uses, cycle, assume_free=assume_free)
         self.times[node_id] = cycle
         self.clusters[node_id] = cluster
         self._last_cycle[node_id] = cycle
+        if self._track_classes and cluster is not None and cluster >= 0:
+            key = (cluster, self.graph.node(node_id).op.op_class)
+            self._placed_class[node_id] = key
+            counts = self._class_counts
+            counts[key] = counts.get(key, 0) + 1
         if self.pressure is not None:
             self.pressure.on_place(node_id)
 
@@ -230,6 +251,18 @@ class PartialSchedule:
                 self.pressure.on_remove(node_id)
             del self.times[node_id]
             del self.clusters[node_id]
+            key = self._placed_class.pop(node_id, None)
+            if key is not None:
+                self._class_counts[key] -= 1
+
+    def class_count(self, cluster: int, op_class) -> int:
+        """Scheduled operations of ``op_class`` currently on ``cluster``.
+
+        Maintained incrementally by :meth:`place`/:meth:`remove`; equals
+        the count a full scan of ``clusters`` would produce.  Only
+        meaningful for organizations with a real cluster choice.
+        """
+        return self._class_counts.get((cluster, op_class), 0)
 
     def forget(self, node_id: int) -> None:
         """Drop all bookkeeping for a node that was deleted from the graph."""
@@ -255,7 +288,15 @@ class PartialSchedule:
             expected[use.key] += min(use.duration, self.ii)
         return expected == Counter(self.mrt.held_keys(node_id))
 
-    def find_slot(self, node_id: int, cluster: Optional[int]) -> Optional[int]:
+    def find_slot(
+        self,
+        node_id: int,
+        cluster: Optional[int],
+        *,
+        uses: Optional[List[ResourceUse]] = None,
+        estart: Optional[int] = None,
+        lstart: object = _UNKNOWN,
+    ) -> Optional[int]:
         """A free cycle inside the node's dependence window, or ``None``.
 
         The window spans at most II consecutive cycles starting at the
@@ -265,10 +306,18 @@ class PartialSchedule:
         above it walks downward so it stays close to the consumers.  Both
         directions keep value lifetimes short, mirroring the
         Early_Start/Late_Start/Direction logic of the paper.
+
+        ``uses``/``estart``/``lstart`` let callers that probe the same
+        node repeatedly without placing anything in between (cluster
+        selection scoring every candidate cluster) hoist the
+        cluster-independent parts of the computation out of the loop.
         """
-        uses = self.uses_for(node_id, cluster)
-        estart = self.earliest_start(node_id)
-        lstart = self.latest_start(node_id)
+        if uses is None:
+            uses = self.uses_for(node_id, cluster)
+        if estart is None:
+            estart = self.earliest_start(node_id)
+        if lstart is _UNKNOWN:
+            lstart = self.latest_start(node_id)
         window_hi = estart + self.ii - 1
         if lstart is not None:
             window_hi = min(window_hi, lstart)
@@ -295,14 +344,16 @@ class PartialSchedule:
         ejected nodes to the priority list and for cleaning up any
         communication code that was inserted on their behalf.
         """
-        slot = self.find_slot(node_id, cluster)
+        uses = self.uses_for(node_id, cluster)
+        slot = self.find_slot(node_id, cluster, uses=uses)
         ejected: Set[int] = set()
         if slot is not None:
-            self.place(node_id, slot, cluster)
+            # find_slot just proved availability and nothing was reserved
+            # since, so the place can skip the MRT's re-check.
+            self.place(node_id, slot, cluster, uses=uses, assume_free=True)
             return ejected
 
         cycle = self.force_cycle(node_id)
-        uses = self.uses_for(node_id, cluster)
         # Ejecting a neighbour may change the resource needs of this node
         # (a Move's source bank follows its producer), so re-derive the
         # reservations and re-check until they can actually be granted.
@@ -322,7 +373,7 @@ class PartialSchedule:
             raise ScheduleInfeasible(
                 f"cannot place node {node_id} at cycle {cycle} even after ejections"
             )
-        self.place(node_id, cycle, cluster, uses=uses)
+        self.place(node_id, cycle, cluster, uses=uses, assume_free=True)
 
         # Eject already-scheduled neighbours whose dependence constraints the
         # forced placement violates.  (remove() only touches schedule state,

@@ -48,10 +48,12 @@ from repro.core.spill import (
 
 __all__ = [
     "PolicyBundle",
+    "FailureDiagnosis",
     "IISearchPolicy",
     "LinearIISearch",
     "GeometricIISearch",
     "GeometricBisectIISearch",
+    "InformedIISearch",
     "ordering_policy",
     "cluster_policy",
     "spill_victim_policy",
@@ -70,6 +72,26 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 # II-search policies
 # --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FailureDiagnosis:
+    """Structured evidence the engine extracted from a failed II attempt.
+
+    Consumed by II-search policies whose :attr:`IISearchPolicy.wants_diagnosis`
+    is true (the engine skips the extraction entirely for everyone else).
+    ``unschedulable_at_all_iis`` is only set for *certificates*: evidence
+    that is sound at every II, not just the one that failed -- currently
+    an original (non-inserted, non-communication) operation that requires
+    a resource with zero instances in every cluster it could legally be
+    placed on.  Raising the II never creates resource instances, so such
+    a loop can never be scheduled on this machine.
+    """
+
+    ii: int
+    reason: str
+    unschedulable_at_all_iis: bool = False
+    detail: str = ""
+
+
 class IISearchPolicy:
     """Strategy for walking the II search space of one loop.
 
@@ -79,13 +101,28 @@ class IISearchPolicy:
     one (an accelerated search overshot), the engine bisects the
     ``(last failed, feasible]`` interval to recover the smallest II the
     acceleration skipped.
+
+    Policies that set :attr:`wants_diagnosis` additionally receive a
+    :class:`FailureDiagnosis` via :meth:`observe_failure` after each
+    failed attempt; :attr:`skip_note` (when set by the policy) is
+    appended to the result's ``attempted_iis`` as the audit trail of any
+    IIs the policy decided not to try.
     """
 
     name = "base"
     refine_with_bisection = False
+    #: When true the engine extracts a :class:`FailureDiagnosis` after a
+    #: failed attempt and feeds it to :meth:`observe_failure`.
+    wants_diagnosis = False
+    #: Audit-trail entry (``"skipped:..."``) for IIs the policy ruled out
+    #: without trying them, or ``None``.
+    skip_note: "str | None" = None
 
     def next_ii(self, ii: int, n_failures: int) -> int:
         raise NotImplementedError
+
+    def observe_failure(self, diagnosis: FailureDiagnosis) -> None:
+        """Consume evidence from a failed attempt (default: ignore it)."""
 
 
 class LinearIISearch(IISearchPolicy):
@@ -131,6 +168,43 @@ class GeometricBisectIISearch(GeometricIISearch):
     refine_with_bisection = True
 
 
+class InformedIISearch(LinearIISearch):
+    """Linear search that consumes failure evidence to prune the walk.
+
+    Steps II + 1 like :class:`LinearIISearch` -- the conservative default
+    that can never overshoot -- but when the engine's
+    :class:`FailureDiagnosis` carries a certificate valid at *every* II
+    (``unschedulable_at_all_iis``), it abandons the remaining search
+    instead of grinding linearly up to ``max_ii``.  The abandoned range
+    is recorded in :attr:`skip_note` so the result's ``attempted_iis``
+    shows exactly what was skipped and why; a hypothesis test
+    (``tests/test_ii_search.py``) pins that the pruning never passes over
+    an II the linear search could have scheduled.
+    """
+
+    name = "informed"
+    wants_diagnosis = True
+
+    #: Sentinel next-II far above any real ``max_ii``: returning it from
+    #: :meth:`next_ii` terminates the engine's search loop immediately.
+    ABANDON = 1 << 30
+
+    def __init__(self) -> None:
+        self.skip_note = None
+        self._abort = False
+
+    def observe_failure(self, diagnosis: FailureDiagnosis) -> None:
+        if diagnosis.unschedulable_at_all_iis:
+            self._abort = True
+            why = diagnosis.detail or diagnosis.reason
+            self.skip_note = f"skipped:{diagnosis.ii + 1}..:{why}"
+
+    def next_ii(self, ii: int, n_failures: int) -> int:
+        if self._abort:
+            return self.ABANDON
+        return ii + 1
+
+
 # --------------------------------------------------------------------------- #
 # Registries
 # --------------------------------------------------------------------------- #
@@ -156,6 +230,7 @@ II_SEARCH_POLICIES: Dict[str, Type[IISearchPolicy]] = {
     "linear": LinearIISearch,
     "geometric": GeometricIISearch,
     "geometric_bisect": GeometricBisectIISearch,
+    "informed": InformedIISearch,
 }
 
 
@@ -266,3 +341,4 @@ register_bundle(PolicyBundle("mirs_fewest_reloads", spill="fewest_reloads"))
 register_bundle(PolicyBundle("mirs_latest_def", spill="latest_def"))
 register_bundle(PolicyBundle("mirs_linear_ii", ii_search="linear"))
 register_bundle(PolicyBundle("mirs_geometric_ii", ii_search="geometric"))
+register_bundle(PolicyBundle("mirs_informed_ii", ii_search="informed"))

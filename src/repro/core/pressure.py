@@ -33,7 +33,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Set
 from repro.ddg.graph import DepGraph, Dependence, GraphListener
 from repro.ddg.operations import OpType
 from repro.machine.config import RFConfig
-from repro.core.banks import all_banks, value_bank
+from repro.core.banks import all_banks, bank_capacity, value_bank
 from repro.core.lifetimes import SWEEP_COUNTERS, ValueLifetime, live_in_banks
 
 __all__ = ["PressureTracker", "SWEEP_COUNTERS"]
@@ -189,6 +189,24 @@ class PressureTracker(GraphListener):
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    def any_over_capacity(self) -> bool:
+        """True iff some bank currently exceeds its register capacity.
+
+        Same contract as
+        :meth:`repro.core.arraycore.ArrayPressureTracker.any_over_capacity`
+        (which answers it from maintained counters); here it is derived
+        from the slot counts directly -- this backend is the readable
+        oracle, not the fast path.
+        """
+        self._flush()
+        for bank, slots in self._slots.items():
+            capacity = bank_capacity(self.rf, bank)
+            if capacity == float("inf"):
+                continue
+            if slots and max(slots) > capacity:
+                return True
+        return False
+
     def usage(self) -> Dict[int, int]:
         """MaxLive per bank -- same contract as :func:`register_usage`."""
         self._flush()
@@ -197,17 +215,24 @@ class PressureTracker(GraphListener):
             bank: (max(slots) if slots else 0) for bank, slots in self._slots.items()
         }
 
-    def lifetimes_by_bank(self) -> Dict[int, List[ValueLifetime]]:
+    def lifetimes_by_bank(
+        self, banks: Optional[List[int]] = None
+    ) -> Dict[int, List[ValueLifetime]]:
         """Current value lifetimes grouped by bank (spill-victim input).
 
         Live-in values are not listed (they have no spillable lifetime of
         their own); this mirrors
-        :func:`repro.core.lifetimes.lifetimes_by_bank`.
+        :func:`repro.core.lifetimes.lifetimes_by_bank`.  ``banks``
+        restricts the answer to the listed banks (same contract as the
+        array backend).
         """
         self._flush()
-        per_bank: Dict[int, List[ValueLifetime]] = {bank: [] for bank in self._slots}
+        wanted = self._slots if banks is None else banks
+        per_bank: Dict[int, List[ValueLifetime]] = {bank: [] for bank in wanted}
         for lifetime in self._contrib.values():
-            per_bank[lifetime.bank].append(lifetime)
+            lifetimes = per_bank.get(lifetime.bank)
+            if lifetimes is not None:
+                lifetimes.append(lifetime)
         for lifetimes in per_bank.values():
             lifetimes.sort(key=lambda lt: lt.node_id)
         return per_bank

@@ -11,7 +11,7 @@ scheduling wall time, and the loop-bound classification used by Table 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.ddg.analysis import MIIBreakdown
 from repro.ddg.graph import DepGraph
@@ -65,8 +65,11 @@ class ScheduleResult:
     bound: str = "fu"
     #: Every II the search actually attempted, in attempt order (includes
     #: the bisection refinement of an accelerated search).  On failure,
-    #: ``ii`` above is the *last II tried*, not the search ceiling.
-    attempted_iis: List[int] = field(default_factory=list)
+    #: ``ii`` above is the *last II tried*, not the search ceiling.  An
+    #: II-search policy that ruled a range out without trying it appends
+    #: one ``"skipped:<from>..:<why>"`` string as its audit trail (see
+    #: :class:`repro.core.policy.InformedIISearch`).
+    attempted_iis: List[Union[int, str]] = field(default_factory=list)
     #: Register-pressure queries the scheduler issued while building the
     #: schedule (the paper's per-node spill checks plus the pressure input
     #: of cluster selection).
@@ -77,6 +80,18 @@ class ScheduleResult:
     n_full_sweeps: int = 0
     #: Name of the policy bundle that produced this schedule.
     policy: str = "mirs_hc"
+    #: Process-local perf telemetry (NOT serialized -- see
+    #: :mod:`repro.serialize`): memo hit rates depend on which core ran
+    #: and in which process, so including them in payloads would break
+    #: the cross-core digest identity the equivalence harness pins.
+    #: MRT window scans (``first_free_cycle`` calls) across all attempts.
+    n_slot_probes: int = 0
+    #: Window scans answered by the array core's epoch-stamped memo
+    #: (always 0 for the object core, which recomputes every answer).
+    n_probe_memo_hits: int = 0
+    #: Analysis products (RecMII, ResMII components, priority order)
+    #: served from the cross-II/cross-config analysis cache.
+    n_analysis_reuses: int = 0
 
     @property
     def achieved_mii(self) -> bool:

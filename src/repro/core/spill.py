@@ -256,8 +256,16 @@ def check_and_insert_spill(
     new_nodes: List[int] = []
     spills_done = 0
 
+    # Only the over-capacity banks need their lifetime lists materialized;
+    # restricting the (sorted) candidate extraction to them keeps the cost
+    # of a spill pass proportional to the problem, not to the bank count.
+    ranked = sorted(usage.items(), key=lambda kv: -kv[1])
+    over_banks = [
+        bank for bank, used in ranked
+        if bank_capacity(rf, bank) != float("inf") and used > bank_capacity(rf, bank)
+    ]
     per_bank = None  # computed lazily
-    for bank, used in sorted(usage.items(), key=lambda kv: -kv[1]):
+    for bank, used in ranked:
         if spills_done >= max_spills_per_call:
             break
         capacity = bank_capacity(rf, bank)
@@ -265,7 +273,7 @@ def check_and_insert_spill(
             continue
         if per_bank is None:
             if tracker is not None:
-                per_bank = tracker.lifetimes_by_bank()
+                per_bank = tracker.lifetimes_by_bank(banks=over_banks)
             else:
                 per_bank = lifetimes_by_bank(
                     graph, schedule.times, schedule.clusters, schedule.ii,

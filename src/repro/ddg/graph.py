@@ -111,6 +111,12 @@ class DepGraph:
         self._node_index: Dict[int, int] = {}
         self._free_indices: List[int] = []
         self._index_size: int = 0
+        #: Per-node flow-adjacency snapshots (see :meth:`flow_consumers`).
+        #: Invalidated on any incident edge mutation; a list handed out
+        #: before a mutation keeps snapshot semantics, exactly like the
+        #: fresh list each call used to build.
+        self._flow_succ: Dict[int, List[Tuple[int, Dependence]]] = {}
+        self._flow_pred: Dict[int, List[Tuple[int, Dependence]]] = {}
 
     # ------------------------------------------------------------------ #
     # Mutation listeners
@@ -189,6 +195,8 @@ class DepGraph:
         edge = Dependence(src=src, dst=dst, distance=distance, kind=kind)
         self._succ[src][dst] = edge
         self._pred[dst][src] = edge
+        self._flow_succ.pop(src, None)
+        self._flow_pred.pop(dst, None)
         if self._listeners:
             for listener in self._listeners:
                 listener.on_edge_added(edge)
@@ -197,6 +205,8 @@ class DepGraph:
     def remove_edge(self, src: int, dst: int) -> None:
         edge = self._succ[src].pop(dst, None)
         self._pred[dst].pop(src, None)
+        self._flow_succ.pop(src, None)
+        self._flow_pred.pop(dst, None)
         if edge is not None and self._listeners:
             for listener in self._listeners:
                 listener.on_edge_removed(edge)
@@ -210,6 +220,8 @@ class DepGraph:
         del self._succ[node_id]
         del self._pred[node_id]
         del self._nodes[node_id]
+        self._flow_succ.pop(node_id, None)
+        self._flow_pred.pop(node_id, None)
         if self._listeners:
             # The dense index is released only after the listeners ran:
             # index-keyed observers (the array pressure tracker) need it to
@@ -278,6 +290,8 @@ class DepGraph:
         self._node_index = {}
         self._free_indices = []
         self._index_size = 0
+        self._flow_succ = {}
+        self._flow_pred = {}
         for (node_id, op, name, mem_ref, is_spill, is_inserted,
              inserted_for, home_cluster, latency_override) in nodes:
             operation = Operation(
@@ -438,20 +452,37 @@ class DepGraph:
         return [op for op in self._nodes.values() if op.op is OpType.LIVE_IN]
 
     def flow_consumers(self, node_id: int) -> List[Tuple[int, Dependence]]:
-        """Flow-dependence consumers of the value defined by ``node_id``."""
-        return [
-            (dst, edge)
-            for dst, edge in self._succ[node_id].items()
-            if edge.kind == "flow"
-        ]
+        """Flow-dependence consumers of the value defined by ``node_id``.
+
+        The returned list is a snapshot: it is cached per node and
+        invalidated when an incident edge changes, so callers must not
+        mutate it (they never did -- each call used to allocate a fresh
+        filtered list, which is exactly what a cache miss still does).
+        """
+        cached = self._flow_succ.get(node_id)
+        if cached is None:
+            cached = [
+                (dst, edge)
+                for dst, edge in self._succ[node_id].items()
+                if edge.kind == "flow"
+            ]
+            self._flow_succ[node_id] = cached
+        return cached
 
     def flow_producers(self, node_id: int) -> List[Tuple[int, Dependence]]:
-        """Flow-dependence producers of the values read by ``node_id``."""
-        return [
-            (src, edge)
-            for src, edge in self._pred[node_id].items()
-            if edge.kind == "flow"
-        ]
+        """Flow-dependence producers of the values read by ``node_id``.
+
+        Same snapshot/caching contract as :meth:`flow_consumers`.
+        """
+        cached = self._flow_pred.get(node_id)
+        if cached is None:
+            cached = [
+                (src, edge)
+                for src, edge in self._pred[node_id].items()
+                if edge.kind == "flow"
+            ]
+            self._flow_pred[node_id] = cached
+        return cached
 
     def structural_signature(self) -> Tuple:
         """A hashable canonical form of the graph.

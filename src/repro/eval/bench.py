@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.analysis_cache import shared_analysis_cache
 from repro.eval.cache import EvalCache
 from repro.eval.experiments import schedule_suite
 from repro.eval.shards import DEFAULT_SHARD_SIZE, ResultStore, runs_digest
@@ -75,6 +76,14 @@ def _config_pass(
         "loops_per_s": len(runs) / wall_s if wall_s > 0 else float("inf"),
         "sum_ii": sum(run.result.ii for run in runs if run.result.success),
         "n_failed": sum(1 for run in runs if not run.result.success),
+        # Scheduler-level reuse telemetry (informational, never gated --
+        # see _walk_counters).  The counters are process-local and not
+        # serialized with results, so with jobs > 1 (worker processes) or
+        # a warm cache/store (no scheduling at all) they read as zero.
+        "slot_probes": sum(run.result.n_slot_probes for run in runs),
+        "probe_memo_hits": sum(run.result.n_probe_memo_hits for run in runs),
+        "analysis_reuses": sum(run.result.n_analysis_reuses for run in runs),
+        "analysis_cache": shared_analysis_cache().stats(),
         "store": store.stats(),
         "cache": cache.stats() if cache is not None else None,
         "digest": runs_digest(runs),

@@ -39,6 +39,7 @@ import os
 import pickle
 import tempfile
 import warnings
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
@@ -150,9 +151,20 @@ class EvalCache:
         When given, every entry is also persisted as a pickle under this
         directory, and lookups fall back to disk on an in-memory miss --
         so a fresh process with the same cache directory starts warm.
+    max_entries:
+        Bound on the in-memory tier.  When the bound is reached the
+        least-recently-used entry is evicted (``get`` and ``put`` both
+        count as use).  ``None`` keeps the historical unbounded
+        behaviour.  Eviction only touches the memory tier: an evicted
+        entry that was persisted to ``directory`` is transparently
+        re-loaded (and re-admitted) on its next lookup.  The default is
+        generous -- a full paper reproduction stores a few thousand
+        entries -- so eviction only engages on long-lived processes
+        (services, sweeps over many machine scenarios) where the cache
+        would otherwise grow without limit.
 
-    Counters (``hits``, ``misses``, ``stores``) make cache behaviour
-    observable to tests and benchmarks.
+    Counters (``hits``, ``misses``, ``stores``, ``evictions``) make
+    cache behaviour observable to tests and benchmarks.
 
     Example::
 
@@ -162,17 +174,30 @@ class EvalCache:
         assert cache.hits == len(loops)
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+    #: Default in-memory bound; see ``max_entries`` above.
+    DEFAULT_MAX_ENTRIES: int = 50_000
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    ) -> None:
         self.directory: Optional[Path] = (
             Path(directory).expanduser() if directory is not None else None
         )
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
-        self._memory: Dict[str, LoopRun] = {}
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries: Optional[int] = max_entries
+        self._memory: "OrderedDict[str, LoopRun]" = OrderedDict()
         self._warned_write_failure: bool = False
         self.hits: int = 0
         self.misses: int = 0
         self.stores: int = 0
+        #: In-memory entries dropped by the LRU bound.
+        self.evictions: int = 0
         #: Disk-tier writes that failed (unpicklable run, filesystem
         #: error, ...).  The failure is non-fatal -- the in-memory tier
         #: keeps the result -- but it must not be invisible: the first
@@ -187,10 +212,21 @@ class EvalCache:
             return None
         return self.directory / key[:2] / f"{key}.pkl"
 
+    def _admit(self, key: str, run: LoopRun) -> None:
+        """Insert into the memory tier, evicting LRU past the bound."""
+        memory = self._memory
+        memory[key] = run
+        memory.move_to_end(key)
+        if self.max_entries is not None:
+            while len(memory) > self.max_entries:
+                memory.popitem(last=False)
+                self.evictions += 1
+
     def get(self, key: str) -> Optional[LoopRun]:
         """The cached run for ``key``, or ``None`` on a miss."""
         run = self._memory.get(key)
         if run is not None:
+            self._memory.move_to_end(key)
             self.hits += 1
             return run
         path = self._disk_path(key)
@@ -205,7 +241,7 @@ class EvalCache:
                 # unreadable entry is simply a miss.
                 run = None
             if run is not None:
-                self._memory[key] = run
+                self._admit(key, run)
                 self.hits += 1
                 return run
         self.misses += 1
@@ -213,7 +249,7 @@ class EvalCache:
 
     def put(self, key: str, run: LoopRun) -> None:
         """Store one scheduling result under ``key`` (memory, then disk)."""
-        self._memory[key] = run
+        self._admit(key, run)
         self.stores += 1
         path = self._disk_path(key)
         if path is None:
@@ -271,12 +307,13 @@ class EvalCache:
         self._memory.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Counters for logging: hits, misses, stores, write failures
-        and resident entries."""
+        """Counters for logging: hits, misses, stores, evictions, write
+        failures and resident entries."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evictions": self.evictions,
             "write_failures": self.write_failures,
             "entries": len(self._memory),
         }

@@ -40,6 +40,7 @@ from repro.machine.presets import (
 )
 from repro.machine.config import UNBOUNDED
 from repro.hwmodel.timing import derive_hardware, scaled_machine
+from repro.core.analysis_cache import shared_analysis_cache
 from repro.core.engine import SchedulerEngine
 from repro.core.policy import PolicyBundle, bundle_names, resolve_bundle
 from repro.core.result import ScheduleResult
@@ -143,8 +144,13 @@ def _build_engine(
         scaled, spec = scaled_machine(base, rf_config)
     else:
         scaled = base
+    # Every engine built through this path shares the per-process analysis
+    # cache, so RecMII/order work is reused across configs of a sweep; the
+    # workers of repro.eval.parallel call _build_engine inside the worker
+    # process and therefore each get their own per-process instance.
     engine = SchedulerEngine(
-        scaled, rf_config, policy=scheduler, budget_ratio=budget_ratio, core=core
+        scaled, rf_config, policy=scheduler, budget_ratio=budget_ratio, core=core,
+        analysis_cache=shared_analysis_cache(),
     )
     return engine, scaled, spec
 

@@ -342,8 +342,12 @@ class MachineConfig:
     def __post_init__(self) -> None:
         if self.n_fus < 1:
             raise ValueError("n_fus must be >= 1")
-        if self.n_mem_ports < 1:
-            raise ValueError("n_mem_ports must be >= 1")
+        # n_mem_ports == 0 describes a compute-only datapath: legal to
+        # model, but any loop with a memory operation is unschedulable on
+        # it at every II (the informed II search proves exactly this and
+        # abandons the search instead of walking to max_ii).
+        if self.n_mem_ports < 0:
+            raise ValueError("n_mem_ports must be >= 0")
         missing = set(_default_latencies()) - set(self.latencies)
         if missing:
             raise ValueError(f"latencies missing entries for {sorted(missing)}")

@@ -243,7 +243,16 @@ class ResourceModel:
         """
         fu_cycles = n_compute + n_compute_unpipelined_cycles
         fu_bound = _ceil_div(fu_cycles, self.machine.n_fus) if fu_cycles else 0
-        mem_bound = _ceil_div(n_memory, self.machine.n_mem_ports) if n_memory else 0
+        if n_memory and not self.machine.n_mem_ports:
+            # A compute-only datapath (zero memory ports) cannot issue a
+            # memory operation at any II: the true bound is infinite.
+            # Report a sound *finite* lower bound so the MII stays an int
+            # and the II search actually runs -- the scheduler then fails
+            # at every II, and the informed search's zero-capacity
+            # certificate is what recognizes the hopeless case and stops.
+            mem_bound = n_memory
+        else:
+            mem_bound = _ceil_div(n_memory, self.machine.n_mem_ports) if n_memory else 0
         com_bound = 0
         if n_comm:
             if self.rf.needs_move_ops:

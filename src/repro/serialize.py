@@ -389,7 +389,12 @@ def schedule_result_from_dict(payload: Dict) -> ScheduleResult:
         scheduling_time_s=float(payload.get("scheduling_time_s", 0.0)),
         restarts=int(payload.get("restarts", 0)),
         bound=payload.get("bound", "fu"),
-        attempted_iis=[int(ii) for ii in payload.get("attempted_iis", ())],
+        # Entries are IIs (ints) except a policy's trailing
+        # "skipped:..." audit note, which must survive the round trip.
+        attempted_iis=[
+            ii if isinstance(ii, str) else int(ii)
+            for ii in payload.get("attempted_iis", ())
+        ],
         n_pressure_checks=int(payload.get("n_pressure_checks", 0)),
         n_full_sweeps=int(payload.get("n_full_sweeps", 0)),
         policy=payload.get("policy", "mirs_hc"),
