@@ -1,16 +1,18 @@
 """Command-line interface.
 
-Nine sub-commands cover the common workflows::
+Ten sub-commands cover the common workflows::
 
     python -m repro.cli schedule daxpy 4C16S16 --code --registers
     python -m repro.cli evaluate 4C16S16 S64 --tier full --jobs 0 \\
         --checkpoint .repro-checkpoint
     python -m repro.cli reproduce table6 --loops 48 --jobs 0 --cache .repro-cache
     python -m repro.cli fuzz --seeds 200 --budget 120s --corpus tests/corpus
-    python -m repro.cli serve --port 8734 --jobs 0 --cache .repro-cache
+    python -m repro.cli serve --port 8734 --jobs 0 --cache .repro-cache \\
+        --db runs.sqlite
     python -m repro.cli serve --coordinator --checkpoint .repro-fleet
     python -m repro.cli worker --url http://127.0.0.1:8734 --jobs 0
     python -m repro.cli submit schedule daxpy 4C16S16
+    python -m repro.cli report --db runs.sqlite --html report.html
     python -m repro.cli schema --out repro-schema.json
     python -m repro.cli bench run --tier small --out BENCH_workbench.json
 
@@ -33,6 +35,10 @@ Nine sub-commands cover the common workflows::
   lease, schedule its loops locally, post the result envelope back;
 * ``submit`` sends one job to a running ``serve`` instance, polls it to
   completion and prints the JSON result envelope;
+* ``report`` queries a ``serve --db`` run table (filter by
+  configuration, policy, tier, loop name, time range), prints the
+  paper-style aggregate table, and optionally renders the
+  self-contained HTML report and/or the notebook CSV;
 * ``schema`` writes the machine-readable serialization schema that wire
   results validate against;
 * ``bench`` runs the workbench benchmark (``bench run`` writes the
@@ -251,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet lease timeout (default: 60s); a worker silent for "
              "this long loses its shard to the next puller",
     )
+    serve.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="durable service state: a SQLite run database at PATH "
+             "(jobs survive restarts, finished runs land in a queryable "
+             "run table, and 'repro report' renders from it); "
+             "default: in-memory only",
+    )
+    serve.add_argument(
+        "--quota", type=_positive_int, default=None, metavar="N",
+        help="per-client queued-job quota (submissions past it answer "
+             "HTTP 429; default: unlimited)",
+    )
     add_engine_flags(serve)
     add_checkpoint_flags(serve)
 
@@ -297,6 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--validate", action="store_true",
                         help="validate the result envelope against the "
                              "service's serialization schema")
+    submit.add_argument("--client", default=None, metavar="NAME",
+                        help="client name for the service's fairness/quota "
+                             "accounting (default: anonymous)")
     submit_kind = submit.add_subparsers(dest="kind", required=True)
     submit_schedule = submit_kind.add_parser(
         "schedule", help="schedule one kernel on one configuration")
@@ -319,6 +340,34 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="workbench tier to draw the loops from "
                                       "(without --loops: the whole tier)")
     submit_evaluate.add_argument("--policy", default=None, choices=bundle_names())
+
+    report = sub.add_parser(
+        "report",
+        help="query a 'serve --db' run table and render the paper-style "
+             "report (stdout table, optional self-contained HTML and CSV)",
+    )
+    report.add_argument("--db", required=True, metavar="PATH",
+                        help="the SQLite run database written by "
+                             "'repro serve --db PATH'")
+    report.add_argument("--config", action="append", default=[], metavar="CFG",
+                        help="only runs on this configuration (repeatable)")
+    report.add_argument("--policy", action="append", default=[],
+                        metavar="BUNDLE",
+                        help="only runs under this policy bundle (repeatable)")
+    report.add_argument("--tier", action="append", default=[], metavar="TIER",
+                        help="only runs from this workbench tier (repeatable)")
+    report.add_argument("--loop", default=None, metavar="SUBSTR",
+                        help="only runs whose loop name contains SUBSTR")
+    report.add_argument("--since", type=float, default=None, metavar="TS",
+                        help="only runs created at/after this UNIX timestamp")
+    report.add_argument("--until", type=float, default=None, metavar="TS",
+                        help="only runs created before this UNIX timestamp")
+    report.add_argument("--limit", type=_positive_int, default=None,
+                        metavar="N", help="at most N run rows (oldest first)")
+    report.add_argument("--html", default=None, metavar="FILE",
+                        help="write the self-contained HTML report to FILE")
+    report.add_argument("--csv", default=None, metavar="FILE",
+                        help="write the raw run table as CSV to FILE")
 
     schema = sub.add_parser(
         "schema",
@@ -596,6 +645,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import BatchScheduler, ShardCoordinator, make_server
 
     session = _session_from_args(args)
+    db = None
+    if args.db:
+        from repro.store import RunDatabase
+
+        db = RunDatabase(args.db)
     coordinator = None
     if args.coordinator:
         # The coordinator persists completed shard envelopes through the
@@ -608,8 +662,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             import tempfile
 
             store = ResultStore(tempfile.mkdtemp(prefix="repro-fleet-"))
-        coordinator = ShardCoordinator(store, lease_timeout_s=args.lease_timeout)
-    scheduler = BatchScheduler(session, coordinator=coordinator)
+        coordinator = ShardCoordinator(
+            store, lease_timeout_s=args.lease_timeout, db=db,
+        )
+    scheduler = BatchScheduler(
+        session, coordinator=coordinator, db=db,
+        max_queued_per_client=args.quota,
+    )
     server = make_server(scheduler, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
     mode = "fleet coordinator" if coordinator is not None else "local"
@@ -617,7 +676,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(mode={mode}, jobs={args.jobs}, "
           f"cache={args.cache or 'memory-only'}, "
           f"checkpoint={args.checkpoint or 'off'}, "
+          f"db={args.db or 'off'}, "
           f"policy={args.policy})", flush=True)
+    if scheduler.n_recovered:
+        print(f"  recovered {scheduler.n_recovered} unfinished job(s) "
+              f"from {args.db}", flush=True)
     if coordinator is not None:
         print(f"  workers connect with: repro worker --url http://{host}:{port}",
               flush=True)
@@ -680,7 +743,10 @@ def _build_submit_request(args: argparse.Namespace) -> Dict[str, object]:
             params["policy"] = args.policy
         if kernel_params:
             params["kernel_params"] = kernel_params
-        return {"kind": "schedule", "params": params}
+        request: Dict[str, object] = {"kind": "schedule", "params": params}
+        if args.client:
+            request["client"] = args.client
+        return request
     params: Dict[str, object] = {"config": args.config, "seed": args.seed}
     if args.loops is not None:
         params["n_loops"] = args.loops
@@ -688,7 +754,10 @@ def _build_submit_request(args: argparse.Namespace) -> Dict[str, object]:
         params["tier"] = args.tier
     if args.policy:
         params["policy"] = args.policy
-    return {"kind": "evaluate", "params": params}
+    request = {"kind": "evaluate", "params": params}
+    if args.client:
+        request["client"] = args.client
+    return request
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -737,6 +806,58 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"result validates against schema v{remote['schema']} "
               f"({envelope['type']})", file=sys.stderr, flush=True)
     print(json.dumps(envelope, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.report import ReportQuery, build_report, render_csv, render_html
+    from repro.store import RunDatabase
+
+    if not os.path.exists(args.db):
+        raise SystemExit(f"error: no run database at {args.db} "
+                         f"(start one with 'repro serve --db {args.db}')")
+    query = ReportQuery(
+        configs=tuple(args.config),
+        policies=tuple(args.policy),
+        tiers=tuple(args.tier),
+        loop=args.loop,
+        since=args.since,
+        until=args.until,
+        limit=args.limit,
+    )
+    with RunDatabase(args.db) as db:
+        data = build_report(db, query)
+    if not data.rows:
+        print(f"no runs in {args.db} match the query", file=sys.stderr)
+        return 1
+    print(f"{data.n_runs} run(s), {data.n_failed} failed "
+          f"({len(data.aggregates)} configuration/policy group(s))")
+    header = f"{'config':<14} {'policy':<12} {'runs':>5} {'fail':>5} " \
+             f"{'sum II':>8} {'sum MII':>8} {'II/MII':>7} {'spills':>7}"
+    print(header)
+    print("-" * len(header))
+    for agg in data.aggregates:
+        print(f"{agg.config_name:<14} {agg.policy:<12} {agg.n_runs:>5} "
+              f"{agg.n_failed:>5} {agg.sum_ii:>8} {agg.sum_mii:>8} "
+              f"{agg.ii_over_mii:>7.3f} {agg.spills:>7}")
+    if args.html:
+        from pathlib import Path
+
+        path = Path(args.html)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_html(data))
+        print(f"wrote HTML report to {path}")
+    if args.csv:
+        from pathlib import Path
+
+        path = Path(args.csv)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_csv(data.rows))
+        print(f"wrote run-table CSV to {path}")
     return 0
 
 
@@ -812,6 +933,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "worker": _cmd_worker,
         "submit": _cmd_submit,
+        "report": _cmd_report,
         "schema": _cmd_schema,
         "bench": _cmd_bench,
     }

@@ -1,0 +1,33 @@
+"""Reports rendered *from* the run table (the ``repro report`` verb).
+
+Nothing here schedules a loop: a report is a query over the durable
+run table (:mod:`repro.store`) plus pure rendering --
+:func:`~repro.report.query.build_report` reduces the matching rows to
+paper-style per-configuration aggregates and the BENCH trajectory,
+:func:`~repro.report.html.render_html` /
+:func:`~repro.report.html.render_csv` turn that into a self-contained
+HTML document or a notebook CSV.
+"""
+
+from repro.report.query import (
+    ConfigAggregate,
+    ReportData,
+    ReportQuery,
+    TrajectoryPoint,
+    build_report,
+    report_query_from_dict,
+    report_query_to_dict,
+)
+from repro.report.html import render_csv, render_html
+
+__all__ = [
+    "ConfigAggregate",
+    "ReportData",
+    "ReportQuery",
+    "TrajectoryPoint",
+    "build_report",
+    "render_csv",
+    "render_html",
+    "report_query_from_dict",
+    "report_query_to_dict",
+]

@@ -1,0 +1,158 @@
+"""Renderers for ``repro report``: self-contained HTML and notebook CSV.
+
+The HTML report is a single file with inline CSS and an inline SVG for
+the BENCH trajectory -- no external assets, so it can be attached to a
+CI run or mailed around (the ``run_table.csv`` + analysis split of
+muBench, with the analysis pre-rendered).  The CSV export is the raw
+run table, one line per row, for notebooks.
+"""
+
+from __future__ import annotations
+
+import html
+import io
+import time
+from typing import List, Sequence
+
+from repro.report.query import ReportData
+from repro.store.db import RunRow
+
+__all__ = ["render_html", "render_csv"]
+
+
+def _escape(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt_time(stamp: float) -> str:
+    if not stamp:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; }  h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; font-size: 0.9rem; }
+th, td { border: 1px solid #c8c8d4; padding: 0.3rem 0.7rem; text-align: right; }
+th { background: #eef0f6; }  td.name, th.name { text-align: left; }
+tr.failed td { color: #a02020; }
+.meta { color: #555; font-size: 0.85rem; }
+svg { border: 1px solid #c8c8d4; background: #fcfcfe; }
+"""
+
+
+def _trajectory_svg(data: ReportData, width: int = 640, height: int = 200) -> str:
+    """Inline SVG polyline of sum-II per job over time (lower is better)."""
+    points = data.trajectory
+    if len(points) < 2:
+        return "<p class='meta'>Trajectory needs at least two jobs.</p>"
+    pad = 30
+    t0 = min(p.created_at for p in points)
+    t1 = max(p.created_at for p in points)
+    y0 = min(p.sum_ii for p in points)
+    y1 = max(p.sum_ii for p in points)
+    t_span = (t1 - t0) or 1.0
+    y_span = (y1 - y0) or 1.0
+
+    def coords(point) -> str:
+        x = pad + (point.created_at - t0) / t_span * (width - 2 * pad)
+        y = height - pad - (point.sum_ii - y0) / y_span * (height - 2 * pad)
+        return f"{x:.1f},{y:.1f}"
+
+    polyline = " ".join(coords(p) for p in points)
+    circles = "".join(
+        f"<circle cx='{coords(p).split(',')[0]}' cy='{coords(p).split(',')[1]}' "
+        f"r='3' fill='#3b5bdb'><title>{_escape(p.label)}: sum II {p.sum_ii} "
+        f"({p.n_runs} runs)</title></circle>"
+        for p in points
+    )
+    return (
+        f"<svg width='{width}' height='{height}' role='img' "
+        f"aria-label='BENCH sum-II trajectory'>"
+        f"<text x='{pad}' y='16' font-size='11' fill='#555'>sum II "
+        f"(min {y0}, max {y1})</text>"
+        f"<polyline fill='none' stroke='#3b5bdb' stroke-width='1.5' "
+        f"points='{polyline}'/>{circles}</svg>"
+    )
+
+
+def render_html(data: ReportData, *, title: str = "repro run report") -> str:
+    """The full self-contained HTML document for one report."""
+    import repro
+
+    out = io.StringIO()
+    out.write("<!DOCTYPE html>\n<html lang='en'><head><meta charset='utf-8'>")
+    out.write(f"<title>{_escape(title)}</title><style>{_CSS}</style></head><body>")
+    out.write(f"<h1>{_escape(title)}</h1>")
+    out.write(
+        f"<p class='meta'>repro {_escape(repro.__version__)} &middot; "
+        f"{data.n_runs} runs ({data.n_failed} failed) &middot; "
+        f"query: {_escape(data.query)}</p>"
+    )
+
+    out.write("<h2>Configurations (paper-style, best sum-II first)</h2>")
+    out.write(
+        "<table><tr><th class='name'>Configuration</th><th class='name'>Policy</th>"
+        "<th>Runs</th><th>Failed</th><th>&Sigma; II</th><th>&Sigma; MII</th>"
+        "<th>II/MII</th><th>Spills</th><th>Sched time (s)</th></tr>"
+    )
+    for agg in data.aggregates:
+        ratio = agg.ii_over_mii
+        out.write(
+            f"<tr><td class='name'>{_escape(agg.config_name)}</td>"
+            f"<td class='name'>{_escape(agg.policy)}</td>"
+            f"<td>{agg.n_runs}</td><td>{agg.n_failed}</td>"
+            f"<td>{agg.sum_ii}</td><td>{agg.sum_mii}</td>"
+            f"<td>{'' if ratio != ratio else f'{ratio:.3f}'}</td>"
+            f"<td>{agg.spills}</td><td>{agg.scheduling_time_s:.2f}</td></tr>"
+        )
+    out.write("</table>")
+
+    out.write("<h2>BENCH trajectory</h2>")
+    out.write(_trajectory_svg(data))
+
+    out.write("<h2>Run table</h2>")
+    out.write(
+        "<table><tr><th class='name'>Loop</th><th class='name'>Configuration</th>"
+        "<th class='name'>Policy</th><th>Status</th><th>II</th><th>MII</th>"
+        "<th>Spills</th><th>Sched time (s)</th><th class='name'>When</th></tr>"
+    )
+    for row in data.rows:
+        css = " class='failed'" if row.status != "ok" else ""
+        out.write(
+            f"<tr{css}><td class='name'>{_escape(row.loop_name)}</td>"
+            f"<td class='name'>{_escape(row.config_name)}</td>"
+            f"<td class='name'>{_escape(row.policy)}</td>"
+            f"<td>{_escape(row.status)}</td>"
+            f"<td>{'-' if row.ii is None else row.ii}</td>"
+            f"<td>{'-' if row.mii is None else row.mii}</td>"
+            f"<td>{row.spills}</td><td>{row.scheduling_time_s:.3f}</td>"
+            f"<td class='name'>{_escape(_fmt_time(row.created_at))}</td></tr>"
+        )
+    out.write("</table>")
+    out.write("</body></html>\n")
+    return out.getvalue()
+
+
+_CSV_COLUMNS = (
+    "run_key", "loop_name", "config_name", "policy", "core", "version",
+    "tier", "seed", "status", "ii", "mii", "spills", "scheduling_time_s",
+    "digest", "job_id", "created_at",
+)
+
+
+def render_csv(rows: Sequence[RunRow]) -> str:
+    """The raw run table as CSV (``run_table.csv`` style, for notebooks)."""
+    import csv
+
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(_CSV_COLUMNS)
+    for row in rows:
+        writer.writerow(
+            [getattr(row, column) if getattr(row, column) is not None else ""
+             for column in _CSV_COLUMNS]
+        )
+    return out.getvalue()

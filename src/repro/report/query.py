@@ -1,0 +1,230 @@
+"""Run-table queries and their aggregation (`repro report`'s data side).
+
+A :class:`ReportQuery` names a slice of the run table -- configurations,
+policies, tiers, a loop-name substring, a ``created_at`` time range --
+and is a registered envelope type so it can travel over the service API
+(``GET /v2/report?config=...``) exactly like every other payload.
+:func:`build_report` executes a query against a
+:class:`~repro.store.db.RunDatabase` and reduces the matching rows to a
+:class:`ReportData`: the raw rows, paper-style per-configuration
+aggregates (sum of II -- the paper's primary comparison metric -- MII,
+spills, failures), and the BENCH trajectory (sum-II per job over time),
+from which the HTML/CSV renderers in :mod:`repro.report.html` work
+without ever touching the database again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.store.db import RunDatabase, RunRow
+
+__all__ = [
+    "ReportQuery",
+    "ConfigAggregate",
+    "TrajectoryPoint",
+    "ReportData",
+    "build_report",
+    "report_query_to_dict",
+    "report_query_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class ReportQuery:
+    """One run-table query: every filter is optional and ANDed."""
+
+    configs: Tuple[str, ...] = ()
+    policies: Tuple[str, ...] = ()
+    tiers: Tuple[str, ...] = ()
+    loop: Optional[str] = None
+    since: Optional[float] = None
+    until: Optional[float] = None
+    limit: Optional[int] = None
+
+    @classmethod
+    def from_params(cls, params: Dict[str, Sequence[str]]) -> "ReportQuery":
+        """Build a query from parsed URL query parameters.
+
+        ``params`` is the :func:`urllib.parse.parse_qs` shape (each value
+        a list); repeated ``config=``/``policy=``/``tier=`` keys OR
+        together.  Unknown keys raise ``ValueError`` so typos surface as
+        400s instead of silently matching everything.
+        """
+        known = {"config", "policy", "tier", "loop", "since", "until", "limit"}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValueError(f"unknown report parameters: {unknown}")
+
+        def _scalar(key: str) -> Optional[str]:
+            values = params.get(key, [])
+            if len(values) > 1:
+                raise ValueError(f"report parameter {key!r} given more than once")
+            return values[0] if values else None
+
+        def _float(key: str) -> Optional[float]:
+            raw = _scalar(key)
+            if raw is None:
+                return None
+            try:
+                return float(raw)
+            except ValueError:
+                raise ValueError(f"report parameter {key!r} must be a number")
+
+        limit_raw = _scalar("limit")
+        if limit_raw is not None:
+            try:
+                limit: Optional[int] = int(limit_raw)
+            except ValueError:
+                raise ValueError("report parameter 'limit' must be an integer")
+            if limit < 1:
+                raise ValueError("report parameter 'limit' must be >= 1")
+        else:
+            limit = None
+        return cls(
+            configs=tuple(params.get("config", ())),
+            policies=tuple(params.get("policy", ())),
+            tiers=tuple(params.get("tier", ())),
+            loop=_scalar("loop"),
+            since=_float("since"),
+            until=_float("until"),
+            limit=limit,
+        )
+
+
+def report_query_to_dict(query: ReportQuery) -> Dict:
+    return {
+        "configs": list(query.configs),
+        "policies": list(query.policies),
+        "tiers": list(query.tiers),
+        "loop": query.loop,
+        "since": query.since,
+        "until": query.until,
+        "limit": query.limit,
+    }
+
+
+def report_query_from_dict(payload: Dict) -> ReportQuery:
+    return ReportQuery(
+        configs=tuple(payload.get("configs", ())),
+        policies=tuple(payload.get("policies", ())),
+        tiers=tuple(payload.get("tiers", ())),
+        loop=payload.get("loop"),
+        since=None if payload.get("since") is None else float(payload["since"]),
+        until=None if payload.get("until") is None else float(payload["until"]),
+        limit=None if payload.get("limit") is None else int(payload["limit"]),
+    )
+
+
+@dataclass
+class ConfigAggregate:
+    """Paper-style totals for one (configuration, policy) group."""
+
+    config_name: str
+    policy: str
+    n_runs: int = 0
+    n_failed: int = 0
+    sum_ii: int = 0
+    sum_mii: int = 0
+    spills: int = 0
+    scheduling_time_s: float = 0.0
+
+    @property
+    def ii_over_mii(self) -> float:
+        """Sum-II over sum-MII -- 1.0 means every loop scheduled at its bound."""
+        if self.sum_mii <= 0:
+            return float("nan")
+        return self.sum_ii / self.sum_mii
+
+
+@dataclass
+class TrajectoryPoint:
+    """One step of the BENCH trajectory: a job's worth of runs over time."""
+
+    created_at: float
+    label: str
+    sum_ii: int
+    n_runs: int
+    n_failed: int
+
+
+@dataclass
+class ReportData:
+    """Everything the renderers need, already reduced."""
+
+    query: ReportQuery
+    rows: List[RunRow]
+    aggregates: List[ConfigAggregate]
+    trajectory: List[TrajectoryPoint]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for row in self.rows if row.status != "ok")
+
+
+def build_report(db: RunDatabase, query: ReportQuery) -> ReportData:
+    """Execute ``query`` and reduce the matching rows.
+
+    Aggregates group by (configuration, policy) and are ordered by
+    ascending sum-II (best configuration first, the paper's table
+    convention).  The trajectory groups rows by the job that produced
+    them (falling back to per-row points for rows without a job id) in
+    time order, so re-runs of BENCH over a growing database plot as a
+    line.
+    """
+    rows = db.query_runs(
+        configs=query.configs,
+        policies=query.policies,
+        tiers=query.tiers,
+        loop=query.loop,
+        since=query.since,
+        until=query.until,
+        limit=query.limit,
+    )
+
+    groups: Dict[Tuple[str, str], ConfigAggregate] = {}
+    for row in rows:
+        aggregate = groups.get((row.config_name, row.policy))
+        if aggregate is None:
+            aggregate = ConfigAggregate(config_name=row.config_name, policy=row.policy)
+            groups[(row.config_name, row.policy)] = aggregate
+        aggregate.n_runs += 1
+        if row.status != "ok":
+            aggregate.n_failed += 1
+        aggregate.sum_ii += int(row.ii or 0)
+        aggregate.sum_mii += int(row.mii or 0)
+        aggregate.spills += int(row.spills)
+        aggregate.scheduling_time_s += float(row.scheduling_time_s)
+    aggregates = sorted(
+        groups.values(), key=lambda a: (a.sum_ii, a.config_name, a.policy)
+    )
+
+    # Trajectory: one point per job (rows already arrive oldest-first).
+    by_job: Dict[str, TrajectoryPoint] = {}
+    points: List[TrajectoryPoint] = []
+    for row in rows:
+        key = row.job_id or f"run:{row.run_key[:12]}"
+        point = by_job.get(key)
+        if point is None:
+            point = TrajectoryPoint(
+                created_at=row.created_at,
+                label=key,
+                sum_ii=0,
+                n_runs=0,
+                n_failed=0,
+            )
+            by_job[key] = point
+            points.append(point)
+        point.sum_ii += int(row.ii or 0)
+        point.n_runs += 1
+        if row.status != "ok":
+            point.n_failed += 1
+        point.created_at = max(point.created_at, row.created_at)
+    points.sort(key=lambda p: p.created_at)
+
+    return ReportData(query=query, rows=rows, aggregates=aggregates, trajectory=points)

@@ -28,7 +28,9 @@ types (:class:`~repro.service.wire.ShardLease`,
 :class:`~repro.service.wire.WorkerStatus`), and the fuzz reproducers
 (:class:`~repro.verify.corpus.CorpusCase`,
 :class:`~repro.verify.fuzz.FuzzFailure`,
-:class:`~repro.verify.fuzz.FuzzReport`).
+:class:`~repro.verify.fuzz.FuzzReport`), and the durable-store types
+(:class:`~repro.store.db.RunRow` run-table rows and
+:class:`~repro.report.query.ReportQuery` report queries).
 
 The graph/loop/configuration payload shapes are the JSON conventions the
 verification corpus established (:mod:`repro.verify.corpus`): a corpus
@@ -64,6 +66,11 @@ from repro.eval.shards import (
 )
 from repro.hwmodel.spec import BankEstimate, HardwareSpec
 from repro.machine.config import MachineConfig, RFConfig
+from repro.report.query import (
+    ReportQuery,
+    report_query_from_dict,
+    report_query_to_dict,
+)
 from repro.service.wire import (
     LeaseHeartbeat,
     ShardLease,
@@ -74,6 +81,11 @@ from repro.service.wire import (
     shard_lease_to_dict,
     worker_status_from_dict,
     worker_status_to_dict,
+)
+from repro.store.db import (
+    RunRow,
+    run_row_from_dict,
+    run_row_to_dict,
 )
 from repro.verify.corpus import (
     CorpusCase,
@@ -574,4 +586,14 @@ register(
     "fuzz_report", FuzzReport,
     fuzz_report_to_dict, fuzz_report_from_dict,
     required=("n_cases", "n_ok", "n_unschedulable", "failures"),
+)
+register(
+    "run_row", RunRow,
+    run_row_to_dict, run_row_from_dict,
+    required=("run_key", "loop_name", "config_name", "policy", "core",
+              "status"),
+)
+register(
+    "report_query", ReportQuery,
+    report_query_to_dict, report_query_from_dict,
 )

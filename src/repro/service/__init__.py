@@ -24,7 +24,14 @@ envelopes (:mod:`repro.service.wire` defines the lease/heartbeat/worker
 types); ``repro schema`` exports the schema they validate against.
 """
 
-from repro.service.batch import JOB_KINDS, JOB_STATES, BatchScheduler, JobRequest
+from repro.service.batch import (
+    JOB_KINDS,
+    JOB_STATES,
+    BatchScheduler,
+    JobRequest,
+    QuotaExceeded,
+    job_content_key,
+)
 from repro.service.coordinator import CoordinatorClosed, ShardCoordinator
 from repro.service.http import (
     ServiceHTTPServer,
@@ -42,6 +49,8 @@ __all__ = [
     "JOB_STATES",
     "BatchScheduler",
     "JobRequest",
+    "QuotaExceeded",
+    "job_content_key",
     "CoordinatorClosed",
     "ShardCoordinator",
     "ServiceHTTPServer",

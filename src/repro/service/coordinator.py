@@ -56,6 +56,11 @@ from repro.machine.config import MachineConfig, RFConfig
 from repro.machine.presets import baseline_machine
 from repro.service.wire import LeaseHeartbeat, ShardLease, WorkerStatus
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.db import RunDatabase
+
 __all__ = ["CoordinatorClosed", "ShardCoordinator"]
 
 #: A worker silent for this many lease timeouts is reported ``lost`` in
@@ -145,6 +150,11 @@ class ShardCoordinator:
     max_assignments:
         Hand-outs per shard before the owning job is failed (guards
         against a shard that deterministically crashes every worker).
+    db:
+        Optional :class:`~repro.store.db.RunDatabase`: every accepted
+        shard completion is additionally written through to the run
+        table *as it arrives*, so a job interrupted mid-fleet still
+        leaves its finished shards queryable.
     clock:
         Monotonic time source (injectable for deterministic expiry tests).
     """
@@ -155,6 +165,7 @@ class ShardCoordinator:
         *,
         lease_timeout_s: float = 60.0,
         max_assignments: int = 5,
+        db: Optional["RunDatabase"] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if lease_timeout_s <= 0:
@@ -162,6 +173,7 @@ class ShardCoordinator:
                 f"lease_timeout_s must be > 0, got {lease_timeout_s}"
             )
         self.store = store
+        self.db = db
         self.lease_timeout_s = float(lease_timeout_s)
         self.max_assignments = int(max_assignments)
         self._clock = clock
@@ -499,6 +511,23 @@ class ShardCoordinator:
             self.store.put(
                 state.shard, result.runs, config_name=job.config.name
             )
+            if self.db is not None:
+                # Mid-job durability: the run table sees each shard the
+                # moment it lands, not only when the whole job finishes
+                # (upserts keyed on run_key, so the job-end pass by
+                # BatchScheduler is an idempotent re-write).
+                from repro.store.db import rows_from_runs
+
+                self.db.add_runs(rows_from_runs(
+                    result.runs,
+                    rf=job.config,
+                    machine=job.machine,
+                    policy=job.policy,
+                    core=job.core,
+                    budget_ratio=job.budget_ratio,
+                    scale_to_clock=job.scale_to_clock,
+                    job_id=job.job_id,
+                ))
             state.state = "done"
             state.runs = list(result.runs)
             state.lease_id = None

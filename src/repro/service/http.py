@@ -17,6 +17,8 @@ GET       /v2/jobs               status of every known job
 POST      /v2/jobs               submit a job request; returns ``job_id``
 GET       /v2/jobs/<id>          status of one job (result embedded when done)
 DELETE    /v2/jobs/<id>          cancel a queued job
+GET       /v2/runs               run-table rows (filters as query params)
+GET       /v2/report             self-contained HTML report (``?format=csv``)
 GET       /v2/workers            every registered fleet worker (coordinator)
 POST      /v2/workers/register   register a worker; returns its identity
 POST      /v2/workers/lease      pull one shard lease (``lease: null`` = idle)
@@ -26,7 +28,15 @@ POST      /v2/workers/complete   post a ``shard_result`` (or an error)
 
 The ``/v2/workers/*`` family is only served when the scheduler was built
 with a :class:`~repro.service.coordinator.ShardCoordinator` (``repro
-serve --coordinator``); otherwise it answers 503.
+serve --coordinator``); otherwise it answers 503.  ``/v2/runs`` and
+``/v2/report`` likewise require a :class:`~repro.store.db.RunDatabase`
+(``repro serve --db``).
+
+Malformed input never produces a traceback 500: a body that is not
+valid JSON, not a JSON object, larger than the server's
+``max_body_bytes``, or carries an unknown envelope type is answered
+with a structured 400 (``{"error": ...}``); a full client quota is a
+429.
 
 The client helpers (:func:`fetch_json`, :func:`post_json`,
 :func:`submit_job`, :func:`poll_job`) are what ``repro submit`` and the
@@ -49,7 +59,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro import serialize
-from repro.service.batch import BatchScheduler
+from repro.service.batch import BatchScheduler, QuotaExceeded
 
 __all__ = [
     "ServiceHTTPServer",
@@ -67,6 +77,11 @@ DEFAULT_RETRIES: int = 3
 #: First-retry backoff in seconds; doubles per attempt.
 DEFAULT_BACKOFF_S: float = 0.1
 
+#: Default request-body ceiling.  Far above any legitimate job request
+#: or shard completion, low enough that a runaway client cannot make a
+#: handler thread buffer gigabytes.
+DEFAULT_MAX_BODY_BYTES: int = 64 * 1024 * 1024
+
 
 class ServiceHTTPServer(ThreadingHTTPServer):
     """An HTTP server bound to one :class:`BatchScheduler`."""
@@ -74,10 +89,12 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], scheduler: BatchScheduler,
-                 *, verbose: bool = False) -> None:
+                 *, verbose: bool = False,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES) -> None:
         super().__init__(address, _Handler)
         self.scheduler = scheduler
         self.verbose = verbose
+        self.max_body_bytes = int(max_body_bytes)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -119,13 +136,65 @@ class _Handler(BaseHTTPRequestHandler):
         return None
 
     def _body(self) -> Dict:
-        length = int(self.headers.get("Content-Length", "0"))
-        payload = json.loads(self.rfile.read(length) or b"{}")
+        """The request body as a JSON object.
+
+        Every malformed shape raises ``ValueError`` -- a non-integer or
+        negative Content-Length, a body over the server's
+        ``max_body_bytes``, invalid JSON, or JSON that is not an object
+        -- so every route's handler turns it into a structured 400
+        instead of an unhandled-traceback 500.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise ValueError(
+                f"Content-Length must be an integer, got "
+                f"{self.headers.get('Content-Length')!r}"
+            )
+        if length < 0:
+            raise ValueError(f"Content-Length must be >= 0, got {length}")
+        limit = getattr(self.server, "max_body_bytes", DEFAULT_MAX_BODY_BYTES)
+        if length > limit:
+            raise ValueError(
+                f"request body of {length} bytes exceeds the service's "
+                f"{limit}-byte limit"
+            )
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
         if not isinstance(payload, dict):
             raise ValueError(
                 f"request body must be a JSON object, got {type(payload).__name__}"
             )
         return payload
+
+    def _send_raw(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _db(self):
+        db = getattr(self.server.scheduler, "db", None)
+        if db is None:
+            self._error(
+                503,
+                "this service has no run database "
+                "(start it with 'repro serve --db PATH')",
+            )
+        return db
+
+    def _report_query(self):
+        """The URL query string as a validated ReportQuery."""
+        from repro.report import ReportQuery
+
+        params = urllib.parse.parse_qs(
+            urllib.parse.urlsplit(self.path).query, keep_blank_values=False
+        )
+        params.pop("format", None)  # rendering knob, not a filter
+        return ReportQuery.from_params(params)
 
     def _coordinator(self):
         coordinator = getattr(self.server.scheduler, "coordinator", None)
@@ -151,6 +220,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "version": repro.__version__,
                 "schema": serialize.SCHEMA_VERSION,
                 "n_jobs": len(scheduler.list_jobs()),
+                "scheduler": scheduler.stats(),
             }
             if scheduler.coordinator is not None:
                 health["fleet"] = scheduler.coordinator.stats()
@@ -161,6 +231,42 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/v2/jobs":
             self._send(200, {"jobs": scheduler.list_jobs()})
+            return
+        if path == "/v2/runs":
+            db = self._db()
+            if db is None:
+                return
+            try:
+                query = self._report_query()
+            except ValueError as exc:
+                self._error(400, str(exc))
+                return
+            rows = db.query_runs(
+                configs=query.configs, policies=query.policies,
+                tiers=query.tiers, loop=query.loop,
+                since=query.since, until=query.until, limit=query.limit,
+            )
+            self._send(200, {"runs": [serialize.to_dict(row) for row in rows]})
+            return
+        if path == "/v2/report":
+            db = self._db()
+            if db is None:
+                return
+            from repro.report import build_report, render_csv, render_html
+
+            try:
+                query = self._report_query()
+            except ValueError as exc:
+                self._error(400, str(exc))
+                return
+            wants_csv = "format=csv" in urllib.parse.urlsplit(self.path).query
+            data = build_report(db, query)
+            if wants_csv:
+                self._send_raw(200, render_csv(data.rows).encode("utf-8"),
+                               "text/csv; charset=utf-8")
+            else:
+                self._send_raw(200, render_html(data).encode("utf-8"),
+                               "text/html; charset=utf-8")
             return
         if path == "/v2/workers":
             coordinator = self._coordinator()
@@ -188,6 +294,9 @@ class _Handler(BaseHTTPRequestHandler):
                 job_id = self.server.scheduler.submit(self._body())
             except (ValueError, json.JSONDecodeError) as exc:
                 self._error(400, str(exc))
+                return
+            except QuotaExceeded as exc:
+                self._error(429, str(exc))
                 return
             except RuntimeError as exc:  # shut down
                 self._error(503, str(exc))
@@ -274,9 +383,11 @@ def make_server(
     port: int = 8734,
     *,
     verbose: bool = False,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> ServiceHTTPServer:
     """Bind the service to ``host:port`` (``port=0`` picks a free one)."""
-    return ServiceHTTPServer((host, port), scheduler, verbose=verbose)
+    return ServiceHTTPServer((host, port), scheduler, verbose=verbose,
+                             max_body_bytes=max_body_bytes)
 
 
 # --------------------------------------------------------------------------- #

@@ -32,6 +32,7 @@ in-process entry point tests and embedders use (``stop=`` takes a
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
@@ -46,6 +47,8 @@ __all__ = ["WorkerStats", "run_worker"]
 
 #: Consecutive empty lease polls are backed off up to this many seconds.
 MAX_IDLE_BACKOFF_S: float = 2.0
+
+_log = logging.getLogger("repro.service.worker")
 
 
 class _LeaseLost(Exception):
@@ -117,6 +120,7 @@ def run_worker(
 
     idle_since: Optional[float] = None
     idle_polls = 0
+    logged_backoff_cap = False
     while not (stop is not None and stop.is_set()):
         if max_leases is not None and stats.n_leases >= max_leases:
             break
@@ -136,10 +140,21 @@ def run_worker(
             # Exponential idle backoff, capped; reset on real work.
             delay = min(poll_interval * (2 ** min(idle_polls - 1, 4)),
                         MAX_IDLE_BACKOFF_S)
+            if delay >= MAX_IDLE_BACKOFF_S and not logged_backoff_cap:
+                # Once per idle stretch: a fleet pointed at a dead or
+                # workless coordinator is diagnosable from its logs.
+                logged_backoff_cap = True
+                _log.info(
+                    "worker %s: no work at %s for %.1fs; idle backoff "
+                    "reached its %.1fs cap",
+                    stats.worker_id, base, now - idle_since,
+                    MAX_IDLE_BACKOFF_S,
+                )
             _interruptible_sleep(delay, stop)
             continue
         idle_since = None
         idle_polls = 0
+        logged_backoff_cap = False
         lease = serialize.from_dict(lease_envelope, expect_type="shard_lease")
         assert isinstance(lease, ShardLease)
         stats.n_leases += 1

@@ -177,6 +177,34 @@ class Session:
         if self._closed:
             raise RuntimeError("this Session is closed; construct a new one")
 
+    def fingerprint(self) -> str:
+        """Stable content hash of everything this session's verbs key on.
+
+        Mixed into job content keys by the batch service: two sessions
+        with the same machine, policy bundle, budget ratio, core and
+        package/cache-schema version execute an identical request
+        identically, so their jobs may share an id -- a session that
+        differs in any of these must not.
+        """
+        import hashlib
+
+        import repro
+        from repro.eval.cache import (
+            CACHE_SCHEMA_VERSION,
+            _machine_token,
+            _scheduler_token,
+        )
+
+        payload = (
+            CACHE_SCHEMA_VERSION,
+            repro.__version__,
+            _machine_token(self.machine),
+            _scheduler_token(self.policy),
+            float(self.budget_ratio),
+            str(self.core),
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
     def stats(self) -> Dict[str, object]:
         """Observable session state: cache/checkpoint counters, pool status."""
         return {

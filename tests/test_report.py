@@ -1,0 +1,186 @@
+"""Tests for the reporting layer (repro.report) behind ``repro report``.
+
+Covers query parsing/validation, the paper-style aggregation and BENCH
+trajectory reduction, and both renderers (self-contained HTML, raw CSV).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro import serialize
+from repro.report import (
+    ReportQuery,
+    build_report,
+    render_csv,
+    render_html,
+    report_query_from_dict,
+    report_query_to_dict,
+)
+from repro.store import RunDatabase, RunRow
+
+
+def _row(key: str, **overrides) -> RunRow:
+    defaults = dict(
+        run_key=key,
+        loop_name=f"loop_{key}",
+        config_name="4C16S16",
+        policy="mirs_hc",
+        core="array",
+        version="0.0",
+        status="ok",
+        ii=10,
+        mii=8,
+        spills=0,
+        scheduling_time_s=0.1,
+        digest=f"digest-{key}",
+        job_id="job-aaaaaaaaaaaaaaaa",
+        created_at=1000.0,
+    )
+    defaults.update(overrides)
+    return RunRow(**defaults)
+
+
+@pytest.fixture()
+def db(tmp_path):
+    database = RunDatabase(tmp_path / "runs.sqlite")
+    yield database
+    database.close()
+
+
+class TestReportQuery:
+    def test_from_params_multi_valued_filters(self):
+        query = ReportQuery.from_params({
+            "config": ["4C16S16", "S64"], "policy": ["mirs_hc"],
+            "tier": ["tiny"], "loop": ["fir"], "since": ["100.5"],
+            "until": ["200"], "limit": ["5"],
+        })
+        assert query.configs == ("4C16S16", "S64")
+        assert query.policies == ("mirs_hc",)
+        assert query.loop == "fir" and query.limit == 5
+        assert query.since == pytest.approx(100.5)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown report parameters"):
+            ReportQuery.from_params({"frobnicate": ["1"]})
+
+    def test_repeated_scalar_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            ReportQuery.from_params({"loop": ["a", "b"]})
+
+    def test_bad_numbers_rejected(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            ReportQuery.from_params({"since": ["yesterday"]})
+        with pytest.raises(ValueError, match="must be an integer"):
+            ReportQuery.from_params({"limit": ["many"]})
+        with pytest.raises(ValueError, match=">= 1"):
+            ReportQuery.from_params({"limit": ["0"]})
+
+    def test_envelope_round_trip(self):
+        query = ReportQuery(configs=("S64",), loop="fir", limit=3, since=1.5)
+        envelope = serialize.to_dict(query)
+        assert envelope["type"] == "report_query"
+        serialize.validate(envelope, expect_type="report_query")
+        assert serialize.from_dict(envelope) == query
+        assert report_query_from_dict(report_query_to_dict(query)) == query
+
+
+class TestBuildReport:
+    def test_aggregates_group_and_order_by_sum_ii(self, db):
+        db.add_runs([
+            _row("a1", config_name="4C16S16", ii=10, mii=8),
+            _row("a2", config_name="4C16S16", ii=12, mii=9,
+                 status="failed"),
+            _row("b1", config_name="S64", ii=7, mii=7, spills=2),
+        ])
+        data = build_report(db, ReportQuery())
+        assert data.n_runs == 3 and data.n_failed == 1
+        assert [(a.config_name, a.sum_ii) for a in data.aggregates] == [
+            ("S64", 7), ("4C16S16", 22),
+        ]
+        best = data.aggregates[0]
+        assert best.spills == 2 and best.ii_over_mii == pytest.approx(1.0)
+        worst = data.aggregates[1]
+        assert worst.n_failed == 1 and worst.sum_mii == 17
+
+    def test_policies_are_separate_groups(self, db):
+        db.add_runs([
+            _row("a", policy="mirs_hc"),
+            _row("b", policy="non_iterative"),
+        ])
+        data = build_report(db, ReportQuery())
+        assert {(a.config_name, a.policy) for a in data.aggregates} == {
+            ("4C16S16", "mirs_hc"), ("4C16S16", "non_iterative"),
+        }
+
+    def test_trajectory_one_point_per_job_in_time_order(self, db):
+        db.add_runs([
+            _row("a1", job_id="job-old", created_at=100.0, ii=10),
+            _row("a2", job_id="job-old", created_at=110.0, ii=10),
+            _row("b1", job_id="job-new", created_at=200.0, ii=9),
+            _row("c1", job_id=None, created_at=300.0, ii=8),
+        ])
+        data = build_report(db, ReportQuery())
+        assert [p.label for p in data.trajectory[:2]] == ["job-old", "job-new"]
+        assert data.trajectory[0].sum_ii == 20
+        assert data.trajectory[0].n_runs == 2
+        assert data.trajectory[2].label.startswith("run:c1")
+
+    def test_query_filters_are_applied(self, db):
+        db.add_runs([
+            _row("a", config_name="S64"), _row("b", config_name="4C16S16"),
+        ])
+        data = build_report(db, ReportQuery(configs=("S64",)))
+        assert [row.run_key for row in data.rows] == ["a"]
+
+
+class TestRenderHTML:
+    def test_report_is_a_self_contained_document(self, db):
+        db.add_runs([
+            _row("a1", job_id="job-one", created_at=100.0),
+            _row("a2", job_id="job-two", created_at=200.0,
+                 config_name="S64", status="failed"),
+        ])
+        page = render_html(build_report(db, ReportQuery()))
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count("<html") == 1 and "</html>" in page
+        assert "4C16S16" in page and "S64" in page
+        # Two jobs -> the trajectory SVG renders (inline, no assets).
+        assert "<svg" in page and "polyline" in page
+        assert "src=" not in page and "href=" not in page
+        assert "class='failed'" in page
+
+    def test_single_job_report_omits_the_trajectory(self, db):
+        db.add_runs([_row("a1")])
+        page = render_html(build_report(db, ReportQuery()))
+        assert "<svg" not in page
+        assert "at least two jobs" in page
+
+    def test_loop_names_are_escaped(self, db):
+        db.add_runs([_row("a1", loop_name="<script>alert(1)</script>")])
+        page = render_html(build_report(db, ReportQuery()))
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+
+class TestRenderCSV:
+    def test_csv_round_trips_through_the_csv_module(self, db):
+        db.add_runs([
+            _row("a1", tier="tiny", seed=7),
+            _row("a2", ii=None, mii=None, status="failed"),
+        ])
+        text = render_csv(build_report(db, ReportQuery()).rows)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["run_key"] == "a1" and rows[0]["tier"] == "tiny"
+        assert rows[0]["ii"] == "10"
+        # None renders as the empty cell, not the string "None".
+        assert rows[1]["ii"] == "" and rows[1]["status"] == "failed"
+
+    def test_empty_table_is_just_the_header(self):
+        text = render_csv([])
+        assert text.splitlines() == [text.splitlines()[0]]
+        assert "run_key" in text

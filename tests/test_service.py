@@ -504,6 +504,216 @@ class TestServiceCLI:
         assert '"schedule_result"' in printed
 
 
+# --------------------------------------------------------------------------- #
+# HTTP error paths: malformed input is a structured 4xx, never a 500
+# --------------------------------------------------------------------------- #
+def _raw_request(url: str, body: bytes, *, method: str = "POST",
+                 content_type: str = "application/json"):
+    """Send raw bytes; returns (status_code, decoded JSON body)."""
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": content_type}, method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHTTPErrorPaths:
+    def test_malformed_json_body_is_400(self, base_url):
+        code, payload = _raw_request(f"{base_url}/v2/jobs", b'{"kind": "sche')
+        assert code == 400
+        assert "not valid JSON" in payload["error"]
+
+    def test_non_object_json_body_is_400(self, base_url):
+        code, payload = _raw_request(f"{base_url}/v2/jobs", b"[1, 2, 3]")
+        assert code == 400
+        assert "must be a JSON object" in payload["error"]
+
+    def test_unknown_envelope_payload_is_400(self, base_url):
+        # A structurally-valid dict that is not a valid job request.
+        code, payload = _raw_request(
+            f"{base_url}/v2/jobs",
+            json.dumps({"kind": "schedule", "params": {
+                "kernel": "daxpy", "config": "S64", "frobnicate": 1,
+            }}).encode(),
+        )
+        assert code == 400
+        assert "unknown params" in payload["error"]
+
+    def test_oversized_body_is_400(self, scheduler):
+        server = make_server(scheduler, "127.0.0.1", 0, max_body_bytes=256)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            big = json.dumps(
+                {"kind": "schedule",
+                 "params": {"kernel": "daxpy", "config": "S64",
+                            "kernel_params": {"pad": "x" * 4096}}}
+            ).encode()
+            code, payload = _raw_request(f"http://{host}:{port}/v2/jobs", big)
+            assert code == 400
+            assert "256-byte limit" in payload["error"]
+            # A small request still fits under the tightened ceiling.
+            code, _ = _raw_request(
+                f"http://{host}:{port}/v2/jobs",
+                json.dumps({"kind": "schedule",
+                            "params": {"kernel": "daxpy",
+                                       "config": "S64"}}).encode(),
+            )
+            assert code == 202
+        finally:
+            server.shutdown()
+
+    def test_runs_and_report_without_db_are_503(self, base_url):
+        with pytest.raises(RuntimeError, match="503"):
+            fetch_json(f"{base_url}/v2/runs")
+        with pytest.raises(RuntimeError, match="503"):
+            fetch_json(f"{base_url}/v2/report")
+
+    def test_quota_exhaustion_is_429(self, tmp_path):
+        session = Session()
+        batch = BatchScheduler(session, max_queued_per_client=1, start=False)
+        server = make_server(batch, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            submit_job(url, {"kind": "schedule",
+                             "params": {"kernel": "daxpy", "config": "S64"}})
+            with pytest.raises(RuntimeError, match="429"):
+                submit_job(url, {"kind": "schedule",
+                                 "params": {"kernel": "vadd",
+                                            "config": "S64"}})
+        finally:
+            server.shutdown()
+            batch.shutdown()
+            session.close()
+
+
+class TestFleetRouteErrorPaths:
+    @pytest.fixture()
+    def fleet_url(self, tmp_path):
+        from repro.eval.shards import ResultStore
+        from repro.service import ShardCoordinator
+
+        session = Session()
+        coordinator = ShardCoordinator(ResultStore(tmp_path / "store"))
+        batch = BatchScheduler(session, coordinator=coordinator)
+        server = make_server(batch, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        batch.shutdown()
+        session.close()
+
+    def test_missing_required_key_is_400(self, fleet_url):
+        code, payload = _raw_request(f"{fleet_url}/v2/workers/lease", b"{}")
+        assert code == 400
+        assert "worker_id" in payload["error"]
+
+    def test_unknown_result_envelope_type_is_400(self, fleet_url):
+        code, payload = _raw_request(
+            f"{fleet_url}/v2/workers/complete",
+            json.dumps({"worker_id": "w", "lease_id": "l",
+                        "result": {"schema": 1, "generator": "test",
+                                   "type": "frobnicate", "data": {}}}).encode(),
+        )
+        assert code == 400
+
+    def test_malformed_json_on_worker_route_is_400(self, fleet_url):
+        code, payload = _raw_request(
+            f"{fleet_url}/v2/workers/register", b"not json{"
+        )
+        assert code == 400
+        assert "not valid JSON" in payload["error"]
+
+
+# --------------------------------------------------------------------------- #
+# The db-backed routes: /v2/runs and /v2/report
+# --------------------------------------------------------------------------- #
+class TestRunTableRoutes:
+    @pytest.fixture(scope="class")
+    def db_service(self, tmp_path_factory):
+        session = Session()
+        batch = BatchScheduler(
+            session, db=tmp_path_factory.mktemp("dbsvc") / "runs.sqlite"
+        )
+        server = make_server(batch, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        for kernel in ("daxpy", "vadd"):
+            job_id = submit_job(url, {
+                "kind": "schedule",
+                "params": {"kernel": kernel, "config": "S64"},
+            })
+            assert poll_job(url, job_id, timeout=120,
+                            poll_interval=0.05)["state"] == "done"
+        yield url
+        server.shutdown()
+        batch.shutdown()
+        batch.db.close()
+        session.close()
+
+    def test_runs_route_returns_envelopes(self, db_service):
+        listing = fetch_json(f"{db_service}/v2/runs")
+        assert len(listing["runs"]) == 2
+        for envelope in listing["runs"]:
+            serialize.validate(envelope, expect_type="run_row")
+            row = serialize.from_dict(envelope)
+            assert row.status == "ok" and row.config_name == "S64"
+
+    def test_runs_route_applies_filters(self, db_service):
+        listing = fetch_json(f"{db_service}/v2/runs?loop=daxpy")
+        assert len(listing["runs"]) == 1
+        assert fetch_json(f"{db_service}/v2/runs?config=unseen")["runs"] == []
+
+    def test_bad_query_parameter_is_400(self, db_service):
+        with pytest.raises(RuntimeError, match="400"):
+            fetch_json(f"{db_service}/v2/runs?frobnicate=1")
+        with pytest.raises(RuntimeError, match="400"):
+            fetch_json(f"{db_service}/v2/report?limit=0")
+
+    def test_report_route_renders_html(self, db_service):
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"{db_service}/v2/report", timeout=10
+        ) as response:
+            assert response.headers["Content-Type"].startswith("text/html")
+            page = response.read().decode()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "daxpy" in page and "vadd" in page and "<svg" in page
+
+    def test_report_route_renders_csv(self, db_service):
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"{db_service}/v2/report?format=csv", timeout=10
+        ) as response:
+            assert response.headers["Content-Type"].startswith("text/csv")
+            text = response.read().decode()
+        lines = text.splitlines()
+        assert lines[0].startswith("run_key,")
+        assert len(lines) == 3
+
+    def test_health_exposes_scheduler_and_db_stats(self, db_service):
+        health = fetch_json(f"{db_service}/v2/health")
+        stats = health["scheduler"]
+        assert stats["db"]["n_runs"] == 2
+        assert stats["db"]["journal_mode"] == "wal"
+
+
 class TestWorkbenchTierJobs:
     def test_unknown_tier_rejected_at_submission(self):
         with pytest.raises(ValueError, match="unknown workbench tier"):
