@@ -1,82 +1,69 @@
 #!/usr/bin/env python3
-"""Design-space exploration: area vs. execution-time trade-off.
+"""Design-space exploration: search the area/execution-time trade-off.
 
 The paper's central argument is that combining clustering with a
 hierarchical register file opens a larger design space that trades off
 register-file area (and hence cycle time) against the extra cycles caused
-by communication operations.  This example sweeps a set of organizations
--- including a few that are *not* in the paper, handled by the analytical
-CACTI-like model -- over a small workbench and prints, for each one, the
-register-file area, the derived clock, the total execution cycles and the
-resulting execution time, normalized to the monolithic S64 baseline.
+by communication operations.  The paper sweeps ~8 hand-picked
+organizations; this example lets :mod:`repro.explore` *search* the space
+instead: a budgeted evolutionary loop (cheap tiny-tier probes,
+successive-halving promotion to the small tier) evaluated through a
+:class:`~repro.session.Session`, with monolithic S64 anchored as the
+reference point.  The printed Pareto frontier is the non-dominated set
+over (RF area, execution time) — on the small tier it rediscovers the
+paper's clustered-hierarchical sweet spot (8C16S16-like organizations)
+dominating the monolithic baseline.
 
 Run with::
 
-    python examples/design_space_exploration.py [n_loops]
+    python examples/design_space_exploration.py [n_loops] [budget]
 """
 
 import sys
 
-from repro.eval import Table, aggregate_cycles, aggregate_time_ns, schedule_suite
-from repro.hwmodel import derive_hardware
-from repro.machine import RFConfig, baseline_machine, config_by_name
-from repro.workloads import perfect_club_like_suite
-
-
-#: Named configurations from the paper plus two user-defined ones that are
-#: only covered by the analytical hardware model.
-CONFIGS = [
-    config_by_name("S64"),
-    config_by_name("S128"),
-    config_by_name("2C64"),
-    config_by_name("4C32"),
-    config_by_name("1C32S64"),
-    config_by_name("2C32S32"),
-    config_by_name("4C32S16"),
-    config_by_name("8C16S16"),
-    # Custom points in the design space (not in the paper's tables):
-    RFConfig(n_clusters=4, cluster_regs=8, shared_regs=32, lp=1, sp=1),
-    RFConfig(n_clusters=2, cluster_regs=16, shared_regs=64, lp=2, sp=1),
-]
+from repro.eval import Table
+from repro.explore import ExploreSpec, run_explore
+from repro.session import Session
 
 
 def main() -> None:
-    n_loops = int(sys.argv[1]) if len(sys.argv) > 1 else 32
-    machine = baseline_machine()
-    loops = perfect_club_like_suite(n_loops=n_loops, seed=11)
+    n_loops = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 48
+
+    spec = ExploreSpec(
+        algo="evolve",
+        budget=budget,
+        seed=2003,
+        tier="small",
+        n_loops=n_loops,
+        probe_tier="tiny",
+        probe_n_loops=min(n_loops, 12),
+    )
+    with Session(jobs=0) as session:
+        report = run_explore(session, spec)
 
     table = Table(
-        ["config", "kind", "area (Mλ²)", "clock (ns)", "exec cycles", "rel time", "speedup"],
-        title=f"Design-space exploration over {n_loops} loops (relative to S64)",
+        ["config", "kind", "area (Mλ²)", "time (ns)", "sum II"],
+        title=(
+            f"Design-space exploration over {n_loops} loops "
+            f"(budget {report.n_probes}, Pareto frontier)"
+        ),
     )
-
-    results = {}
-    for rf in CONFIGS:
-        spec = derive_hardware(machine, rf)
-        runs = schedule_suite(loops, rf)
-        cycles = aggregate_cycles(runs)
-        time_ns = aggregate_time_ns(runs)
-        results[rf.name] = (spec, cycles, time_ns)
-
-    ref_time = results["S64"][2]
-    for rf in CONFIGS:
-        spec, cycles, time_ns = results[rf.name]
-        rel = time_ns / ref_time
+    for point in report.points:
         table.add_row(
-            rf.name,
-            rf.kind.value,
-            spec.total_area_mlambda2,
-            spec.clock_ns,
-            cycles,
-            rel,
-            1.0 / rel,
+            point.config_name,
+            point.kind,
+            point.area_mlambda2,
+            point.time_ns,
+            point.sum_ii,
         )
     print(table.render())
     print()
-    best = min(results, key=lambda name: results[name][2])
-    print(f"Fastest configuration on this workbench: {best}")
-    smallest = min(results, key=lambda name: results[name][0].total_area_mlambda2)
-    print(f"Smallest register file: {smallest}")
+    fastest = min(report.points, key=lambda p: p.time_ns)
+    print(f"Fastest configuration on this workbench: {fastest.config_name}")
+    smallest = min(report.points, key=lambda p: p.area_mlambda2)
+    print(f"Smallest register file: {smallest.config_name}")
+    print(f"Frontier digest: {report.digest}")
 
 
 if __name__ == "__main__":

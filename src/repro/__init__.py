@@ -26,6 +26,15 @@ The package is organized as:
   ``repro serve`` / ``repro submit`` HTTP front end, and the distributed
   shard-evaluation fleet (``repro serve --coordinator`` handing leases
   to pull-based ``repro worker`` processes).
+* :mod:`repro.store` -- the durable SQLite run database behind
+  ``repro serve --db``: job durability, the queryable run table, and
+  the exploration probe store.
+* :mod:`repro.report` -- paper-style reports rendered from the run
+  table (``repro report``: console, HTML, CSV).
+* :mod:`repro.explore` -- Pareto design-space exploration over the
+  register-file configuration space (``repro explore``): seeded
+  random/evolutionary search with successive-halving promotion and a
+  resumable probe store.
 
 Quickstart::
 
@@ -38,7 +47,7 @@ The flat v1 verbs (``repro.api.schedule_kernel`` and friends) keep
 working as thin shims over a default session.
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro.machine import MachineConfig, RFConfig, baseline_machine, config_by_name
 from repro.ddg import DepGraph, Loop, OpType

@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Ten sub-commands cover the common workflows::
+Eleven sub-commands cover the common workflows::
 
     python -m repro.cli schedule daxpy 4C16S16 --code --registers
     python -m repro.cli evaluate 4C16S16 S64 --tier full --jobs 0 \\
         --checkpoint .repro-checkpoint
+    python -m repro.cli explore --budget 32 --seed 7 --tier small \\
+        --algo evolve --db runs.sqlite
     python -m repro.cli reproduce table6 --loops 48 --jobs 0 --cache .repro-cache
     python -m repro.cli fuzz --seeds 200 --budget 120s --corpus tests/corpus
     python -m repro.cli serve --port 8734 --jobs 0 --cache .repro-cache \\
@@ -21,6 +23,11 @@ Ten sub-commands cover the common workflows::
   software-pipelined code, or the serialized JSON result);
 * ``evaluate`` compares configurations on a workbench (area, clock,
   cycles, execution time);
+* ``explore`` runs a budgeted Pareto search over the register-file
+  design space (seeded ``random`` or ``evolve`` with successive-halving
+  promotion) and prints the non-dominated (area, execution-time)
+  frontier plus its content digest; with ``--db`` every probe persists
+  and ``--resume`` replays a run with zero re-evaluations;
 * ``reproduce`` regenerates one of the paper's tables/figures (or ``all``);
 * ``fuzz`` hunts for scheduler/codegen/allocation bugs by differentially
   executing randomized loops on preset or randomly sampled
@@ -368,6 +375,61 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the self-contained HTML report to FILE")
     report.add_argument("--csv", default=None, metavar="FILE",
                         help="write the raw run table as CSV to FILE")
+
+    explore = sub.add_parser(
+        "explore",
+        help="search the register-file design space for the Pareto "
+             "frontier of (RF area, execution time)",
+    )
+    explore.add_argument(
+        "--budget", type=_positive_int, default=16, metavar="N",
+        help="total number of design-point measurements, cheap probes "
+             "included (default: 16)",
+    )
+    explore.add_argument(
+        "--seed", type=int, default=0,
+        help="search seed; the probe trace and the final frontier digest "
+             "are pure functions of it (default: 0)",
+    )
+    explore.add_argument(
+        "--tier", default="small", choices=tier_names(),
+        help="workbench tier frontier candidates are evaluated on "
+             "(default: small)",
+    )
+    explore.add_argument(
+        "--loops", type=int, default=None, metavar="N",
+        help="evaluate candidates on only the tier's first N loops "
+             "(default: the whole tier)",
+    )
+    explore.add_argument(
+        "--algo", default="random", choices=("random", "evolve"),
+        help="search strategy: seeded uniform sampling (random, default) "
+             "or mutate/crossover with successive-halving promotion "
+             "(evolve)",
+    )
+    explore.add_argument(
+        "--probe-tier", default="tiny", choices=tier_names(),
+        help="cheap tier 'evolve' probes candidates on before promotion "
+             "(default: tiny)",
+    )
+    explore.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="persist every completed probe in this SQLite run database; "
+             "a rerun over the same PATH restores completed probes "
+             "instead of re-evaluating them (default: no store)",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="require that --db PATH already holds completed probes to "
+             "resume from (guards against resuming into an empty or "
+             "mistyped database)",
+    )
+    explore.add_argument(
+        "--json", action="store_true",
+        help="print the serialized explore-report envelope instead of "
+             "the human-readable frontier table",
+    )
+    add_engine_flags(explore)
 
     schema = sub.add_parser(
         "schema",
@@ -861,6 +923,88 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.eval.reporting import Table
+    from repro.explore import ExploreSpec, Explorer
+    from repro.workloads.suite import workbench_tier
+
+    try:
+        workbench_tier(args.tier).check_size(args.loops)
+        spec = ExploreSpec(
+            algo=args.algo,
+            budget=args.budget,
+            seed=args.seed,
+            tier=args.tier,
+            n_loops=args.loops,
+            probe_tier=args.probe_tier,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    db = None
+    if args.db:
+        from repro.store.db import RunDatabase
+
+        db = RunDatabase(args.db)
+    if args.resume:
+        if db is None:
+            raise SystemExit("error: --resume requires --db PATH")
+        if not db.probes():
+            raise SystemExit(
+                f"error: --resume: {args.db} holds no completed probes "
+                f"(run once with --db {args.db} first)"
+            )
+
+    def on_event(update) -> None:
+        verb = "restored" if update.restored else "probed"
+        marker = " +frontier" if update.accepted else ""
+        print(
+            f"explore [{update.n_done}/{update.n_total}] {verb} "
+            f"{update.point.config_name} ({update.stage}){marker}",
+            file=sys.stderr,
+        )
+
+    # 'explore --resume' resumes from the probe store (--db), not from a
+    # shard checkpoint; strip the flag so the shared session builder does
+    # not mistake it for a '--checkpoint DIR' resume.
+    session_args = argparse.Namespace(**{**vars(args), "resume": False})
+    try:
+        with _session_from_args(session_args) as session:
+            explorer = Explorer(
+                session=session, spec=spec, db=db, on_event=on_event
+            )
+            report = explorer.run()
+    finally:
+        if db is not None:
+            db.close()
+
+    if args.json:
+        from repro import serialize
+
+        print(serialize.dumps(report))
+        return 0
+    print(
+        f"explored {report.n_probes} design point(s) with --algo {spec.algo} "
+        f"on tier '{spec.tier}': {report.n_evaluated} evaluated, "
+        f"{report.n_restored} restored from the probe store"
+    )
+    table = Table(
+        ("config", "kind", "area (Ml^2)", "time (ns)", "sum II"),
+        title=f"Pareto frontier ({len(report.points)} point(s))",
+    )
+    for point in report.points:
+        table.add_row(
+            point.config_name,
+            point.kind,
+            point.area_mlambda2,
+            point.time_ns,
+            point.sum_ii,
+        )
+    print(table.render())
+    print(f"frontier digest: {report.digest}")
+    return 0
+
+
 def _cmd_schema(args: argparse.Namespace) -> int:
     from repro import serialize
 
@@ -934,6 +1078,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "worker": _cmd_worker,
         "submit": _cmd_submit,
         "report": _cmd_report,
+        "explore": _cmd_explore,
         "schema": _cmd_schema,
         "bench": _cmd_bench,
     }

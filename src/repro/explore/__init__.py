@@ -1,0 +1,49 @@
+"""Design-space exploration: Pareto search over RF configurations.
+
+The paper sweeps ~8 hand-picked register-file organizations; this
+package turns that sweep into a budgeted search service.  A declarative
+:class:`DesignSpace` bounds the domain, :mod:`~repro.explore.search`
+supplies seeded ``random`` and ``evolve`` (successive-halving)
+strategies, and :class:`Explorer` evaluates candidates through a
+:class:`~repro.session.Session`, persists probes in the run database and
+maintains an incremental :class:`ParetoFrontier` over (RF area,
+execution time).
+
+Quickstart::
+
+    from repro.session import Session
+    from repro.explore import ExploreSpec, run_explore
+
+    with Session() as session:
+        report = run_explore(session, ExploreSpec(budget=16, seed=7, tier="tiny"))
+    for point in report.points:
+        print(point.config_name, point.area_mlambda2, point.time_ns)
+
+The same engine backs the ``repro explore`` CLI verb and the ``explore``
+batch-service job kind; see ``docs/explore.md``.
+"""
+
+from repro.explore.driver import (
+    Explorer,
+    ExploreReport,
+    explore_key,
+    probe_key,
+    run_explore,
+)
+from repro.explore.frontier import FrontierPoint, ParetoFrontier, dominates
+from repro.explore.search import ALGORITHMS, ExploreSpec
+from repro.explore.space import DesignSpace
+
+__all__ = [
+    "ALGORITHMS",
+    "DesignSpace",
+    "Explorer",
+    "ExploreReport",
+    "ExploreSpec",
+    "FrontierPoint",
+    "ParetoFrontier",
+    "dominates",
+    "explore_key",
+    "probe_key",
+    "run_explore",
+]

@@ -1,0 +1,290 @@
+"""The exploration driver: sessions in, Pareto frontiers out.
+
+:class:`Explorer` glues the pieces together:
+
+* candidates come from :func:`repro.explore.search.run_search` (seeded,
+  deterministic),
+* every measurement goes through a :class:`~repro.session.Session`, so
+  the ``EvalCache``, the analysis cache and the worker pool all apply,
+* completed probes are persisted in the run database's ``probes`` table
+  (:meth:`repro.store.RunDatabase.add_probe`) keyed by a
+  content-addressed probe key, which is what makes ``--resume`` replay
+  a run with **zero** re-evaluations,
+* each completed probe is reported as a
+  :class:`~repro.session.events.FrontierUpdate` event, streamed the same
+  way ``evaluate_stream`` streams ``RunReady``.
+
+The resulting :class:`ExploreReport` carries the frontier, the probe
+counters and the frontier digest — the reproducibility contract is that
+``(spec, session fingerprint)`` determines the digest exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.explore.frontier import FrontierPoint, ParetoFrontier
+from repro.explore.search import ExploreSpec, run_search
+from repro.explore.space import DesignSpace
+from repro.machine.config import RFConfig
+from repro.session.events import FrontierUpdate
+
+__all__ = [
+    "ExploreReport",
+    "Explorer",
+    "explore_key",
+    "probe_key",
+    "run_explore",
+]
+
+#: Objectives returned by an evaluation backend:
+#: (area in mega-lambda^2, aggregate execution time in ns, sum II, n_failed).
+Objectives = Tuple[float, float, int, int]
+Evaluate = Callable[[RFConfig, str, Optional[int]], Objectives]
+
+
+def probe_key(
+    fingerprint: str,
+    rf: RFConfig,
+    tier: str,
+    n_loops: Optional[int],
+    workbench_seed: int,
+) -> str:
+    """Content address of one measurement.
+
+    Deliberately independent of the search seed, budget and algorithm:
+    any exploration over the same session fingerprint and workbench
+    shares probe rows, so a resumed (or re-seeded, or budget-extended)
+    run reuses every completed measurement.
+    """
+    blob = json.dumps(
+        {
+            "fingerprint": fingerprint,
+            "config": rf.to_dict(),
+            "tier": tier,
+            "n_loops": n_loops,
+            "seed": workbench_seed,
+        },
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def explore_key(spec: ExploreSpec, fingerprint: str) -> str:
+    """Content address of a whole exploration (used as the service job key)."""
+    blob = json.dumps(
+        {"explore": spec.to_dict(), "fingerprint": fingerprint}, sort_keys=True
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class ExploreReport:
+    """Outcome of one exploration run."""
+
+    spec: ExploreSpec
+    points: List[FrontierPoint]
+    n_probes: int
+    n_evaluated: int
+    n_restored: int
+    digest: str
+    explore_key: str
+
+    def frontier(self) -> ParetoFrontier:
+        return ParetoFrontier.from_points(self.points)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "points": [p.to_dict() for p in self.points],
+            "n_probes": self.n_probes,
+            "n_evaluated": self.n_evaluated,
+            "n_restored": self.n_restored,
+            "digest": self.digest,
+            "explore_key": self.explore_key,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExploreReport":
+        return cls(
+            spec=ExploreSpec.from_dict(payload["spec"]),
+            points=[FrontierPoint.from_dict(p) for p in payload["points"]],
+            n_probes=int(payload["n_probes"]),
+            n_evaluated=int(payload["n_evaluated"]),
+            n_restored=int(payload["n_restored"]),
+            digest=str(payload["digest"]),
+            explore_key=str(payload["explore_key"]),
+        )
+
+
+@dataclass
+class Explorer:
+    """One exploration run bound to a session (and optionally a store).
+
+    ``evaluate`` may be injected for tests; by default measurements go
+    through ``session.evaluate_configuration``.  ``on_event`` receives a
+    :class:`~repro.session.events.FrontierUpdate` per completed probe.
+    """
+
+    session: Optional[object]
+    spec: ExploreSpec
+    space: Optional[DesignSpace] = None
+    db: Optional[object] = None
+    evaluate: Optional[Evaluate] = None
+    on_event: Optional[Callable[[FrontierUpdate], None]] = None
+
+    frontier: ParetoFrontier = field(default_factory=ParetoFrontier, init=False)
+    n_probes: int = field(default=0, init=False)
+    n_evaluated: int = field(default=0, init=False)
+    n_restored: int = field(default=0, init=False)
+    _memo: Dict[str, FrontierPoint] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if self.session is None and self.evaluate is None:
+            raise ValueError("Explorer needs a session or an evaluate backend")
+        if self.space is None:
+            machine = getattr(self.session, "machine", None)
+            self.space = DesignSpace(machine=machine) if machine else DesignSpace()
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        if self.session is not None:
+            return self.session.fingerprint()
+        return "explore:no-session"
+
+    def _evaluate(self, rf: RFConfig, tier: str, n_loops: Optional[int]) -> Objectives:
+        if self.evaluate is not None:
+            return self.evaluate(rf, tier, n_loops)
+        report = self.session.evaluate_configuration(
+            rf, tier=tier, n_loops=n_loops, seed=self.spec.workbench_seed
+        )
+        sum_ii = sum(run.result.ii for run in report.runs if run.result.success)
+        return (report.area_mlambda2, report.time_ns, int(sum_ii), report.n_failed)
+
+    def _measure(
+        self, rf: RFConfig, tier: str, n_loops: Optional[int], stage: str
+    ) -> Optional[FrontierPoint]:
+        """Measure one candidate, or return None once the budget is spent.
+
+        Re-requests of an already-measured point (e.g. a promotion when
+        probe tier == target tier) are free; distinct measurements count
+        against ``spec.budget`` whether computed or restored, so the
+        trace — and the final frontier — is identical on resume.
+        """
+        key = probe_key(self.fingerprint(), rf, tier, n_loops, self.spec.workbench_seed)
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            return self._offer(memoized, stage, restored=False, charged=False)
+        if self.n_probes >= self.spec.budget:
+            return None
+        self.n_probes += 1
+
+        restored = False
+        row = self.db.probe(key) if self.db is not None else None
+        if row is not None:
+            point = FrontierPoint(
+                config=json.loads(row["config"]),
+                config_name=row["config_name"],
+                kind=row["kind"],
+                area_mlambda2=float(row["area_mlambda2"]),
+                time_ns=float(row["time_ns"]),
+                sum_ii=int(row["sum_ii"]),
+                n_failed=int(row["n_failed"]),
+                tier=tier,
+                n_loops=n_loops,
+            )
+            self.n_restored += 1
+            restored = True
+        else:
+            area, time_ns, sum_ii, n_failed = self._evaluate(rf, tier, n_loops)
+            point = FrontierPoint(
+                config=rf.to_dict(),
+                config_name=rf.name,
+                kind=rf.kind.value,
+                area_mlambda2=area,
+                time_ns=time_ns,
+                sum_ii=sum_ii,
+                n_failed=n_failed,
+                tier=tier,
+                n_loops=n_loops,
+            )
+            self.n_evaluated += 1
+            if self.db is not None:
+                self.db.add_probe(
+                    {
+                        "probe_key": key,
+                        "explore_key": explore_key(self.spec, self.fingerprint()),
+                        "config_name": point.config_name,
+                        "kind": point.kind,
+                        "config": json.dumps(point.config, sort_keys=True),
+                        "tier": tier,
+                        "n_loops": n_loops,
+                        "seed": self.spec.workbench_seed,
+                        "area_mlambda2": point.area_mlambda2,
+                        "time_ns": point.time_ns,
+                        "sum_ii": point.sum_ii,
+                        "n_failed": point.n_failed,
+                        "created_at": time.time(),
+                    }
+                )
+        self._memo[key] = point
+        return self._offer(point, stage, restored=restored, charged=True)
+
+    def _offer(
+        self, point: FrontierPoint, stage: str, *, restored: bool, charged: bool
+    ) -> FrontierPoint:
+        accepted, removed = (False, [])
+        if stage == "frontier":
+            accepted, removed = self.frontier.insert(point)
+        if self.on_event is not None and charged:
+            self.on_event(
+                FrontierUpdate(
+                    point=point,
+                    stage=stage,
+                    accepted=accepted,
+                    removed=len(removed),
+                    frontier_size=len(self.frontier),
+                    n_done=self.n_probes,
+                    n_total=self.spec.budget,
+                    restored=restored,
+                )
+            )
+        return point
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> ExploreReport:
+        run_search(self.spec, self.space, self._measure)
+        return ExploreReport(
+            spec=self.spec,
+            points=self.frontier.points(),
+            n_probes=self.n_probes,
+            n_evaluated=self.n_evaluated,
+            n_restored=self.n_restored,
+            digest=self.frontier.digest(),
+            explore_key=explore_key(self.spec, self.fingerprint()),
+        )
+
+
+def run_explore(
+    session,
+    spec: ExploreSpec,
+    *,
+    space: Optional[DesignSpace] = None,
+    db=None,
+    evaluate: Optional[Evaluate] = None,
+    on_event: Optional[Callable[[FrontierUpdate], None]] = None,
+) -> ExploreReport:
+    """Convenience wrapper: build an :class:`Explorer` and run it."""
+    explorer = Explorer(
+        session=session,
+        spec=spec,
+        space=space,
+        db=db,
+        evaluate=evaluate,
+        on_event=on_event,
+    )
+    return explorer.run()

@@ -1,0 +1,149 @@
+"""Incremental Pareto frontier over (RF area, execution time).
+
+The explorer scores every design point on two objectives — register-file
+area (:mod:`repro.hwmodel.cacti`, mm:math:`\\lambda^2`) and aggregate
+execution time over the workbench (:mod:`repro.hwmodel.timing`, ns) —
+and keeps the non-dominated set incrementally: each completed probe is
+offered to :class:`ParetoFrontier`, which either rejects it (some kept
+point is at least as good on both axes) or accepts it and drops every
+point it now dominates.
+
+The frontier is a *set*: its contents — and therefore :meth:`digest` —
+depend only on which points were inserted, never on the order they
+arrived in.  That invariant is what makes ``repro explore`` seeds
+reproducible and resume verifiable (see ``docs/explore.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["FrontierPoint", "ParetoFrontier", "dominates"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One evaluated design point: configuration plus its two objectives."""
+
+    config: Dict[str, object]
+    config_name: str
+    kind: str
+    area_mlambda2: float
+    time_ns: float
+    sum_ii: int = 0
+    n_failed: int = 0
+    tier: Optional[str] = None
+    n_loops: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": dict(self.config),
+            "config_name": self.config_name,
+            "kind": self.kind,
+            "area_mlambda2": self.area_mlambda2,
+            "time_ns": self.time_ns,
+            "sum_ii": self.sum_ii,
+            "n_failed": self.n_failed,
+            "tier": self.tier,
+            "n_loops": self.n_loops,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FrontierPoint":
+        return cls(
+            config=dict(payload["config"]),
+            config_name=str(payload["config_name"]),
+            kind=str(payload["kind"]),
+            area_mlambda2=float(payload["area_mlambda2"]),
+            time_ns=float(payload["time_ns"]),
+            sum_ii=int(payload.get("sum_ii", 0)),
+            n_failed=int(payload.get("n_failed", 0)),
+            tier=payload.get("tier"),
+            n_loops=payload.get("n_loops"),
+        )
+
+
+def dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
+    """True iff ``a`` is at least as good as ``b`` on both objectives and
+    strictly better on at least one (minimizing area and time)."""
+    if a.area_mlambda2 > b.area_mlambda2 or a.time_ns > b.time_ns:
+        return False
+    return a.area_mlambda2 < b.area_mlambda2 or a.time_ns < b.time_ns
+
+
+def _identity(point: FrontierPoint) -> Tuple:
+    """Deduplication key: the configuration itself (not the objectives)."""
+    return (point.config_name, json.dumps(point.config, sort_keys=True))
+
+
+@dataclass
+class ParetoFrontier:
+    """The non-dominated set, maintained incrementally.
+
+    ``insert`` returns ``(accepted, removed)``; points that fail any loop
+    (``n_failed > 0``) are never admitted because their execution time is
+    not comparable.
+    """
+
+    _points: Dict[Tuple, FrontierPoint] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self.points())
+
+    def insert(self, point: FrontierPoint) -> Tuple[bool, List[FrontierPoint]]:
+        if point.n_failed > 0:
+            return False, []
+        key = _identity(point)
+        if key in self._points:
+            return False, []
+        if self.dominated_by_any(point):
+            return False, []
+        removed = [p for p in self._points.values() if dominates(point, p)]
+        for dead in removed:
+            del self._points[_identity(dead)]
+        self._points[key] = point
+        return True, removed
+
+    def points(self) -> List[FrontierPoint]:
+        """Canonical order: ascending area, then time, then name."""
+        return sorted(
+            self._points.values(),
+            key=lambda p: (p.area_mlambda2, p.time_ns, p.config_name),
+        )
+
+    def dominated_by_any(self, point: FrontierPoint) -> bool:
+        """True iff some kept point dominates ``point``."""
+        return any(dominates(kept, point) for kept in self._points.values())
+
+    def digest(self) -> str:
+        """Content hash of the frontier *set* (insertion-order free).
+
+        Only the configuration and its objectives enter the hash; probe
+        sequence numbers, wall-clock, and tier bookkeeping stay out so
+        that a resumed run and an uninterrupted run agree bit-for-bit.
+        """
+        canonical = [
+            {
+                "config": p.config,
+                "config_name": p.config_name,
+                "area_mlambda2": round(p.area_mlambda2, 9),
+                "time_ns": round(p.time_ns, 9),
+                "sum_ii": p.sum_ii,
+            }
+            for p in self.points()
+        ]
+        blob = json.dumps(canonical, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    @classmethod
+    def from_points(cls, points: Iterable[FrontierPoint]) -> "ParetoFrontier":
+        frontier = cls()
+        for point in points:
+            frontier.insert(point)
+        return frontier

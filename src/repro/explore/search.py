@@ -1,0 +1,281 @@
+"""Search strategies over the design space: seeded random and evolutionary.
+
+Two budgeted, derivative-free algorithms (cf. the zeroth-order
+constrained-optimization line in PAPERS.md):
+
+``random``
+    Uniform sampling over :class:`~repro.explore.space.DesignSpace`;
+    every distinct candidate is evaluated at the target tier and offered
+    to the frontier.
+
+``evolve``
+    A (μ+λ)-style loop with successive-halving promotion: each
+    generation's candidates (mutations/crossovers of the current
+    survivors, plus fresh samples) are first *probed* on the cheap
+    ``tiny`` tier; only the best probe-tier layer is promoted to a full
+    evaluation at the target tier.  Survivors parent the next
+    generation.  Promotion exploits the workbench-tier prefix property:
+    tiny-tier schedule cache entries stay warm for every larger tier.
+
+Both algorithms draw all randomness from one seeded
+:class:`numpy.random.Generator`, so the probe *trace* — the exact
+sequence of (configuration, tier, n_loops) measurements — is a pure
+function of ``(spec, space)``.  That is the contract resume relies on:
+replaying the trace over a warm probe store re-requests the same
+measurements and re-evaluates none of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.explore.frontier import FrontierPoint
+from repro.explore.space import DesignSpace
+from repro.machine.config import RFConfig
+
+__all__ = ["ALGORITHMS", "ExploreSpec", "run_search"]
+
+ALGORITHMS: Tuple[str, ...] = ("random", "evolve")
+
+#: Upper bound on rejected (duplicate/invalid) draws per requested probe —
+#: the design space is finite, so a large budget can exhaust it; the
+#: search then stops early instead of spinning.
+_MAX_STALE_DRAWS = 64
+
+
+@dataclass(frozen=True)
+class ExploreSpec:
+    """Declarative description of one exploration run.
+
+    The spec (together with the session fingerprint) content-addresses
+    the run: it hashes into the explore/job key and into every probe
+    key, so two runs with equal specs share probe rows in the store.
+    """
+
+    algo: str = "random"
+    budget: int = 16
+    seed: int = 0
+    tier: str = "small"
+    n_loops: Optional[int] = None
+    probe_tier: str = "tiny"
+    probe_n_loops: Optional[int] = None
+    population: int = 8
+    promote: int = 3
+    workbench_seed: int = 2003
+    anchor: Optional[str] = "S64"
+
+    def __post_init__(self) -> None:
+        if self.algo not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algo!r}; expected {ALGORITHMS}")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if not 1 <= self.promote <= self.population:
+            raise ValueError("promote must be in [1, population]")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "algo": self.algo,
+            "budget": self.budget,
+            "seed": self.seed,
+            "tier": self.tier,
+            "n_loops": self.n_loops,
+            "probe_tier": self.probe_tier,
+            "probe_n_loops": self.probe_n_loops,
+            "population": self.population,
+            "promote": self.promote,
+            "workbench_seed": self.workbench_seed,
+            "anchor": self.anchor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExploreSpec":
+        return cls(
+            algo=str(payload.get("algo", "random")),
+            budget=int(payload.get("budget", 16)),
+            seed=int(payload.get("seed", 0)),
+            tier=str(payload.get("tier", "small")),
+            n_loops=None if payload.get("n_loops") is None else int(payload["n_loops"]),
+            probe_tier=str(payload.get("probe_tier", "tiny")),
+            probe_n_loops=(
+                None
+                if payload.get("probe_n_loops") is None
+                else int(payload["probe_n_loops"])
+            ),
+            population=int(payload.get("population", 8)),
+            promote=int(payload.get("promote", 3)),
+            workbench_seed=int(payload.get("workbench_seed", 2003)),
+            anchor=payload.get("anchor", "S64"),
+        )
+
+
+def _identity(rf: RFConfig) -> Tuple:
+    return (rf.name, rf.lp, rf.sp, rf.n_buses)
+
+
+def _pareto_layers(points: List[FrontierPoint]) -> List[List[FrontierPoint]]:
+    """Non-dominated sort (minimizing area and time); ties broken by name
+    inside a layer so the ordering is deterministic."""
+    from repro.explore.frontier import dominates
+
+    remaining = list(points)
+    layers: List[List[FrontierPoint]] = []
+    while remaining:
+        layer = [
+            p
+            for p in remaining
+            if not any(dominates(q, p) for q in remaining if q is not p)
+        ]
+        if not layer:  # pragma: no cover - defensive (cycles are impossible)
+            layer = list(remaining)
+        layer.sort(key=lambda p: (p.time_ns, p.area_mlambda2, p.config_name))
+        layers.append(layer)
+        kept = {id(p) for p in layer}
+        remaining = [p for p in remaining if id(p) not in kept]
+    return layers
+
+
+# A measurement callback: (rf, tier, n_loops, stage) -> FrontierPoint or
+# None once the probe budget is exhausted.  The driver supplies it.
+Measure = Callable[[RFConfig, str, Optional[int], str], Optional[FrontierPoint]]
+
+
+@dataclass
+class _Trace:
+    spec: ExploreSpec
+    space: DesignSpace
+    measure: Measure
+    seen: Dict[Tuple, RFConfig] = field(default_factory=dict)
+
+    def fresh(self, rng: np.random.Generator, draw) -> Optional[RFConfig]:
+        """Draw a not-yet-seen candidate, or None if the space looks dry."""
+        for _ in range(_MAX_STALE_DRAWS):
+            rf = draw(rng)
+            key = _identity(rf)
+            if key not in self.seen:
+                self.seen[key] = rf
+                return rf
+        return None
+
+
+def run_search(
+    spec: ExploreSpec,
+    space: DesignSpace,
+    measure: Measure,
+) -> None:
+    """Drive the configured algorithm until ``measure`` reports exhaustion.
+
+    ``measure`` owns budget accounting, persistence and frontier
+    maintenance; this function only decides *which* configuration to
+    probe next, so the trace depends on nothing but ``(spec, space)``
+    and the (deterministic) measurement results.
+    """
+    rng = np.random.default_rng(spec.seed)
+    trace = _Trace(spec=spec, space=space, measure=measure)
+
+    anchors: List[RFConfig] = []
+    if spec.anchor:
+        anchor = RFConfig.parse(spec.anchor)
+        trace.seen[_identity(anchor)] = anchor
+        anchors.append(anchor)
+
+    if spec.algo == "random":
+        _random_search(spec, trace, rng, anchors)
+    else:
+        _evolve_search(spec, trace, rng, anchors)
+
+
+def _random_search(
+    spec: ExploreSpec,
+    trace: _Trace,
+    rng: np.random.Generator,
+    anchors: List[RFConfig],
+) -> None:
+    for anchor in anchors:
+        if trace.measure(anchor, spec.tier, spec.n_loops, "frontier") is None:
+            return
+    while True:
+        rf = trace.fresh(rng, trace.space.sample)
+        if rf is None:
+            return
+        if trace.measure(rf, spec.tier, spec.n_loops, "frontier") is None:
+            return
+
+
+def _evolve_search(
+    spec: ExploreSpec,
+    trace: _Trace,
+    rng: np.random.Generator,
+    anchors: List[RFConfig],
+) -> None:
+    survivors: List[RFConfig] = []
+    for anchor in anchors:
+        point = trace.measure(anchor, spec.tier, spec.n_loops, "frontier")
+        if point is None:
+            return
+        survivors.append(anchor)
+
+    by_identity = {_identity(rf): rf for rf in survivors}
+    while True:
+        # Propose one generation: offspring of the survivors plus fresh
+        # samples (the whole first generation is fresh samples).
+        candidates: List[RFConfig] = []
+        while len(candidates) < spec.population:
+            if len(survivors) >= 2 and rng.random() < 0.6:
+                a = survivors[int(rng.integers(0, len(survivors)))]
+                b = survivors[int(rng.integers(0, len(survivors)))]
+                draw = (
+                    (lambda r: trace.space.crossover(r, a, b))
+                    if a is not b and rng.random() < 0.5
+                    else (lambda r: trace.space.mutate(r, a))
+                )
+            elif survivors and rng.random() < 0.5:
+                parent = survivors[int(rng.integers(0, len(survivors)))]
+                draw = lambda r: trace.space.mutate(r, parent)  # noqa: E731
+            else:
+                draw = trace.space.sample
+            rf = trace.fresh(rng, draw)
+            if rf is None and draw is not trace.space.sample:
+                # The chosen operator's neighborhood is exhausted (e.g. a
+                # crossover pair whose whole image is already seen); fall
+                # back to uniform sampling before giving up on the
+                # generation.
+                rf = trace.fresh(rng, trace.space.sample)
+            if rf is None:
+                break
+            candidates.append(rf)
+        if not candidates:
+            return
+
+        # Successive halving, stage 1: cheap probes on the probe tier.
+        probes: List[Tuple[RFConfig, FrontierPoint]] = []
+        for rf in candidates:
+            point = trace.measure(rf, spec.probe_tier, spec.probe_n_loops, "probe")
+            if point is None:
+                return
+            if point.n_failed == 0:
+                probes.append((rf, point))
+
+        # Stage 2: promote the best non-dominated layer(s) to the target
+        # tier, best-first, up to ``spec.promote`` promotions.
+        by_point = {id(point): rf for rf, point in probes}
+        ranked: List[FrontierPoint] = [
+            point for layer in _pareto_layers([p for _, p in probes]) for point in layer
+        ]
+        promoted: List[RFConfig] = []
+        for point in ranked[: spec.promote]:
+            rf = by_point[id(point)]
+            final = trace.measure(rf, spec.tier, spec.n_loops, "frontier")
+            if final is None:
+                return
+            if final.n_failed == 0:
+                promoted.append(rf)
+
+        # Survivors of this round parent the next generation.
+        for rf in promoted:
+            by_identity.setdefault(_identity(rf), rf)
+        survivors = list(by_identity.values())[-2 * spec.population :]

@@ -1,0 +1,230 @@
+"""Declarative bounded design space over register-file configurations.
+
+:class:`DesignSpace` fixes a datapath (:class:`~repro.machine.MachineConfig`)
+and enumerates the same discrete axes the fuzz sampler draws from
+(:mod:`repro.machine.sampler`): organization kind, cluster count,
+per-cluster and shared bank sizes, and the hierarchical lp/sp port
+counts.  Every point the space emits passes
+:meth:`MachineConfig.validate_rf`, so downstream evaluation never sees
+an unbuildable configuration (e.g. a pure clustered organization with
+more clusters than memory ports).
+
+Three seeded operators drive the search in :mod:`repro.explore.search`:
+
+* :meth:`DesignSpace.sample` — uniform draw over valid points,
+* :meth:`DesignSpace.mutate` — perturb one axis of a parent,
+* :meth:`DesignSpace.crossover` — mix axes of two parents.
+
+All randomness flows through a :class:`numpy.random.Generator`, so a
+search trace is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.config import MachineConfig, RFConfig
+from repro.machine.presets import baseline_machine
+
+__all__ = ["DesignSpace"]
+
+_KINDS = ("monolithic", "clustered", "hierarchical", "hierarchical_clustered")
+
+
+def _choice(rng: np.random.Generator, options):
+    return options[int(rng.integers(0, len(options)))]
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Bounded RF design space for a fixed datapath."""
+
+    machine: MachineConfig = field(default_factory=baseline_machine)
+    cluster_counts: Tuple[int, ...] = (2, 4, 8)
+    cluster_reg_sizes: Tuple[int, ...] = (8, 16, 32, 64)
+    shared_reg_sizes: Tuple[int, ...] = (16, 32, 64, 128)
+    lp_values: Tuple[int, ...] = (1, 2, 3, 4)
+    sp_values: Tuple[int, ...] = (1, 2)
+    kinds: Tuple[str, ...] = _KINDS
+
+    def __post_init__(self) -> None:
+        for kind in self.kinds:
+            if kind not in _KINDS:
+                raise ValueError(f"unknown RF kind {kind!r}; expected one of {_KINDS}")
+
+    # ------------------------------------------------------------------ #
+    # Validity
+    # ------------------------------------------------------------------ #
+    def _valid_cluster_counts(self, kind: str) -> List[int]:
+        if kind in ("monolithic", "hierarchical"):
+            return [1]
+        counts = [c for c in self.cluster_counts if c > 1 and self.machine.n_fus % c == 0]
+        if kind == "clustered":
+            counts = [
+                c
+                for c in counts
+                if c <= self.machine.n_mem_ports and self.machine.n_mem_ports % c == 0
+            ]
+        return counts
+
+    def contains(self, rf: RFConfig) -> bool:
+        """True iff ``rf`` lies on this space's axes and is machine-valid."""
+        kind = rf.kind.value.replace("-", "_")
+        if kind not in self.kinds:
+            return False
+        if kind == "monolithic":
+            if rf.shared_regs not in self.shared_reg_sizes:
+                return False
+        else:
+            if rf.n_clusters not in self._valid_cluster_counts(kind):
+                return False
+            if rf.cluster_regs not in self.cluster_reg_sizes:
+                return False
+            if kind != "clustered":
+                if rf.shared_regs not in self.shared_reg_sizes:
+                    return False
+                if rf.lp not in self.lp_values or rf.sp not in self.sp_values:
+                    return False
+        if kind == "hierarchical" and rf.n_clusters != 1:
+            return False
+        try:
+            self.machine.validate_rf(rf)
+        except ValueError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Operators
+    # ------------------------------------------------------------------ #
+    def _build(self, kind: str, axes: Dict[str, int]) -> RFConfig:
+        if kind == "monolithic":
+            return RFConfig(n_clusters=1, cluster_regs=None, shared_regs=axes["shared"])
+        if kind == "clustered":
+            return RFConfig(
+                n_clusters=axes["clusters"],
+                cluster_regs=axes["cluster_regs"],
+                shared_regs=None,
+            )
+        return RFConfig(
+            n_clusters=1 if kind == "hierarchical" else axes["clusters"],
+            cluster_regs=axes["cluster_regs"],
+            shared_regs=axes["shared"],
+            lp=axes["lp"],
+            sp=axes["sp"],
+        )
+
+    def sample(self, rng: np.random.Generator) -> RFConfig:
+        """One uniform draw over the valid points of the space."""
+        while True:
+            kind = _choice(rng, self.kinds)
+            counts = self._valid_cluster_counts(kind)
+            if kind != "monolithic" and not counts:
+                continue
+            axes = {
+                "clusters": _choice(rng, counts) if counts else 1,
+                "cluster_regs": _choice(rng, self.cluster_reg_sizes),
+                "shared": _choice(rng, self.shared_reg_sizes),
+                "lp": _choice(rng, self.lp_values),
+                "sp": _choice(rng, self.sp_values),
+            }
+            rf = self._build(kind, axes)
+            if self.contains(rf):
+                return rf
+
+    def mutate(self, rng: np.random.Generator, parent: RFConfig) -> RFConfig:
+        """Perturb one axis of ``parent``; falls back to a fresh sample."""
+        kind = parent.kind.value.replace("-", "_")
+        axes = {
+            "clusters": parent.n_clusters,
+            "cluster_regs": parent.cluster_regs or _choice(rng, self.cluster_reg_sizes),
+            "shared": parent.shared_regs or _choice(rng, self.shared_reg_sizes),
+            "lp": parent.lp,
+            "sp": parent.sp,
+        }
+        mutable = ["kind", "shared"]
+        if kind != "monolithic":
+            mutable += ["clusters", "cluster_regs"]
+        if kind in ("hierarchical", "hierarchical_clustered"):
+            mutable += ["lp", "sp"]
+        for _ in range(8):
+            axis = _choice(rng, tuple(mutable))
+            new_kind = kind
+            if axis == "kind":
+                new_kind = _choice(rng, self.kinds)
+            elif axis == "clusters":
+                counts = self._valid_cluster_counts(kind)
+                if counts:
+                    axes = {**axes, "clusters": _choice(rng, counts)}
+            elif axis == "cluster_regs":
+                axes = {**axes, "cluster_regs": _choice(rng, self.cluster_reg_sizes)}
+            elif axis == "shared":
+                axes = {**axes, "shared": _choice(rng, self.shared_reg_sizes)}
+            elif axis == "lp":
+                axes = {**axes, "lp": _choice(rng, self.lp_values)}
+            elif axis == "sp":
+                axes = {**axes, "sp": _choice(rng, self.sp_values)}
+            counts = self._valid_cluster_counts(new_kind)
+            if new_kind != "monolithic":
+                if not counts:
+                    continue
+                if axes["clusters"] not in counts:
+                    axes = {**axes, "clusters": _choice(rng, counts)}
+            child = self._build(new_kind, axes)
+            if self.contains(child) and child != parent:
+                return child
+        return self.sample(rng)
+
+    def crossover(
+        self, rng: np.random.Generator, a: RFConfig, b: RFConfig
+    ) -> RFConfig:
+        """Mix axes of two parents; falls back to mutating parent ``a``."""
+        kind = _choice(rng, (a.kind.value, b.kind.value)).replace("-", "_")
+        pick = lambda x, y: x if rng.integers(0, 2) == 0 else y  # noqa: E731
+        axes = {
+            "clusters": pick(a.n_clusters, b.n_clusters),
+            "cluster_regs": pick(a.cluster_regs, b.cluster_regs)
+            or _choice(rng, self.cluster_reg_sizes),
+            "shared": pick(a.shared_regs, b.shared_regs)
+            or _choice(rng, self.shared_reg_sizes),
+            "lp": pick(a.lp, b.lp),
+            "sp": pick(a.sp, b.sp),
+        }
+        counts = self._valid_cluster_counts(kind)
+        if kind != "monolithic":
+            if not counts:
+                return self.mutate(rng, a)
+            if axes["clusters"] not in counts:
+                axes = {**axes, "clusters": _choice(rng, counts)}
+        child = self._build(kind, axes)
+        if self.contains(child):
+            return child
+        return self.mutate(rng, a)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "machine": self.machine.to_dict(),
+            "cluster_counts": list(self.cluster_counts),
+            "cluster_reg_sizes": list(self.cluster_reg_sizes),
+            "shared_reg_sizes": list(self.shared_reg_sizes),
+            "lp_values": list(self.lp_values),
+            "sp_values": list(self.sp_values),
+            "kinds": list(self.kinds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DesignSpace":
+        return cls(
+            machine=MachineConfig.from_dict(payload["machine"]),
+            cluster_counts=tuple(payload["cluster_counts"]),
+            cluster_reg_sizes=tuple(payload["cluster_reg_sizes"]),
+            shared_reg_sizes=tuple(payload["shared_reg_sizes"]),
+            lp_values=tuple(payload["lp_values"]),
+            sp_values=tuple(payload["sp_values"]),
+            kinds=tuple(payload["kinds"]),
+        )

@@ -28,9 +28,12 @@ types (:class:`~repro.service.wire.ShardLease`,
 :class:`~repro.service.wire.WorkerStatus`), and the fuzz reproducers
 (:class:`~repro.verify.corpus.CorpusCase`,
 :class:`~repro.verify.fuzz.FuzzFailure`,
-:class:`~repro.verify.fuzz.FuzzReport`), and the durable-store types
+:class:`~repro.verify.fuzz.FuzzReport`), the durable-store types
 (:class:`~repro.store.db.RunRow` run-table rows and
-:class:`~repro.report.query.ReportQuery` report queries).
+:class:`~repro.report.query.ReportQuery` report queries), and the
+design-space exploration types (:class:`~repro.explore.ExploreSpec`,
+:class:`~repro.explore.FrontierPoint`,
+:class:`~repro.explore.ExploreReport`).
 
 The graph/loop/configuration payload shapes are the JSON conventions the
 verification corpus established (:mod:`repro.verify.corpus`): a corpus
@@ -64,6 +67,9 @@ from repro.eval.shards import (
     shard_result_from_dict,
     shard_result_to_dict,
 )
+from repro.explore.driver import ExploreReport
+from repro.explore.frontier import FrontierPoint
+from repro.explore.search import ExploreSpec
 from repro.hwmodel.spec import BankEstimate, HardwareSpec
 from repro.machine.config import MachineConfig, RFConfig
 from repro.report.query import (
@@ -596,4 +602,19 @@ register(
 register(
     "report_query", ReportQuery,
     report_query_to_dict, report_query_from_dict,
+)
+register(
+    "explore_spec", ExploreSpec,
+    ExploreSpec.to_dict, ExploreSpec.from_dict,
+    required=("algo", "budget", "seed", "tier"),
+)
+register(
+    "frontier_point", FrontierPoint,
+    FrontierPoint.to_dict, FrontierPoint.from_dict,
+    required=("config", "config_name", "area_mlambda2", "time_ns"),
+)
+register(
+    "explore_report", ExploreReport,
+    ExploreReport.to_dict, ExploreReport.from_dict,
+    required=("spec", "points", "digest"),
 )

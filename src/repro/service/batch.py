@@ -32,7 +32,10 @@ Jobs execute one at a time on a background thread; intra-job parallelism
 comes from the session's worker pool.  Progress is observable while a
 job runs: evaluation jobs drive
 :meth:`~repro.session.Session.evaluate_stream` and bump their
-``n_done``/``n_total`` counters on every completed loop.
+``n_done``/``n_total`` counters on every completed loop, and ``explore``
+jobs (:mod:`repro.explore`) bump them per completed design-space probe
+while persisting every probe to the store's ``probes`` table -- a killed
+exploration resumes from its completed probes with zero re-evaluation.
 
 The HTTP front end (:mod:`repro.service.http`, ``repro serve`` /
 ``repro submit``) is a thin wire adapter over this class; everything it
@@ -69,12 +72,13 @@ __all__ = [
     "QuotaExceeded",
     "BatchScheduler",
     "job_content_key",
+    "explore_spec_from_params",
 ]
 
 #: Work the service accepts: one kernel on one configuration
-#: (``schedule``), or a whole workbench on one configuration
-#: (``evaluate``).
-JOB_KINDS = ("schedule", "evaluate")
+#: (``schedule``), a whole workbench on one configuration
+#: (``evaluate``), or a budgeted design-space search (``explore``).
+JOB_KINDS = ("schedule", "evaluate", "explore")
 
 #: Every state a job can report.  ``queued -> running -> done | failed``;
 #: ``cancelled`` is reachable from ``queued`` only.
@@ -99,7 +103,11 @@ class JobRequest:
       dict of scalars forwarded to the kernel builder, e.g. ``taps``);
     * ``evaluate``: ``config`` (required), optional ``n_loops``,
       ``seed``, ``tier`` (a workbench tier name -- requests larger than
-      the tier are rejected at submission), ``policy``, ``jobs``.
+      the tier are rejected at submission), ``policy``, ``jobs``;
+    * ``explore``: all optional -- ``budget``, ``seed``, ``algo``
+      (``random``/``evolve``), ``tier``, ``n_loops``, ``probe_tier``,
+      ``probe_n_loops``, ``population``, ``promote``, ``workbench_seed``,
+      ``anchor`` -- see :class:`repro.explore.ExploreSpec` for defaults.
 
     ``client`` (top-level, optional) names the submitting tenant for
     fairness and quota purposes; it is *not* part of the job's content
@@ -114,10 +122,19 @@ class JobRequest:
     params: Dict[str, object] = field(default_factory=dict)
     client: str = DEFAULT_CLIENT
 
-    _REQUIRED = {"schedule": ("kernel", "config"), "evaluate": ("config",)}
+    _REQUIRED = {
+        "schedule": ("kernel", "config"),
+        "evaluate": ("config",),
+        "explore": (),
+    }
     _OPTIONAL = {
         "schedule": ("policy", "budget_ratio", "kernel_params"),
         "evaluate": ("n_loops", "seed", "tier", "policy", "jobs"),
+        "explore": (
+            "budget", "seed", "algo", "tier", "n_loops", "probe_tier",
+            "probe_n_loops", "population", "promote", "workbench_seed",
+            "anchor",
+        ),
     }
 
     @classmethod
@@ -156,7 +173,9 @@ class JobRequest:
         # Numeric knobs are coerced here so a malformed value is a 400 at
         # submission, not an opaque failure deep inside the running job.
         for key, coerce in (("n_loops", int), ("seed", int), ("jobs", int),
-                            ("budget_ratio", float)):
+                            ("budget_ratio", float), ("budget", int),
+                            ("probe_n_loops", int), ("population", int),
+                            ("promote", int), ("workbench_seed", int)):
             if params.get(key) is not None:
                 try:
                     params = {**params, key: coerce(params[key])}
@@ -171,10 +190,42 @@ class JobRequest:
         # with the canonical message.
         if tier is not None:
             workbench_tier(tier).check_size(params.get("n_loops"))
+        # Explore specs carry their own invariants (algorithm name, budget
+        # and population bounds); building one here makes a bad knob a 400
+        # at submission.
+        if kind == "explore":
+            explore_spec_from_params(params)
         return cls(kind=kind, params=dict(params), client=client)
 
     def to_dict(self) -> Dict[str, object]:
         return {"kind": self.kind, "params": dict(self.params), "client": self.client}
+
+
+def explore_spec_from_params(params: Dict[str, object]):
+    """Build the :class:`~repro.explore.ExploreSpec` an explore job runs.
+
+    ``ValueError`` from the spec's own validation propagates, so callers
+    can reject bad knobs at submission time.
+    """
+    from repro.explore import ExploreSpec
+
+    defaults = ExploreSpec()
+    return ExploreSpec(
+        algo=str(params.get("algo", defaults.algo)),
+        budget=int(params.get("budget", defaults.budget)),
+        seed=int(params.get("seed", defaults.seed)),
+        tier=str(params.get("tier") or defaults.tier),
+        n_loops=None if params.get("n_loops") is None else int(params["n_loops"]),
+        probe_tier=str(params.get("probe_tier", defaults.probe_tier)),
+        probe_n_loops=(
+            None if params.get("probe_n_loops") is None
+            else int(params["probe_n_loops"])
+        ),
+        population=int(params.get("population", defaults.population)),
+        promote=int(params.get("promote", defaults.promote)),
+        workbench_seed=int(params.get("workbench_seed", defaults.workbench_seed)),
+        anchor=params.get("anchor", defaults.anchor),
+    )
 
 
 def job_content_key(request: JobRequest, session: Session) -> str:
@@ -183,7 +234,9 @@ def job_content_key(request: JobRequest, session: Session) -> str:
     Derived from the same content hashes the evaluation layer already
     keys on -- :func:`repro.eval.cache.schedule_key` for a ``schedule``
     job, the shard keys of :func:`repro.eval.shards.plan_shards` for an
-    ``evaluate`` job -- so a job's identity is the identity of the
+    ``evaluate`` job, :func:`repro.explore.explore_key` (spec plus
+    session fingerprint) for an ``explore`` job -- so a job's identity
+    is the identity of the
     scheduling problems it runs: same loops, same configuration, same
     policy/knobs/version => same key, across processes and restarts.
     The parallelism knob (``jobs``) is naturally excluded; it cannot
@@ -216,6 +269,11 @@ def job_content_key(request: JobRequest, session: Session) -> str:
                 core=session.core,
             )
             payload = f"schedule:{key}"
+        elif request.kind == "explore":
+            from repro.explore import explore_key
+
+            spec = explore_spec_from_params(params)
+            payload = f"explore:{explore_key(spec, session.fingerprint())}"
         else:
             from repro.eval.shards import plan_shards
 
@@ -809,6 +867,22 @@ class BatchScheduler:
             )
             self._progress(record, 1, 1)
             return serialize.to_dict(result)
+
+        if record.request.kind == "explore":
+            from repro.explore import Explorer
+
+            spec = explore_spec_from_params(params)
+            self._progress(record, 0, spec.budget)
+            explorer = Explorer(
+                session=session,
+                spec=spec,
+                db=self.db,
+                on_event=lambda update: self._progress(
+                    record, update.n_done, update.n_total
+                ),
+            )
+            report = explorer.run()
+            return serialize.to_dict(report)
 
         assert record.request.kind == "evaluate"
         report = None

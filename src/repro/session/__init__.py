@@ -16,7 +16,13 @@ v1 -> v2 migration table.
 """
 
 from repro.session.core import Session, default_session
-from repro.session.events import RunReady, StreamEvent, SuiteFinished, SuiteStarted
+from repro.session.events import (
+    FrontierUpdate,
+    RunReady,
+    StreamEvent,
+    SuiteFinished,
+    SuiteStarted,
+)
 
 __all__ = [
     "Session",
@@ -25,4 +31,5 @@ __all__ = [
     "SuiteStarted",
     "RunReady",
     "SuiteFinished",
+    "FrontierUpdate",
 ]

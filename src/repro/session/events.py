@@ -14,16 +14,32 @@ status, or live dashboards without waiting for the barrier:
 
 With ``events=False`` (the default) the stream yields bare
 :class:`~repro.eval.metrics.LoopRun` objects in completion order.
+
+The design-space explorer (:mod:`repro.explore`) streams the same way:
+one :class:`FrontierUpdate` per completed probe, carrying the evaluated
+point, whether the Pareto frontier accepted it, and running counters —
+so ``repro explore`` progress and the ``explore`` service job kind share
+one event vocabulary with ``evaluate_stream``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.eval.metrics import LoopRun
 from repro.eval.reporting import ConfigurationReport
 
-__all__ = ["StreamEvent", "SuiteStarted", "RunReady", "SuiteFinished"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (explore uses session)
+    from repro.explore.frontier import FrontierPoint
+
+__all__ = [
+    "StreamEvent",
+    "SuiteStarted",
+    "RunReady",
+    "SuiteFinished",
+    "FrontierUpdate",
+]
 
 
 @dataclass(frozen=True)
@@ -55,3 +71,23 @@ class SuiteFinished(StreamEvent):
     """Every loop is done; the aggregate report is attached."""
 
     report: ConfigurationReport
+
+
+@dataclass(frozen=True)
+class FrontierUpdate(StreamEvent):
+    """One exploration probe finished and was offered to the frontier.
+
+    ``stage`` is ``"probe"`` for cheap successive-halving probes (which
+    never enter the frontier) and ``"frontier"`` for target-tier
+    evaluations.  ``restored`` marks measurements served from the
+    persistent probe store rather than re-evaluated.
+    """
+
+    point: "FrontierPoint"
+    stage: str
+    accepted: bool
+    removed: int
+    frontier_size: int
+    n_done: int
+    n_total: int
+    restored: bool = False

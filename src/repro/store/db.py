@@ -206,6 +206,12 @@ _RUNS_COLUMNS = (
     "scheduling_time_s", "digest", "created_at",
 )
 
+_PROBES_COLUMNS = (
+    "probe_key", "explore_key", "config_name", "kind", "config", "tier",
+    "n_loops", "seed", "area_mlambda2", "time_ns", "sum_ii", "n_failed",
+    "created_at",
+)
+
 
 class RunDatabase:
     """One SQLite file of durable service state (jobs + run table).
@@ -327,6 +333,30 @@ class RunDatabase:
             "ON runs(config_name, policy)"
         )
         conn.execute("CREATE INDEX IF NOT EXISTS runs_by_time ON runs(created_at)")
+        # Design-space exploration probes (PR 10).  Additive: older builds
+        # simply ignore the table, so no db_schema bump is needed.
+        conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS probes (
+                probe_key     TEXT PRIMARY KEY,
+                explore_key   TEXT NOT NULL,
+                config_name   TEXT NOT NULL,
+                kind          TEXT NOT NULL,
+                config        TEXT NOT NULL,
+                tier          TEXT,
+                n_loops       INTEGER,
+                seed          INTEGER,
+                area_mlambda2 REAL NOT NULL,
+                time_ns       REAL NOT NULL,
+                sum_ii        INTEGER NOT NULL DEFAULT 0,
+                n_failed      INTEGER NOT NULL DEFAULT 0,
+                created_at    REAL NOT NULL
+            )
+            """
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS probes_by_explore ON probes(explore_key)"
+        )
         conn.commit()
 
     # ------------------------------------------------------------------ #
@@ -473,6 +503,43 @@ class RunDatabase:
         ]
 
     # ------------------------------------------------------------------ #
+    # Probes table (design-space exploration)
+    # ------------------------------------------------------------------ #
+    def add_probe(self, row: Dict[str, object]) -> None:
+        """Upsert one exploration probe (idempotent on ``probe_key``)."""
+        unknown = sorted(set(row) - set(_PROBES_COLUMNS))
+        if unknown:
+            raise ValueError(f"unknown probes columns: {unknown}")
+        columns = [column for column in _PROBES_COLUMNS if column in row]
+        with self._lock:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO probes ({', '.join(columns)}) "
+                f"VALUES ({', '.join('?' for _ in columns)})",
+                [row[column] for column in columns],
+            )
+            self._conn.commit()
+
+    def probe(self, probe_key: str) -> Optional[Dict[str, object]]:
+        """One probe row by content key, or None."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM probes WHERE probe_key = ?", (probe_key,)
+            ).fetchone()
+        return dict(row) if row is not None else None
+
+    def probes(self, explore_key: Optional[str] = None) -> List[Dict[str, object]]:
+        """Probe rows (optionally for one exploration), oldest first."""
+        query = "SELECT * FROM probes"
+        params: List[object] = []
+        if explore_key is not None:
+            query += " WHERE explore_key = ?"
+            params.append(explore_key)
+        query += " ORDER BY created_at, probe_key"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
@@ -480,6 +547,9 @@ class RunDatabase:
         with self._lock:
             n_jobs = self._conn.execute("SELECT COUNT(*) FROM jobs").fetchone()[0]
             n_runs = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            n_probes = self._conn.execute(
+                "SELECT COUNT(*) FROM probes"
+            ).fetchone()[0]
             by_state = dict(
                 self._conn.execute(
                     "SELECT state, COUNT(*) FROM jobs GROUP BY state"
@@ -490,6 +560,7 @@ class RunDatabase:
             "journal_mode": self.journal_mode,
             "n_jobs": int(n_jobs),
             "n_runs": int(n_runs),
+            "n_probes": int(n_probes),
             "jobs_by_state": {state: int(n) for state, n in by_state.items()},
         }
 

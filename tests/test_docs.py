@@ -1,0 +1,161 @@
+"""Docs-drift gate: documentation must match the shipped CLI and tree.
+
+Three invariants, enforced in tier-1 so stale docs fail CI:
+
+1. Every ``repro <verb>`` mentioned in the documentation names a real
+   sub-command of :func:`repro.cli.build_parser` (including nested verbs
+   such as ``submit schedule`` and ``bench run``).
+2. Every ``--flag`` mentioned in the documentation is accepted by some
+   ``repro`` sub-command (or is a known pytest conftest flag).
+3. Every intra-repo markdown link and every back-ticked repository path
+   resolves to an existing file or directory (generated artifacts under
+   ``benchmarks/output/`` are exempt).
+
+The scanned set is README.md, EXPERIMENTS.md and every file under
+docs/ — the user-facing surface.  Prose that merely *names* the package
+(``from repro import ...``) is excluded by the import-line filter.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Flags defined by tests/conftest.py (pytest options), not by the CLI.
+PYTEST_FLAGS = {"--runslow", "--runfuzz"}
+
+#: Path prefixes that are generated at run time and need not exist.
+GENERATED_PREFIXES = ("benchmarks/output/",)
+
+
+def doc_files():
+    files = [REPO / "README.md", REPO / "EXPERIMENTS.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+DOC_FILES = doc_files()
+DOC_IDS = [str(f.relative_to(REPO)) for f in DOC_FILES]
+
+
+def cli_inventory():
+    """Walk the argparse tree: (verbs incl. nested, long option strings)."""
+
+    def walk(parser, prefix):
+        verbs, flags = set(), set()
+        for action in parser._actions:
+            flags.update(o for o in action.option_strings if o.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                for name, sub in action.choices.items():
+                    verb = f"{prefix} {name}".strip()
+                    verbs.add(verb)
+                    sub_verbs, sub_flags = walk(sub, verb)
+                    verbs.update(sub_verbs)
+                    flags.update(sub_flags)
+        return verbs, flags
+
+    return walk(build_parser(), "")
+
+
+VERBS, FLAGS = cli_inventory()
+
+_IMPORT_LINE = re.compile(r"\bimport\b")
+_VERB_MENTION = re.compile(r"\brepro ([a-z][a-z-]+)")
+_FLAG_MENTION = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_TICKED_PATH = re.compile(
+    r"`((?:src|docs|examples|tests|benchmarks|\.github)/[A-Za-z0-9_./-]*"
+    r"|[A-Za-z0-9_-]+\.md)`"
+)
+
+
+def _doc_lines(path):
+    for n, line in enumerate(path.read_text().splitlines(), start=1):
+        yield n, line
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=DOC_IDS)
+def test_documented_verbs_exist(doc):
+    stale = []
+    for n, line in _doc_lines(doc):
+        if _IMPORT_LINE.search(line):
+            continue  # `from repro import ...` is the package, not the CLI
+        for match in _VERB_MENTION.finditer(line):
+            if match.group(1) not in VERBS:
+                stale.append(f"{doc.name}:{n}: repro {match.group(1)}")
+    assert not stale, (
+        "documented sub-commands missing from repro.cli.build_parser(): "
+        + ", ".join(stale)
+    )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=DOC_IDS)
+def test_documented_flags_exist(doc):
+    stale = []
+    for n, line in _doc_lines(doc):
+        for match in _FLAG_MENTION.finditer(line):
+            flag = match.group(1)
+            if flag not in FLAGS and flag not in PYTEST_FLAGS:
+                stale.append(f"{doc.name}:{n}: {flag}")
+    assert not stale, (
+        "documented flags not accepted by any repro sub-command: "
+        + ", ".join(stale)
+    )
+
+
+def _resolves(doc, target):
+    target = target.split("#", 1)[0]
+    if not target:
+        return True  # pure #anchor link
+    if target.startswith(GENERATED_PREFIXES):
+        return True
+    return (doc.parent / target).exists() or (REPO / target).exists()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=DOC_IDS)
+def test_markdown_links_resolve(doc):
+    broken = []
+    for n, line in _doc_lines(doc):
+        for match in _MD_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not _resolves(doc, target):
+                broken.append(f"{doc.name}:{n}: ({target})")
+    assert not broken, "broken intra-repo markdown links: " + ", ".join(broken)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=DOC_IDS)
+def test_ticked_paths_resolve(doc):
+    broken = []
+    for n, line in _doc_lines(doc):
+        for match in _TICKED_PATH.finditer(line):
+            if not _resolves(doc, match.group(1)):
+                broken.append(f"{doc.name}:{n}: `{match.group(1)}`")
+    assert not broken, "back-ticked paths that do not exist: " + ", ".join(broken)
+
+
+def test_docs_index_links_every_doc_file():
+    """docs/README.md is the index: it must link every sibling doc."""
+    index = REPO / "docs" / "README.md"
+    assert index.exists(), "docs/README.md index is missing"
+    text = index.read_text()
+    linked = {match.group(1).split("#", 1)[0] for match in _MD_LINK.finditer(text)}
+    missing = [
+        sibling.name
+        for sibling in sorted((REPO / "docs").glob("*.md"))
+        if sibling.name != "README.md" and sibling.name not in linked
+    ]
+    assert not missing, "docs/README.md does not link: " + ", ".join(missing)
+
+
+def test_docs_index_cross_links_top_level():
+    text = (REPO / "docs" / "README.md").read_text()
+    linked = {match.group(1).split("#", 1)[0] for match in _MD_LINK.finditer(text)}
+    for expected in ("../README.md", "../EXPERIMENTS.md", "../ROADMAP.md"):
+        assert expected in linked, f"docs/README.md must link {expected}"

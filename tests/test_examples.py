@@ -36,12 +36,17 @@ class TestExamples:
         assert "II=" in out
 
     def test_design_space_exploration_runs(self, capsys, monkeypatch):
-        monkeypatch.setattr(sys, "argv", ["design_space_exploration.py", "6"])
+        # argv: [n_loops, budget] -- a tiny budget keeps the tier-1 run fast.
+        monkeypatch.setattr(
+            sys, "argv", ["design_space_exploration.py", "6", "8"]
+        )
         module = load_example("design_space_exploration")
         module.main()
         out = capsys.readouterr().out
         assert "Design-space exploration" in out
+        assert "Pareto frontier" in out
         assert "Fastest configuration" in out
+        assert "Frontier digest:" in out
 
     def test_multimedia_kernels_runs(self, capsys):
         module = load_example("multimedia_kernels")

@@ -1,0 +1,402 @@
+"""Design-space exploration: frontier invariants, search determinism,
+store-backed resume, and the paper's headline result rediscovered.
+
+The frontier properties are the satellite hypothesis suite of PR 10:
+
+* the kept set is non-dominated after *any* insertion sequence;
+* the final frontier (and its digest) is independent of insertion order;
+* ``random``/``evolve`` probe traces are pure functions of the seed.
+
+The heavier end-to-end tests pin the acceptance criteria: identical
+frontier digests across runs, zero re-evaluated probes on ``--resume``,
+and — on loops drawn from the small tier — a clustered-hierarchical
+configuration that dominates monolithic S64 on the (area, time) plane.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import serialize
+from repro.explore import (
+    DesignSpace,
+    Explorer,
+    ExploreReport,
+    ExploreSpec,
+    FrontierPoint,
+    ParetoFrontier,
+    dominates,
+    explore_key,
+    probe_key,
+    run_explore,
+)
+from repro.machine.config import RFConfig
+from repro.session import FrontierUpdate, Session
+from repro.store.db import RunDatabase
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+objective_values = st.floats(
+    min_value=0.1, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def frontier_points(draw):
+    """A measured design point.
+
+    A configuration's identity determines its objectives (one config =
+    one deterministic measurement), mirroring the real system; exact
+    duplicates — the same point inserted twice — remain possible.
+    """
+    area = draw(objective_values)
+    time_ns = draw(objective_values)
+    sum_ii = draw(st.integers(min_value=0, max_value=500))
+    name = f"cfg-{area}-{time_ns}-{sum_ii}"
+    return FrontierPoint(
+        config={"name": name},
+        config_name=name,
+        kind="monolithic",
+        area_mlambda2=area,
+        time_ns=time_ns,
+        sum_ii=sum_ii,
+    )
+
+
+point_lists = st.lists(frontier_points(), min_size=0, max_size=24)
+
+
+def fake_objectives(rf: RFConfig) -> tuple:
+    """Deterministic toy objectives keyed only on the configuration."""
+    area = float(rf.total_registers * (1 + rf.lp + rf.sp)) / max(1, rf.n_clusters)
+    time_ns = 1000.0 / (1 + rf.n_clusters) + float(rf.shared_regs or 0) * 0.5
+    return (area, time_ns, int(area + time_ns), 0)
+
+
+def fake_evaluate(rf, tier, n_loops):
+    return fake_objectives(rf)
+
+
+# --------------------------------------------------------------------------- #
+# Frontier properties (hypothesis)
+# --------------------------------------------------------------------------- #
+
+
+@given(points=point_lists)
+@settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+def test_frontier_is_always_non_dominated(points):
+    frontier = ParetoFrontier()
+    for point in points:
+        frontier.insert(point)
+        kept = frontier.points()
+        for a in kept:
+            assert a.n_failed == 0
+            for b in kept:
+                if a is not b:
+                    assert not dominates(a, b)
+
+
+@given(points=point_lists, order_seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+def test_frontier_is_insertion_order_independent(points, order_seed):
+    forward = ParetoFrontier.from_points(points)
+    shuffled = list(points)
+    np.random.default_rng(order_seed).shuffle(shuffled)
+    other = ParetoFrontier.from_points(shuffled)
+    assert {p.config_name for p in forward.points()} == {
+        p.config_name for p in other.points()
+    }
+    assert forward.digest() == other.digest()
+
+
+@given(points=point_lists)
+@settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+def test_frontier_members_are_never_dominated_by_rejected_points(points):
+    frontier = ParetoFrontier.from_points(points)
+    for point in points:
+        if point.n_failed == 0:
+            assert not any(dominates(point, kept) for kept in frontier.points())
+
+
+def test_failed_points_are_rejected():
+    frontier = ParetoFrontier()
+    bad = FrontierPoint(
+        config={}, config_name="bad", kind="monolithic",
+        area_mlambda2=0.1, time_ns=0.1, n_failed=2,
+    )
+    accepted, removed = frontier.insert(bad)
+    assert not accepted and not removed and len(frontier) == 0
+
+
+def test_equal_objective_points_coexist():
+    a = FrontierPoint(config={"v": 1}, config_name="a", kind="monolithic",
+                      area_mlambda2=1.0, time_ns=1.0)
+    b = FrontierPoint(config={"v": 2}, config_name="b", kind="monolithic",
+                      area_mlambda2=1.0, time_ns=1.0)
+    assert not dominates(a, b) and not dominates(b, a)
+    f1 = ParetoFrontier.from_points([a, b])
+    f2 = ParetoFrontier.from_points([b, a])
+    assert len(f1) == 2
+    assert f1.digest() == f2.digest()
+
+
+# --------------------------------------------------------------------------- #
+# Design space
+# --------------------------------------------------------------------------- #
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_space_operators_stay_inside_the_space(seed):
+    space = DesignSpace()
+    rng = np.random.default_rng(seed)
+    a = space.sample(rng)
+    b = space.sample(rng)
+    assert space.contains(a) and space.contains(b)
+    mutated = space.mutate(rng, a)
+    assert space.contains(mutated)
+    child = space.crossover(rng, a, b)
+    assert space.contains(child)
+    space.machine.validate_rf(mutated)
+    space.machine.validate_rf(child)
+
+
+def test_space_round_trips_through_dict():
+    space = DesignSpace()
+    assert DesignSpace.from_dict(space.to_dict()) == space
+
+
+def test_space_contains_rejects_off_axis_configs():
+    space = DesignSpace()
+    assert not space.contains(RFConfig(shared_regs=100))  # off the axis
+    assert space.contains(RFConfig(shared_regs=64))
+    assert not space.contains(
+        RFConfig(n_clusters=8, cluster_regs=16, shared_regs=None)
+    )  # pure clustered beyond the memory ports
+
+
+# --------------------------------------------------------------------------- #
+# Search determinism (fake evaluator; no scheduling involved)
+# --------------------------------------------------------------------------- #
+
+
+def trace_of(spec: ExploreSpec) -> list:
+    events = []
+    run_explore(
+        None,
+        spec,
+        evaluate=fake_evaluate,
+        on_event=lambda u: events.append(
+            (u.point.config_name, u.stage, u.n_done)
+        ),
+    )
+    return events
+
+
+@pytest.mark.parametrize("algo", ["random", "evolve"])
+@pytest.mark.parametrize("seed", [0, 7, 2003])
+def test_search_trace_is_seed_deterministic(algo, seed):
+    spec = ExploreSpec(algo=algo, budget=24, seed=seed, tier="tiny")
+    assert trace_of(spec) == trace_of(spec)
+
+
+def test_different_seeds_give_different_traces():
+    traces = {
+        tuple(trace_of(ExploreSpec(algo="random", budget=24, seed=seed)))
+        for seed in (0, 1, 2)
+    }
+    assert len(traces) > 1
+
+
+def test_budget_is_respected_and_exhausted():
+    for algo in ("random", "evolve"):
+        spec = ExploreSpec(algo=algo, budget=17, seed=3)
+        report = run_explore(None, spec, evaluate=fake_evaluate)
+        assert report.n_probes == 17
+        assert report.n_evaluated == 17
+        assert report.n_restored == 0
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ExploreSpec(algo="annealing")
+    with pytest.raises(ValueError):
+        ExploreSpec(budget=0)
+    with pytest.raises(ValueError):
+        ExploreSpec(population=1)
+    with pytest.raises(ValueError):
+        ExploreSpec(promote=9, population=8)
+
+
+def test_explorer_requires_a_backend():
+    with pytest.raises(ValueError):
+        Explorer(session=None, spec=ExploreSpec())
+
+
+def test_frontier_events_stream_like_run_ready():
+    events = []
+    spec = ExploreSpec(algo="evolve", budget=12, seed=5)
+    run_explore(None, spec, evaluate=fake_evaluate, on_event=events.append)
+    assert events and all(isinstance(e, FrontierUpdate) for e in events)
+    assert [e.n_done for e in events] == sorted(e.n_done for e in events)
+    assert {e.stage for e in events} <= {"probe", "frontier"}
+    assert all(e.n_total == 12 for e in events)
+
+
+# --------------------------------------------------------------------------- #
+# Serialization envelopes
+# --------------------------------------------------------------------------- #
+
+
+def test_explore_envelopes_round_trip():
+    spec = ExploreSpec(algo="evolve", budget=9, seed=4, tier="tiny")
+    report = run_explore(None, spec, evaluate=fake_evaluate)
+    for obj, expect in (
+        (spec, "explore_spec"),
+        (report.points[0], "frontier_point"),
+        (report, "explore_report"),
+    ):
+        envelope = serialize.to_dict(obj)
+        assert envelope["type"] == expect
+        serialize.validate(envelope, expect_type=expect)
+        rebuilt = serialize.from_dict(envelope)
+        assert serialize.to_dict(rebuilt) == envelope
+    rebuilt = serialize.from_dict(serialize.to_dict(report))
+    assert rebuilt.digest == report.digest
+    assert rebuilt.frontier().digest() == report.digest
+
+
+# --------------------------------------------------------------------------- #
+# Probe store: persistence and resume
+# --------------------------------------------------------------------------- #
+
+
+def test_probe_key_ignores_search_knobs():
+    rf = RFConfig.parse("4C16S16")
+    base = probe_key("fp", rf, "tiny", 4, 2003)
+    assert base == probe_key("fp", rf, "tiny", 4, 2003)
+    assert base != probe_key("fp", rf, "small", 4, 2003)
+    assert base != probe_key("fp", rf, "tiny", 5, 2003)
+    assert base != probe_key("other", rf, "tiny", 4, 2003)
+    spec_a = ExploreSpec(seed=1)
+    spec_b = ExploreSpec(seed=2)
+    assert explore_key(spec_a, "fp") != explore_key(spec_b, "fp")
+
+
+def test_resume_restores_probes_and_preserves_digest(tmp_path):
+    spec = ExploreSpec(algo="evolve", budget=20, seed=6)
+    with RunDatabase(tmp_path / "probes.sqlite") as db:
+        first = run_explore(None, spec, db=db, evaluate=fake_evaluate)
+        assert first.n_evaluated == 20 and first.n_restored == 0
+        second = run_explore(None, spec, db=db, evaluate=fake_evaluate)
+        assert second.n_evaluated == 0
+        assert second.n_restored == second.n_probes == 20
+        assert second.digest == first.digest
+        assert [p.to_dict() for p in second.points] == [
+            p.to_dict() for p in first.points
+        ]
+        assert db.stats()["n_probes"] == 20
+
+
+def test_interrupted_run_resumes_with_zero_reevaluation(tmp_path):
+    """Kill the explorer mid-budget; the rerun must not repeat any probe."""
+    spec = ExploreSpec(algo="random", budget=15, seed=9)
+
+    class Boom(RuntimeError):
+        pass
+
+    calls = {"n": 0}
+
+    def dying_evaluate(rf, tier, n_loops):
+        if calls["n"] >= 6:
+            raise Boom("killed mid-budget")
+        calls["n"] += 1
+        return fake_objectives(rf)
+
+    with RunDatabase(tmp_path / "probes.sqlite") as db:
+        with pytest.raises(Boom):
+            run_explore(None, spec, db=db, evaluate=dying_evaluate)
+        assert db.stats()["n_probes"] == 6
+
+        resumed = run_explore(None, spec, db=db, evaluate=fake_evaluate)
+        # The deterministic trace re-requests the 6 completed probes and
+        # restores every one of them from the store.
+        assert resumed.n_restored == 6
+        assert resumed.n_evaluated == spec.budget - 6
+
+        uninterrupted = run_explore(None, spec, evaluate=fake_evaluate)
+        assert resumed.digest == uninterrupted.digest
+
+
+def test_probe_rows_are_validated(tmp_path):
+    with RunDatabase(tmp_path / "probes.sqlite") as db:
+        with pytest.raises(ValueError, match="unknown probes columns"):
+            db.add_probe({"probe_key": "x", "nonsense": 1})
+        assert db.probe("missing") is None
+        assert db.probes() == []
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end through a real session (the acceptance criteria)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def explore_session():
+    with Session(jobs=0) as session:
+        yield session
+
+
+def test_explore_digest_is_deterministic_through_a_session(explore_session):
+    spec = ExploreSpec(algo="random", budget=6, seed=3, tier="tiny", n_loops=4)
+    first = run_explore(explore_session, spec)
+    second = run_explore(explore_session, spec)
+    assert first.n_probes == second.n_probes == 6
+    assert first.digest == second.digest
+    assert [p.config_name for p in first.points] == [
+        p.config_name for p in second.points
+    ]
+
+
+def test_search_rediscovers_hierarchical_clustered_sweet_spot(explore_session):
+    """The paper's headline: on loops drawn from the small tier, a
+    clustered-hierarchical organization dominates monolithic S64."""
+    spec = ExploreSpec(
+        algo="evolve", budget=24, seed=14, tier="small", n_loops=8,
+        probe_tier="tiny", probe_n_loops=6,
+    )
+    report = run_explore(explore_session, spec)
+    s64_report = explore_session.evaluate_configuration(
+        "S64", tier="small", n_loops=8, seed=spec.workbench_seed
+    )
+    s64 = FrontierPoint(
+        config={}, config_name="S64", kind="monolithic",
+        area_mlambda2=s64_report.area_mlambda2, time_ns=s64_report.time_ns,
+    )
+    dominating = [
+        p for p in report.points
+        if p.kind == "hierarchical-clustered" and dominates(p, s64)
+    ]
+    assert dominating, (
+        "expected a clustered-hierarchical config dominating S64, frontier: "
+        + json.dumps([p.to_dict() for p in report.points], indent=2)
+    )
+    # S64 itself cannot sit on a frontier that contains its dominator.
+    assert "S64" not in {p.config_name for p in report.points}
+
+
+def test_session_probes_persist_and_resume(tmp_path, explore_session):
+    spec = ExploreSpec(algo="random", budget=5, seed=11, tier="tiny", n_loops=3)
+    with RunDatabase(tmp_path / "probes.sqlite") as db:
+        first = run_explore(explore_session, spec, db=db)
+        assert first.n_evaluated == 5
+        second = run_explore(explore_session, spec, db=db)
+        assert second.n_evaluated == 0 and second.n_restored == 5
+        assert second.digest == first.digest
